@@ -1,0 +1,156 @@
+(* irm — the Incremental Recompilation Manager as a command-line tool.
+
+     irm build sources.cm --policy cutoff
+     irm run sources.cm
+     irm deps sources.cm
+
+   A group file lists source paths, one per line; dependency order is
+   computed automatically (section 8 of the paper). *)
+
+let parse_policy = function
+  | "cutoff" -> Ok Irm.Driver.Cutoff
+  | "timestamp" -> Ok Irm.Driver.Timestamp
+  | "selective" -> Ok Irm.Driver.Selective
+  | other -> Error (`Msg (Printf.sprintf "unknown policy %S" other))
+
+let with_manager dir group f =
+  let fs = Vfs.real ~dir in
+  let sources = Irm.Group.load fs group in
+  let mgr = Irm.Driver.create fs in
+  f fs mgr sources
+
+let guarded f =
+  match Support.Diag.guard f with
+  | Ok code -> code
+  | Error d ->
+    prerr_endline (Support.Diag.to_string d);
+    1
+  | exception Dynamics.Eval.Sml_raise packet ->
+    Printf.eprintf "uncaught exception: %s\n" (Dynamics.Value.to_string packet);
+    1
+  | exception Dynamics.Eval.Sml_exit code -> code
+  | exception Sys_error msg ->
+    prerr_endline msg;
+    1
+
+let build_cmd_impl dir group policy =
+  guarded (fun () ->
+      with_manager dir group (fun _fs mgr sources ->
+          let stats = Irm.Driver.build mgr ~policy ~sources in
+          List.iter
+            (fun file ->
+              let unit_ = Irm.Driver.unit_of mgr file in
+              let tag =
+                if List.exists (String.equal file) stats.Irm.Driver.st_recompiled
+                then
+                  if List.exists (String.equal file) stats.Irm.Driver.st_cutoff_hits
+                  then "recompiled (interface unchanged)"
+                  else "recompiled"
+                else "up to date"
+              in
+              Printf.printf "%-24s %s  [%s]\n" file
+                (Digestkit.Pid.short unit_.Pickle.Binfile.uf_static_pid)
+                tag)
+            stats.Irm.Driver.st_order;
+          Printf.printf "%d recompiled, %d up to date (%s policy)\n"
+            (List.length stats.Irm.Driver.st_recompiled)
+            (List.length stats.Irm.Driver.st_loaded)
+            (Irm.Driver.policy_name policy);
+          0))
+
+let run_cmd_impl dir group policy =
+  guarded (fun () ->
+      with_manager dir group (fun _fs mgr sources ->
+          let _ = Irm.Driver.build mgr ~policy ~sources in
+          let _ = Irm.Driver.run mgr ~sources in
+          0))
+
+let deps_cmd_impl dir group dot =
+  guarded (fun () ->
+      with_manager dir group (fun fs _mgr sources ->
+          let parsed =
+            List.map
+              (fun file ->
+                match fs.Vfs.fs_read file with
+                | Some src -> (file, Lang.Parser.parse_unit ~file src)
+                | None ->
+                  Support.Diag.error Support.Diag.Manager Support.Loc.dummy
+                    "source file %s not found" file)
+              sources
+          in
+          let graph = Depend.Depgraph.build parsed in
+          let order = Depend.Depgraph.topological graph in
+          if dot then begin
+            print_endline "digraph deps {";
+            print_endline "  rankdir=BT;";
+            List.iter
+              (fun file ->
+                let node = Depend.Depgraph.node graph file in
+                if node.Depend.Depgraph.n_deps = [] then
+                  Printf.printf "  %S;\n" file
+                else
+                  List.iter
+                    (fun dep -> Printf.printf "  %S -> %S;\n" file dep)
+                    node.Depend.Depgraph.n_deps)
+              order;
+            print_endline "}"
+          end
+          else
+            List.iter
+              (fun file ->
+                let node = Depend.Depgraph.node graph file in
+                Printf.printf "%s: %s\n" file
+                  (String.concat " " node.Depend.Depgraph.n_deps))
+              order;
+          0))
+
+open Cmdliner
+
+let dir_arg =
+  Arg.(
+    value & opt dir "."
+    & info [ "C"; "directory" ] ~docv:"DIR" ~doc:"Project root directory.")
+
+let group_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"GROUP" ~doc:"Group file listing the source files.")
+
+let policy_arg =
+  let policy_conv =
+    Arg.conv ~docv:"POLICY"
+      ( parse_policy,
+        fun ppf p -> Format.pp_print_string ppf (Irm.Driver.policy_name p) )
+  in
+  Arg.(
+    value & opt policy_conv Irm.Driver.Cutoff
+    & info [ "p"; "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Recompilation policy: $(b,cutoff) (interface pids), \
+           $(b,selective) (per-module interface pids) or $(b,timestamp) \
+           (classical make).")
+
+let build_cmd =
+  Cmd.v
+    (Cmd.info "build" ~doc:"bring every unit of the group up to date")
+    Term.(const build_cmd_impl $ dir_arg $ group_arg $ policy_arg)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"build, then execute all units in dependency order")
+    Term.(const run_cmd_impl $ dir_arg $ group_arg $ policy_arg)
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.")
+
+let deps_cmd =
+  Cmd.v
+    (Cmd.info "deps" ~doc:"print the computed dependency graph")
+    Term.(const deps_cmd_impl $ dir_arg $ group_arg $ dot_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "irm" ~doc:"incremental recompilation manager for MiniSML")
+    [ build_cmd; run_cmd; deps_cmd ]
+
+let () = exit (Cmd.eval' cmd)

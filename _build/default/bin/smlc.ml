@@ -1,0 +1,103 @@
+(* smlc — compile a single MiniSML compilation unit to a bin file,
+   optionally loading previously compiled bin files as imports, and
+   optionally executing the result.
+
+     smlc foo.sml --import lib.sml.bin --run *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  content
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let compile_one source_path import_paths run verbose =
+  let session = Sepcomp.Compile.new_session () in
+  let imports =
+    List.map
+      (fun path -> Sepcomp.Compile.load session (read_file path))
+      import_paths
+  in
+  let source = read_file source_path in
+  let warn loc msg =
+    Printf.eprintf "%s: warning: %s\n" (Support.Loc.to_string loc) msg
+  in
+  let unit_ =
+    Sepcomp.Compile.compile ~warn session ~name:source_path ~source ~imports
+  in
+  let bin_path = source_path ^ ".bin" in
+  write_file bin_path (Sepcomp.Compile.save session unit_);
+  if verbose then begin
+    Printf.printf "%s\n" bin_path;
+    Printf.printf "  static pid: %s\n"
+      (Digestkit.Pid.to_hex unit_.Pickle.Binfile.uf_static_pid);
+    List.iter
+      (fun (name, pid) ->
+        Printf.printf "  export %s @ %s\n"
+          (Support.Symbol.name name)
+          (Digestkit.Pid.short pid))
+      unit_.Pickle.Binfile.uf_codeunit.Link.Codeunit.cu_exports;
+    List.iter
+      (fun (name, pid) ->
+        Printf.printf "  compiled against %s @ %s\n" name
+          (Digestkit.Pid.short pid))
+      unit_.Pickle.Binfile.uf_import_statics
+  end;
+  if run then begin
+    let dynenv =
+      List.fold_left
+        (fun dynenv import -> Sepcomp.Compile.execute import dynenv)
+        Link.Linker.empty imports
+    in
+    ignore (Sepcomp.Compile.execute unit_ dynenv)
+  end;
+  0
+
+let main source_path import_paths run verbose =
+  match
+    Support.Diag.guard (fun () -> compile_one source_path import_paths run verbose)
+  with
+  | Ok code -> code
+  | Error d ->
+    prerr_endline (Support.Diag.to_string d);
+    1
+  | exception Pickle.Buf.Corrupt msg ->
+    Printf.eprintf "corrupt bin file: %s\n" msg;
+    1
+  | exception Dynamics.Eval.Sml_raise packet ->
+    Printf.eprintf "uncaught exception: %s\n" (Dynamics.Value.to_string packet);
+    1
+  | exception Dynamics.Eval.Sml_exit code -> code
+  | exception Sys_error msg ->
+    prerr_endline msg;
+    1
+
+open Cmdliner
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE" ~doc:"MiniSML source file.")
+
+let imports_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "i"; "import" ] ~docv:"BIN"
+        ~doc:"Bin file of an already-compiled unit this one imports. Repeatable.")
+
+let run_arg =
+  Arg.(value & flag & info [ "run" ] ~doc:"Execute the unit after compiling it.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print pids and imports.")
+
+let cmd =
+  let doc = "compile a MiniSML compilation unit (separate compilation)" in
+  Cmd.v
+    (Cmd.info "smlc" ~doc)
+    Term.(const main $ source_arg $ imports_arg $ run_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/cutoff_demo.ml: Irm List Printf Vfs Workload

@@ -1,0 +1,1 @@
+examples/cutoff_demo.mli:

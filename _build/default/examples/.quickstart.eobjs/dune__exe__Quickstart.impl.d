@@ -1,0 +1,1 @@
+examples/quickstart.ml: Digestkit Link Pickle Printf Sepcomp

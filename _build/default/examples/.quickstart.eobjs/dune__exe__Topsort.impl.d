@@ -1,0 +1,1 @@
+examples/topsort.ml: Irm Link List Printf Sepcomp String Vfs

@@ -1,0 +1,1 @@
+examples/visible_compiler.ml: Digestkit Dynamics Link List Pickle Printf Sepcomp Support

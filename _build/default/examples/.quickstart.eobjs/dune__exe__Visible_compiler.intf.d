@@ -1,0 +1,1 @@
+examples/visible_compiler.mli:

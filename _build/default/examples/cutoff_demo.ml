@@ -1,0 +1,44 @@
+(* Cutoff vs timestamp recompilation, side by side.
+
+   Generates a synthetic 12-unit project (a random DAG), applies the
+   three canonical edits — comment-only, implementation-only, and
+   interface-changing — to a unit in the middle of the dependency
+   order, and prints how many units each policy recompiles.
+
+     dune exec examples/cutoff_demo.exe *)
+
+module Gen = Workload.Gen
+module Driver = Irm.Driver
+
+let run_scenario policy edit =
+  let fs = Vfs.memory () in
+  let project =
+    Gen.create fs
+      (Gen.Random_dag { units = 12; max_deps = 3; seed = 2026 })
+      Gen.default_profile
+  in
+  let sources = Gen.sources project in
+  let mgr = Driver.create fs in
+  let _ = Driver.build mgr ~policy ~sources in
+  let victim = Gen.middle_file project in
+  Gen.edit project victim edit;
+  let stats = Driver.build mgr ~policy ~sources in
+  (victim, List.length stats.Driver.st_recompiled)
+
+let () =
+  Printf.printf "%-16s %-22s %s\n" "edit" "policy" "units recompiled (of 12)";
+  List.iter
+    (fun edit ->
+      List.iter
+        (fun policy ->
+          let victim, recompiled = run_scenario policy edit in
+          Printf.printf "%-16s %-22s %d   (edited %s)\n" (Gen.edit_name edit)
+            (Driver.policy_name policy) recompiled victim)
+        [ Driver.Timestamp; Driver.Cutoff; Driver.Selective ])
+    [ Gen.Touch; Gen.Impl_change; Gen.Iface_change ];
+  print_newline ();
+  print_endline
+    "The timestamp policy (classical make) recompiles the victim's whole";
+  print_endline
+    "dependent cone on every edit; cutoff recompiles the cone only when";
+  print_endline "the interface pid actually changes."

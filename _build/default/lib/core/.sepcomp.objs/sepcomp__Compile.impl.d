@@ -1,0 +1,1 @@
+lib/core/compile.ml: Depend Lang Link List Pickle Simplify Statics String Support Translate

@@ -1,0 +1,1 @@
+lib/core/interactive.ml: Digestkit Dynamics Format Lambda Lang List Pickle Printf Printval Statics Support Translate

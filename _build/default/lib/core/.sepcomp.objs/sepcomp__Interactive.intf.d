@@ -1,0 +1,1 @@
+lib/core/interactive.mli: Link Pickle Statics

@@ -1,0 +1,1 @@
+lib/core/printval.ml: Array Dynamics List Printf Statics String Support

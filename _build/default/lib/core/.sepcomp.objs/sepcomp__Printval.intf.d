@@ -1,0 +1,1 @@
+lib/core/printval.mli: Dynamics Statics

@@ -1,0 +1,75 @@
+module Symbol = Support.Symbol
+module Types = Statics.Types
+
+type session = { ctx : Statics.Context.t; basis : Types.env }
+
+let new_session () =
+  let ctx = Statics.Context.create () in
+  Statics.Basis.register ctx;
+  { ctx; basis = Statics.Basis.env () }
+
+let context session = session.ctx
+let basis_env session = session.basis
+
+let env_of_units session units =
+  List.fold_left
+    (fun env (uf : Pickle.Binfile.t) -> Types.env_union env uf.uf_env)
+    session.basis units
+  |> fun env ->
+  ignore session;
+  env
+
+(* The unit's runtime export record: one field per top-level structure
+   and functor, referencing the lvar the declaration bound. *)
+let runtime_export_fields (delta : Types.env) =
+  let fields = ref [] in
+  Symbol.Map.iter
+    (fun name info -> fields := (name, Statics.Tast.TEvar info.Types.str_addr) :: !fields)
+    delta.Types.strs;
+  Symbol.Map.iter
+    (fun name info -> fields := (name, Statics.Tast.TEvar info.Types.fct_addr) :: !fields)
+    delta.Types.fcts;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare (Symbol.name a) (Symbol.name b))
+    !fields
+
+let compile ?(optimize = true) ?warn session ~name ~source ~imports =
+  let env = env_of_units session imports in
+  let unit_ = Lang.Parser.parse_unit ~file:name source in
+  let delta, tdecs =
+    Statics.Elaborate.elab_compilation_unit ?warn session.ctx env unit_
+  in
+  let fields = runtime_export_fields delta in
+  let export = Pickle.Hashenv.export session.ctx delta in
+  let code = Translate.unit_code tdecs fields in
+  let code = if optimize then Simplify.term code else code in
+  let codeunit = Link.Codeunit.make ~exports:export.ex_exports code in
+  (* the selective-recompilation record: of the module names this unit
+     referenced, which import provided each and at what interface pid *)
+  let summary = Depend.Scan.scan unit_ in
+  let uf_import_name_statics =
+    List.concat_map
+      (fun (uf : Pickle.Binfile.t) ->
+        List.filter
+          (fun (modname, _) ->
+            Symbol.Set.mem modname summary.Depend.Scan.refers)
+          uf.uf_name_statics)
+      imports
+  in
+  {
+    Pickle.Binfile.uf_name = name;
+    uf_static_pid = export.ex_static_pid;
+    uf_env = export.ex_env;
+    uf_import_statics =
+      List.map
+        (fun (uf : Pickle.Binfile.t) -> (uf.uf_name, uf.uf_static_pid))
+        imports;
+    uf_name_statics = export.ex_name_statics;
+    uf_import_name_statics;
+    uf_codeunit = codeunit;
+  }
+
+let load session bytes = Pickle.Binfile.read session.ctx bytes
+let save session unit_ = Pickle.Binfile.write session.ctx unit_
+let execute ?output unit_ dynenv =
+  Link.Linker.execute ?output unit_.Pickle.Binfile.uf_codeunit dynenv

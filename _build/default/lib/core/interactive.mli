@@ -1,0 +1,36 @@
+(** The interactive read-eval-print loop engine (section 9's "of course
+    there is only one proper top-level loop": this is it, built on the
+    visible compiler's pieces).
+
+    Unlike separately compiled units, the interactive loop accepts core
+    declarations and bare expressions, keeps its dynamic environment
+    keyed by local variables (the paper notes interactive bindings need
+    no pids), and accumulates static bindings across inputs. *)
+
+type t
+
+(** [create ?output ()].  [output] receives [print]ed strings. *)
+val create : ?output:(string -> unit) -> unit -> t
+
+val context : t -> Statics.Context.t
+
+(** The current static environment (basis plus accumulated bindings). *)
+val env : t -> Statics.Types.env
+
+(** What one input produced, rendered for display: one line per new
+    binding, e.g. ["val x = 7 : int"]. *)
+type outcome = {
+  bindings : string list;
+  warnings : string list;
+}
+
+(** [eval t input] — parse (declarations, or a bare expression bound to
+    [it]), elaborate, run, and accumulate.  Raises
+    {!Support.Diag.Error} on compile-time errors,
+    {!Dynamics.Eval.Sml_raise} on uncaught MiniSML exceptions. *)
+val eval : t -> string -> outcome
+
+(** [use t unit] — bring a compiled unit's interface into scope (its
+    dynamic exports must already be in [dynenv] via {!import_dynenv}).
+    The REPL side of the paper's bootstrap loader. *)
+val use : t -> Pickle.Binfile.t -> Link.Linker.dynenv -> unit

@@ -1,0 +1,12 @@
+(** Type-directed printing of runtime values, SML-REPL style.
+
+    The interpreter's values erase types (a bool and a nullary
+    constructor look alike), so faithful printing consults the static
+    type: [true] rather than [con1], [[1, 2]] rather than cons cells,
+    and datatype constructors by their declared names (recovered from
+    the constructor descriptions in the compilation context). *)
+
+(** [print ctx ty value] — render [value] at type [ty].  Falls back to
+    a representation dump when the type gives no guidance (e.g. after
+    unresolved polymorphism). *)
+val print : Statics.Context.t -> Statics.Types.ty -> Dynamics.Value.t -> string

@@ -1,0 +1,1 @@
+lib/depend/depgraph.ml: Hashtbl List Scan String Support

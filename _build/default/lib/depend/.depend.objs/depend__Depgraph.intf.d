@@ -1,0 +1,1 @@
+lib/depend/depgraph.mli: Lang Scan Support

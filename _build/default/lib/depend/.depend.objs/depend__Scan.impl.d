@@ -1,0 +1,1 @@
+lib/depend/scan.ml: Lang List Option Support

@@ -1,0 +1,96 @@
+module Symbol = Support.Symbol
+module Diag = Support.Diag
+
+type node = {
+  n_file : string;
+  n_summary : Scan.summary;
+  n_deps : string list;
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  providers : string Symbol.Table.t;
+  order : string list;  (** input order, for determinism *)
+}
+
+let manager_error fmt = Diag.error Diag.Manager Support.Loc.dummy fmt
+
+let build units =
+  let providers = Symbol.Table.create 64 in
+  List.iter
+    (fun (file, unit_) ->
+      let summary = Scan.scan unit_ in
+      Symbol.Set.iter
+        (fun name ->
+          match Symbol.Table.find_opt providers name with
+          | Some other when not (String.equal other file) ->
+            manager_error "module %a is defined by both %s and %s" Symbol.pp
+              name other file
+          | Some _ | None -> Symbol.Table.replace providers name file)
+        summary.Scan.defines)
+    units;
+  let nodes = Hashtbl.create 64 in
+  List.iter
+    (fun (file, unit_) ->
+      let summary = Scan.scan unit_ in
+      let deps =
+        Symbol.Set.fold
+          (fun name acc ->
+            match Symbol.Table.find_opt providers name with
+            | Some provider when not (String.equal provider file) ->
+              provider :: acc
+            | Some _ | None -> acc)
+          summary.Scan.refers []
+        |> List.sort_uniq String.compare
+      in
+      Hashtbl.replace nodes file
+        { n_file = file; n_summary = summary; n_deps = deps })
+    units;
+  { nodes; providers; order = List.map fst units }
+
+let node t file =
+  match Hashtbl.find_opt t.nodes file with
+  | Some n -> n
+  | None -> manager_error "unknown compilation unit %s" file
+
+let topological t =
+  let visited = Hashtbl.create 64 in
+  (* 0 = in progress, 1 = done *)
+  let out = ref [] in
+  let rec visit trail file =
+    match Hashtbl.find_opt visited file with
+    | Some 1 -> ()
+    | Some _ ->
+      manager_error "dependency cycle: %s"
+        (String.concat " -> " (List.rev (file :: trail)))
+    | None ->
+      Hashtbl.replace visited file 0;
+      List.iter (visit (file :: trail)) (node t file).n_deps;
+      Hashtbl.replace visited file 1;
+      out := file :: !out
+  in
+  List.iter (visit []) t.order;
+  List.rev !out
+
+let dependents t file =
+  List.filter
+    (fun other ->
+      List.exists (String.equal file) (node t other).n_deps)
+    t.order
+
+let cone t file =
+  let result = Hashtbl.create 16 in
+  let rec grow file =
+    List.iter
+      (fun dep ->
+        if not (Hashtbl.mem result dep) then begin
+          Hashtbl.replace result dep ();
+          grow dep
+        end)
+      (dependents t file)
+  in
+  grow file;
+  List.filter (Hashtbl.mem result) t.order
+
+let provider t name = Symbol.Table.find_opt t.providers name
+let files t = t.order

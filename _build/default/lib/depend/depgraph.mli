@@ -1,0 +1,36 @@
+(** The compilation-unit dependency DAG and its topological order. *)
+
+module Symbol := Support.Symbol
+
+type node = {
+  n_file : string;
+  n_summary : Scan.summary;
+  n_deps : string list;  (** files this unit depends on, sorted *)
+}
+
+type t
+
+(** [build units] — [units] are (file, parsed source) pairs.  A unit
+    depends on the unit defining each of its free module names;
+    names defined by no unit (initial basis, external libraries) are
+    ignored.  A module name defined by two units is an error
+    (phase [Manager]). *)
+val build : (string * Lang.Ast.unit_) list -> t
+
+val node : t -> string -> node
+
+(** Files in dependency order (dependencies first).  Raises
+    {!Support.Diag.Error} (phase [Manager]) on a dependency cycle,
+    naming the files involved. *)
+val topological : t -> string list
+
+(** Direct dependents (reverse edges) of a file. *)
+val dependents : t -> string -> string list
+
+(** The transitive dependents ("cone") of a file, excluding itself. *)
+val cone : t -> string -> string list
+
+(** Provider of a module name, if any. *)
+val provider : t -> Symbol.t -> string option
+
+val files : t -> string list

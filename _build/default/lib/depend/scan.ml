@@ -1,0 +1,228 @@
+module Symbol = Support.Symbol
+module A = Lang.Ast
+
+type summary = { defines : Symbol.Set.t; refers : Symbol.Set.t }
+
+type state = {
+  mutable refs : Symbol.Set.t;
+  mutable top_defines : Symbol.Set.t;
+}
+
+(* The root of a qualified reference is a structure name; bare value
+   names are never cross-unit references. *)
+let path_root (path : A.path) =
+  match path.A.qualifiers with
+  | root :: _ -> Some root
+  | [] -> None
+
+(* A path in *module position* refers to a module even when bare. *)
+let module_path_root (path : A.path) =
+  match path.A.qualifiers with
+  | root :: _ -> root
+  | [] -> path.A.base
+
+let refer st bound name =
+  if not (Symbol.Set.mem name bound) then
+    st.refs <- Symbol.Set.add name st.refs
+
+let refer_path st bound path =
+  match path_root path with
+  | Some root -> refer st bound root
+  | None -> ()
+
+let rec scan_ty st bound (ty : A.ty) =
+  match ty.A.ty_desc with
+  | A.Tvar _ -> ()
+  | A.Tcon (args, path) ->
+    refer_path st bound path;
+    List.iter (scan_ty st bound) args
+  | A.Tarrow (a, b) ->
+    scan_ty st bound a;
+    scan_ty st bound b
+  | A.Ttuple parts -> List.iter (scan_ty st bound) parts
+
+let rec scan_pat st bound (pat : A.pat) =
+  match pat.A.pat_desc with
+  | A.Pwild | A.Pvar _ | A.Pint _ | A.Pstring _ -> ()
+  | A.Ptuple parts | A.Plist parts -> List.iter (scan_pat st bound) parts
+  | A.Pcon (path, arg) ->
+    refer_path st bound path;
+    Option.iter (scan_pat st bound) arg
+  | A.Pas (_, inner) -> scan_pat st bound inner
+  | A.Pconstraint (inner, ty) ->
+    scan_pat st bound inner;
+    scan_ty st bound ty
+
+let rec scan_exp st bound (exp : A.exp) =
+  match exp.A.exp_desc with
+  | A.Eint _ | A.Estring _ | A.Eselect _ -> ()
+  | A.Evar path -> refer_path st bound path
+  | A.Efn rules -> List.iter (scan_rule st bound) rules
+  | A.Eapp (f, x) ->
+    scan_exp st bound f;
+    scan_exp st bound x
+  | A.Etuple parts | A.Elist parts -> List.iter (scan_exp st bound) parts
+  | A.Elet (decs, body) ->
+    let bound = scan_decs st bound decs in
+    scan_exp st bound body
+  | A.Eif (a, b, c) ->
+    scan_exp st bound a;
+    scan_exp st bound b;
+    scan_exp st bound c
+  | A.Ecase (scrutinee, rules) ->
+    scan_exp st bound scrutinee;
+    List.iter (scan_rule st bound) rules
+  | A.Eandalso (a, b) | A.Eorelse (a, b) ->
+    scan_exp st bound a;
+    scan_exp st bound b
+  | A.Eraise e -> scan_exp st bound e
+  | A.Ehandle (body, rules) ->
+    scan_exp st bound body;
+    List.iter (scan_rule st bound) rules
+  | A.Econstraint (body, ty) ->
+    scan_exp st bound body;
+    scan_ty st bound ty
+
+and scan_rule st bound rule =
+  scan_pat st bound rule.A.rule_pat;
+  scan_exp st bound rule.A.rule_exp
+
+(* Returns [bound] extended with the module names the declarations
+   introduce. *)
+and scan_decs st bound decs = List.fold_left (scan_dec st) bound decs
+
+and scan_dec st bound (dec : A.dec) =
+  match dec.A.dec_desc with
+  | A.Dval (pat, exp) ->
+    scan_pat st bound pat;
+    scan_exp st bound exp;
+    bound
+  | A.Dvalrec binds ->
+    List.iter (fun (_, rules) -> List.iter (scan_rule st bound) rules) binds;
+    bound
+  | A.Dfun funbinds ->
+    List.iter
+      (fun fb ->
+        List.iter
+          (fun clause ->
+            List.iter (scan_pat st bound) clause.A.fc_pats;
+            scan_exp st bound clause.A.fc_body)
+          fb.A.fb_clauses)
+      funbinds;
+    bound
+  | A.Dtype binds ->
+    List.iter (fun tb -> scan_ty st bound tb.A.typ_defn) binds;
+    bound
+  | A.Ddatatype binds ->
+    List.iter
+      (fun db ->
+        List.iter
+          (fun cb -> Option.iter (scan_ty st bound) cb.A.con_arg)
+          db.A.dat_cons)
+      binds;
+    bound
+  | A.Dexception binds ->
+    List.iter (fun (_, arg) -> Option.iter (scan_ty st bound) arg) binds;
+    bound
+  | A.Dstructure binds ->
+    List.iter
+      (fun (_, ascription, body) ->
+        scan_opt_ascription st bound ascription;
+        scan_strexp st bound body)
+      binds;
+    List.fold_left
+      (fun bound (name, _, _) -> Symbol.Set.add name bound)
+      bound binds
+  | A.Dsignature binds ->
+    List.iter (fun (_, sigexp) -> scan_sigexp st bound sigexp) binds;
+    List.fold_left (fun bound (name, _) -> Symbol.Set.add name bound) bound binds
+  | A.Dfunctor binds ->
+    List.iter
+      (fun fb ->
+        scan_sigexp st bound fb.A.fct_param_sig;
+        let inner = Symbol.Set.add fb.A.fct_param bound in
+        scan_opt_ascription st inner fb.A.fct_ascription;
+        scan_strexp st inner fb.A.fct_body)
+      binds;
+    List.fold_left
+      (fun bound fb -> Symbol.Set.add fb.A.fct_name bound)
+      bound binds
+  | A.Dlocal (hidden, visible) ->
+    let bound' = scan_decs st bound hidden in
+    scan_decs st bound' visible
+  | A.Dopen paths ->
+    List.iter (fun path -> refer st bound (module_path_root path)) paths;
+    bound
+
+and scan_opt_ascription st bound = function
+  | None -> ()
+  | Some (A.Transparent sigexp) | Some (A.Opaque sigexp) ->
+    scan_sigexp st bound sigexp
+
+and scan_strexp st bound (strexp : A.strexp) =
+  match strexp.A.str_desc with
+  | A.Svar path -> refer st bound (module_path_root path)
+  | A.Sstruct decs -> ignore (scan_decs st bound decs)
+  | A.Sapp (path, arg) ->
+    refer st bound (module_path_root path);
+    scan_strexp st bound arg
+  | A.Sascribe (body, ascription) ->
+    scan_strexp st bound body;
+    scan_opt_ascription st bound (Some ascription)
+  | A.Slet (decs, body) ->
+    let bound = scan_decs st bound decs in
+    scan_strexp st bound body
+
+and scan_sigexp st bound (sigexp : A.sigexp) =
+  match sigexp.A.sig_desc with
+  | A.Gvar name -> refer st bound name
+  | A.Gsig specs -> List.iter (scan_spec st bound) specs
+  | A.Gwhere (base, wherespecs) ->
+    scan_sigexp st bound base;
+    List.iter
+      (fun ws ->
+        refer_path st bound ws.A.ws_path;
+        scan_ty st bound ws.A.ws_defn)
+      wherespecs
+
+and scan_spec st bound (spec : A.spec) =
+  match spec.A.spec_desc with
+  | A.SPval (_, ty) -> scan_ty st bound ty
+  | A.SPtype (_, _, defn) -> Option.iter (scan_ty st bound) defn
+  | A.SPdatatype binds ->
+    List.iter
+      (fun db ->
+        List.iter
+          (fun cb -> Option.iter (scan_ty st bound) cb.A.con_arg)
+          db.A.dat_cons)
+      binds
+  | A.SPexception (_, arg) -> Option.iter (scan_ty st bound) arg
+  | A.SPstructure (_, sigexp) -> scan_sigexp st bound sigexp
+  | A.SPinclude sigexp -> scan_sigexp st bound sigexp
+
+let top_level_defines decs =
+  let rec go acc (dec : A.dec) =
+    match dec.A.dec_desc with
+    | A.Dstructure binds ->
+      List.fold_left (fun acc (name, _, _) -> Symbol.Set.add name acc) acc binds
+    | A.Dsignature binds ->
+      List.fold_left (fun acc (name, _) -> Symbol.Set.add name acc) acc binds
+    | A.Dfunctor binds ->
+      List.fold_left
+        (fun acc fb -> Symbol.Set.add fb.A.fct_name acc)
+        acc binds
+    | A.Dlocal (_, visible) -> List.fold_left go acc visible
+    | A.Dval _ | A.Dvalrec _ | A.Dfun _ | A.Dtype _ | A.Ddatatype _
+    | A.Dexception _ | A.Dopen _ ->
+      acc
+  in
+  List.fold_left go Symbol.Set.empty decs
+
+let scan (unit_ : A.unit_) =
+  let st = { refs = Symbol.Set.empty; top_defines = Symbol.Set.empty } in
+  st.top_defines <- top_level_defines unit_.A.unit_decs;
+  ignore (scan_decs st Symbol.Set.empty unit_.A.unit_decs);
+  (* names defined by the unit itself are not external references *)
+  { defines = st.top_defines; refers = Symbol.Set.diff st.refs st.top_defines }
+
+let scan_source ~file source = scan (Lang.Parser.parse_unit ~file source)

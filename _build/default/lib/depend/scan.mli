@@ -1,0 +1,19 @@
+(** Source-level dependency analysis (section 8: the IRM "analyzes
+    dependencies between files" automatically, with no makefile).
+
+    Only module-level names matter: separately compiled units export
+    structures, signatures and functors, so a unit depends on exactly
+    the units defining the free module names it mentions. *)
+
+module Symbol := Support.Symbol
+
+type summary = {
+  defines : Symbol.Set.t;  (** top-level module names this unit binds *)
+  refers : Symbol.Set.t;  (** free module names it mentions *)
+}
+
+(** [scan unit] — compute both sets from the parsed syntax. *)
+val scan : Lang.Ast.unit_ -> summary
+
+(** [scan_source ~file source] — parse and scan. *)
+val scan_source : file:string -> string -> summary

@@ -1,0 +1,1 @@
+lib/digestkit/crc64.ml: Array Bytes Char Int64 Printf String

@@ -1,0 +1,1 @@
+lib/digestkit/crc64.mli:

@@ -1,0 +1,1 @@
+lib/digestkit/md5.mli:

@@ -1,0 +1,1 @@
+lib/digestkit/pid.ml: Char Format Hashtbl Map Md5 Printf Set String Unix_time

@@ -1,0 +1,1 @@
+lib/digestkit/pid.mli: Format Hashtbl Map Set

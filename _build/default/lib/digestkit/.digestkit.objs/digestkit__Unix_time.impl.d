@@ -1,0 +1,1 @@
+lib/digestkit/unix_time.ml: Hashtbl Sys

@@ -1,0 +1,23 @@
+(** CRC-64 (ECMA-182 polynomial), table-driven.
+
+    The paper describes its intrinsic pids as "a good hash function (a CRC
+    of 128 bits)".  We provide a CRC-64 both as a building block (two
+    independent CRC streams give a cheap 128-bit checksum used in the
+    ablation benches) and as the integrity check on pickled bin files. *)
+
+type t = int64
+
+val init : t
+
+(** [update crc bytes off len] extends [crc] over a slice. *)
+val update : t -> bytes -> int -> int -> t
+
+val update_string : t -> string -> t
+
+(** [finish crc] is the final CRC value. *)
+val finish : t -> t
+
+(** [of_string s] is the CRC-64 of the whole string. *)
+val of_string : string -> t
+
+val to_hex : t -> string

@@ -1,0 +1,26 @@
+(** MD5 message digest (RFC 1321), implemented from scratch.
+
+    The paper hashes exported static environments with a 128-bit CRC; we
+    use MD5 as our 128-bit hash (same width, better mixing).  The
+    implementation is self-contained so the bin-file format does not
+    depend on any runtime library's digest function. *)
+
+type ctx
+
+(** A fresh hashing context. *)
+val init : unit -> ctx
+
+(** [feed ctx bytes off len] absorbs a slice of [bytes]. *)
+val feed : ctx -> bytes -> int -> int -> unit
+
+val feed_string : ctx -> string -> unit
+
+(** [finish ctx] returns the 16-byte digest.  The context must not be
+    reused afterwards. *)
+val finish : ctx -> string
+
+(** [digest_string s] is the 16-byte MD5 of [s]. *)
+val digest_string : string -> string
+
+(** [hex d] renders a digest in lowercase hexadecimal. *)
+val hex : string -> string

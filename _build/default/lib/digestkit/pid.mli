@@ -1,0 +1,53 @@
+(** Persistent identifiers (pids).
+
+    A pid is the paper's 128-bit identifier naming an exported or imported
+    entity across compilation units.  Pids come in two flavours, exactly
+    as section 5 describes:
+
+    - {e intrinsic} pids, the hash of a canonical serialization of the
+      entity's static description (so a pid is independent of when and
+      where the entity was compiled); and
+    - {e stamp} pids, fresh per-process identifiers used provisionally
+      during a single compilation before the intrinsic hash is known.
+
+    Both are represented uniformly as 16 opaque bytes. *)
+
+type t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [of_digest d] wraps a 16-byte digest.  Raises [Invalid_argument] if
+    [d] is not exactly 16 bytes. *)
+val of_digest : string -> t
+
+(** [intrinsic data] hashes [data] with MD5 to produce an intrinsic pid. *)
+val intrinsic : string -> t
+
+(** [fresh ()] makes a provisional pid unique within this process (a
+    serial number mixed with a per-run seed, then hashed, mimicking the
+    paper's "timestamp augmented with host identifiers"). *)
+val fresh : unit -> t
+
+(** 16-byte raw form, suitable for pickling. *)
+val to_bytes : t -> string
+
+val of_bytes : string -> t
+
+(** Lowercase hex, for bin-file listings and debugging. *)
+val to_hex : t -> string
+
+(** [short p] is the first 8 hex digits, for compact logs. *)
+val short : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [truncated_bits p b] is the low [b] bits of the pid as an integer,
+    [b <= 30]; used by the collision-probability bench (E4) to emulate
+    narrower pids. *)
+val truncated_bits : t -> int -> int
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

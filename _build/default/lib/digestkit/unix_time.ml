@@ -1,0 +1,1 @@
+let now () = Sys.time () +. float_of_int (Hashtbl.hash (Sys.opaque_identity (ref 0)) land 0xFFFF)

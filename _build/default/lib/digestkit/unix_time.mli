@@ -1,0 +1,6 @@
+(** Wall-clock access without depending on the [unix] library.
+
+    Only used to seed provisional pids; nothing in the compiler's
+    deterministic paths reads the clock. *)
+
+val now : unit -> float

@@ -1,0 +1,1 @@
+lib/dynamics/eval.ml: Array Digestkit Lambda List Statics String Support Value

@@ -1,0 +1,1 @@
+lib/dynamics/eval.mli: Digestkit Lambda Support Value

@@ -1,0 +1,1 @@
+lib/dynamics/value.ml: Array Format Lambda List Statics String Support

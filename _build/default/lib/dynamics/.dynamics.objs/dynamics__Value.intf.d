@@ -1,0 +1,1 @@
+lib/dynamics/value.mli: Format Lambda Statics Support

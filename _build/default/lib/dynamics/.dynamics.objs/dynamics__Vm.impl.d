@@ -1,0 +1,1 @@
+lib/dynamics/vm.ml: Array Digestkit Eval Lambda List Printf Queue Statics String Support Value

@@ -1,0 +1,1 @@
+lib/dynamics/vm.mli: Digestkit Lambda Statics Support Value

@@ -1,0 +1,257 @@
+module Symbol = Support.Symbol
+module Diag = Support.Diag
+module Pid = Digestkit.Pid
+module P = Statics.Prim
+open Value
+
+exception Sml_raise of Value.t
+exception Sml_exit of int
+
+type runtime = {
+  imports : Value.t Pid.Map.t;
+  output : string -> unit;
+}
+
+let exn_uid_counter = ref 0
+
+let fresh_exnid exn_name has_arg =
+  incr exn_uid_counter;
+  { uid = !exn_uid_counter; exn_name; has_arg }
+
+let basis_exnids : (string * exnid) list =
+  List.map
+    (fun (name, _stamp, arg) ->
+      (name, fresh_exnid (Symbol.intern name) (arg <> None)))
+    Statics.Basis.exn_stamps
+
+let basis_exnid name =
+  match List.assoc_opt (Symbol.name name) basis_exnids with
+  | Some id -> id
+  | None ->
+    Diag.error Diag.Execute Support.Loc.dummy "unknown predefined exception %a"
+      Symbol.pp name
+
+let runtime ?(output = print_string) ~imports () = { imports; output }
+
+let exec_error fmt = Diag.error Diag.Execute Support.Loc.dummy fmt
+
+let raise_basis name arg =
+  raise (Sml_raise (Vexn (basis_exnid (Symbol.intern name), arg)))
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let int_pair = function
+  | Vtuple [| Vint a; Vint b |] -> (a, b)
+  | v -> exec_error "primitive expected an int pair, got %s" (Value.to_string v)
+
+let apply_prim rt prim arg =
+  match prim with
+  | P.Padd ->
+    let a, b = int_pair arg in
+    Vint (a + b)
+  | P.Psub ->
+    let a, b = int_pair arg in
+    Vint (a - b)
+  | P.Pmul ->
+    let a, b = int_pair arg in
+    Vint (a * b)
+  | P.Pdiv ->
+    let a, b = int_pair arg in
+    if b = 0 then raise_basis "Div" None else Vint (a / b)
+  | P.Pmod ->
+    let a, b = int_pair arg in
+    if b = 0 then raise_basis "Div" None else Vint (a mod b)
+  | P.Pneg -> (
+    match arg with
+    | Vint n -> Vint (-n)
+    | v -> exec_error "~ expected an int, got %s" (Value.to_string v))
+  | P.Plt ->
+    let a, b = int_pair arg in
+    bool_value (a < b)
+  | P.Ple ->
+    let a, b = int_pair arg in
+    bool_value (a <= b)
+  | P.Pgt ->
+    let a, b = int_pair arg in
+    bool_value (a > b)
+  | P.Pge ->
+    let a, b = int_pair arg in
+    bool_value (a >= b)
+  | P.Peq -> (
+    match arg with
+    | Vtuple [| a; b |] -> (
+      match Value.equal a b with
+      | eq -> bool_value eq
+      | exception Invalid_argument _ -> exec_error "equality on functions")
+    | v -> exec_error "= expected a pair, got %s" (Value.to_string v))
+  | P.Pneq -> (
+    match arg with
+    | Vtuple [| a; b |] -> (
+      match Value.equal a b with
+      | eq -> bool_value (not eq)
+      | exception Invalid_argument _ -> exec_error "equality on functions")
+    | v -> exec_error "<> expected a pair, got %s" (Value.to_string v))
+  | P.Pconcat -> (
+    match arg with
+    | Vtuple [| Vstring a; Vstring b |] -> Vstring (a ^ b)
+    | v -> exec_error "^ expected strings, got %s" (Value.to_string v))
+  | P.Psize -> (
+    match arg with
+    | Vstring s -> Vint (String.length s)
+    | v -> exec_error "size expected a string, got %s" (Value.to_string v))
+  | P.Pint_to_string -> (
+    match arg with
+    | Vint n ->
+      Vstring (if n < 0 then "~" ^ string_of_int (-n) else string_of_int n)
+    | v -> exec_error "intToString expected an int, got %s" (Value.to_string v))
+  | P.Pstring_to_int -> (
+    match arg with
+    | Vstring s -> (
+      let s' =
+        if String.length s > 0 && s.[0] = '~' then
+          "-" ^ String.sub s 1 (String.length s - 1)
+        else s
+      in
+      match int_of_string_opt s' with
+      | Some n -> Vint n
+      | None -> raise_basis "Fail" (Some (Vstring ("stringToInt: " ^ s))))
+    | v -> exec_error "stringToInt expected a string, got %s" (Value.to_string v))
+  | P.Pnot -> (
+    match arg with
+    | Vcon0 0 -> bool_value true
+    | Vcon0 1 -> bool_value false
+    | v -> exec_error "not expected a bool, got %s" (Value.to_string v))
+  | P.Pref -> Vref (ref arg)
+  | P.Pderef -> (
+    match arg with
+    | Vref cell -> !cell
+    | v -> exec_error "! expected a ref, got %s" (Value.to_string v))
+  | P.Passign -> (
+    match arg with
+    | Vtuple [| Vref cell; v |] ->
+      cell := v;
+      unit_value
+    | v -> exec_error ":= expected (ref, value), got %s" (Value.to_string v))
+  | P.Pprint -> (
+    match arg with
+    | Vstring s ->
+      rt.output s;
+      unit_value
+    | v -> exec_error "print expected a string, got %s" (Value.to_string v))
+  | P.Pexit -> (
+    match arg with
+    | Vint n -> raise (Sml_exit n)
+    | v -> exec_error "exit expected an int, got %s" (Value.to_string v))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval rt env (term : Lambda.t) =
+  match term with
+  | Lambda.Lvar v -> (
+    match Symbol.Map.find_opt v env with
+    | Some value -> value
+    | None -> exec_error "unbound runtime variable %a" Symbol.pp v)
+  | Lambda.Lint n -> Vint n
+  | Lambda.Lstring s -> Vstring s
+  | Lambda.Limport pid -> (
+    match Pid.Map.find_opt pid rt.imports with
+    | Some value -> value
+    | None ->
+      Diag.error Diag.Link Support.Loc.dummy "unsatisfied import %s"
+        (Pid.to_hex pid))
+  | Lambda.Lprim p -> Vprim p
+  | Lambda.Lbasisexn name -> Vexnid (basis_exnid name)
+  | Lambda.Lfn (param, body) ->
+    Vclosure { cl_param = param; cl_body = body; cl_env = env }
+  | Lambda.Lapp (f, arg) ->
+    let fv = eval rt env f in
+    let argv = eval rt env arg in
+    apply rt fv argv
+  | Lambda.Llet (v, e, body) ->
+    let value = eval rt env e in
+    eval rt (Symbol.Map.add v value env) body
+  | Lambda.Lfix (binds, body) ->
+    let closures =
+      List.map
+        (fun (f, param, fbody) ->
+          (f, { cl_param = param; cl_body = fbody; cl_env = env }))
+        binds
+    in
+    let env' =
+      List.fold_left
+        (fun env (f, cl) -> Symbol.Map.add f (Vclosure cl) env)
+        env closures
+    in
+    List.iter (fun (_, cl) -> cl.cl_env <- env') closures;
+    eval rt env' body
+  | Lambda.Ltuple parts ->
+    Vtuple (Array.of_list (List.map (eval rt env) parts))
+  | Lambda.Lselect (i, e) -> (
+    match eval rt env e with
+    | Vtuple parts when i < Array.length parts -> parts.(i)
+    | v -> exec_error "bad tuple projection #%d of %s" i (Value.to_string v))
+  | Lambda.Lrecord fields ->
+    Vrecord
+      (List.fold_left
+         (fun acc (name, e) -> Symbol.Map.add name (eval rt env e) acc)
+         Symbol.Map.empty fields)
+  | Lambda.Lfield (name, e) -> (
+    match eval rt env e with
+    | Vrecord fields -> (
+      match Symbol.Map.find_opt name fields with
+      | Some v -> v
+      | None -> exec_error "structure has no component %a" Symbol.pp name)
+    | v -> exec_error "field access on non-structure %s" (Value.to_string v))
+  | Lambda.Lcon0 tag -> Vcon0 tag
+  | Lambda.Lcon (tag, e) -> Vcon (tag, eval rt env e)
+  | Lambda.Lcontag e -> (
+    match eval rt env e with
+    | Vcon0 tag | Vcon (tag, _) -> Vint tag
+    | v -> exec_error "tag of non-constructor %s" (Value.to_string v))
+  | Lambda.Lconarg e -> (
+    match eval rt env e with
+    | Vcon (_, arg) -> arg
+    | v -> exec_error "argument of non-unary-constructor %s" (Value.to_string v))
+  | Lambda.Lnewexn (name, has_arg) -> Vexnid (fresh_exnid name has_arg)
+  | Lambda.Lmkexn0 e -> (
+    match eval rt env e with
+    | Vexnid id -> Vexn (id, None)
+    | v -> exec_error "mkexn0 of non-exception %s" (Value.to_string v))
+  | Lambda.Lexnid e -> (
+    match eval rt env e with
+    | Vexnid id | Vexn (id, _) -> Vint id.uid
+    | v -> exec_error "exnid of non-exception %s" (Value.to_string v))
+  | Lambda.Lexnarg e -> (
+    match eval rt env e with
+    | Vexn (_, Some arg) -> arg
+    | Vexn (_, None) -> exec_error "exception packet carries no argument"
+    | v -> exec_error "exnarg of non-packet %s" (Value.to_string v))
+  | Lambda.Lif (c, t, e) -> (
+    match eval rt env c with
+    | Vcon0 1 -> eval rt env t
+    | Vcon0 0 -> eval rt env e
+    | v -> exec_error "if on non-bool %s" (Value.to_string v))
+  | Lambda.Lraise e -> (
+    match eval rt env e with
+    | Vexn _ as packet -> raise (Sml_raise packet)
+    | v -> exec_error "raise of non-packet %s" (Value.to_string v))
+  | Lambda.Lhandle (body, v, handler) -> (
+    match eval rt env body with
+    | value -> value
+    | exception Sml_raise packet ->
+      eval rt (Symbol.Map.add v packet env) handler)
+
+and apply rt fv argv =
+  match fv with
+  | Vclosure cl -> eval rt (Symbol.Map.add cl.cl_param argv cl.cl_env) cl.cl_body
+  | Vprim p -> apply_prim rt p argv
+  | Vexnid id ->
+    if id.has_arg then Vexn (id, Some argv)
+    else exec_error "application of a nullary exception constructor"
+  | v -> exec_error "application of non-function %s" (Value.to_string v)
+
+let run rt term = eval rt Symbol.Map.empty term

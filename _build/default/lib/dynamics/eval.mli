@@ -1,0 +1,35 @@
+(** The lambda-IR evaluator: a straightforward environment-passing
+    interpreter playing the role of the paper's machine-code execution.
+
+    Evaluation is parameterised by a {!runtime}: the import map
+    (dynamic pid → value, provided by the linker), the output channel
+    for [print], and the generative exception-identity allocator. *)
+
+module Symbol := Support.Symbol
+
+(** A MiniSML exception packet crossing into OCaml. *)
+exception Sml_raise of Value.t
+
+(** [exit n] from the program. *)
+exception Sml_exit of int
+
+type runtime
+
+(** [runtime ~imports ~output ()].  [output] receives [print]ed strings
+    (defaults to stdout). *)
+val runtime :
+  ?output:(string -> unit) -> imports:Value.t Digestkit.Pid.Map.t -> unit -> runtime
+
+(** Well-known identities of the predefined exceptions ([Match], [Bind],
+    [Div], [Fail], [Subscript]); shared by every runtime so packets
+    cross unit boundaries coherently. *)
+val basis_exnid : Symbol.t -> Value.exnid
+
+(** [eval rt env term].  Raises {!Sml_raise} for uncaught MiniSML
+    exceptions and {!Support.Diag.Error} (phase [Execute]) for genuine
+    runtime-representation errors, which indicate a compiler bug or a
+    stale bin file. *)
+val eval : runtime -> Value.t Symbol.Map.t -> Lambda.t -> Value.t
+
+(** [run rt term] — evaluate a closed term in the empty environment. *)
+val run : runtime -> Lambda.t -> Value.t

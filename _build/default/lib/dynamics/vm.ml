@@ -1,0 +1,562 @@
+module Symbol = Support.Symbol
+module Diag = Support.Diag
+module Pid = Digestkit.Pid
+module P = Statics.Prim
+
+type value =
+  | Int of int
+  | Str of string
+  | Tuple of value array
+  | Record of value Symbol.Map.t
+  | Con0 of int
+  | Con of int * value
+  | Closure of closure
+  | Prim of P.t
+  | Exncon of Value.exnid
+  | Exnpkt of Value.exnid * value option
+  | Ref of value ref
+
+and closure = { code_addr : int; mutable captured : value list }
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type instr =
+  | Kint of int
+  | Kstr of string
+  | Kprim of P.t
+  | Kbasisexn of Symbol.t
+  | Kimport of Pid.t
+  | Kaccess of int
+  | Kclosure of int
+  | Kfixgroup of int list
+  | Kapply
+  | Kreturn
+  | Kpushenv
+  | Kpopenv of int
+  | Ktuple of int
+  | Kselect of int
+  | Krecord of Symbol.t array
+  | Kfield of Symbol.t
+  | Kcon0 of int
+  | Kcon of int
+  | Kcontag
+  | Kconarg
+  | Knewexn of Symbol.t * bool
+  | Kmkexn0
+  | Kexnid
+  | Kexnarg
+  | Kbranchiffalse of int
+  | Kjump of int
+  | Kraise
+  | Kpushhandler of int
+  | Kpophandler
+  | Kstop
+
+type program = { code : instr array; entry : int }
+
+let program_length p = Array.length p.code
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let translate_error fmt = Diag.error Diag.Translate Support.Loc.dummy fmt
+
+(* a deferred function body: label cell, compile-time env, term *)
+type pending = Pfn of int ref * Symbol.t list * Lambda.t
+
+let compile term =
+  let instrs = ref [] (* reversed *) in
+  let count = ref 0 in
+  let patches = ref [] (* (position, label cell) *) in
+  let groups = ref [] in
+  let pending : pending Queue.t = Queue.create () in
+  let emit instr =
+    instrs := instr :: !instrs;
+    incr count
+  in
+  (* emit a placeholder whose integer operand is patched at assembly *)
+  let emit_labelled make =
+    let cell = ref (-1) in
+    patches := (!count, cell) :: !patches;
+    emit (make (-1));
+    (* stash which constructor to rebuild with *)
+    ignore make;
+    cell
+  in
+  let index_of cenv v =
+    let rec go i = function
+      | [] -> translate_error "VM compile: unbound variable %a" Symbol.pp v
+      | x :: rest -> if Symbol.equal x v then i else go (i + 1) rest
+    in
+    go 0 cenv
+  in
+  let rec comp cenv (t : Lambda.t) =
+    match t with
+    | Lambda.Lint n -> emit (Kint n)
+    | Lambda.Lstring s -> emit (Kstr s)
+    | Lambda.Lprim p -> emit (Kprim p)
+    | Lambda.Lbasisexn name -> emit (Kbasisexn name)
+    | Lambda.Limport pid -> emit (Kimport pid)
+    | Lambda.Lvar v -> emit (Kaccess (index_of cenv v))
+    | Lambda.Lcon0 tag -> emit (Kcon0 tag)
+    | Lambda.Lnewexn (name, has_arg) -> emit (Knewexn (name, has_arg))
+    | Lambda.Lfn (x, body) ->
+      let cell = emit_labelled (fun addr -> Kclosure addr) in
+      Queue.add (Pfn (cell, x :: cenv, body)) pending
+    | Lambda.Lapp (f, a) ->
+      comp cenv f;
+      comp cenv a;
+      emit Kapply
+    | Lambda.Llet (x, e, body) ->
+      comp cenv e;
+      emit Kpushenv;
+      comp (x :: cenv) body;
+      emit (Kpopenv 1)
+    | Lambda.Lfix (binds, body) ->
+      let cells = List.map (fun _ -> ref (-1)) binds in
+      groups := (!count, cells) :: !groups;
+      emit (Kfixgroup []);
+      (* the first group member ends up shallowest, matching the
+         runtime's fold over the reversed closure list *)
+      let names = List.map (fun (f, _, _) -> f) binds in
+      let cenv' = names @ cenv in
+      List.iter2
+        (fun cell (_, x, fbody) ->
+          Queue.add (Pfn (cell, x :: cenv', fbody)) pending)
+        cells binds;
+      comp cenv' body;
+      emit (Kpopenv (List.length binds))
+    | Lambda.Ltuple parts ->
+      List.iter (comp cenv) parts;
+      emit (Ktuple (List.length parts))
+    | Lambda.Lselect (i, e) ->
+      comp cenv e;
+      emit (Kselect i)
+    | Lambda.Lrecord fields ->
+      List.iter (fun (_, v) -> comp cenv v) fields;
+      emit (Krecord (Array.of_list (List.map fst fields)))
+    | Lambda.Lfield (name, e) ->
+      comp cenv e;
+      emit (Kfield name)
+    | Lambda.Lcon (tag, e) ->
+      comp cenv e;
+      emit (Kcon tag)
+    | Lambda.Lcontag e ->
+      comp cenv e;
+      emit Kcontag
+    | Lambda.Lconarg e ->
+      comp cenv e;
+      emit Kconarg
+    | Lambda.Lmkexn0 e ->
+      comp cenv e;
+      emit Kmkexn0
+    | Lambda.Lexnid e ->
+      comp cenv e;
+      emit Kexnid
+    | Lambda.Lexnarg e ->
+      comp cenv e;
+      emit Kexnarg
+    | Lambda.Lif (c, t, e) ->
+      comp cenv c;
+      let else_cell = emit_labelled (fun addr -> Kbranchiffalse addr) in
+      comp cenv t;
+      let end_cell = emit_labelled (fun addr -> Kjump addr) in
+      else_cell := !count;
+      comp cenv e;
+      end_cell := !count
+    | Lambda.Lraise e ->
+      comp cenv e;
+      emit Kraise
+    | Lambda.Lhandle (e, x, h) ->
+      let handler_cell = emit_labelled (fun addr -> Kpushhandler addr) in
+      comp cenv e;
+      emit Kpophandler;
+      let end_cell = emit_labelled (fun addr -> Kjump addr) in
+      handler_cell := !count;
+      emit Kpushenv;
+      comp (x :: cenv) h;
+      emit (Kpopenv 1);
+      end_cell := !count
+  in
+  comp [] term;
+  emit Kstop;
+  let rec drain () =
+    match Queue.take_opt pending with
+    | None -> ()
+    | Some (Pfn (cell, cenv, body)) ->
+      cell := !count;
+      comp cenv body;
+      emit Kreturn;
+      drain ()
+  in
+  drain ();
+  let code = Array.of_list (List.rev !instrs) in
+  List.iter
+    (fun (pos, cell) ->
+      code.(pos) <-
+        (match code.(pos) with
+        | Kclosure _ -> Kclosure !cell
+        | Kbranchiffalse _ -> Kbranchiffalse !cell
+        | Kjump _ -> Kjump !cell
+        | Kpushhandler _ -> Kpushhandler !cell
+        | other -> other))
+    !patches;
+  List.iter
+    (fun (pos, cells) -> code.(pos) <- Kfixgroup (List.map ( ! ) cells))
+    !groups;
+  { code; entry = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Observation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec observe = function
+  | Int n -> if n < 0 then "~" ^ string_of_int (-n) else string_of_int n
+  | Str s -> Printf.sprintf "%S" s
+  | Tuple parts ->
+    "(" ^ String.concat ", " (Array.to_list (Array.map observe parts)) ^ ")"
+  | Record fields ->
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (n, v) -> Symbol.name n ^ "=" ^ observe v)
+           (Symbol.Map.bindings fields))
+    ^ "}"
+  | Con0 tag -> Printf.sprintf "con%d" tag
+  | Con (tag, v) -> Printf.sprintf "con%d(%s)" tag (observe v)
+  | Closure _ | Prim _ -> "fn"
+  | Exncon id -> "exn<" ^ Symbol.name id.Value.exn_name ^ ">"
+  | Exnpkt (id, None) -> Symbol.name id.Value.exn_name
+  | Exnpkt (id, Some v) -> Symbol.name id.Value.exn_name ^ "(" ^ observe v ^ ")"
+  | Ref cell -> "ref(" ^ observe !cell ^ ")"
+
+let rec observe_eval = function
+  | Value.Vint n -> if n < 0 then "~" ^ string_of_int (-n) else string_of_int n
+  | Value.Vstring s -> Printf.sprintf "%S" s
+  | Value.Vtuple parts ->
+    "("
+    ^ String.concat ", " (Array.to_list (Array.map observe_eval parts))
+    ^ ")"
+  | Value.Vrecord fields ->
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (n, v) -> Symbol.name n ^ "=" ^ observe_eval v)
+           (Symbol.Map.bindings fields))
+    ^ "}"
+  | Value.Vcon0 tag -> Printf.sprintf "con%d" tag
+  | Value.Vcon (tag, v) -> Printf.sprintf "con%d(%s)" tag (observe_eval v)
+  | Value.Vclosure _ | Value.Vprim _ -> "fn"
+  | Value.Vexnid id -> "exn<" ^ Symbol.name id.Value.exn_name ^ ">"
+  | Value.Vexn (id, None) -> Symbol.name id.Value.exn_name
+  | Value.Vexn (id, Some v) ->
+    Symbol.name id.Value.exn_name ^ "(" ^ observe_eval v ^ ")"
+  | Value.Vref cell -> "ref(" ^ observe_eval !cell ^ ")"
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Vm_raise of value
+
+let exec_error fmt = Diag.error Diag.Execute Support.Loc.dummy fmt
+let bool_value b = Con0 (if b then 1 else 0)
+
+(* VM exception identities live above the interpreter's counter so the
+   two backends never collide; predefined exceptions are shared. *)
+let fresh_uid =
+  let counter = ref 1_000_000 in
+  fun () ->
+    incr counter;
+    !counter
+
+let rec vm_equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Tuple xs, Tuple ys ->
+    Array.length xs = Array.length ys
+    && (let ok = ref true in
+        Array.iteri (fun i x -> if not (vm_equal x ys.(i)) then ok := false) xs;
+        !ok)
+  | Record xs, Record ys -> Symbol.Map.equal vm_equal xs ys
+  | Con0 x, Con0 y -> x = y
+  | Con (tx, vx), Con (ty, vy) -> tx = ty && vm_equal vx vy
+  | Exncon x, Exncon y -> x.Value.uid = y.Value.uid
+  | Exnpkt (x, ax), Exnpkt (y, ay) -> (
+    x.Value.uid = y.Value.uid
+    &&
+    match (ax, ay) with
+    | None, None -> true
+    | Some va, Some vb -> vm_equal va vb
+    | None, Some _ | Some _, None -> false)
+  | Ref x, Ref y -> x == y
+  | (Closure _ | Prim _), _ | _, (Closure _ | Prim _) ->
+    exec_error "equality on functions"
+  | _ -> false
+
+let int_pair = function
+  | Tuple [| Int a; Int b |] -> (a, b)
+  | v -> exec_error "VM primitive expected an int pair, got %s" (observe v)
+
+let raise_basis name arg =
+  raise (Vm_raise (Exnpkt (Eval.basis_exnid (Symbol.intern name), arg)))
+
+let apply_prim output prim arg =
+  match prim with
+  | P.Padd ->
+    let a, b = int_pair arg in
+    Int (a + b)
+  | P.Psub ->
+    let a, b = int_pair arg in
+    Int (a - b)
+  | P.Pmul ->
+    let a, b = int_pair arg in
+    Int (a * b)
+  | P.Pdiv ->
+    let a, b = int_pair arg in
+    if b = 0 then raise_basis "Div" None else Int (a / b)
+  | P.Pmod ->
+    let a, b = int_pair arg in
+    if b = 0 then raise_basis "Div" None else Int (a mod b)
+  | P.Pneg -> (
+    match arg with Int n -> Int (-n) | v -> exec_error "~ on %s" (observe v))
+  | P.Plt ->
+    let a, b = int_pair arg in
+    bool_value (a < b)
+  | P.Ple ->
+    let a, b = int_pair arg in
+    bool_value (a <= b)
+  | P.Pgt ->
+    let a, b = int_pair arg in
+    bool_value (a > b)
+  | P.Pge ->
+    let a, b = int_pair arg in
+    bool_value (a >= b)
+  | P.Peq -> (
+    match arg with
+    | Tuple [| a; b |] -> bool_value (vm_equal a b)
+    | v -> exec_error "= on %s" (observe v))
+  | P.Pneq -> (
+    match arg with
+    | Tuple [| a; b |] -> bool_value (not (vm_equal a b))
+    | v -> exec_error "<> on %s" (observe v))
+  | P.Pconcat -> (
+    match arg with
+    | Tuple [| Str a; Str b |] -> Str (a ^ b)
+    | v -> exec_error "^ on %s" (observe v))
+  | P.Psize -> (
+    match arg with
+    | Str s -> Int (String.length s)
+    | v -> exec_error "size on %s" (observe v))
+  | P.Pint_to_string -> (
+    match arg with
+    | Int n -> Str (if n < 0 then "~" ^ string_of_int (-n) else string_of_int n)
+    | v -> exec_error "intToString on %s" (observe v))
+  | P.Pstring_to_int -> (
+    match arg with
+    | Str s -> (
+      let s' =
+        if String.length s > 0 && s.[0] = '~' then
+          "-" ^ String.sub s 1 (String.length s - 1)
+        else s
+      in
+      match int_of_string_opt s' with
+      | Some n -> Int n
+      | None -> raise_basis "Fail" (Some (Str ("stringToInt: " ^ s))))
+    | v -> exec_error "stringToInt on %s" (observe v))
+  | P.Pnot -> (
+    match arg with
+    | Con0 0 -> bool_value true
+    | Con0 1 -> bool_value false
+    | v -> exec_error "not on %s" (observe v))
+  | P.Pref -> Ref (ref arg)
+  | P.Pderef -> (
+    match arg with Ref c -> !c | v -> exec_error "! on %s" (observe v))
+  | P.Passign -> (
+    match arg with
+    | Tuple [| Ref c; v |] ->
+      c := v;
+      Tuple [||]
+    | v -> exec_error ":= on %s" (observe v))
+  | P.Pprint -> (
+    match arg with
+    | Str s ->
+      output s;
+      Tuple [||]
+    | v -> exec_error "print on %s" (observe v))
+  | P.Pexit -> (
+    match arg with
+    | Int n -> raise (Eval.Sml_exit n)
+    | v -> exec_error "exit on %s" (observe v))
+
+type frame = { ret : int; saved_env : value list }
+
+type handler = {
+  h_pc : int;
+  h_env : value list;
+  h_stack : value list;
+  h_frames : frame list;
+}
+
+let run ?(output = print_string) ~imports program =
+  let code = program.code in
+  let pc = ref program.entry in
+  let stack : value list ref = ref [] in
+  let env : value list ref = ref [] in
+  let frames : frame list ref = ref [] in
+  let handlers : handler list ref = ref [] in
+  let result = ref None in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+      stack := rest;
+      v
+    | [] -> exec_error "VM stack underflow"
+  in
+  let pop_n n =
+    let rec go n acc = if n = 0 then acc else go (n - 1) (pop () :: acc) in
+    go n []
+  in
+  let unwind packet =
+    match !handlers with
+    | [] -> raise (Vm_raise packet)
+    | h :: rest ->
+      handlers := rest;
+      stack := packet :: h.h_stack;
+      env := h.h_env;
+      frames := h.h_frames;
+      pc := h.h_pc
+  in
+  let drop n l =
+    let rec go n l =
+      if n = 0 then l
+      else match l with _ :: rest -> go (n - 1) rest | [] -> []
+    in
+    go n l
+  in
+  while !result = None do
+    let instr = code.(!pc) in
+    incr pc;
+    match instr with
+    | Kint n -> push (Int n)
+    | Kstr s -> push (Str s)
+    | Kprim p -> push (Prim p)
+    | Kbasisexn name -> push (Exncon (Eval.basis_exnid name))
+    | Kimport pid -> (
+      match Pid.Map.find_opt pid imports with
+      | Some v -> push v
+      | None ->
+        Diag.error Diag.Link Support.Loc.dummy "VM: unsatisfied import %s"
+          (Pid.to_hex pid))
+    | Kaccess i -> (
+      match List.nth_opt !env i with
+      | Some v -> push v
+      | None -> exec_error "VM environment underflow")
+    | Kclosure addr -> push (Closure { code_addr = addr; captured = !env })
+    | Kfixgroup addrs ->
+      let closures =
+        List.map (fun addr -> { code_addr = addr; captured = [] }) addrs
+      in
+      (* last group member ends up deepest: reverse fold matches the
+         compile-time [List.rev names @ cenv] layout *)
+      let env' =
+        List.fold_left
+          (fun acc cl -> Closure cl :: acc)
+          !env (List.rev closures)
+      in
+      List.iter (fun cl -> cl.captured <- env') closures;
+      env := env'
+    | Kapply -> (
+      let arg = pop () in
+      let fn = pop () in
+      match fn with
+      | Closure cl ->
+        frames := { ret = !pc; saved_env = !env } :: !frames;
+        env := arg :: cl.captured;
+        pc := cl.code_addr
+      | Prim p ->
+        (match apply_prim output p arg with
+        | v -> push v
+        | exception Vm_raise packet -> unwind packet)
+      | Exncon id when id.Value.has_arg -> push (Exnpkt (id, Some arg))
+      | v -> exec_error "VM apply of non-function %s" (observe v))
+    | Kreturn -> (
+      match !frames with
+      | f :: rest ->
+        frames := rest;
+        env := f.saved_env;
+        pc := f.ret
+      | [] -> exec_error "VM return without frame")
+    | Kpushenv -> env := pop () :: !env
+    | Kpopenv n -> env := drop n !env
+    | Ktuple n -> push (Tuple (Array.of_list (pop_n n)))
+    | Kselect i -> (
+      match pop () with
+      | Tuple parts when i < Array.length parts -> push parts.(i)
+      | v -> exec_error "VM select %d of %s" i (observe v))
+    | Krecord labels ->
+      let values = pop_n (Array.length labels) in
+      let fields =
+        List.fold_left2
+          (fun acc label v -> Symbol.Map.add label v acc)
+          Symbol.Map.empty (Array.to_list labels) values
+      in
+      push (Record fields)
+    | Kfield name -> (
+      match pop () with
+      | Record fields -> (
+        match Symbol.Map.find_opt name fields with
+        | Some v -> push v
+        | None -> exec_error "VM: no field %a" Symbol.pp name)
+      | v -> exec_error "VM field of %s" (observe v))
+    | Kcon0 tag -> push (Con0 tag)
+    | Kcon tag -> push (Con (tag, pop ()))
+    | Kcontag -> (
+      match pop () with
+      | Con0 tag | Con (tag, _) -> push (Int tag)
+      | v -> exec_error "VM contag of %s" (observe v))
+    | Kconarg -> (
+      match pop () with
+      | Con (_, arg) -> push arg
+      | v -> exec_error "VM conarg of %s" (observe v))
+    | Knewexn (name, has_arg) ->
+      push (Exncon { Value.uid = fresh_uid (); exn_name = name; has_arg })
+    | Kmkexn0 -> (
+      match pop () with
+      | Exncon id -> push (Exnpkt (id, None))
+      | v -> exec_error "VM mkexn0 of %s" (observe v))
+    | Kexnid -> (
+      match pop () with
+      | Exncon id | Exnpkt (id, _) -> push (Int id.Value.uid)
+      | v -> exec_error "VM exnid of %s" (observe v))
+    | Kexnarg -> (
+      match pop () with
+      | Exnpkt (_, Some arg) -> push arg
+      | Exnpkt (_, None) -> exec_error "VM: packet carries no argument"
+      | v -> exec_error "VM exnarg of %s" (observe v))
+    | Kbranchiffalse target -> (
+      match pop () with
+      | Con0 0 -> pc := target
+      | Con0 1 -> ()
+      | v -> exec_error "VM branch on %s" (observe v))
+    | Kjump target -> pc := target
+    | Kraise -> (
+      match pop () with
+      | Exnpkt _ as packet -> unwind packet
+      | v -> exec_error "VM raise of %s" (observe v))
+    | Kpushhandler target ->
+      handlers :=
+        { h_pc = target; h_env = !env; h_stack = !stack; h_frames = !frames }
+        :: !handlers
+    | Kpophandler -> (
+      match !handlers with
+      | _ :: rest -> handlers := rest
+      | [] -> exec_error "VM handler underflow")
+    | Kstop -> result := Some (pop ())
+  done;
+  match !result with Some v -> v | None -> assert false

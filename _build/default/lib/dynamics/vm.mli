@@ -1,0 +1,63 @@
+(** A bytecode virtual machine for the lambda IR.
+
+    The paper's units carry native machine code; our interpreter
+    ({!Eval}) stands in for it.  This module strengthens that
+    substitution: lambda terms compile to a flat instruction vector
+    executed by a stack machine (CAM-style: de Bruijn environments,
+    explicit call frames, a handler stack for exceptions), which is the
+    same "closed code applied to imported values" shape with one more
+    compilation step.  The test suite runs the VM differentially
+    against the interpreter; the benches compare their speed (E12).
+
+    The VM has its own value representation (closures are code
+    pointers, not terms); {!observe} renders results for comparison
+    with {!Eval}. *)
+
+module Symbol := Support.Symbol
+
+type value =
+  | Int of int
+  | Str of string
+  | Tuple of value array
+  | Record of value Symbol.Map.t
+  | Con0 of int
+  | Con of int * value
+  | Closure of closure
+  | Prim of Statics.Prim.t
+  | Exncon of Value.exnid
+  | Exnpkt of Value.exnid * value option
+  | Ref of value ref
+
+and closure = { code_addr : int; mutable captured : value list }
+
+(** A compiled program: instruction vector + entry point. *)
+type program
+
+(** Number of instructions, for the benches. *)
+val program_length : program -> int
+
+(** [compile term] — bytecode for a closed lambda term.
+    Raises {!Support.Diag.Error} (phase [Translate]) on unbound
+    variables, which would indicate a translation bug. *)
+val compile : Lambda.t -> program
+
+exception Vm_raise of value
+(** An uncaught MiniSML exception, as a VM packet value. *)
+
+(** [run ?output ~imports program] — execute.  [imports] satisfies
+    [Limport] instructions; [output] receives [print]ed strings.
+    Raises {!Vm_raise}, {!Dynamics.Eval.Sml_exit}, or
+    {!Support.Diag.Error} (phase [Execute]) on representation errors. *)
+val run :
+  ?output:(string -> unit) ->
+  imports:value Digestkit.Pid.Map.t ->
+  program ->
+  value
+
+(** [observe v] — a printable, closure-free rendering for differential
+    tests (functions print as ["fn"]). *)
+val observe : value -> string
+
+(** [observe_eval v] — the same rendering for interpreter values, so
+    both backends can be compared. *)
+val observe_eval : Value.t -> string

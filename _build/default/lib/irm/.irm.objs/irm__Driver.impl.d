@@ -1,0 +1,1 @@
+lib/irm/driver.ml: Depend Digestkit Hashtbl Lang Link List Pickle Sepcomp String Support Vfs

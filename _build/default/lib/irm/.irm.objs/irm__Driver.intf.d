@@ -1,0 +1,1 @@
+lib/irm/driver.mli: Link Pickle Sepcomp Vfs

@@ -1,0 +1,1 @@
+lib/irm/group.ml: List String Support Vfs

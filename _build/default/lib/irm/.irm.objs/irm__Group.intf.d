@@ -1,0 +1,1 @@
+lib/irm/group.mli: Vfs

@@ -1,0 +1,180 @@
+module Diag = Support.Diag
+module Pid = Digestkit.Pid
+
+type policy = Timestamp | Cutoff | Selective
+
+let policy_name = function
+  | Timestamp -> "timestamp"
+  | Cutoff -> "cutoff"
+  | Selective -> "selective"
+
+type stats = {
+  st_order : string list;
+  st_recompiled : string list;
+  st_loaded : string list;
+  st_cutoff_hits : string list;
+}
+
+type t = {
+  fs : Vfs.fs;
+  session : Sepcomp.Compile.session;
+  units : (string, Pickle.Binfile.t) Hashtbl.t;  (** last build's results *)
+}
+
+let create fs = { fs; session = Sepcomp.Compile.new_session (); units = Hashtbl.create 32 }
+let session t = t.session
+
+let manager_error fmt = Diag.error Diag.Manager Support.Loc.dummy fmt
+let bin_path file = file ^ ".bin"
+
+let read_source t file =
+  match t.fs.Vfs.fs_read file with
+  | Some content -> content
+  | None -> manager_error "source file %s not found" file
+
+(* Try to read the unit's previous bin file; damaged files count as
+   absent (forcing recompilation) rather than failing the build. *)
+let read_bin t file =
+  match t.fs.Vfs.fs_read (bin_path file) with
+  | None -> None
+  | Some bytes -> (
+    match Pickle.Binfile.read (Sepcomp.Compile.context t.session) bytes with
+    | unit_ -> Some unit_
+    | exception Pickle.Buf.Corrupt _ -> None)
+
+let build t ~policy ~sources =
+  let parsed =
+    List.map
+      (fun file ->
+        (file, Lang.Parser.parse_unit ~file (read_source t file)))
+      sources
+  in
+  let graph = Depend.Depgraph.build parsed in
+  let order = Depend.Depgraph.topological graph in
+  Hashtbl.reset t.units;
+  let recompiled = ref [] in
+  let loaded = ref [] in
+  let cutoff_hits = ref [] in
+  let was_recompiled file = List.exists (String.equal file) !recompiled in
+  List.iter
+    (fun file ->
+      let deps = (Depend.Depgraph.node graph file).Depend.Depgraph.n_deps in
+      let imports =
+        List.map
+          (fun dep ->
+            match Hashtbl.find_opt t.units dep with
+            | Some unit_ -> unit_
+            | None -> manager_error "dependency %s of %s was not built" dep file)
+          deps
+      in
+      let src_mtime =
+        match t.fs.Vfs.fs_mtime file with
+        | Some time -> time
+        | None -> manager_error "source file %s not found" file
+      in
+      let previous = read_bin t file in
+      let source_newer =
+        match t.fs.Vfs.fs_mtime (bin_path file) with
+        | Some bin_time -> src_mtime > bin_time
+        | None -> true
+      in
+      let stale =
+        match (previous, source_newer) with
+        | None, _ | _, true -> true
+        | Some prev, false -> (
+          match policy with
+          | Timestamp ->
+            (* classical make: any recompiled dependency cascades *)
+            List.exists was_recompiled deps
+          | Cutoff ->
+            (* recompile only if some import's *interface* changed *)
+            let recorded = prev.Pickle.Binfile.uf_import_statics in
+            List.length recorded <> List.length deps
+            || not
+                 (List.for_all
+                    (fun dep ->
+                      match
+                        ( List.assoc_opt dep recorded,
+                          Hashtbl.find_opt t.units dep )
+                      with
+                      | Some old_pid, Some current ->
+                        Pid.equal old_pid current.Pickle.Binfile.uf_static_pid
+                      | _ -> false)
+                    deps)
+          | Selective ->
+            (* recompile only if a *referenced module* changed: compare
+               the recorded per-name pids against the providers' current
+               per-name pids *)
+            let current_name_pid modname =
+              List.fold_left
+                (fun acc dep ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> (
+                    match Hashtbl.find_opt t.units dep with
+                    | Some current ->
+                      List.assoc_opt modname
+                        current.Pickle.Binfile.uf_name_statics
+                    | None -> None))
+                None deps
+            in
+            (* the dependency *set* changing still forces a recompile *)
+            List.length prev.Pickle.Binfile.uf_import_statics
+              <> List.length deps
+            || not
+                 (List.for_all
+                    (fun (modname, old_pid) ->
+                      match current_name_pid modname with
+                      | Some now -> Pid.equal old_pid now
+                      | None -> false)
+                    prev.Pickle.Binfile.uf_import_name_statics))
+      in
+      if stale then begin
+        let unit_ =
+          Sepcomp.Compile.compile t.session ~name:file
+            ~source:(read_source t file) ~imports
+        in
+        t.fs.Vfs.fs_write (bin_path file)
+          (Sepcomp.Compile.save t.session unit_);
+        Hashtbl.replace t.units file unit_;
+        recompiled := file :: !recompiled;
+        (match previous with
+        | Some prev
+          when Pid.equal prev.Pickle.Binfile.uf_static_pid
+                 unit_.Pickle.Binfile.uf_static_pid ->
+          cutoff_hits := file :: !cutoff_hits
+        | _ -> ())
+      end
+      else begin
+        match previous with
+        | Some prev ->
+          Hashtbl.replace t.units file prev;
+          loaded := file :: !loaded
+        | None -> assert false
+      end)
+    order;
+  {
+    st_order = order;
+    st_recompiled = List.rev !recompiled;
+    st_loaded = List.rev !loaded;
+    st_cutoff_hits = List.rev !cutoff_hits;
+  }
+
+let unit_of t file =
+  match Hashtbl.find_opt t.units file with
+  | Some unit_ -> unit_
+  | None -> manager_error "unit %s has not been built" file
+
+let run ?output t ~sources =
+  (* execute in the order of the last build *)
+  let parsed =
+    List.map
+      (fun file -> (file, Lang.Parser.parse_unit ~file (read_source t file)))
+      sources
+  in
+  let graph = Depend.Depgraph.build parsed in
+  let order = Depend.Depgraph.topological graph in
+  List.fold_left
+    (fun dynenv file ->
+      Sepcomp.Compile.execute ?output (unit_of t file) dynenv)
+    Link.Linker.empty order

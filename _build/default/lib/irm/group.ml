@@ -1,0 +1,17 @@
+let parse content =
+  String.split_on_char '\n' content
+  |> List.filter_map (fun line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         let line = String.trim line in
+         if line = "" then None else Some line)
+
+let load fs path =
+  match fs.Vfs.fs_read path with
+  | Some content -> parse content
+  | None ->
+    Support.Diag.error Support.Diag.Manager Support.Loc.dummy
+      "group file %s not found" path

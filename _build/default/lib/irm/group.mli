@@ -1,0 +1,11 @@
+(** Group description files (section 8): "a simple 'makefile' … contains
+    only an unordered list of file names" — dependencies and order are
+    computed by the manager, not written by the user. *)
+
+(** [parse content] — one source path per line; [#] starts a comment;
+    blank lines ignored. *)
+val parse : string -> string list
+
+(** [load fs path] — read and parse a group file.  Raises
+    {!Support.Diag.Error} (phase [Manager]) if absent. *)
+val load : Vfs.fs -> string -> string list

@@ -1,0 +1,1 @@
+lib/lambda/lambda.ml: Digestkit Format List Statics Support

@@ -1,0 +1,1 @@
+lib/lambda/lambda.mli: Digestkit Format Statics Support

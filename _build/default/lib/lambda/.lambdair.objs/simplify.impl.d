@@ -1,0 +1,1 @@
+lib/lambda/simplify.ml: Lambda List Statics String Support

@@ -1,0 +1,1 @@
+lib/lambda/simplify.mli: Lambda

@@ -1,0 +1,1 @@
+lib/lambda/translate.ml: Lambda List Statics Support

@@ -1,0 +1,1 @@
+lib/lambda/translate.mli: Lambda Statics Support

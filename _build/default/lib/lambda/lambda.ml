@@ -1,0 +1,107 @@
+module Symbol = Support.Symbol
+module Pid = Digestkit.Pid
+
+type lvar = Symbol.t
+
+type t =
+  | Lvar of lvar
+  | Lint of int
+  | Lstring of string
+  | Limport of Pid.t
+  | Lprim of Statics.Prim.t
+  | Lbasisexn of Symbol.t
+  | Lfn of lvar * t
+  | Lapp of t * t
+  | Llet of lvar * t * t
+  | Lfix of (lvar * lvar * t) list * t
+  | Ltuple of t list
+  | Lselect of int * t
+  | Lrecord of (Symbol.t * t) list
+  | Lfield of Symbol.t * t
+  | Lcon0 of int
+  | Lcon of int * t
+  | Lcontag of t
+  | Lconarg of t
+  | Lnewexn of Symbol.t * bool
+  | Lmkexn0 of t
+  | Lexnid of t
+  | Lexnarg of t
+  | Lif of t * t * t
+  | Lraise of t
+  | Lhandle of t * lvar * t
+
+let fold_subterms f acc term =
+  match term with
+  | Lvar _ | Lint _ | Lstring _ | Limport _ | Lprim _ | Lbasisexn _
+  | Lcon0 _ | Lnewexn _ ->
+    acc
+  | Lfn (_, body) -> f acc body
+  | Lapp (a, b) | Llet (_, a, b) -> f (f acc a) b
+  | Lfix (binds, body) ->
+    f (List.fold_left (fun acc (_, _, b) -> f acc b) acc binds) body
+  | Ltuple parts -> List.fold_left f acc parts
+  | Lselect (_, a) | Lfield (_, a) | Lcon (_, a) | Lcontag a | Lconarg a
+  | Lmkexn0 a | Lexnid a | Lexnarg a | Lraise a ->
+    f acc a
+  | Lrecord fields -> List.fold_left (fun acc (_, v) -> f acc v) acc fields
+  | Lif (a, b, c) -> f (f (f acc a) b) c
+  | Lhandle (a, _, b) -> f (f acc a) b
+
+let imports term =
+  let seen = Pid.Table.create 8 in
+  let order = ref [] in
+  let rec go () term =
+    (match term with
+    | Limport pid ->
+      if not (Pid.Table.mem seen pid) then begin
+        Pid.Table.add seen pid ();
+        order := pid :: !order
+      end
+    | _ -> ());
+    fold_subterms go () term
+  in
+  go () term;
+  List.rev !order
+
+let rec size term = fold_subterms (fun acc sub -> acc + size sub) 1 term
+
+let rec pp ppf term =
+  let list sep f = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf sep) f in
+  match term with
+  | Lvar v -> Format.pp_print_string ppf (Symbol.name v)
+  | Lint n -> Format.pp_print_int ppf n
+  | Lstring s -> Format.fprintf ppf "%S" s
+  | Limport pid -> Format.fprintf ppf "import:%s" (Pid.short pid)
+  | Lprim p -> Format.fprintf ppf "%%%s" (Statics.Prim.name p)
+  | Lbasisexn s -> Format.fprintf ppf "%%exn:%s" (Symbol.name s)
+  | Lfn (v, body) -> Format.fprintf ppf "@[<2>(fn %s =>@ %a)@]" (Symbol.name v) pp body
+  | Lapp (f, x) -> Format.fprintf ppf "@[<2>(%a@ %a)@]" pp f pp x
+  | Llet (v, e, body) ->
+    Format.fprintf ppf "@[<2>(let %s = %a in@ %a)@]" (Symbol.name v) pp e pp body
+  | Lfix (binds, body) ->
+    Format.fprintf ppf "@[<2>(fix %a in@ %a)@]"
+      (list " and " (fun ppf (f, x, b) ->
+           Format.fprintf ppf "%s %s = %a" (Symbol.name f) (Symbol.name x) pp b))
+      binds pp body
+  | Ltuple parts -> Format.fprintf ppf "(%a)" (list ", " pp) parts
+  | Lselect (i, e) -> Format.fprintf ppf "#%d %a" i pp e
+  | Lrecord fields ->
+    Format.fprintf ppf "{%a}"
+      (list ", " (fun ppf (n, v) -> Format.fprintf ppf "%s=%a" (Symbol.name n) pp v))
+      fields
+  | Lfield (n, e) -> Format.fprintf ppf "%a.%s" pp e (Symbol.name n)
+  | Lcon0 tag -> Format.fprintf ppf "con%d" tag
+  | Lcon (tag, e) -> Format.fprintf ppf "con%d(%a)" tag pp e
+  | Lcontag e -> Format.fprintf ppf "tag(%a)" pp e
+  | Lconarg e -> Format.fprintf ppf "arg(%a)" pp e
+  | Lnewexn (name, has_arg) ->
+    Format.fprintf ppf "newexn(%s%s)" (Symbol.name name) (if has_arg then "/1" else "")
+  | Lmkexn0 e -> Format.fprintf ppf "mkexn0(%a)" pp e
+  | Lexnid e -> Format.fprintf ppf "exnid(%a)" pp e
+  | Lexnarg e -> Format.fprintf ppf "exnarg(%a)" pp e
+  | Lif (c, t, e) -> Format.fprintf ppf "@[<2>(if %a@ then %a@ else %a)@]" pp c pp t pp e
+  | Lraise e -> Format.fprintf ppf "raise(%a)" pp e
+  | Lhandle (e, v, h) ->
+    Format.fprintf ppf "@[<2>(%a@ handle %s => %a)@]" pp e (Symbol.name v) pp h
+
+let to_string term = Format.asprintf "%a" pp term

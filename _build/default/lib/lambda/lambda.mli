@@ -1,0 +1,52 @@
+(** The lambda intermediate representation.
+
+    A compiled unit's code is a lambda term whose only free references
+    are [Limport] nodes naming the dynamic pids of other units' exports —
+    the "machine code with a list of imports" of the paper's section 3.
+    Everything else is closed: local variables are process-unique
+    symbols, primitives and predefined exceptions are named directly. *)
+
+module Symbol := Support.Symbol
+
+type lvar = Symbol.t
+
+type t =
+  | Lvar of lvar
+  | Lint of int
+  | Lstring of string
+  | Limport of Digestkit.Pid.t  (** another unit's export *)
+  | Lprim of Statics.Prim.t  (** primitive as a value *)
+  | Lbasisexn of Symbol.t  (** predefined exception identity *)
+  | Lfn of lvar * t
+  | Lapp of t * t
+  | Llet of lvar * t * t
+  | Lfix of (lvar * lvar * t) list * t
+      (** mutually recursive functions: (name, parameter, body) *)
+  | Ltuple of t list
+  | Lselect of int * t  (** 0-based tuple projection *)
+  | Lrecord of (Symbol.t * t) list  (** structure value *)
+  | Lfield of Symbol.t * t  (** structure component access *)
+  | Lcon0 of int  (** nullary datatype constructor *)
+  | Lcon of int * t  (** unary datatype constructor *)
+  | Lcontag of t  (** tag of a constructed value, as an int *)
+  | Lconarg of t  (** argument of a unary constructed value *)
+  | Lnewexn of Symbol.t * bool  (** fresh exception identity (generative) *)
+  | Lmkexn0 of t  (** packet from a nullary exception identity *)
+  | Lexnid of t  (** identity (an int) of a packet or exception id *)
+  | Lexnarg of t  (** argument carried by a packet *)
+  | Lif of t * t * t  (** scrutinises a [bool] constructor value *)
+  | Lraise of t
+  | Lhandle of t * lvar * t
+
+(** Free imports, in first-occurrence order, deduplicated. *)
+val imports : t -> Digestkit.Pid.t list
+
+(** [fold_subterms f acc t] — fold [f] over the immediate subterms of
+    [t] (not recursive); the generic traversal the analyses build on. *)
+val fold_subterms : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** Count of nodes, used by benches to report code sizes. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

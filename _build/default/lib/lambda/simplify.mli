@@ -1,0 +1,28 @@
+(** A conservative simplifier over the lambda IR.
+
+    The match compiler and the record-based module translation produce
+    noisy code (join-point thunks, selections from literal tuples,
+    fields of literal records).  This pass cleans it up with
+    semantics-preserving rewrites:
+
+    - beta reduction: [(fn x => body) arg ⇒ let x = arg in body];
+    - inlining of atomic bindings (variables, constants, primitives);
+    - dead pure bindings eliminated;
+    - projections from literal tuples/records reduced;
+    - constant folding of integer arithmetic, comparisons and boolean
+      primitives (division by a literal zero is left in place, it must
+      raise [Div] at run time);
+    - constructor tag/argument extraction on literal constructors;
+    - [if] over a literal boolean.
+
+    All binders produced by elaboration are globally unique, so
+    substitution needs no renaming (checked by the translation
+    invariants test). *)
+
+(** [term t] — simplify to a fixpoint (bounded number of passes). *)
+val term : Lambda.t -> Lambda.t
+
+type stats = { before_nodes : int; after_nodes : int; passes : int }
+
+(** [term_with_stats t] *)
+val term_with_stats : Lambda.t -> Lambda.t * stats

@@ -1,0 +1,193 @@
+module Symbol = Support.Symbol
+module Diag = Support.Diag
+module T = Statics.Tast
+module Ty = Statics.Types
+open Lambda
+
+let translate_error fmt =
+  Diag.error Diag.Translate Support.Loc.dummy fmt
+
+let rec addr (a : Ty.addr) =
+  match a with
+  | Ty.AdLvar v -> Lvar v
+  | Ty.AdField (base, field) -> Lfield (field, addr base)
+  | Ty.AdExtern pid -> Limport pid
+  | Ty.AdPrim p -> Lprim p
+  | Ty.AdBasisExn s -> Lbasisexn s
+  | Ty.AdNone -> translate_error "reference to a static-only entity"
+
+let true_tag = 1
+
+let _ = true_tag
+
+(* equality test producing a bool constructor value *)
+let eq a b = Lapp (Lprim Statics.Prim.Peq, Ltuple [ a; b ])
+
+(* ------------------------------------------------------------------ *)
+(* Pattern-match compilation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [match_pat pat subject success fail] — lambda code that matches
+   [subject] (a variable reference or cheap expression) against [pat],
+   binding the pattern's variables around [success ()]; on mismatch
+   evaluates [fail] (a call to a join-point thunk, so duplication is
+   cheap). *)
+let rec match_pat pat subject success fail =
+  match pat with
+  | T.TPwild -> success ()
+  | T.TPvar v -> Llet (v, subject, success ())
+  | T.TPint n -> Lif (eq subject (Lint n), success (), fail)
+  | T.TPstring s -> Lif (eq subject (Lstring s), success (), fail)
+  | T.TPtuple parts ->
+    let rec go i parts =
+      match parts with
+      | [] -> success ()
+      | p :: rest ->
+        let field = Symbol.fresh "fld" in
+        Llet
+          ( field,
+            Lselect (i, subject),
+            match_pat p (Lvar field) (fun () -> go (i + 1) rest) fail )
+    in
+    go 0 parts
+  | T.TPcon (rep, arg) ->
+    let on_match () =
+      match arg with
+      | None -> success ()
+      | Some argp ->
+        let argv = Symbol.fresh "carg" in
+        Llet (argv, Lconarg subject, match_pat argp (Lvar argv) success fail)
+    in
+    if rep.Ty.rep_span = 1 then on_match ()
+    else Lif (eq (Lcontag subject) (Lint rep.Ty.rep_tag), on_match (), fail)
+  | T.TPexn (conaddr, arg) ->
+    let on_match () =
+      match arg with
+      | None -> success ()
+      | Some argp ->
+        let argv = Symbol.fresh "earg" in
+        Llet (argv, Lexnarg subject, match_pat argp (Lvar argv) success fail)
+    in
+    Lif (eq (Lexnid subject) (Lexnid (addr conaddr)), on_match (), fail)
+  | T.TPref inner ->
+    let contents = Symbol.fresh "contents" in
+    Llet
+      ( contents,
+        Lapp (Lprim Statics.Prim.Pderef, subject),
+        match_pat inner (Lvar contents) success fail )
+  | T.TPas (v, inner) -> Llet (v, subject, match_pat inner subject success fail)
+
+let fail_exn = function
+  | T.FailMatch -> Lmkexn0 (Lbasisexn (Symbol.intern "Match"))
+  | T.FailBind -> Lmkexn0 (Lbasisexn (Symbol.intern "Bind"))
+
+(* Compile a rule list over a subject variable.  Each rule's failure
+   jumps to the next rule through a thunk, avoiding code blowup. *)
+let rec compile_rules subject rules body_of on_exhausted =
+  match rules with
+  | [] -> on_exhausted
+  | (pat, body) :: rest ->
+    let next = compile_rules subject rest body_of on_exhausted in
+    let k = Symbol.fresh "next" in
+    let fail = Lapp (Lvar k, Ltuple []) in
+    Llet
+      ( k,
+        Lfn (Symbol.fresh "unit", next),
+        match_pat pat subject (fun () -> body_of body) fail )
+
+let compile_match subject rules body_of fail_kind =
+  compile_rules subject rules body_of (Lraise (fail_exn fail_kind))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec texp (e : T.texp) =
+  match e with
+  | T.TEint n -> Lint n
+  | T.TEstring s -> Lstring s
+  | T.TEvar a -> addr a
+  | T.TEprim p -> Lprim p
+  | T.TEcon (rep, None) -> Lcon0 rep.Ty.rep_tag
+  | T.TEcon (rep, Some arg) -> Lcon (rep.Ty.rep_tag, texp arg)
+  | T.TEconfn rep ->
+    if rep.Ty.rep_has_arg then
+      let x = Symbol.fresh "conarg" in
+      Lfn (x, Lcon (rep.Ty.rep_tag, Lvar x))
+    else Lcon0 rep.Ty.rep_tag
+  | T.TEexncon (a, has_arg) ->
+    if has_arg then addr a (* applying an identity constructs a packet *)
+    else Lmkexn0 (addr a)
+  | T.TEfn rules ->
+    let param = Symbol.fresh "param" in
+    Lfn (param, compile_match (Lvar param) rules texp T.FailMatch)
+  | T.TEapp (f, arg) -> Lapp (texp f, texp arg)
+  | T.TEtuple parts -> Ltuple (List.map texp parts)
+  | T.TEselect (n, e) -> Lselect (n - 1, texp e)
+  | T.TElet (decs, body) -> tdecs decs (texp body)
+  | T.TEif (c, t, e) -> Lif (texp c, texp t, texp e)
+  | T.TEcase (scrutinee, rules, fail_kind) ->
+    let subject = Symbol.fresh "subject" in
+    Llet (subject, texp scrutinee, compile_match (Lvar subject) rules texp fail_kind)
+  | T.TEraise e -> Lraise (texp e)
+  | T.TEhandle (body, rules) ->
+    let packet = Symbol.fresh "packet" in
+    (* an unhandled packet re-raises *)
+    Lhandle
+      ( texp body,
+        packet,
+        compile_rules (Lvar packet) rules texp (Lraise (Lvar packet)) )
+
+(* ------------------------------------------------------------------ *)
+(* Declarations and structures                                         *)
+(* ------------------------------------------------------------------ *)
+
+and tdec (d : T.tdec) body =
+  match d with
+  | T.TDval (pat, e, fail_kind) ->
+    let subject = Symbol.fresh "bound" in
+    Llet
+      ( subject,
+        texp e,
+        compile_match (Lvar subject) [ (pat, ()) ]
+          (fun () -> body)
+          fail_kind )
+  | T.TDrec binds ->
+    let fixbinds =
+      List.map
+        (fun (f, rules) ->
+          let param = Symbol.fresh "param" in
+          (f, param, compile_match (Lvar param) rules texp T.FailMatch))
+        binds
+    in
+    Lfix (fixbinds, body)
+  | T.TDexn (lvar, name, has_arg) -> Llet (lvar, Lnewexn (name, has_arg), body)
+  | T.TDstr (lvar, str) -> Llet (lvar, tstr str, body)
+  | T.TDfct (lvar, param, bodystr) -> Llet (lvar, Lfn (param, tstr bodystr), body)
+
+and tdecs decs body = List.fold_right tdec decs body
+
+and tstr (s : T.tstr) =
+  match s with
+  | T.TSvar a -> addr a
+  | T.TSstruct (decs, fields) ->
+    tdecs decs (Lrecord (List.map (fun (name, e) -> (name, texp e)) fields))
+  | T.TSapp (f, arg) -> Lapp (addr f, tstr arg)
+  | T.TSthin (inner, thinning) ->
+    let v = Symbol.fresh "str" in
+    Llet (v, tstr inner, thin (Lvar v) thinning)
+  | T.TSlet (decs, inner) -> tdecs decs (tstr inner)
+
+and thin subject thinning =
+  Lrecord
+    (List.map
+       (fun (name, item) ->
+         match item with
+         | T.ThinVal -> (name, Lfield (name, subject))
+         | T.ThinStr sub ->
+           let v = Symbol.fresh "sub" in
+           (name, Llet (v, Lfield (name, subject), thin (Lvar v) sub)))
+       thinning)
+
+let unit_code decs exports =
+  tdecs decs (Lrecord (List.map (fun (name, e) -> (name, texp e)) exports))

@@ -1,0 +1,20 @@
+(** Translation from elaborated syntax to the lambda IR, including
+    pattern-match compilation.
+
+    Matches compile to sequential tests with join-point thunks (each
+    rule's failure continuation is bound once, so compiled code is
+    linear in the source match).  Datatype constructors become integer
+    tags; exception constructors test runtime identities. *)
+
+(** [texp e] — translate an expression. *)
+val texp : Statics.Tast.texp -> Lambda.t
+
+(** [tdecs decs body] — translate a declaration sequence, scoping over
+    [body]. *)
+val tdecs : Statics.Tast.tdec list -> Lambda.t -> Lambda.t
+
+(** [unit_code decs exports] — the code of a compilation unit: evaluates
+    the unit's declarations and returns the record of exported values.
+    Its free [Limport]s are the unit's dynamic imports. *)
+val unit_code :
+  Statics.Tast.tdec list -> (Support.Symbol.t * Statics.Tast.texp) list -> Lambda.t

@@ -1,0 +1,136 @@
+module Symbol = Support.Symbol
+module Loc = Support.Loc
+
+type path = { qualifiers : Symbol.t list; base : Symbol.t }
+
+let path_of_string s =
+  match List.rev (String.split_on_char '.' s) with
+  | [] -> invalid_arg "Ast.path_of_string"
+  | base :: rev_quals ->
+    {
+      qualifiers = List.rev_map Symbol.intern rev_quals;
+      base = Symbol.intern base;
+    }
+
+let path_to_string p =
+  String.concat "."
+    (List.map Symbol.name p.qualifiers @ [ Symbol.name p.base ])
+
+let pp_path ppf p = Format.pp_print_string ppf (path_to_string p)
+
+type ty = { ty_desc : ty_desc; ty_loc : Loc.t }
+
+and ty_desc =
+  | Tvar of Symbol.t
+  | Tcon of ty list * path
+  | Tarrow of ty * ty
+  | Ttuple of ty list
+
+type pat = { pat_desc : pat_desc; pat_loc : Loc.t }
+
+and pat_desc =
+  | Pwild
+  | Pvar of Symbol.t
+  | Pint of int
+  | Pstring of string
+  | Ptuple of pat list
+  | Pcon of path * pat option
+  | Plist of pat list
+  | Pas of Symbol.t * pat
+  | Pconstraint of pat * ty
+
+type rule = { rule_pat : pat; rule_exp : exp }
+and exp = { exp_desc : exp_desc; exp_loc : Loc.t }
+
+and exp_desc =
+  | Eint of int
+  | Estring of string
+  | Evar of path
+  | Efn of rule list
+  | Eapp of exp * exp
+  | Etuple of exp list
+  | Elist of exp list
+  | Elet of dec list * exp
+  | Eif of exp * exp * exp
+  | Ecase of exp * rule list
+  | Eandalso of exp * exp
+  | Eorelse of exp * exp
+  | Eraise of exp
+  | Ehandle of exp * rule list
+  | Econstraint of exp * ty
+  | Eselect of int
+
+and conbind = { con_name : Symbol.t; con_arg : ty option }
+
+and datbind = {
+  dat_tyvars : Symbol.t list;
+  dat_name : Symbol.t;
+  dat_cons : conbind list;
+}
+
+and typebind = {
+  typ_tyvars : Symbol.t list;
+  typ_name : Symbol.t;
+  typ_defn : ty;
+}
+
+and funclause = { fc_name : Symbol.t; fc_pats : pat list; fc_body : exp }
+and funbind = { fb_clauses : funclause list; fb_loc : Loc.t }
+and dec = { dec_desc : dec_desc; dec_loc : Loc.t }
+
+and dec_desc =
+  | Dval of pat * exp
+  | Dvalrec of (Symbol.t * rule list) list
+  | Dfun of funbind list
+  | Dtype of typebind list
+  | Ddatatype of datbind list
+  | Dexception of (Symbol.t * ty option) list
+  | Dstructure of (Symbol.t * ascription option * strexp) list
+  | Dsignature of (Symbol.t * sigexp) list
+  | Dfunctor of funbinding list
+  | Dlocal of dec list * dec list
+  | Dopen of path list
+
+and ascription = Transparent of sigexp | Opaque of sigexp
+
+and funbinding = {
+  fct_name : Symbol.t;
+  fct_param : Symbol.t;
+  fct_param_sig : sigexp;
+  fct_ascription : ascription option;
+  fct_body : strexp;
+}
+
+and strexp = { str_desc : str_desc; str_loc : Loc.t }
+
+and str_desc =
+  | Svar of path
+  | Sstruct of dec list
+  | Sapp of path * strexp
+  | Sascribe of strexp * ascription
+  | Slet of dec list * strexp
+
+and sigexp = { sig_desc : sig_desc; sig_loc : Loc.t }
+
+and sig_desc =
+  | Gvar of Symbol.t
+  | Gsig of spec list
+  | Gwhere of sigexp * wherespec list
+
+and wherespec = {
+  ws_tyvars : Symbol.t list;
+  ws_path : path;
+  ws_defn : ty;
+}
+
+and spec = { spec_desc : spec_desc; spec_loc : Loc.t }
+
+and spec_desc =
+  | SPval of Symbol.t * ty
+  | SPtype of Symbol.t list * Symbol.t * ty option
+  | SPdatatype of datbind list
+  | SPexception of Symbol.t * ty option
+  | SPstructure of Symbol.t * sigexp
+  | SPinclude of sigexp
+
+type unit_ = { unit_file : string; unit_decs : dec list }

@@ -1,0 +1,154 @@
+(** Abstract syntax of MiniSML.
+
+    The subset of Standard ML needed to reproduce the paper: the full
+    module language (structures, signatures with abstract/manifest type
+    specs, [where type], transparent and opaque ascription, functors) over
+    a Hindley–Milner core with datatypes, pattern matching and
+    exceptions.
+
+    Every node carries the source location of the phrase for
+    diagnostics. *)
+
+module Symbol := Support.Symbol
+module Loc := Support.Loc
+
+(** A possibly-qualified identifier [A.B.x]. *)
+type path = { qualifiers : Symbol.t list; base : Symbol.t }
+
+val path_of_string : string -> path
+(** Split a dotted name; for tests and the initial basis. *)
+
+val pp_path : Format.formatter -> path -> unit
+val path_to_string : path -> string
+
+(** Type expressions. *)
+type ty = { ty_desc : ty_desc; ty_loc : Loc.t }
+
+and ty_desc =
+  | Tvar of Symbol.t  (** ['a] *)
+  | Tcon of ty list * path  (** [(ty, …) longtycon]; nullary written bare *)
+  | Tarrow of ty * ty
+  | Ttuple of ty list  (** [t1 * t2 * …], length >= 2 *)
+
+(** Patterns. *)
+type pat = { pat_desc : pat_desc; pat_loc : Loc.t }
+
+and pat_desc =
+  | Pwild
+  | Pvar of Symbol.t  (** also constructor uses; resolved in elaboration *)
+  | Pint of int
+  | Pstring of string
+  | Ptuple of pat list  (** length >= 2 *)
+  | Pcon of path * pat option  (** [C] or [C pat]; includes [::] *)
+  | Plist of pat list  (** [[p1, …, pn]] sugar *)
+  | Pas of Symbol.t * pat  (** [x as pat] *)
+  | Pconstraint of pat * ty
+
+(** A clause of a [fn], [case] or [handle] match. *)
+type rule = { rule_pat : pat; rule_exp : exp }
+
+(** Expressions. *)
+and exp = { exp_desc : exp_desc; exp_loc : Loc.t }
+
+and exp_desc =
+  | Eint of int
+  | Estring of string
+  | Evar of path  (** variables and constructors *)
+  | Efn of rule list
+  | Eapp of exp * exp
+  | Etuple of exp list  (** length >= 2; unit is [Etuple []] *)
+  | Elist of exp list
+  | Elet of dec list * exp
+  | Eif of exp * exp * exp
+  | Ecase of exp * rule list
+  | Eandalso of exp * exp
+  | Eorelse of exp * exp
+  | Eraise of exp
+  | Ehandle of exp * rule list
+  | Econstraint of exp * ty
+  | Eselect of int  (** [#n], a tuple selector; must be applied *)
+
+(** One arm of a [datatype] declaration. *)
+and conbind = { con_name : Symbol.t; con_arg : ty option }
+
+and datbind = {
+  dat_tyvars : Symbol.t list;
+  dat_name : Symbol.t;
+  dat_cons : conbind list;
+}
+
+and typebind = {
+  typ_tyvars : Symbol.t list;
+  typ_name : Symbol.t;
+  typ_defn : ty;
+}
+
+(** Function-definition clause: [fun f p1 … pn = e]. *)
+and funclause = { fc_name : Symbol.t; fc_pats : pat list; fc_body : exp }
+
+and funbind = { fb_clauses : funclause list; fb_loc : Loc.t }
+
+(** Declarations (core and module levels are merged, as in SML). *)
+and dec = { dec_desc : dec_desc; dec_loc : Loc.t }
+
+and dec_desc =
+  | Dval of pat * exp
+  | Dvalrec of (Symbol.t * rule list) list  (** [val rec f = fn …] *)
+  | Dfun of funbind list  (** desugared to [Dvalrec] by elaboration *)
+  | Dtype of typebind list
+  | Ddatatype of datbind list
+  | Dexception of (Symbol.t * ty option) list
+  | Dstructure of (Symbol.t * ascription option * strexp) list
+  | Dsignature of (Symbol.t * sigexp) list
+  | Dfunctor of funbinding list
+  | Dlocal of dec list * dec list
+  | Dopen of path list
+
+and ascription = Transparent of sigexp | Opaque of sigexp
+
+and funbinding = {
+  fct_name : Symbol.t;
+  fct_param : Symbol.t;
+  fct_param_sig : sigexp;
+  fct_ascription : ascription option;
+  fct_body : strexp;
+}
+
+(** Structure expressions. *)
+and strexp = { str_desc : str_desc; str_loc : Loc.t }
+
+and str_desc =
+  | Svar of path
+  | Sstruct of dec list
+  | Sapp of path * strexp  (** functor application *)
+  | Sascribe of strexp * ascription
+  | Slet of dec list * strexp
+
+(** Signature expressions. *)
+and sigexp = { sig_desc : sig_desc; sig_loc : Loc.t }
+
+and sig_desc =
+  | Gvar of Symbol.t
+  | Gsig of spec list
+  | Gwhere of sigexp * wherespec list
+
+and wherespec = {
+  ws_tyvars : Symbol.t list;
+  ws_path : path;
+  ws_defn : ty;
+}
+
+(** Signature specifications. *)
+and spec = { spec_desc : spec_desc; spec_loc : Loc.t }
+
+and spec_desc =
+  | SPval of Symbol.t * ty
+  | SPtype of Symbol.t list * Symbol.t * ty option
+      (** [None] = abstract, [Some ty] = manifest *)
+  | SPdatatype of datbind list
+  | SPexception of Symbol.t * ty option
+  | SPstructure of Symbol.t * sigexp
+  | SPinclude of sigexp
+
+(** A compilation unit: the parsed contents of one source file. *)
+type unit_ = { unit_file : string; unit_decs : dec list }

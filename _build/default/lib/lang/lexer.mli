@@ -1,0 +1,26 @@
+(** Hand-written lexer for MiniSML.
+
+    SML comments nest; string literals support the escapes
+    backslash-n, -t, -backslash, -quote and decimal (backslash-ddd).
+    Negative integer literals are written with [~] as in SML (e.g. [~3]). *)
+
+type t
+
+(** [make ~file source] lexes the whole of [source]. *)
+val make : file:string -> string -> t
+
+(** Current token (EOF once exhausted). *)
+val peek : t -> Token.t
+
+(** Location of the current token. *)
+val loc : t -> Support.Loc.t
+
+(** Token after the current one, without advancing. *)
+val peek2 : t -> Token.t
+
+(** Consume the current token and return it. *)
+val next : t -> Token.t
+
+(** [all ~file source] is the full token stream with locations, EOF last.
+    Mainly for tests and the dependency scanner. *)
+val all : file:string -> string -> (Token.t * Support.Loc.t) list

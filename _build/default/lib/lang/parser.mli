@@ -1,0 +1,24 @@
+(** Recursive-descent parser for MiniSML.
+
+    Infix expressions follow SML's default fixities:
+    {v
+      7  * / div mod          (left)
+      6  + - ^                (left)
+      5  :: @                 (right)
+      4  = <> < > <= >=       (left)
+      3  :=                   (left)
+    v}
+    with [andalso] binding tighter than [orelse], both below the table,
+    and [handle]/type constraints weakest.  Match constructs ([fn],
+    [case], [handle]) extend as far right as possible, as in SML. *)
+
+(** [parse_unit ~file source] parses a whole compilation unit. *)
+val parse_unit : file:string -> string -> Ast.unit_
+
+(** [parse_exp ~file source] parses a single expression followed by EOF;
+    used by the REPL and tests. *)
+val parse_exp : file:string -> string -> Ast.exp
+
+(** [parse_decs ~file source] parses a declaration sequence followed by
+    EOF; used by the REPL. *)
+val parse_decs : file:string -> string -> Ast.dec list

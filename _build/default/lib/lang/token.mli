@@ -1,0 +1,77 @@
+(** Lexical tokens of MiniSML. *)
+
+type t =
+  (* literals and identifiers *)
+  | INT of int
+  | STRING of string
+  | ID of string  (** alphanumeric identifier, lowercase or uppercase *)
+  | TYVAR of string  (** ['a] without the quote *)
+  (* keywords *)
+  | AND
+  | ANDALSO
+  | AS
+  | CASE
+  | DATATYPE
+  | ELSE
+  | END
+  | EXCEPTION
+  | FN
+  | FUN
+  | FUNCTOR
+  | HANDLE
+  | IF
+  | IN
+  | INCLUDE
+  | LET
+  | LOCAL
+  | OF
+  | OP
+  | OPEN
+  | ORELSE
+  | RAISE
+  | REC
+  | SIG
+  | SIGNATURE
+  | STRUCT
+  | STRUCTURE
+  | THEN
+  | TYPE
+  | VAL
+  | WHERE
+  (* punctuation and operators *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | UNDERSCORE
+  | BAR
+  | EQUAL
+  | DARROW  (** [=>] *)
+  | ARROW  (** [->] *)
+  | COLON
+  | COLONGT  (** [:>] *)
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH  (** unused by the grammar but lexed for error quality *)
+  | CARET  (** [^] *)
+  | LESS
+  | GREATER
+  | LESSEQ
+  | GREATEREQ
+  | NOTEQ  (** [<>] *)
+  | CONS  (** [::] *)
+  | AT  (** [@] *)
+  | BANG  (** [!] *)
+  | ASSIGN  (** [:=] *)
+  | HASH  (** [#] — tuple selectors *)
+  | EOF
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [keyword s] maps a lexed identifier to its keyword token, if any. *)
+val keyword : string -> t option

@@ -1,0 +1,1 @@
+lib/link/codeunit.ml: Digestkit Format Lambda List Support

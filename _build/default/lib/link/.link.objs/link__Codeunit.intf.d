@@ -1,0 +1,1 @@
+lib/link/codeunit.mli: Digestkit Format Lambda Support

@@ -1,0 +1,1 @@
+lib/link/linker.ml: Codeunit Digestkit Dynamics List Option String Support

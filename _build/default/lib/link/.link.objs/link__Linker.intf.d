@@ -1,0 +1,1 @@
+lib/link/linker.mli: Codeunit Digestkit Dynamics Support

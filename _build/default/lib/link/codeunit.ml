@@ -1,0 +1,29 @@
+module Pid = Digestkit.Pid
+module Symbol = Support.Symbol
+
+type t = {
+  cu_imports : Pid.t list;
+  cu_exports : (Symbol.t * Pid.t) list;
+  cu_code : Lambda.t;
+}
+
+let make ~exports code =
+  { cu_imports = Lambda.imports code; cu_exports = exports; cu_code = code }
+
+let well_formed cu =
+  let declared = List.sort Pid.compare cu.cu_imports in
+  let actual = List.sort Pid.compare (Lambda.imports cu.cu_code) in
+  List.length declared = List.length actual
+  && List.for_all2 Pid.equal declared actual
+
+let pp ppf cu =
+  Format.fprintf ppf "@[<v>imports: %a@ exports: %a@ code size: %d@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf pid -> Format.pp_print_string ppf (Pid.short pid)))
+    cu.cu_imports
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (name, pid) ->
+         Format.fprintf ppf "%s@@%s" (Symbol.name name) (Pid.short pid)))
+    cu.cu_exports (Lambda.size cu.cu_code)

@@ -1,0 +1,23 @@
+(** The dynamic part of a compiled unit — the paper's
+
+    {v codeUnit = { imports: pid list, exports: pid list, code } v}
+
+    [code] evaluates to the record of exported values; its [Limport]
+    leaves are exactly [cu_imports].  Exports pair the source-level name
+    with the dynamic pid other units import it by. *)
+
+type t = {
+  cu_imports : Digestkit.Pid.t list;
+  cu_exports : (Support.Symbol.t * Digestkit.Pid.t) list;
+  cu_code : Lambda.t;
+}
+
+(** [make ~exports code] computes the import list from the code's free
+    [Limport]s. *)
+val make : exports:(Support.Symbol.t * Digestkit.Pid.t) list -> Lambda.t -> t
+
+(** Invariant check: the declared imports equal the code's free imports
+    (order-insensitively).  The pickler verifies this on load. *)
+val well_formed : t -> bool
+
+val pp : Format.formatter -> t -> unit

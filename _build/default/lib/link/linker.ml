@@ -1,0 +1,40 @@
+module Pid = Digestkit.Pid
+module Symbol = Support.Symbol
+module Diag = Support.Diag
+
+type dynenv = Dynamics.Value.t Pid.Map.t
+
+let empty = Pid.Map.empty
+
+let check cu dynenv =
+  let missing =
+    List.filter (fun pid -> not (Pid.Map.mem pid dynenv)) cu.Codeunit.cu_imports
+  in
+  if missing <> [] then
+    Diag.error Diag.Link Support.Loc.dummy
+      "unsatisfied imports (stale or missing units): %s"
+      (String.concat ", " (List.map Pid.short missing))
+
+let execute ?output cu dynenv =
+  check cu dynenv;
+  let rt = Dynamics.Eval.runtime ?output ~imports:dynenv () in
+  match Dynamics.Eval.run rt cu.Codeunit.cu_code with
+  | Dynamics.Value.Vrecord fields ->
+    List.fold_left
+      (fun dynenv (name, pid) ->
+        match Symbol.Map.find_opt name fields with
+        | Some value -> Pid.Map.add pid value dynenv
+        | None ->
+          Diag.error Diag.Link Support.Loc.dummy
+            "unit's code did not produce export %a" Symbol.pp name)
+      dynenv cu.Codeunit.cu_exports
+  | v ->
+    Diag.error Diag.Link Support.Loc.dummy
+      "unit's code produced %s instead of an export record"
+      (Dynamics.Value.to_string v)
+
+let export_values cu dynenv =
+  List.filter_map
+    (fun (name, pid) ->
+      Option.map (fun v -> (name, v)) (Pid.Map.find_opt pid dynenv))
+    cu.Codeunit.cu_exports

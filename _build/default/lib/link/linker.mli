@@ -1,0 +1,27 @@
+(** Type-safe linkage and execution (sections 3 and 5 of the paper).
+
+    The dynamic environment maps dynamic pids to run-time values.
+    Because a pid is derived from the hash of the exporting unit's
+    static interface, "link-time type checking" reduces to pid lookup:
+    a unit compiled against a stale interface asks for a pid nobody
+    exports, and the makefile bug is caught here instead of causing a
+    wrong execution. *)
+
+type dynenv = Dynamics.Value.t Digestkit.Pid.Map.t
+
+val empty : dynenv
+
+(** [check cu dynenv] verifies every import of [cu] is present.
+    Raises {!Support.Diag.Error} (phase [Link]) listing the missing
+    pids otherwise. *)
+val check : Codeunit.t -> dynenv -> unit
+
+(** [execute ?output cu dynenv] — {!check}, run the unit's code, and
+    return [dynenv] extended with the unit's exports.  [output]
+    receives [print]ed strings. *)
+val execute : ?output:(string -> unit) -> Codeunit.t -> dynenv -> dynenv
+
+(** [export_values cu dynenv] — the record of values the unit exports,
+    keyed by source name, extracted after {!execute} (for the REPL and
+    tests). *)
+val export_values : Codeunit.t -> dynenv -> (Support.Symbol.t * Dynamics.Value.t) list

@@ -1,0 +1,1 @@
+lib/pickle/binfile.ml: Buf Digestkit Int64 Lambda Link List Printf Serial Statics String Support

@@ -1,0 +1,1 @@
+lib/pickle/binfile.mli: Digestkit Link Statics Support

@@ -1,0 +1,1 @@
+lib/pickle/buf.ml: Buffer Char Digestkit List Printf String

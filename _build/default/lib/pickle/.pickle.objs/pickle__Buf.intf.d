@@ -1,0 +1,1 @@
+lib/pickle/buf.mli: Digestkit

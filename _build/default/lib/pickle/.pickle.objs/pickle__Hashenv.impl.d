@@ -1,0 +1,1 @@
+lib/pickle/hashenv.ml: Buf Buffer Digestkit Hashtbl List Printf Serial Statics String Support

@@ -1,0 +1,1 @@
+lib/pickle/hashenv.mli: Digestkit Statics Support

@@ -1,0 +1,1 @@
+lib/pickle/serial.ml: Buf Digestkit List Printf Statics Support

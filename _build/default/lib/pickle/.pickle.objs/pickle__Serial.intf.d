@@ -1,0 +1,1 @@
+lib/pickle/serial.mli: Buf Digestkit Statics

@@ -1,0 +1,358 @@
+module Symbol = Support.Symbol
+module Pid = Digestkit.Pid
+module L = Lambda
+
+type t = {
+  uf_name : string;
+  uf_static_pid : Pid.t;
+  uf_env : Statics.Types.env;
+  uf_import_statics : (string * Pid.t) list;
+  uf_name_statics : (Symbol.t * Pid.t) list;
+  uf_import_name_statics : (Symbol.t * Pid.t) list;
+  uf_codeunit : Link.Codeunit.t;
+}
+
+let magic = "SMLSEP.BIN.2"
+
+(* ------------------------------------------------------------------ *)
+(* Lambda terms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let write_symbol w sym = Buf.string w (Symbol.name sym)
+let read_symbol r = Symbol.intern (Buf.read_string r)
+
+let rec write_lambda w (term : L.t) =
+  match term with
+  | L.Lvar v ->
+    Buf.byte w 0;
+    write_symbol w v
+  | L.Lint n ->
+    Buf.byte w 1;
+    Buf.int w n
+  | L.Lstring s ->
+    Buf.byte w 2;
+    Buf.string w s
+  | L.Limport pid ->
+    Buf.byte w 3;
+    Buf.pid w pid
+  | L.Lprim p ->
+    Buf.byte w 4;
+    Buf.string w (Statics.Prim.name p)
+  | L.Lbasisexn name ->
+    Buf.byte w 5;
+    write_symbol w name
+  | L.Lfn (v, body) ->
+    Buf.byte w 6;
+    write_symbol w v;
+    write_lambda w body
+  | L.Lapp (f, x) ->
+    Buf.byte w 7;
+    write_lambda w f;
+    write_lambda w x
+  | L.Llet (v, e, body) ->
+    Buf.byte w 8;
+    write_symbol w v;
+    write_lambda w e;
+    write_lambda w body
+  | L.Lfix (binds, body) ->
+    Buf.byte w 9;
+    Buf.list w
+      (fun (f, x, b) ->
+        write_symbol w f;
+        write_symbol w x;
+        write_lambda w b)
+      binds;
+    write_lambda w body
+  | L.Ltuple parts ->
+    Buf.byte w 10;
+    Buf.list w (write_lambda w) parts
+  | L.Lselect (i, e) ->
+    Buf.byte w 11;
+    Buf.int w i;
+    write_lambda w e
+  | L.Lrecord fields ->
+    Buf.byte w 12;
+    Buf.list w
+      (fun (name, v) ->
+        write_symbol w name;
+        write_lambda w v)
+      fields
+  | L.Lfield (name, e) ->
+    Buf.byte w 13;
+    write_symbol w name;
+    write_lambda w e
+  | L.Lcon0 tag ->
+    Buf.byte w 14;
+    Buf.int w tag
+  | L.Lcon (tag, e) ->
+    Buf.byte w 15;
+    Buf.int w tag;
+    write_lambda w e
+  | L.Lcontag e ->
+    Buf.byte w 16;
+    write_lambda w e
+  | L.Lconarg e ->
+    Buf.byte w 17;
+    write_lambda w e
+  | L.Lnewexn (name, has_arg) ->
+    Buf.byte w 18;
+    write_symbol w name;
+    Buf.bool w has_arg
+  | L.Lmkexn0 e ->
+    Buf.byte w 19;
+    write_lambda w e
+  | L.Lexnid e ->
+    Buf.byte w 20;
+    write_lambda w e
+  | L.Lexnarg e ->
+    Buf.byte w 21;
+    write_lambda w e
+  | L.Lif (c, t, e) ->
+    Buf.byte w 22;
+    write_lambda w c;
+    write_lambda w t;
+    write_lambda w e
+  | L.Lraise e ->
+    Buf.byte w 23;
+    write_lambda w e
+  | L.Lhandle (e, v, h) ->
+    Buf.byte w 24;
+    write_lambda w e;
+    write_symbol w v;
+    write_lambda w h
+
+let rec read_lambda r : L.t =
+  match Buf.read_byte r with
+  | 0 -> L.Lvar (read_symbol r)
+  | 1 -> L.Lint (Buf.read_int r)
+  | 2 -> L.Lstring (Buf.read_string r)
+  | 3 -> L.Limport (Buf.read_pid r)
+  | 4 -> (
+    let name = Buf.read_string r in
+    match Statics.Prim.of_name name with
+    | Some p -> L.Lprim p
+    | None -> raise (Buf.Corrupt ("unknown primitive " ^ name)))
+  | 5 -> L.Lbasisexn (read_symbol r)
+  | 6 ->
+    let v = read_symbol r in
+    let body = read_lambda r in
+    L.Lfn (v, body)
+  | 7 ->
+    let f = read_lambda r in
+    let x = read_lambda r in
+    L.Lapp (f, x)
+  | 8 ->
+    let v = read_symbol r in
+    let e = read_lambda r in
+    let body = read_lambda r in
+    L.Llet (v, e, body)
+  | 9 ->
+    let binds =
+      Buf.read_list r (fun () ->
+          let f = read_symbol r in
+          let x = read_symbol r in
+          let b = read_lambda r in
+          (f, x, b))
+    in
+    let body = read_lambda r in
+    L.Lfix (binds, body)
+  | 10 -> L.Ltuple (Buf.read_list r (fun () -> read_lambda r))
+  | 11 ->
+    let i = Buf.read_int r in
+    let e = read_lambda r in
+    L.Lselect (i, e)
+  | 12 ->
+    L.Lrecord
+      (Buf.read_list r (fun () ->
+           let name = read_symbol r in
+           let v = read_lambda r in
+           (name, v)))
+  | 13 ->
+    let name = read_symbol r in
+    let e = read_lambda r in
+    L.Lfield (name, e)
+  | 14 -> L.Lcon0 (Buf.read_int r)
+  | 15 ->
+    let tag = Buf.read_int r in
+    let e = read_lambda r in
+    L.Lcon (tag, e)
+  | 16 -> L.Lcontag (read_lambda r)
+  | 17 -> L.Lconarg (read_lambda r)
+  | 18 ->
+    let name = read_symbol r in
+    let has_arg = Buf.read_bool r in
+    L.Lnewexn (name, has_arg)
+  | 19 -> L.Lmkexn0 (read_lambda r)
+  | 20 -> L.Lexnid (read_lambda r)
+  | 21 -> L.Lexnarg (read_lambda r)
+  | 22 ->
+    let c = read_lambda r in
+    let t = read_lambda r in
+    let e = read_lambda r in
+    L.Lif (c, t, e)
+  | 23 -> L.Lraise (read_lambda r)
+  | 24 ->
+    let e = read_lambda r in
+    let v = read_symbol r in
+    let h = read_lambda r in
+    L.Lhandle (e, v, h)
+  | b -> raise (Buf.Corrupt (Printf.sprintf "bad lambda tag %d" b))
+
+(* ------------------------------------------------------------------ *)
+(* Units                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write ctx uf =
+  let w = Buf.writer () in
+  Buf.string w magic;
+  Buf.string w uf.uf_name;
+  Buf.pid w uf.uf_static_pid;
+  Buf.list w
+    (fun (name, pid) ->
+      Buf.string w name;
+      Buf.pid w pid)
+    uf.uf_import_statics;
+  Buf.list w
+    (fun (name, pid) ->
+      write_symbol w name;
+      Buf.pid w pid)
+    uf.uf_name_statics;
+  Buf.list w
+    (fun (name, pid) ->
+      write_symbol w name;
+      Buf.pid w pid)
+    uf.uf_import_name_statics;
+  (* dehydrated own-stamp table: definitions of every stamp owned by
+     one of this unit's bindings (per-binding intrinsic owners) *)
+  let token = Serial.exported_token ~self:uf.uf_static_pid in
+  let owners = List.map snd uf.uf_name_statics in
+  let own =
+    List.filter
+      (fun stamp ->
+        match stamp with
+        | Statics.Stamp.External (pid, _) ->
+          List.exists (Pid.equal pid) owners
+        | Statics.Stamp.Global _ | Statics.Stamp.Local _ -> false)
+      (Statics.Realize.reachable_stamps ctx uf.uf_env)
+  in
+  Buf.list w
+    (fun stamp ->
+      let owner, idx =
+        match stamp with
+        | Statics.Stamp.External (owner, idx) -> (owner, idx)
+        | Statics.Stamp.Global _ | Statics.Stamp.Local _ -> assert false
+      in
+      Buf.pid w owner;
+      Buf.int w idx;
+      match Statics.Context.find ctx stamp with
+      | Some info ->
+        Buf.byte w 1;
+        Serial.write_tycon_info w ctx ~token info
+      | None -> Buf.byte w 0)
+    own;
+  Serial.write_env w ctx ~token ~with_addrs:true uf.uf_env;
+  (* the codeUnit *)
+  Buf.list w (fun pid -> Buf.pid w pid) uf.uf_codeunit.Link.Codeunit.cu_imports;
+  Buf.list w
+    (fun (name, pid) ->
+      write_symbol w name;
+      Buf.pid w pid)
+    uf.uf_codeunit.Link.Codeunit.cu_exports;
+  write_lambda w uf.uf_codeunit.Link.Codeunit.cu_code;
+  let payload = Buf.contents w in
+  let crc = Digestkit.Crc64.of_string payload in
+  let trailer = Buf.writer () in
+  Buf.int trailer (Int64.to_int (Int64.shift_right_logical crc 32));
+  Buf.int trailer (Int64.to_int (Int64.logand crc 0xFFFFFFFFL));
+  payload ^ Buf.contents trailer
+
+let read ctx data =
+  let r = Buf.reader data in
+  let m = Buf.read_string r in
+  if not (String.equal m magic) then raise (Buf.Corrupt "bad magic");
+  let uf_name = Buf.read_string r in
+  let uf_static_pid = Buf.read_pid r in
+  let uf_import_statics =
+    Buf.read_list r (fun () ->
+        let name = Buf.read_string r in
+        let pid = Buf.read_pid r in
+        (name, pid))
+  in
+  let uf_name_statics =
+    Buf.read_list r (fun () ->
+        let name = read_symbol r in
+        let pid = Buf.read_pid r in
+        (name, pid))
+  in
+  let uf_import_name_statics =
+    Buf.read_list r (fun () ->
+        let name = read_symbol r in
+        let pid = Buf.read_pid r in
+        (name, pid))
+  in
+  let resolve = function
+    | Serial.TokGlobal n -> Statics.Stamp.Global n
+    | Serial.TokOwn idx -> Statics.Stamp.External (uf_static_pid, idx)
+    | Serial.TokExtern (pid, idx) -> Statics.Stamp.External (pid, idx)
+  in
+  (* rehydrate the own-stamp table, registering definitions *)
+  let entries =
+    Buf.read_list r (fun () ->
+        let owner = Buf.read_pid r in
+        let idx = Buf.read_int r in
+        let info =
+          match Buf.read_byte r with
+          | 0 -> None
+          | 1 -> Some (Serial.read_tycon_info r ~resolve)
+          | b -> raise (Buf.Corrupt (Printf.sprintf "bad table tag %d" b))
+        in
+        (owner, idx, info))
+  in
+  List.iter
+    (fun (owner, idx, info) ->
+      match info with
+      | Some info ->
+        Statics.Context.register ctx (Statics.Stamp.External (owner, idx)) info
+      | None -> ())
+    entries;
+  let uf_env = Serial.read_env r ~resolve in
+  let cu_imports = Buf.read_list r (fun () -> Buf.read_pid r) in
+  let cu_exports =
+    Buf.read_list r (fun () ->
+        let name = read_symbol r in
+        let pid = Buf.read_pid r in
+        (name, pid))
+  in
+  let cu_code = read_lambda r in
+  (* CRC trailer *)
+  let payload_end = ref 0 in
+  ignore payload_end;
+  let hi = Buf.read_int r in
+  let lo = Buf.read_int r in
+  if not (Buf.at_end r) then raise (Buf.Corrupt "trailing bytes");
+  let declared =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int hi) 32)
+      (Int64.of_int lo)
+  in
+  (* re-serialize-free CRC check: the payload is everything before the
+     trailer; recover its extent by re-encoding the trailer *)
+  let trailer = Buf.writer () in
+  Buf.int trailer hi;
+  Buf.int trailer lo;
+  let trailer_len = String.length (Buf.contents trailer) in
+  let payload = String.sub data 0 (String.length data - trailer_len) in
+  let actual = Digestkit.Crc64.of_string payload in
+  if not (Int64.equal declared actual) then
+    raise (Buf.Corrupt "CRC mismatch: bin file is corrupt");
+  {
+    uf_name;
+    uf_static_pid;
+    uf_env;
+    uf_import_statics;
+    uf_name_statics;
+    uf_import_name_statics;
+    uf_codeunit = { Link.Codeunit.cu_imports; cu_exports; cu_code };
+  }
+
+let size_of ctx uf = String.length (write ctx uf)

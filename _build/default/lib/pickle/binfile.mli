@@ -1,0 +1,38 @@
+(** The bin-file format: a complete pickled compilation Unit.
+
+    {v
+    Unit = { name, static_pid, statenv, import interface pids, codeUnit }
+    v}
+
+    Layout: magic, unit name, static pid, import-interface list, the own
+    stamp table (dehydrated definitions), the environment tree (with
+    stubs for external references), the exports, the code, and a CRC-64
+    trailer guarding against corruption.  Reading verifies the magic and
+    CRC and registers the unit's own type constructors in the context
+    ("rehydration", section 4). *)
+
+type t = {
+  uf_name : string;  (** the compilation unit's name (source path) *)
+  uf_static_pid : Digestkit.Pid.t;  (** intrinsic pid of the interface *)
+  uf_env : Statics.Types.env;  (** exported static environment *)
+  uf_import_statics : (string * Digestkit.Pid.t) list;
+      (** interface pids of the units this one was compiled against —
+          the cutoff-recompilation record *)
+  uf_name_statics : (Support.Symbol.t * Digestkit.Pid.t) list;
+      (** per-binding interface pids of this unit's exports *)
+  uf_import_name_statics : (Support.Symbol.t * Digestkit.Pid.t) list;
+      (** per-binding interface pids of the module names this unit
+          actually referenced — the selective-recompilation record *)
+  uf_codeunit : Link.Codeunit.t;
+}
+
+(** [write ctx unit] — serialize to bytes. *)
+val write : Statics.Context.t -> t -> string
+
+(** [read ctx bytes] — parse, verify magic + CRC, register the unit's
+    own stamps in [ctx], and return the Unit.
+    Raises {!Buf.Corrupt} on damage. *)
+val read : Statics.Context.t -> string -> t
+
+(** [size_of ctx unit] — serialized size in bytes (for benches). *)
+val size_of : Statics.Context.t -> t -> int

@@ -1,0 +1,92 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 1024
+let byte w b = Buffer.add_char w (Char.chr (b land 0xFF))
+
+(* unsigned varint *)
+let rec uvarint w n =
+  if n < 0x80 then byte w n
+  else begin
+    byte w (0x80 lor (n land 0x7F));
+    uvarint w (n lsr 7)
+  end
+
+(* zigzag-encode so small negative ints stay small *)
+let int w n = uvarint w ((n lsl 1) lxor (n asr 62))
+
+let string w s =
+  uvarint w (String.length s);
+  Buffer.add_string w s
+
+let bool w b = byte w (if b then 1 else 0)
+
+let option w f = function
+  | None -> byte w 0
+  | Some v ->
+    byte w 1;
+    f v
+
+let list w f items =
+  uvarint w (List.length items);
+  List.iter f items
+
+let pid w p = Buffer.add_string w (Digestkit.Pid.to_bytes p)
+let contents = Buffer.contents
+
+let hash_contents w ctx =
+  Digestkit.Md5.feed_string ctx (Buffer.contents w)
+
+type reader = { data : string; mutable pos : int }
+
+exception Corrupt of string
+
+let reader data = { data; pos = 0 }
+
+let read_byte r =
+  if r.pos >= String.length r.data then raise (Corrupt "unexpected end of data");
+  let b = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let read_uvarint r =
+  let rec go shift acc =
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let read_int r =
+  let z = read_uvarint r in
+  (z lsr 1) lxor (-(z land 1))
+
+let read_string r =
+  let n = read_uvarint r in
+  if r.pos + n > String.length r.data then raise (Corrupt "truncated string");
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_bool r =
+  match read_byte r with
+  | 0 -> false
+  | 1 -> true
+  | b -> raise (Corrupt (Printf.sprintf "bad bool byte %d" b))
+
+let read_option r f =
+  match read_byte r with
+  | 0 -> None
+  | 1 -> Some (f ())
+  | b -> raise (Corrupt (Printf.sprintf "bad option byte %d" b))
+
+let read_list r f =
+  let n = read_uvarint r in
+  List.init n (fun _ -> f ())
+
+let read_pid r =
+  if r.pos + 16 > String.length r.data then raise (Corrupt "truncated pid");
+  let s = String.sub r.data r.pos 16 in
+  r.pos <- r.pos + 16;
+  Digestkit.Pid.of_bytes s
+
+let at_end r = r.pos = String.length r.data

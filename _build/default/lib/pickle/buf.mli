@@ -1,0 +1,36 @@
+(** Byte-level writer/reader for the bin-file format and canonical
+    hashing.  Integers use LEB128-style varints (with zigzag for signed
+    values), so the format is machine-independent — the paper's
+    requirement that environments be portable across architectures. *)
+
+type writer
+
+val writer : unit -> writer
+val byte : writer -> int -> unit
+
+(** signed, zigzag varint *)
+val int : writer -> int -> unit
+
+val string : writer -> string -> unit
+val bool : writer -> bool -> unit
+val option : writer -> ('a -> unit) -> 'a option -> unit
+val list : writer -> ('a -> unit) -> 'a list -> unit
+val pid : writer -> Digestkit.Pid.t -> unit
+val contents : writer -> string
+
+(** Feed the current contents into an MD5 context without copying. *)
+val hash_contents : writer -> Digestkit.Md5.ctx -> unit
+
+type reader
+
+exception Corrupt of string
+
+val reader : string -> reader
+val read_byte : reader -> int
+val read_int : reader -> int
+val read_string : reader -> string
+val read_bool : reader -> bool
+val read_option : reader -> (unit -> 'a) -> 'a option
+val read_list : reader -> (unit -> 'a) -> 'a list
+val read_pid : reader -> Digestkit.Pid.t
+val at_end : reader -> bool

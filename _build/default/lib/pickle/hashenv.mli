@@ -1,0 +1,64 @@
+(** Intrinsic pids by hashing static environments (section 5).
+
+    The hash serializes environments canonically with provisional
+    (local) stamps alpha-converted to their first-encounter index — so
+    a digest depends only on the *interface*: exported names, types,
+    signatures and functor bodies — and not on when, where, or in what
+    order internal stamps were generated, nor on comments, whitespace,
+    or implementation terms.
+
+    Identities are assigned {e per exported binding}, in canonical
+    binding order:
+
+    - each top-level binding's environment is hashed in isolation,
+      with stamps owned by earlier bindings rendered by their owner's
+      intrinsic pid (so a binding's pid changes exactly when something
+      it actually depends on changes);
+    - every provisional stamp is owned by the first binding that
+      reaches it and becomes [External(owner_pid, index)];
+    - the binding's dynamic pid derives from its intrinsic pid;
+    - the unit's static pid digests the per-binding pids.
+
+    This per-binding scheme is what makes the {e selective} ("smart")
+    recompilation policy sound: an interface change to one module of a
+    unit leaves the identities of its sibling modules — stamps and
+    dynamic pids alike — untouched, so dependents of the siblings keep
+    valid bins. *)
+
+(** [hash_env ctx env] — the intrinsic pid of an environment taken as a
+    whole (alpha-converted provisional stamps, no addresses). *)
+val hash_env : Statics.Context.t -> Statics.Types.env -> Digestkit.Pid.t
+
+(** The result of exporting a unit's environment. *)
+type export = {
+  ex_env : Statics.Types.env;
+      (** environment with own stamps rebound to their per-binding
+          intrinsic identities and top-level addresses rooted at the
+          dynamic pids *)
+  ex_static_pid : Digestkit.Pid.t;  (** digest of the per-binding pids *)
+  ex_exports : (Support.Symbol.t * Digestkit.Pid.t) list;
+      (** dynamic pid of each top-level structure/functor *)
+  ex_name_statics : (Support.Symbol.t * Digestkit.Pid.t) list;
+      (** every top-level binding's intrinsic pid (tagged name order);
+          the selective-recompilation currency *)
+}
+
+(** [export ctx env] — assign intrinsic identities as described above,
+    registering renamed type constructors in the context.  This is the
+    paper's "replace the provisional pids by the real pids" step at the
+    end of a compilation. *)
+val export : Statics.Context.t -> Statics.Types.env -> export
+
+(** [verify ctx ~name_statics env] — recompute every binding's
+    intrinsic pid from an exported (rehydrated) environment and check
+    it against [name_statics]; used by tests and bin-file auditing.
+    Returns the recomputed unit static pid on success. *)
+val verify :
+  Statics.Context.t ->
+  name_statics:(Support.Symbol.t * Digestkit.Pid.t) list ->
+  Statics.Types.env ->
+  Digestkit.Pid.t option
+
+(** [unit_pid name_statics] — the unit static pid determined by its
+    per-binding pids. *)
+val unit_pid : (Support.Symbol.t * Digestkit.Pid.t) list -> Digestkit.Pid.t

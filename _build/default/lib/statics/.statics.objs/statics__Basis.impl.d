@@ -1,0 +1,1 @@
+lib/statics/basis.ml: Context List Prim Stamp Support Types

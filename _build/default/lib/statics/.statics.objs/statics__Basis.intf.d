@@ -1,0 +1,1 @@
+lib/statics/basis.mli: Context Stamp Types

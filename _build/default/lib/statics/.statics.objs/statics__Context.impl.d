@@ -1,0 +1,1 @@
+lib/statics/context.ml: Printf Stamp Types

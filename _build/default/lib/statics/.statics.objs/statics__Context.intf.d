@@ -1,0 +1,1 @@
+lib/statics/context.mli: Stamp Types

@@ -1,0 +1,1 @@
+lib/statics/elaborate.ml: Basis Context Lang List Matchcheck Option Printf Realize Sigmatch Stamp String Support Tast Tyformat Types Unify

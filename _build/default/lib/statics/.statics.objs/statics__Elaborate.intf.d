@@ -1,0 +1,1 @@
+lib/statics/elaborate.mli: Context Lang Support Tast Types

@@ -1,0 +1,1 @@
+lib/statics/matchcheck.ml: List String Tast Types

@@ -1,0 +1,1 @@
+lib/statics/matchcheck.mli: Tast

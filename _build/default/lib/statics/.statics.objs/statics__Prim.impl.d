@@ -1,0 +1,1 @@
+lib/statics/prim.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/statics/prim.mli: Format

@@ -1,0 +1,1 @@
+lib/statics/realize.ml: Array Context List Option Stamp Support Types

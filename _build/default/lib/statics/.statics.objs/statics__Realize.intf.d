@@ -1,0 +1,1 @@
+lib/statics/realize.mli: Context Stamp Types

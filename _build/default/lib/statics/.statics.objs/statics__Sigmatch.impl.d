@@ -1,0 +1,1 @@
+lib/statics/sigmatch.ml: Context Fun Lang List Option Realize Stamp Support Tast Tyformat Types Unify

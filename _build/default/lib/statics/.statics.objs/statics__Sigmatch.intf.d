@@ -1,0 +1,1 @@
+lib/statics/sigmatch.mli: Context Lang Realize Stamp Support Tast Types

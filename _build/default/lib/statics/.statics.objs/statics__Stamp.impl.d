@@ -1,0 +1,1 @@
+lib/statics/stamp.ml: Digestkit Format Hashtbl Int Map Set

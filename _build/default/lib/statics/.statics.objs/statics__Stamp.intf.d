@@ -1,0 +1,1 @@
+lib/statics/stamp.mli: Digestkit Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/statics/tast.ml: Digestkit Format Prim Support Types

@@ -1,0 +1,1 @@
+lib/statics/tast.mli: Format Prim Support Types

@@ -1,0 +1,1 @@
+lib/statics/tyformat.ml: Char Context Format Printf Stamp Support Types

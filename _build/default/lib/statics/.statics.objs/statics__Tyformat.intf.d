@@ -1,0 +1,1 @@
+lib/statics/tyformat.mli: Context Format Types

@@ -1,0 +1,1 @@
+lib/statics/types.ml: Array Digestkit List Prim Stamp String Support

@@ -1,0 +1,1 @@
+lib/statics/types.mli: Digestkit Prim Stamp Support

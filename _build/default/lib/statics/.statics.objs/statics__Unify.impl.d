@@ -1,0 +1,1 @@
+lib/statics/unify.ml: Array Context Hashtbl List Printf Stamp Support Types

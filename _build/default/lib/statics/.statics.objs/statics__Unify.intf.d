@@ -1,0 +1,1 @@
+lib/statics/unify.mli: Context Types

@@ -1,0 +1,20 @@
+type t = Types.tycon_info Stamp.Table.t
+
+let create () = Stamp.Table.create 256
+
+let register ctx stamp info =
+  if not (Stamp.Table.mem ctx stamp) then Stamp.Table.add ctx stamp info
+
+let register_replace ctx stamp info = Stamp.Table.replace ctx stamp info
+let find ctx stamp = Stamp.Table.find_opt ctx stamp
+
+let find_exn ctx stamp =
+  match Stamp.Table.find_opt ctx stamp with
+  | Some info -> info
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Context.find_exn: unregistered stamp %s"
+         (Stamp.to_string stamp))
+
+let size = Stamp.Table.length
+let stamps ctx = Stamp.Table.fold (fun stamp _ acc -> stamp :: acc) ctx []

@@ -1,0 +1,38 @@
+(** The compilation context: a stamp-indexed table of type-constructor
+    definitions.
+
+    Section 4 of the paper builds, "for each environment, mappings from
+    stamps to objects" so that rehydration and hashing can resolve
+    references efficiently.  We centralise that: every compilation
+    session owns one monotonically growing context; elaboration
+    registers the tycons it creates, and rehydrating a bin file
+    registers the external tycons it carries. *)
+
+type t
+
+val create : unit -> t
+
+(** [register ctx stamp info] records the definition of [stamp].
+    Registering the same stamp twice is allowed only with an equal
+    definition shape (it happens when two units import the same third
+    unit); the first registration wins. *)
+val register : t -> Stamp.t -> Types.tycon_info -> unit
+
+(** [register_replace ctx stamp info] overwrites a previous registration.
+    Used only by datatype elaboration, which provisionally registers an
+    [Abstract] placeholder while elaborating the (possibly mutually
+    recursive) constructor argument types. *)
+val register_replace : t -> Stamp.t -> Types.tycon_info -> unit
+
+val find : t -> Stamp.t -> Types.tycon_info option
+
+(** [find_exn] raises [Not_found] with a readable message via
+    [Invalid_argument] if the stamp was never registered — that would be
+    a linkage bug (a stale bin file), so callers treat it as fatal. *)
+val find_exn : t -> Stamp.t -> Types.tycon_info
+
+(** Number of registered stamps, for the census bench. *)
+val size : t -> int
+
+(** All registered stamps, for tests. *)
+val stamps : t -> Stamp.t list

@@ -1,0 +1,44 @@
+(** The elaborator: MiniSML abstract syntax → static environments +
+    resolved terms.
+
+    Performs Hindley–Milner inference with level-based generalization
+    and the value restriction over the core language, and the full
+    static semantics of the module language (signature elaboration,
+    transparent/opaque ascription, functor declaration and application).
+
+    All failures raise {!Support.Diag.Error} with phase [Elaborate]. *)
+
+(** The optional [warn] callback receives non-fatal findings — match
+    nonexhaustiveness and redundancy — with their source locations. *)
+
+(** [elab_exp ctx env exp] — elaborate a single expression (REPL, tests).
+    Returns the resolved term and its inferred type (which may contain
+    unresolved unification variables if the expression is polymorphic). *)
+val elab_exp :
+  ?warn:(Support.Loc.t -> string -> unit) ->
+  Context.t ->
+  Types.env ->
+  Lang.Ast.exp ->
+  Tast.texp * Types.ty
+
+(** [elab_decs ctx env decs] — elaborate a declaration sequence.
+    Returns the environment *delta* (new bindings only) and the runtime
+    declarations. *)
+val elab_decs :
+  ?warn:(Support.Loc.t -> string -> unit) ->
+  Context.t ->
+  Types.env ->
+  Lang.Ast.dec list ->
+  Types.env * Tast.tdec list
+
+(** [elab_compilation_unit ctx env unit] — like {!elab_decs} but
+    enforces the paper's discipline for separately compiled units
+    (footnote 4): only [structure], [signature] and [functor]
+    declarations at top level (plus [local] whose visible part
+    satisfies the same rule). *)
+val elab_compilation_unit :
+  ?warn:(Support.Loc.t -> string -> unit) ->
+  Context.t ->
+  Types.env ->
+  Lang.Ast.unit_ ->
+  Types.env * Tast.tdec list

@@ -1,0 +1,162 @@
+open Tast
+
+(* The algorithm works on pattern matrices.  [useful matrix row] asks:
+   can a value vector match [row] without matching any row of [matrix]?
+   Exhaustiveness = wildcards not useful after all rows;
+   redundancy of row i = row i not useful against rows 0..i-1. *)
+
+(* heads a pattern can take after stripping binders *)
+let rec strip = function
+  | TPas (_, p) -> strip p
+  | p -> p
+
+(* The constructors appearing at the head of a column. *)
+type head =
+  | Hint of int
+  | Hstring of string
+  | Hcon of int * int * bool  (** tag, span, has_arg *)
+  | Htuple of int
+  | Hexn of Types.addr  (** identified by the constructor's address *)
+  | Href
+
+let head_of pat =
+  match strip pat with
+  | TPwild | TPvar _ -> None
+  | TPint n -> Some (Hint n)
+  | TPstring s -> Some (Hstring s)
+  | TPcon (rep, arg) ->
+    Some (Hcon (rep.Types.rep_tag, rep.Types.rep_span, arg <> None))
+  | TPtuple ps -> Some (Htuple (List.length ps))
+  | TPexn (addr, _) -> Some (Hexn addr)
+  | TPref _ -> Some Href
+  | TPas _ -> assert false
+
+(* sub-patterns a head exposes *)
+let sub_arity = function
+  | Hint _ | Hstring _ -> 0
+  | Hcon (_, _, has_arg) -> if has_arg then 1 else 0
+  | Htuple n -> n
+  | Hexn _ -> 1 (* conservatively expose the argument slot *)
+  | Href -> 1
+
+let head_equal a b =
+  match (a, b) with
+  | Hint x, Hint y -> x = y
+  | Hstring x, Hstring y -> String.equal x y
+  | Hcon (t1, _, _), Hcon (t2, _, _) -> t1 = t2
+  | Htuple n, Htuple m -> n = m
+  | Hexn a, Hexn b ->
+    (* syntactically identical addresses denote the same constructor;
+       distinct addresses are treated as distinct, which can only
+       under-report redundancy — never falsely report it *)
+    a = b
+  | Href, Href -> true
+  | _ -> false
+
+(* specialize a row by a head; None if the row cannot match it *)
+let specialize_row head row =
+  match row with
+  | [] -> None
+  | first :: rest -> (
+    match strip first with
+    | TPwild | TPvar _ ->
+      Some (List.init (sub_arity head) (fun _ -> TPwild) @ rest)
+    | TPint n -> (
+      match head with Hint m when n = m -> Some rest | _ -> None)
+    | TPstring s -> (
+      match head with
+      | Hstring s' when String.equal s s' -> Some rest
+      | _ -> None)
+    | TPcon (rep, arg) -> (
+      match head with
+      | Hcon (tag, _, _) when rep.Types.rep_tag = tag ->
+        Some ((match arg with Some p -> [ p ] | None -> []) @ rest)
+      | _ -> None)
+    | TPtuple ps -> (
+      match head with
+      | Htuple n when List.length ps = n -> Some (ps @ rest)
+      | _ -> None)
+    | TPexn (addr, arg) -> (
+      match head with
+      | Hexn addr' when addr = addr' ->
+        Some ((match arg with Some p -> [ p ] | None -> [ TPwild ]) @ rest)
+      | _ -> None)
+    | TPref p -> (
+      match head with Href -> Some (p :: rest) | _ -> None)
+    | TPas _ -> assert false)
+
+(* default matrix: rows whose first column is a wildcard/variable *)
+let default_row row =
+  match row with
+  | [] -> None
+  | first :: rest -> (
+    match strip first with
+    | TPwild | TPvar _ -> Some rest
+    | TPint _ | TPstring _ | TPcon _ | TPtuple _ | TPexn _ | TPref _ -> None
+    | TPas _ -> assert false)
+
+(* the heads present in the first column of a matrix/row set *)
+let column_heads rows =
+  List.filter_map (fun row -> match row with [] -> None | p :: _ -> head_of p) rows
+
+(* does the head set cover its type completely? *)
+let complete_signature heads =
+  match heads with
+  | [] -> false
+  | Hcon (_, span, _) :: _ ->
+    let tags =
+      List.sort_uniq compare
+        (List.filter_map (function Hcon (t, _, _) -> Some t | _ -> None) heads)
+    in
+    List.length tags = span
+  | Htuple _ :: _ -> true (* a single tuple shape covers the type *)
+  | Href :: _ -> true
+  | Hint _ :: _ | Hstring _ :: _ | Hexn _ :: _ -> false
+
+(* all heads we must try when the column's signature is complete *)
+let distinct_heads heads =
+  List.fold_left
+    (fun acc h -> if List.exists (head_equal h) acc then acc else h :: acc)
+    [] heads
+  |> List.rev
+
+let rec useful matrix row =
+  match row with
+  | [] -> matrix = []
+  | first :: _ -> (
+    match head_of first with
+    | Some head -> (
+      match specialize_row head row with
+      | None -> assert false
+      | Some srow ->
+        useful (List.filter_map (specialize_row head) matrix) srow)
+    | None ->
+      (* wildcard at the head of the row *)
+      let heads = column_heads matrix in
+      if complete_signature heads then
+        List.exists
+          (fun head ->
+            match specialize_row head row with
+            | Some srow ->
+              useful (List.filter_map (specialize_row head) matrix) srow
+            | None -> false)
+          (distinct_heads heads)
+      else
+        (* incomplete signature: the default matrix decides *)
+        let dmatrix = List.filter_map default_row matrix in
+        let drow = match default_row row with Some r -> r | None -> assert false in
+        useful dmatrix drow)
+
+let check pats =
+  let warnings = ref [] in
+  (* redundancy: each row against its predecessors *)
+  List.iteri
+    (fun i pat ->
+      let previous = List.filteri (fun j _ -> j < i) pats in
+      if not (useful (List.map (fun p -> [ p ]) previous) [ pat ]) then
+        warnings := `Redundant i :: !warnings)
+    pats;
+  (* exhaustiveness: is a wildcard still useful after all rows? *)
+  if useful (List.map (fun p -> [ p ]) pats) [ TPwild ] then
+    warnings := `Inexhaustive :: !warnings;
+  List.rev !warnings

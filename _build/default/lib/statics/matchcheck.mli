@@ -1,0 +1,16 @@
+(** Match exhaustiveness and redundancy analysis.
+
+    A simplified usefulness check (in the style of Maranget's
+    algorithm) over elaborated patterns: datatype constructors carry
+    their span, so a column is exhaustive when every tag is covered;
+    integers, strings and exception constructors are open-ended, so
+    only a variable/wildcard row closes them.
+
+    Used by the elaborator to warn (SML compilers reject or warn; we
+    warn) about [nonexhaustive match] and [redundant match]. *)
+
+(** [check rules] — analyse the patterns of a compiled match.
+    Returns warnings in source order: [`Redundant i] marks rule [i]
+    (0-based) as unreachable; [`Inexhaustive] means a value can slip
+    through every rule. *)
+val check : Tast.tpat list -> [ `Redundant of int | `Inexhaustive ] list

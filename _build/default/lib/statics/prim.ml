@@ -1,0 +1,62 @@
+type t =
+  | Padd
+  | Psub
+  | Pmul
+  | Pdiv
+  | Pmod
+  | Pneg
+  | Plt
+  | Ple
+  | Pgt
+  | Pge
+  | Peq
+  | Pneq
+  | Pconcat
+  | Psize
+  | Pint_to_string
+  | Pstring_to_int
+  | Pnot
+  | Pref
+  | Pderef
+  | Passign
+  | Pprint
+  | Pexit
+
+let name = function
+  | Padd -> "+"
+  | Psub -> "-"
+  | Pmul -> "*"
+  | Pdiv -> "div"
+  | Pmod -> "mod"
+  | Pneg -> "~"
+  | Plt -> "<"
+  | Ple -> "<="
+  | Pgt -> ">"
+  | Pge -> ">="
+  | Peq -> "="
+  | Pneq -> "<>"
+  | Pconcat -> "^"
+  | Psize -> "size"
+  | Pint_to_string -> "intToString"
+  | Pstring_to_int -> "stringToInt"
+  | Pnot -> "not"
+  | Pref -> "ref"
+  | Pderef -> "!"
+  | Passign -> ":="
+  | Pprint -> "print"
+  | Pexit -> "exit"
+
+let all =
+  [
+    Padd; Psub; Pmul; Pdiv; Pmod; Pneg; Plt; Ple; Pgt; Pge; Peq; Pneq;
+    Pconcat; Psize; Pint_to_string; Pstring_to_int; Pnot; Pref; Pderef;
+    Passign; Pprint; Pexit;
+  ]
+
+let of_name =
+  let table = Hashtbl.create 32 in
+  List.iter (fun p -> Hashtbl.add table (name p) p) all;
+  fun n -> Hashtbl.find_opt table n
+
+let equal = ( = )
+let pp ppf p = Format.pp_print_string ppf (name p)

@@ -1,0 +1,226 @@
+open Types
+
+type t = {
+  tyfuns : scheme Stamp.Map.t;
+  renames : Stamp.t Stamp.Map.t;
+  (* Fresh alias stamps created for non-eta realizations appearing in
+     binding positions, memoised so the same flexible stamp yields the
+     same alias stamp throughout one substitution. *)
+  alias_memo : Stamp.t Stamp.Table.t;
+}
+
+let empty =
+  { tyfuns = Stamp.Map.empty; renames = Stamp.Map.empty; alias_memo = Stamp.Table.create 4 }
+
+let eta_tyfun arity stamp =
+  { arity; body = Tcon (stamp, List.init arity (fun i -> Tgen i)) }
+
+let add_tyfun rz stamp tyfun =
+  { rz with tyfuns = Stamp.Map.add stamp tyfun rz.tyfuns }
+
+let add_tycon_rename rz stamp ~arity stamp' =
+  add_tyfun rz stamp (eta_tyfun arity stamp')
+
+let add_stamp_rename rz stamp stamp' =
+  { rz with renames = Stamp.Map.add stamp stamp' rz.renames }
+
+let find_tyfun rz stamp = Stamp.Map.find_opt stamp rz.tyfuns
+
+let rename_stamp rz stamp =
+  match Stamp.Map.find_opt stamp rz.renames with
+  | Some stamp' -> stamp'
+  | None -> stamp
+
+let is_empty rz = Stamp.Map.is_empty rz.tyfuns && Stamp.Map.is_empty rz.renames
+
+(* Is this type function just a renaming of a constructor? *)
+let eta_target tyfun =
+  match tyfun.body with
+  | Tcon (stamp, args) ->
+    let rec check i = function
+      | [] -> i = tyfun.arity
+      | Tgen j :: rest when j = i -> check (i + 1) rest
+      | _ -> false
+    in
+    if check 0 args then Some stamp else None
+  | _ -> None
+
+let rec subst_ty ctx rz ty =
+  match repr ty with
+  | Tvar _ as v -> v
+  | Tgen _ as g -> g
+  | Tcon (stamp, args) -> (
+    let args = List.map (subst_ty ctx rz) args in
+    match Stamp.Map.find_opt stamp rz.tyfuns with
+    | Some tyfun -> instantiate_scheme (Array.of_list args) tyfun
+    | None -> Tcon (rename_stamp rz stamp, args))
+  | Tarrow (a, b) -> Tarrow (subst_ty ctx rz a, subst_ty ctx rz b)
+  | Ttuple parts -> Ttuple (List.map (subst_ty ctx rz) parts)
+
+let subst_scheme ctx rz scheme =
+  if is_empty rz then scheme
+  else { scheme with body = subst_ty ctx rz scheme.body }
+
+let subst_condesc ctx rz cd =
+  { cd with cd_arg = Option.map (subst_ty ctx rz) cd.cd_arg }
+
+let subst_tycon_info ctx rz info =
+  let defn =
+    match info.tyc_defn with
+    | Abstract -> Abstract
+    | Alias scheme -> Alias (subst_scheme ctx rz scheme)
+    | Data cds -> Data (List.map (subst_condesc ctx rz) cds)
+  in
+  { info with tyc_defn = defn }
+
+let subst_tycon_binding ctx rz stamp =
+  match Stamp.Map.find_opt stamp rz.tyfuns with
+  | None -> rename_stamp rz stamp
+  | Some tyfun -> (
+    match eta_target tyfun with
+    | Some target -> target
+    | None -> (
+      match Stamp.Table.find_opt rz.alias_memo stamp with
+      | Some alias -> alias
+      | None ->
+        let alias = Stamp.fresh () in
+        let name =
+          match Context.find ctx stamp with
+          | Some info -> info.tyc_name
+          | None -> Support.Symbol.fresh "t"
+        in
+        Context.register ctx alias
+          { tyc_name = name; tyc_arity = tyfun.arity; tyc_defn = Alias tyfun };
+        Stamp.Table.add rz.alias_memo stamp alias;
+        alias))
+
+let rec subst_env ctx rz env =
+  if is_empty rz then env
+  else
+    {
+      vals = Support.Symbol.Map.map (subst_val ctx rz) env.vals;
+      tycons = Support.Symbol.Map.map (subst_tycon_binding ctx rz) env.tycons;
+      strs = Support.Symbol.Map.map (subst_str ctx rz) env.strs;
+      sigs = Support.Symbol.Map.map (subst_sig ctx rz) env.sigs;
+      fcts = Support.Symbol.Map.map (subst_fct ctx rz) env.fcts;
+    }
+
+and subst_val ctx rz info =
+  let kind =
+    match info.vi_kind with
+    | Vplain -> Vplain
+    | Vcon (stamp, cd) ->
+      Vcon (subst_tycon_binding ctx rz stamp, subst_condesc ctx rz cd)
+    | Vexn stamp -> Vexn (rename_stamp rz stamp)
+  in
+  { info with vi_scheme = subst_scheme ctx rz info.vi_scheme; vi_kind = kind }
+
+and subst_str ctx rz info =
+  {
+    info with
+    str_stamp = rename_stamp rz info.str_stamp;
+    str_env = subst_env ctx rz info.str_env;
+  }
+
+and subst_sig ctx rz info =
+  let flex =
+    List.filter_map
+      (fun stamp ->
+        match Stamp.Map.find_opt stamp rz.tyfuns with
+        | Some tyfun -> eta_target tyfun (* realized-away stamps drop out *)
+        | None -> Some (rename_stamp rz stamp))
+      info.sig_flex
+  in
+  {
+    sig_stamp = rename_stamp rz info.sig_stamp;
+    sig_env = subst_env ctx rz info.sig_env;
+    sig_flex = flex;
+  }
+
+and subst_fct ctx rz info =
+  let map_stamp stamp =
+    match Stamp.Map.find_opt stamp rz.tyfuns with
+    | Some tyfun -> (
+      match eta_target tyfun with Some s -> s | None -> stamp)
+    | None -> rename_stamp rz stamp
+  in
+  {
+    info with
+    fct_stamp = rename_stamp rz info.fct_stamp;
+    fct_param_sig = subst_sig ctx rz info.fct_param_sig;
+    fct_param_stamps = List.map map_stamp info.fct_param_stamps;
+    fct_body = subst_env ctx rz info.fct_body;
+    fct_body_gen = List.map map_stamp info.fct_body_gen;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical traversal                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared by hashing, export numbering and generative-stamp collection:
+   visit every reachable stamp in deterministic first-encounter order. *)
+let traverse ctx env ~on_stamp =
+  let visited = Stamp.Table.create 64 in
+  let rec visit_stamp stamp =
+    if not (Stamp.Table.mem visited stamp) then begin
+      Stamp.Table.add visited stamp ();
+      on_stamp stamp;
+      match Context.find ctx stamp with
+      | Some info -> visit_defn info.tyc_defn
+      | None -> ()
+    end
+  and visit_defn = function
+    | Abstract -> ()
+    | Alias scheme -> visit_ty scheme.body
+    | Data cds -> List.iter (fun cd -> Option.iter visit_ty cd.cd_arg) cds
+  and visit_ty ty =
+    match repr ty with
+    | Tvar _ | Tgen _ -> ()
+    | Tcon (stamp, args) ->
+      visit_stamp stamp;
+      List.iter visit_ty args
+    | Tarrow (a, b) ->
+      visit_ty a;
+      visit_ty b
+    | Ttuple parts -> List.iter visit_ty parts
+  and visit_val info =
+    visit_ty info.vi_scheme.body;
+    match info.vi_kind with
+    | Vplain -> ()
+    | Vcon (stamp, cd) ->
+      visit_stamp stamp;
+      Option.iter visit_ty cd.cd_arg
+    | Vexn stamp -> visit_stamp stamp
+  and visit_env env =
+    fold_components env ~init:()
+      ~valf:(fun _ info () -> visit_val info)
+      ~tycf:(fun _ stamp () -> visit_stamp stamp)
+      ~strf:(fun _ info () ->
+        visit_stamp info.str_stamp;
+        visit_env info.str_env)
+      ~sigf:(fun _ info () ->
+        visit_stamp info.sig_stamp;
+        visit_env info.sig_env;
+        List.iter visit_stamp info.sig_flex)
+      ~fctf:(fun _ info () ->
+        visit_stamp info.fct_stamp;
+        visit_stamp info.fct_param_sig.sig_stamp;
+        visit_env info.fct_param_sig.sig_env;
+        List.iter visit_stamp info.fct_param_sig.sig_flex;
+        List.iter visit_stamp info.fct_param_stamps;
+        visit_env info.fct_body;
+        List.iter visit_stamp info.fct_body_gen)
+  in
+  visit_env env
+
+let reachable_stamps ctx env =
+  let acc = ref [] in
+  traverse ctx env ~on_stamp:(fun stamp -> acc := stamp :: !acc);
+  List.rev !acc
+
+let reachable_local_stamps ctx env ~lo ~hi =
+  List.filter
+    (function
+      | Stamp.Local n -> n > lo && n <= hi
+      | Stamp.Global _ | Stamp.External _ -> false)
+    (reachable_stamps ctx env)

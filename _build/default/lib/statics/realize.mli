@@ -1,0 +1,70 @@
+(** Realizations: substitutions over static environments.
+
+    A realization maps flexible type-constructor stamps to type functions
+    and renames structure/exception stamps.  It is the engine behind the
+    three generative operations of the module system:
+
+    - signature instantiation (functor parameters, opaque ascription)
+      maps every flexible stamp to a fresh one;
+    - signature matching maps every flexible stamp to the matching
+      component of the actual structure;
+    - functor application composes the parameter realization with fresh
+      copies of the body's generative stamps.
+
+    Substituting a realization through an environment is exactly how
+    transparent type propagation (the paper's figure 1: [FSort.t = int
+    list]) crosses functor boundaries. *)
+
+type t
+
+val empty : t
+
+(** [add_tyfun rz stamp tyfun] realizes a flexible tycon as a type
+    function ([Tgen]s are its parameters). *)
+val add_tyfun : t -> Stamp.t -> Types.scheme -> t
+
+(** [add_tycon_rename rz s s'] realizes tycon [s] as tycon [s'] of the
+    same arity (an eta type function). *)
+val add_tycon_rename : t -> Stamp.t -> arity:int -> Stamp.t -> t
+
+(** [add_stamp_rename rz s s'] renames a structure or exception stamp. *)
+val add_stamp_rename : t -> Stamp.t -> Stamp.t -> t
+
+val find_tyfun : t -> Stamp.t -> Types.scheme option
+val rename_stamp : t -> Stamp.t -> Stamp.t
+
+(** [is_empty rz] — substitution would be the identity. *)
+val is_empty : t -> bool
+
+(** [subst_ty ctx rz ty].  When a realized constructor is applied, the
+    type function is beta-reduced.  [ctx] is consulted only to register
+    alias stamps created for non-eta realizations in binding positions
+    (see {!subst_env}). *)
+val subst_ty : Context.t -> t -> Types.ty -> Types.ty
+
+val subst_scheme : Context.t -> t -> Types.scheme -> Types.scheme
+
+(** [subst_tycon_binding ctx rz stamp] — the stamp a tycon *binding*
+    becomes: renamed for eta realizations; for a general type function a
+    fresh alias stamp is created (memoised per realization) and
+    registered in [ctx]. *)
+val subst_tycon_binding : Context.t -> t -> Stamp.t -> Stamp.t
+
+val subst_tycon_info : Context.t -> t -> Types.tycon_info -> Types.tycon_info
+val subst_env : Context.t -> t -> Types.env -> Types.env
+val subst_sig : Context.t -> t -> Types.sig_info -> Types.sig_info
+val subst_fct : Context.t -> t -> Types.fct_info -> Types.fct_info
+
+(** [reachable_local_stamps ctx env ~lo ~hi] — every [Local] stamp with
+    counter in [(lo, hi]] reachable from [env] (through value schemes,
+    tycon definitions, structures, signatures, functor bodies and
+    exception identities), in deterministic first-encounter order.  Used
+    to delimit the generative stamps of a functor body and the exports
+    of a unit. *)
+val reachable_local_stamps :
+  Context.t -> Types.env -> lo:int -> hi:int -> Stamp.t list
+
+(** [reachable_stamps ctx env] — every stamp reachable from [env], in
+    deterministic first-encounter order (the canonical traversal shared
+    by hashing, export numbering and pickling). *)
+val reachable_stamps : Context.t -> Types.env -> Stamp.t list

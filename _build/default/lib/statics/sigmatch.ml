@@ -1,0 +1,329 @@
+module Symbol = Support.Symbol
+module Diag = Support.Diag
+open Types
+
+let err loc fmt = Diag.error Diag.Elaborate loc fmt
+
+(* The type function denoted by a tycon binding: aliases denote their
+   definition, everything else denotes itself. *)
+let tyfun_of ctx stamp =
+  match Context.find ctx stamp with
+  | Some { tyc_defn = Alias scheme; _ } -> scheme
+  | Some { tyc_arity; _ } ->
+    { arity = tyc_arity; body = Tcon (stamp, List.init tyc_arity (fun i -> Tgen i)) }
+  | None -> { arity = 0; body = Tcon (stamp, []) }
+
+let arity_of ctx stamp =
+  match Context.find ctx stamp with Some info -> info.tyc_arity | None -> 0
+
+(* Follow alias chains that are pure renamings, to find the underlying
+   datatype for datatype-spec matching. *)
+let rec chase ctx stamp =
+  match Context.find ctx stamp with
+  | Some { tyc_defn = Alias { arity; body = Tcon (target, args) }; _ } ->
+    let is_eta =
+      List.length args = arity
+      && List.for_all2 (fun arg i -> arg = Tgen i) args (List.init arity Fun.id)
+    in
+    if is_eta then chase ctx target else stamp
+  | _ -> stamp
+
+let equal_tyfun ctx a b =
+  a.arity = b.arity && Unify.equal_ty ctx a.body b.body
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let instantiate ctx sig_info =
+  let pairs =
+    List.map (fun stamp -> (stamp, Stamp.fresh ())) sig_info.sig_flex
+  in
+  let rz =
+    List.fold_left
+      (fun rz (old_stamp, fresh_stamp) ->
+        match Context.find ctx old_stamp with
+        | Some info ->
+          Realize.add_tycon_rename rz old_stamp ~arity:info.tyc_arity fresh_stamp
+        | None -> Realize.add_stamp_rename rz old_stamp fresh_stamp)
+      Realize.empty pairs
+  in
+  (* Register the fresh tycons' (substituted) definitions. *)
+  List.iter
+    (fun (old_stamp, fresh_stamp) ->
+      match Context.find ctx old_stamp with
+      | Some info ->
+        Context.register ctx fresh_stamp (Realize.subst_tycon_info ctx rz info)
+      | None -> ())
+    pairs;
+  (Realize.subst_env ctx rz sig_info.sig_env, List.map snd pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Pass 1: realize every flexible stamp by the correspondingly-named
+   actual component. *)
+let rec build_realization ctx ~loc flexset rz sig_env actual =
+  let rz =
+    Symbol.Map.fold
+      (fun name spec_stamp rz ->
+        if Stamp.Set.mem spec_stamp flexset then begin
+          match Symbol.Map.find_opt name actual.tycons with
+          | None -> err loc "signature mismatch: missing type %a" Symbol.pp name
+          | Some actual_stamp ->
+            let spec_arity = arity_of ctx spec_stamp in
+            let actual_tf = tyfun_of ctx actual_stamp in
+            if actual_tf.arity <> spec_arity then
+              err loc "signature mismatch: type %a has arity %d, expected %d"
+                Symbol.pp name actual_tf.arity spec_arity
+            else Realize.add_tyfun rz spec_stamp actual_tf
+        end
+        else rz)
+      sig_env.tycons rz
+  in
+  (* exception identities *)
+  let rz =
+    Symbol.Map.fold
+      (fun name info rz ->
+        match info.vi_kind with
+        | Vexn spec_stamp when Stamp.Set.mem spec_stamp flexset -> (
+          match Symbol.Map.find_opt name actual.vals with
+          | Some { vi_kind = Vexn actual_stamp; _ } ->
+            Realize.add_stamp_rename rz spec_stamp actual_stamp
+          | Some _ | None ->
+            err loc "signature mismatch: missing exception %a" Symbol.pp name)
+        | _ -> rz)
+      sig_env.vals rz
+  in
+  (* substructures *)
+  Symbol.Map.fold
+    (fun name spec_str rz ->
+      match Symbol.Map.find_opt name actual.strs with
+      | None -> err loc "signature mismatch: missing structure %a" Symbol.pp name
+      | Some actual_str ->
+        let rz =
+          if Stamp.Set.mem spec_str.str_stamp flexset then
+            Realize.add_stamp_rename rz spec_str.str_stamp actual_str.str_stamp
+          else rz
+        in
+        build_realization ctx ~loc flexset rz spec_str.str_env actual_str.str_env)
+    sig_env.strs rz
+
+(* Pass 2: check every spec and build the transparent result. *)
+let rec check_and_thin ctx ~loc rz sig_env actual =
+  let result = ref empty_env in
+  let thinning = ref [] in
+  (* types *)
+  Symbol.Map.iter
+    (fun name spec_stamp ->
+      match Symbol.Map.find_opt name actual.tycons with
+      | None -> err loc "signature mismatch: missing type %a" Symbol.pp name
+      | Some actual_stamp ->
+        let spec_tf =
+          match Realize.find_tyfun rz spec_stamp with
+          | Some tf -> tf
+          | None ->
+            (* rigid spec (manifest alias or global) *)
+            let tf = tyfun_of ctx spec_stamp in
+            { tf with body = Realize.subst_ty ctx rz tf.body }
+        in
+        let actual_tf = tyfun_of ctx actual_stamp in
+        if not (equal_tyfun ctx spec_tf actual_tf) then
+          err loc "signature mismatch: type %a does not agree with its spec"
+            Symbol.pp name;
+        (* datatype specs additionally pin down the constructors *)
+        (match Context.find ctx spec_stamp with
+        | Some { tyc_defn = Data spec_cds; _ } -> (
+          let target = chase ctx actual_stamp in
+          match Context.find ctx target with
+          | Some { tyc_defn = Data actual_cds; _ } ->
+            if List.length spec_cds <> List.length actual_cds then
+              err loc "signature mismatch: datatype %a has wrong constructors"
+                Symbol.pp name;
+            List.iter2
+              (fun spec_cd actual_cd ->
+                if not (Symbol.equal spec_cd.cd_name actual_cd.cd_name) then
+                  err loc
+                    "signature mismatch: datatype %a constructor %a vs %a"
+                    Symbol.pp name Symbol.pp spec_cd.cd_name Symbol.pp
+                    actual_cd.cd_name;
+                match
+                  ( Option.map (Realize.subst_ty ctx rz) spec_cd.cd_arg,
+                    actual_cd.cd_arg )
+                with
+                | None, None -> ()
+                | Some a, Some b when Unify.equal_ty ctx a b -> ()
+                | _ ->
+                  err loc
+                    "signature mismatch: constructor %a of datatype %a has a \
+                     different argument type"
+                    Symbol.pp spec_cd.cd_name Symbol.pp name)
+              spec_cds actual_cds
+          | _ ->
+            err loc "signature mismatch: %a must be a datatype" Symbol.pp name)
+        | _ -> ());
+        result := bind_tycon name actual_stamp !result)
+    sig_env.tycons;
+  (* values *)
+  Symbol.Map.iter
+    (fun name spec_info ->
+      match Symbol.Map.find_opt name actual.vals with
+      | None -> err loc "signature mismatch: missing value %a" Symbol.pp name
+      | Some actual_info -> (
+        let spec_scheme = Realize.subst_scheme ctx rz spec_info.vi_scheme in
+        (match spec_info.vi_kind with
+        | Vplain ->
+          if not (Unify.more_general ctx actual_info.vi_scheme spec_scheme) then
+            err loc
+              "signature mismatch: value %a has type %s, less general than \
+               spec %s"
+              Symbol.pp name
+              (Tyformat.scheme_to_string ctx actual_info.vi_scheme)
+              (Tyformat.scheme_to_string ctx spec_scheme)
+        | Vcon (_, spec_cd) -> (
+          match actual_info.vi_kind with
+          | Vcon (_, actual_cd) ->
+            if spec_cd.cd_tag <> actual_cd.cd_tag
+               || spec_cd.cd_span <> actual_cd.cd_span
+            then
+              err loc "signature mismatch: constructor %a representation"
+                Symbol.pp name
+          | Vplain | Vexn _ ->
+            err loc "signature mismatch: %a must be a datatype constructor"
+              Symbol.pp name)
+        | Vexn _ -> (
+          match actual_info.vi_kind with
+          | Vexn _ ->
+            if not (Unify.equal_scheme ctx spec_scheme actual_info.vi_scheme)
+            then
+              err loc "signature mismatch: exception %a argument type"
+                Symbol.pp name
+          | Vplain | Vcon _ ->
+            err loc "signature mismatch: %a must be an exception" Symbol.pp name));
+        let entry =
+          {
+            vi_scheme = spec_scheme;
+            vi_kind = actual_info.vi_kind;
+            vi_addr = actual_info.vi_addr;
+          }
+        in
+        result := bind_val name entry !result;
+        (* runtime field needed unless the value is a static constructor *)
+        (match actual_info.vi_kind with
+        | Vplain | Vexn _ -> thinning := (name, Tast.ThinVal) :: !thinning
+        | Vcon _ -> ())))
+    sig_env.vals;
+  (* substructures *)
+  Symbol.Map.iter
+    (fun name spec_str ->
+      match Symbol.Map.find_opt name actual.strs with
+      | None -> err loc "signature mismatch: missing structure %a" Symbol.pp name
+      | Some actual_str ->
+        let sub_env, sub_thin =
+          check_and_thin ctx ~loc rz spec_str.str_env actual_str.str_env
+        in
+        result :=
+          bind_str name
+            {
+              str_stamp = actual_str.str_stamp;
+              str_env = sub_env;
+              str_addr = actual_str.str_addr;
+            }
+            !result;
+        thinning := (name, Tast.ThinStr sub_thin) :: !thinning)
+    sig_env.strs;
+  (!result, List.rev !thinning)
+
+let match_signature ctx ~loc sig_info actual =
+  let flexset = Stamp.Set.of_list sig_info.sig_flex in
+  let rz =
+    build_realization ctx ~loc flexset Realize.empty sig_info.sig_env actual
+  in
+  let result, thinning = check_and_thin ctx ~loc rz sig_info.sig_env actual in
+  (rz, result, thinning)
+
+let opaque_ascribe ctx ~loc sig_info actual =
+  let _rz, _transparent, thinning = match_signature ctx ~loc sig_info actual in
+  let instance, _fresh = instantiate ctx sig_info in
+  (instance, thinning)
+
+(* ------------------------------------------------------------------ *)
+(* where type                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let where_type ctx ~loc sig_info path tyfun =
+  let open Lang.Ast in
+  (* resolve the path inside the signature body *)
+  let rec resolve env quals =
+    match quals with
+    | [] -> env
+    | q :: rest -> (
+      match Symbol.Map.find_opt q env.strs with
+      | Some str -> resolve str.str_env rest
+      | None ->
+        err loc "where type: unknown structure %a in %a" Symbol.pp q
+          Lang.Ast.pp_path path)
+  in
+  let holder = resolve sig_info.sig_env path.qualifiers in
+  let stamp =
+    match Symbol.Map.find_opt path.base holder.tycons with
+    | Some stamp -> stamp
+    | None -> err loc "where type: unknown type %a" Lang.Ast.pp_path path
+  in
+  if not (List.exists (Stamp.equal stamp) sig_info.sig_flex) then
+    err loc "where type: %a is not a flexible type of the signature"
+      Lang.Ast.pp_path path;
+  (match Context.find ctx stamp with
+  | Some { tyc_arity; tyc_defn = Abstract; _ } ->
+    if tyc_arity <> tyfun.arity then
+      err loc "where type: arity mismatch for %a" Lang.Ast.pp_path path
+  | Some _ -> err loc "where type: %a is not abstract" Lang.Ast.pp_path path
+  | None -> err loc "where type: %a has no definition" Lang.Ast.pp_path path);
+  let rz = Realize.add_tyfun Realize.empty stamp tyfun in
+  {
+    sig_stamp = Stamp.fresh ();
+    sig_env = Realize.subst_env ctx rz sig_info.sig_env;
+    sig_flex =
+      List.filter (fun s -> not (Stamp.equal s stamp)) sig_info.sig_flex;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Functor application                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let apply_functor ctx ~loc fct actual_arg =
+  let param_rz, _result, thinning =
+    match_signature ctx ~loc fct.fct_param_sig actual_arg
+  in
+  (* Re-key the parameter realization from the signature's flexible
+     stamps to the instantiated parameter stamps the body refers to. *)
+  let body_rz =
+    List.fold_left2
+      (fun rz sig_stamp param_stamp ->
+        match Realize.find_tyfun param_rz sig_stamp with
+        | Some tf -> Realize.add_tyfun rz param_stamp tf
+        | None ->
+          let renamed = Realize.rename_stamp param_rz sig_stamp in
+          if Stamp.equal renamed sig_stamp then rz
+          else Realize.add_stamp_rename rz param_stamp renamed)
+      Realize.empty fct.fct_param_sig.sig_flex fct.fct_param_stamps
+  in
+  (* Generativity: fresh stamps for everything the body creates. *)
+  let gen_pairs = List.map (fun g -> (g, Stamp.fresh ())) fct.fct_body_gen in
+  let body_rz =
+    List.fold_left
+      (fun rz (g, g') ->
+        match Context.find ctx g with
+        | Some info -> Realize.add_tycon_rename rz g ~arity:info.tyc_arity g'
+        | None -> Realize.add_stamp_rename rz g g')
+      body_rz gen_pairs
+  in
+  List.iter
+    (fun (g, g') ->
+      match Context.find ctx g with
+      | Some info ->
+        Context.register ctx g' (Realize.subst_tycon_info ctx body_rz info)
+      | None -> ())
+    gen_pairs;
+  (Realize.subst_env ctx body_rz fct.fct_body, thinning)

@@ -1,0 +1,61 @@
+(** Signature instantiation, signature matching, [where type]
+    refinement, and functor application.
+
+    These are the static-semantics operations the paper leans on:
+    transparent matching propagates actual types into the result
+    (figure 1), opaque ascription and functor application are generative
+    (fresh stamps), and [apply_functor] re-derives a functor's result
+    environment from an argument without touching the functor's source —
+    which is what lets functors cross compilation-unit boundaries. *)
+
+module Loc := Support.Loc
+
+(** [instantiate ctx sig_info] — a fresh instance of the signature:
+    every flexible stamp replaced by a new one (tycon definitions
+    substituted and registered).  Returns the instance environment and
+    the fresh stamps, positionally parallel to [sig_info.sig_flex]. *)
+val instantiate : Context.t -> Types.sig_info -> Types.env * Stamp.t list
+
+(** [match_signature ctx ~loc sig_info actual] — check that [actual]
+    matches the signature.  Returns:
+    - the realization of the signature's flexible stamps by actual
+      components,
+    - the transparent result environment (spec-shaped, actual types
+      propagated, actual addresses), and
+    - the thinning coercion describing which runtime fields survive.
+
+    Raises {!Support.Diag.Error} (phase [Elaborate]) on mismatch. *)
+val match_signature :
+  Context.t ->
+  loc:Loc.t ->
+  Types.sig_info ->
+  Types.env ->
+  Realize.t * Types.env * Tast.thinning
+
+(** [opaque_ascribe ctx ~loc sig_info actual] — matching as above, but
+    the result environment is a fresh instance of the signature
+    (abstract types are new stamps: generativity of [:>]). *)
+val opaque_ascribe :
+  Context.t ->
+  loc:Loc.t ->
+  Types.sig_info ->
+  Types.env ->
+  Types.env * Tast.thinning
+
+(** [where_type ctx ~loc sig_info path tyfun] — refine a flexible
+    abstract type of the signature to a manifest type function. *)
+val where_type :
+  Context.t ->
+  loc:Loc.t ->
+  Types.sig_info ->
+  Lang.Ast.path ->
+  Types.scheme ->
+  Types.sig_info
+
+(** [apply_functor ctx ~loc fct actual_arg] — the result environment of
+    applying [fct] to [actual_arg]: parameter stamps realized by the
+    argument's components, generative body stamps refreshed.  Also
+    returns the thinning coercing the argument to the parameter
+    signature. *)
+val apply_functor :
+  Context.t -> loc:Loc.t -> Types.fct_info -> Types.env -> Types.env * Tast.thinning

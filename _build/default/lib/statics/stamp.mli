@@ -1,0 +1,39 @@
+(** Stamps: unique identities for "significant objects".
+
+    Following section 4 of the paper, every type constructor, structure,
+    signature, functor and exception gets a stamp.  Stamps index the
+    shared nodes of environment DAGs; pickling serialises references
+    between significant objects as stamp references (which also makes
+    recursive datatypes acyclic on disk), and the intrinsic-pid hash
+    alpha-converts them.
+
+    Three provenances:
+    - [Global] — initial-basis objects with well-known identities
+      ([int], [bool], [list], …);
+    - [Local] — provisional stamps created during this process's
+      compilations ("pid(1)" of section 5);
+    - [External] — objects owned by another compilation unit, identified
+      by that unit's intrinsic pid and the object's index in the unit's
+      canonical export traversal. *)
+
+type t =
+  | Global of int
+  | Local of int
+  | External of Digestkit.Pid.t * int
+
+(** A fresh provisional stamp; process-unique. *)
+val fresh : unit -> t
+
+(** [local_counter ()] is the current provisional-stamp counter, used to
+    delimit the stamps generated while elaborating a functor body. *)
+val local_counter : unit -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,48 @@
+open Types
+
+let gen_name i =
+  if i < 26 then Printf.sprintf "'%c" (Char.chr (Char.code 'a' + i))
+  else Printf.sprintf "'a%d" (i - 26)
+
+(* Precedence: 0 = arrow position, 1 = tuple element, 2 = argument. *)
+let rec pp_prec ctx prec ppf ty =
+  match repr ty with
+  | Tvar { contents = Unbound { id; _ } } -> Format.fprintf ppf "'_%d" id
+  | Tvar { contents = Link _ } -> assert false
+  | Tgen i -> Format.pp_print_string ppf (gen_name i)
+  | Tcon (stamp, args) -> (
+    let name =
+      match Context.find ctx stamp with
+      | Some info -> Support.Symbol.name info.tyc_name
+      | None -> Stamp.to_string stamp
+    in
+    match args with
+    | [] -> Format.pp_print_string ppf name
+    | [ single ] -> Format.fprintf ppf "%a %s" (pp_prec ctx 2) single name
+    | several ->
+      Format.fprintf ppf "(%a) %s"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (pp_prec ctx 0))
+        several name)
+  | Tarrow (a, b) ->
+    if prec > 0 then
+      Format.fprintf ppf "(%a -> %a)" (pp_prec ctx 1) a (pp_prec ctx 0) b
+    else Format.fprintf ppf "%a -> %a" (pp_prec ctx 1) a (pp_prec ctx 0) b
+  | Ttuple [] -> Format.pp_print_string ppf "unit"
+  | Ttuple parts ->
+    if prec > 1 then
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " * ")
+           (pp_prec ctx 2))
+        parts
+    else
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " * ")
+        (pp_prec ctx 2) ppf parts
+
+let pp_ty ctx ppf ty = pp_prec ctx 0 ppf ty
+let ty_to_string ctx ty = Format.asprintf "%a" (pp_ty ctx) ty
+let pp_scheme ctx ppf scheme = pp_ty ctx ppf scheme.body
+let scheme_to_string ctx scheme = Format.asprintf "%a" (pp_scheme ctx) scheme

@@ -1,0 +1,10 @@
+(** Pretty-printing of semantic types, for diagnostics and the REPL. *)
+
+(** [pp_ty ctx ppf ty].  Unification variables print as ['_N]; bound
+    scheme variables as ['a], ['b], …; stamped constructors by their
+    declared name. *)
+val pp_ty : Context.t -> Format.formatter -> Types.ty -> unit
+
+val ty_to_string : Context.t -> Types.ty -> string
+val pp_scheme : Context.t -> Format.formatter -> Types.scheme -> unit
+val scheme_to_string : Context.t -> Types.scheme -> string

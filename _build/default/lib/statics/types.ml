@@ -1,0 +1,168 @@
+module Symbol = Support.Symbol
+
+type ty =
+  | Tvar of tvar ref
+  | Tgen of int
+  | Tcon of Stamp.t * ty list
+  | Tarrow of ty * ty
+  | Ttuple of ty list
+
+and tvar =
+  | Unbound of { id : int; level : int }
+  | Link of ty
+
+type scheme = { arity : int; body : ty }
+
+type condesc = {
+  cd_name : Symbol.t;
+  cd_arg : ty option;
+  cd_tag : int;
+  cd_span : int;
+}
+
+type defn =
+  | Abstract
+  | Alias of scheme
+  | Data of condesc list
+
+type tycon_info = { tyc_name : Symbol.t; tyc_arity : int; tyc_defn : defn }
+
+type addr =
+  | AdNone
+  | AdLvar of Symbol.t
+  | AdExtern of Digestkit.Pid.t
+  | AdPrim of Prim.t
+  | AdBasisExn of Symbol.t
+  | AdField of addr * Symbol.t
+
+type conrep = { rep_tag : int; rep_span : int; rep_has_arg : bool }
+
+type vkind =
+  | Vplain
+  | Vcon of Stamp.t * condesc
+  | Vexn of Stamp.t
+
+type val_info = { vi_scheme : scheme; vi_kind : vkind; vi_addr : addr }
+type str_info = { str_stamp : Stamp.t; str_env : env; str_addr : addr }
+and sig_info = { sig_stamp : Stamp.t; sig_env : env; sig_flex : Stamp.t list }
+
+and fct_info = {
+  fct_stamp : Stamp.t;
+  fct_param_name : Symbol.t;
+  fct_param_sig : sig_info;
+  fct_param_stamps : Stamp.t list;
+  fct_body : env;
+  fct_body_gen : Stamp.t list;
+  fct_addr : addr;
+}
+
+and env = {
+  vals : val_info Symbol.Map.t;
+  tycons : Stamp.t Symbol.Map.t;
+  strs : str_info Symbol.Map.t;
+  sigs : sig_info Symbol.Map.t;
+  fcts : fct_info Symbol.Map.t;
+}
+
+let empty_env =
+  {
+    vals = Symbol.Map.empty;
+    tycons = Symbol.Map.empty;
+    strs = Symbol.Map.empty;
+    sigs = Symbol.Map.empty;
+    fcts = Symbol.Map.empty;
+  }
+
+let env_union a b =
+  let right _ _ y = Some y in
+  {
+    vals = Symbol.Map.union right a.vals b.vals;
+    tycons = Symbol.Map.union right a.tycons b.tycons;
+    strs = Symbol.Map.union right a.strs b.strs;
+    sigs = Symbol.Map.union right a.sigs b.sigs;
+    fcts = Symbol.Map.union right a.fcts b.fcts;
+  }
+
+let bind_val name info env = { env with vals = Symbol.Map.add name info env.vals }
+
+let bind_tycon name stamp env =
+  { env with tycons = Symbol.Map.add name stamp env.tycons }
+
+let bind_str name info env = { env with strs = Symbol.Map.add name info env.strs }
+let bind_sig name info env = { env with sigs = Symbol.Map.add name info env.sigs }
+let bind_fct name info env = { env with fcts = Symbol.Map.add name info env.fcts }
+let monotype ty = { arity = 0; body = ty }
+
+let rec repr ty =
+  match ty with
+  | Tvar ({ contents = Link inner } as cell) ->
+    let res = repr inner in
+    (* path compression *)
+    cell := Link res;
+    res
+  | _ -> ty
+
+let instantiate_scheme fresh scheme =
+  if Array.length fresh <> scheme.arity then
+    invalid_arg "Types.instantiate_scheme: arity mismatch";
+  let rec go ty =
+    match repr ty with
+    | Tgen i -> fresh.(i)
+    | Tvar _ as v -> v
+    | Tcon (stamp, args) -> Tcon (stamp, List.map go args)
+    | Tarrow (a, b) -> Tarrow (go a, go b)
+    | Ttuple parts -> Ttuple (List.map go parts)
+  in
+  if scheme.arity = 0 then scheme.body else go scheme.body
+
+let conrep_of cd =
+  { rep_tag = cd.cd_tag; rep_span = cd.cd_span; rep_has_arg = cd.cd_arg <> None }
+
+let rec env_with_root_access root env =
+  let reval name info =
+    match info.vi_kind with
+    | Vcon _ -> info (* constructors have no runtime field *)
+    | Vplain | Vexn _ -> { info with vi_addr = AdField (root, name) }
+  in
+  let restr name info =
+    let self = AdField (root, name) in
+    {
+      info with
+      str_addr = self;
+      str_env = env_with_root_access self info.str_env;
+    }
+  in
+  let refct name info = { info with fct_addr = AdField (root, name) } in
+  {
+    env with
+    vals = Symbol.Map.mapi reval env.vals;
+    strs = Symbol.Map.mapi restr env.strs;
+    fcts = Symbol.Map.mapi refct env.fcts;
+  }
+
+let fold_components env ~init ~valf ~tycf ~strf ~sigf ~fctf =
+  (* Symbol.Map folds in key order, which is interning order, not
+     alphabetical; sort explicitly so the canonical order is stable
+     across processes. *)
+  let sorted bindings =
+    List.sort (fun (a, _) (b, _) -> String.compare (Symbol.name a) (Symbol.name b)) bindings
+  in
+  let acc = init in
+  let acc =
+    List.fold_left (fun acc (n, v) -> valf n v acc) acc
+      (sorted (Symbol.Map.bindings env.vals))
+  in
+  let acc =
+    List.fold_left (fun acc (n, v) -> tycf n v acc) acc
+      (sorted (Symbol.Map.bindings env.tycons))
+  in
+  let acc =
+    List.fold_left (fun acc (n, v) -> strf n v acc) acc
+      (sorted (Symbol.Map.bindings env.strs))
+  in
+  let acc =
+    List.fold_left (fun acc (n, v) -> sigf n v acc) acc
+      (sorted (Symbol.Map.bindings env.sigs))
+  in
+  List.fold_left (fun acc (n, v) -> fctf n v acc) acc
+    (sorted (Symbol.Map.bindings env.fcts))

@@ -1,0 +1,135 @@
+(** Semantic objects of MiniSML's static semantics.
+
+    All the mutually recursive "significant objects" of the paper live
+    here: types, type constructors, and the static environments that
+    map names to them.  References between significant objects go through
+    {!Stamp.t}; the definitions of stamped type constructors are stored
+    in a {!Context.t} side table, which is what makes environments
+    picklable (recursive datatypes become stamp references, section 4)
+    and hashable with alpha-converted stamps (section 5). *)
+
+module Symbol := Support.Symbol
+
+(** Types.  [Tvar] cells exist only during inference; environments store
+    schemes whose bound variables are [Tgen] indices. *)
+type ty =
+  | Tvar of tvar ref
+  | Tgen of int  (** bound variable of the enclosing scheme *)
+  | Tcon of Stamp.t * ty list
+  | Tarrow of ty * ty
+  | Ttuple of ty list  (** [unit] is [Ttuple []] *)
+
+and tvar =
+  | Unbound of { id : int; level : int }
+  | Link of ty
+
+(** A type scheme: [arity] bound variables [Tgen 0 … Tgen (arity-1)]. *)
+type scheme = { arity : int; body : ty }
+
+(** Datatype-constructor description.  [cd_arg], if present, may mention
+    [Tgen i] for the datatype's i-th parameter. *)
+type condesc = {
+  cd_name : Symbol.t;
+  cd_arg : ty option;
+  cd_tag : int;
+  cd_span : int;  (** number of constructors in the datatype *)
+}
+
+(** Definition of a stamped type constructor. *)
+type defn =
+  | Abstract
+  | Alias of scheme  (** [type ('a,…) t = ty]; arity = parameter count *)
+  | Data of condesc list
+
+type tycon_info = { tyc_name : Symbol.t; tyc_arity : int; tyc_defn : defn }
+
+(** Runtime address of a named entity, resolved during elaboration and
+    consumed by the lambda translation. *)
+type addr =
+  | AdNone  (** no runtime presence (signature bodies, specs) *)
+  | AdLvar of Symbol.t  (** a local runtime variable of this unit *)
+  | AdExtern of Digestkit.Pid.t  (** an export of another unit *)
+  | AdPrim of Prim.t  (** initial-basis primitive *)
+  | AdBasisExn of Symbol.t  (** a predefined exception's runtime identity *)
+  | AdField of addr * Symbol.t  (** component of a structure value *)
+
+(** Constructor representation used by pattern compilation. *)
+type conrep = { rep_tag : int; rep_span : int; rep_has_arg : bool }
+
+(** How a value identifier behaves. *)
+type vkind =
+  | Vplain  (** ordinary value *)
+  | Vcon of Stamp.t * condesc  (** datatype constructor of the stamped tycon *)
+  | Vexn of Stamp.t  (** exception constructor; the stamp is its identity *)
+
+type val_info = { vi_scheme : scheme; vi_kind : vkind; vi_addr : addr }
+
+type str_info = { str_stamp : Stamp.t; str_env : env; str_addr : addr }
+
+(** An elaborated signature: a template environment whose [sig_flex]
+    stamps are the "flexible" components to be realized by matching. *)
+and sig_info = { sig_stamp : Stamp.t; sig_env : env; sig_flex : Stamp.t list }
+
+(** An elaborated functor.  [fct_body] is the result environment in terms
+    of [fct_param_stamps] (the instantiated flexible stamps of the
+    parameter signature); [fct_body_gen] are the generative stamps the
+    body creates, regenerated at each application. *)
+and fct_info = {
+  fct_stamp : Stamp.t;
+  fct_param_name : Symbol.t;
+  fct_param_sig : sig_info;
+  fct_param_stamps : Stamp.t list;
+  fct_body : env;
+  fct_body_gen : Stamp.t list;
+  fct_addr : addr;
+}
+
+and env = {
+  vals : val_info Symbol.Map.t;
+  tycons : Stamp.t Symbol.Map.t;  (** info lives in the {!Context} *)
+  strs : str_info Symbol.Map.t;
+  sigs : sig_info Symbol.Map.t;
+  fcts : fct_info Symbol.Map.t;
+}
+
+val empty_env : env
+
+(** Right-biased union: bindings of the second argument shadow. *)
+val env_union : env -> env -> env
+
+val bind_val : Symbol.t -> val_info -> env -> env
+val bind_tycon : Symbol.t -> Stamp.t -> env -> env
+val bind_str : Symbol.t -> str_info -> env -> env
+val bind_sig : Symbol.t -> sig_info -> env -> env
+val bind_fct : Symbol.t -> fct_info -> env -> env
+
+(** [monotype ty] is the scheme binding nothing. *)
+val monotype : ty -> scheme
+
+(** [instantiate_scheme fresh s] replaces [Tgen i] with [fresh.(i)]. *)
+val instantiate_scheme : ty array -> scheme -> ty
+
+(** [conrep_of cd] extracts the runtime representation. *)
+val conrep_of : condesc -> conrep
+
+(** Follow [Link]s at the head of a type. *)
+val repr : ty -> ty
+
+(** [env_with_root_access root env] rewrites every component's address to
+    a field chain hanging off [root]; used when instantiating a functor
+    parameter (fields of the parameter variable) and when exporting a
+    unit (fields reachable from an external pid). *)
+val env_with_root_access : addr -> env -> env
+
+(** Fold over the names bound in an environment, in a canonical order
+    (value names, then types, structures, signatures, functors, each
+    alphabetically).  Used by hashing and pickling so that both agree. *)
+val fold_components :
+  env ->
+  init:'a ->
+  valf:(Symbol.t -> val_info -> 'a -> 'a) ->
+  tycf:(Symbol.t -> Stamp.t -> 'a -> 'a) ->
+  strf:(Symbol.t -> str_info -> 'a -> 'a) ->
+  sigf:(Symbol.t -> sig_info -> 'a -> 'a) ->
+  fctf:(Symbol.t -> fct_info -> 'a -> 'a) ->
+  'a

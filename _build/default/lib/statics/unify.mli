@@ -1,0 +1,39 @@
+(** Unification with levels (Rémy-style generalization) and alias
+    expansion through the compilation context. *)
+
+exception Unify_error of Types.ty * Types.ty
+(** The two types that failed to unify (heads after normalization). *)
+
+(** [fresh_tyvar ~level ()] makes an unbound unification variable. *)
+val fresh_tyvar : level:int -> unit -> Types.ty
+
+(** [head_normalize ctx ty] follows links and expands top-level type
+    abbreviations until the head is a variable, arrow, tuple, or a
+    non-alias constructor. *)
+val head_normalize : Context.t -> Types.ty -> Types.ty
+
+(** [unify ctx t1 t2] makes the types equal or raises {!Unify_error}.
+    Performs the occurs check and level adjustment. *)
+val unify : Context.t -> Types.ty -> Types.ty -> unit
+
+(** [generalize ctx ~level ty] turns into [Tgen] every unification
+    variable of [ty] whose level exceeds [level].  Returns the scheme. *)
+val generalize : Context.t -> level:int -> Types.ty -> Types.scheme
+
+(** [instantiate ~level scheme] replaces the scheme's bound variables by
+    fresh unification variables at [level]. *)
+val instantiate : level:int -> Types.scheme -> Types.ty
+
+(** [equal_ty ctx t1 t2] — equality of closed types (no unification
+    variables are bound; aliases are expanded).  Used by signature
+    matching to check manifest type specs. *)
+val equal_ty : Context.t -> Types.ty -> Types.ty -> bool
+
+(** [equal_scheme ctx s1 s2] — alpha-equality of schemes with the same
+    arity. *)
+val equal_scheme : Context.t -> Types.scheme -> Types.scheme -> bool
+
+(** [more_general ctx general specific] — can [general] be instantiated
+    to yield [specific]?  Signature matching checks the actual value's
+    scheme is at least as general as the spec's. *)
+val more_general : Context.t -> Types.scheme -> Types.scheme -> bool

@@ -1,0 +1,1 @@
+lib/support/symbol.ml: Format Hashtbl Int Map Printf Set

@@ -1,0 +1,1 @@
+lib/support/symbol.mli: Format Hashtbl Map Set

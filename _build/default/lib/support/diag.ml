@@ -1,0 +1,26 @@
+type phase = Lex | Parse | Elaborate | Translate | Link | Execute | Manager
+type t = { phase : phase; loc : Loc.t; message : string }
+
+exception Error of t
+
+let phase_name = function
+  | Lex -> "lexical error"
+  | Parse -> "syntax error"
+  | Elaborate -> "type error"
+  | Translate -> "translation error"
+  | Link -> "link error"
+  | Execute -> "runtime error"
+  | Manager -> "compilation manager error"
+
+let error phase loc fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { phase; loc; message }))
+    fmt
+
+let pp ppf d =
+  Format.fprintf ppf "%a: %s: %s" Loc.pp d.loc (phase_name d.phase) d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let guard f =
+  match f () with v -> Ok v | exception Error d -> Result.Error d

@@ -1,0 +1,21 @@
+(** Compiler diagnostics.
+
+    All front-end and elaboration failures are reported through a single
+    exception carrying a located, phase-tagged message, so that drivers
+    (smlc, irm, the REPL, tests) handle every compiler error uniformly. *)
+
+type phase = Lex | Parse | Elaborate | Translate | Link | Execute | Manager
+
+type t = { phase : phase; loc : Loc.t; message : string }
+
+exception Error of t
+
+(** [error phase loc fmt ...] raises {!Error} with a formatted message. *)
+val error : phase -> Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val phase_name : phase -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [guard f] runs [f ()] and converts an {!Error} into [Result.Error]. *)
+val guard : (unit -> 'a) -> ('a, t) result

@@ -1,0 +1,34 @@
+(** Interned identifiers.
+
+    All identifiers appearing in MiniSML source code are interned into
+    symbols so that comparison is O(1) and symbol tables can be keyed by a
+    dense integer.  Interning is global and append-only; symbols are never
+    garbage collected (the compiler runs batch-style, as in SML/NJ). *)
+
+type t
+
+(** [intern s] returns the unique symbol for the string [s]. *)
+val intern : string -> t
+
+(** [name sym] is the string [sym] was interned from. *)
+val name : t -> string
+
+(** [id sym] is a dense non-negative integer unique to [sym]. *)
+val id : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [fresh base] interns a symbol guaranteed not to collide with any
+    source-written identifier, by embedding a serial number.  Used for
+    generated bindings in the elaborator and lambda translation. *)
+val fresh : string -> t
+
+(** Finite maps and sets keyed by symbols. *)
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+
+(** Mutable hash tables keyed by symbols. *)
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,80 @@
+type fs = {
+  fs_read : string -> string option;
+  fs_write : string -> string -> unit;
+  fs_mtime : string -> int option;
+  fs_remove : string -> unit;
+  fs_list : unit -> string list;
+}
+
+let memory () =
+  let files : (string, string * int) Hashtbl.t = Hashtbl.create 64 in
+  let clock = ref 0 in
+  {
+    fs_read = (fun path -> Option.map fst (Hashtbl.find_opt files path));
+    fs_write =
+      (fun path content ->
+        incr clock;
+        Hashtbl.replace files path (content, !clock));
+    fs_mtime = (fun path -> Option.map snd (Hashtbl.find_opt files path));
+    fs_remove = (fun path -> Hashtbl.remove files path);
+    fs_list =
+      (fun () ->
+        Hashtbl.fold (fun path _ acc -> path :: acc) files []
+        |> List.sort String.compare);
+  }
+
+let touch fs path =
+  match fs.fs_read path with
+  | Some content -> fs.fs_write path content
+  | None -> ()
+
+let real ~dir =
+  let join path = Filename.concat dir path in
+  let read path =
+    let full = join path in
+    if Sys.file_exists full && not (Sys.is_directory full) then begin
+      let ic = open_in_bin full in
+      let n = in_channel_length ic in
+      let content = really_input_string ic n in
+      close_in ic;
+      Some content
+    end
+    else None
+  in
+  let write path content =
+    let full = join path in
+    let parent = Filename.dirname full in
+    let rec ensure dir =
+      if not (Sys.file_exists dir) then begin
+        ensure (Filename.dirname dir);
+        Sys.mkdir dir 0o755
+      end
+    in
+    ensure parent;
+    let oc = open_out_bin full in
+    output_string oc content;
+    close_out oc
+  in
+  let mtime path =
+    let full = join path in
+    if Sys.file_exists full then
+      Some (int_of_float (Unix.stat full).Unix.st_mtime)
+    else None
+  in
+  let remove path =
+    let full = join path in
+    if Sys.file_exists full then Sys.remove full
+  in
+  let list () =
+    let rec walk prefix acc =
+      let dirpath = if prefix = "" then dir else Filename.concat dir prefix in
+      Array.fold_left
+        (fun acc entry ->
+          let rel = if prefix = "" then entry else Filename.concat prefix entry in
+          let full = Filename.concat dir rel in
+          if Sys.is_directory full then walk rel acc else rel :: acc)
+        acc (Sys.readdir dirpath)
+    in
+    if Sys.file_exists dir then List.sort String.compare (walk "" []) else []
+  in
+  { fs_read = read; fs_write = write; fs_mtime = mtime; fs_remove = remove; fs_list = list }

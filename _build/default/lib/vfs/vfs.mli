@@ -1,0 +1,31 @@
+(** File-system abstraction for the compilation manager.
+
+    The IRM only needs read/write/mtime, so it works over an abstract
+    {!fs} record.  Two implementations:
+
+    - {!memory}: an in-memory store with a *logical clock* (every write
+      bumps it), giving the recompilation benches deterministic,
+      race-free timestamps;
+    - {!real}: the host file system (used by the [irm] command-line
+      tool). *)
+
+type fs = {
+  fs_read : string -> string option;
+  fs_write : string -> string -> unit;
+  fs_mtime : string -> int option;  (** [None] if absent *)
+  fs_remove : string -> unit;
+  fs_list : unit -> string list;  (** all known paths (memory only) *)
+}
+
+(** A fresh in-memory file system. *)
+val memory : unit -> fs
+
+(** [touch fs path] rewrites a file with its current content, bumping
+    its timestamp — the classic way to provoke a timestamp-based
+    rebuild. *)
+val touch : fs -> string -> unit
+
+(** The host file system rooted at [dir] (paths are joined to it).
+    [fs_mtime] is wall-clock seconds; [fs_list] enumerates [dir]
+    recursively. *)
+val real : dir:string -> fs

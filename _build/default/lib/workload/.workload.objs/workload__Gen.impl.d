@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Buffer Hashtbl List Option Printf String Vfs

@@ -1,0 +1,210 @@
+type topology =
+  | Chain of int
+  | Fanout of int
+  | Diamond of int
+  | Binary_tree of int
+  | Random_dag of { units : int; max_deps : int; seed : int }
+
+type profile = { funs_per_unit : int; helpers_per_unit : int; rich : bool }
+
+let default_profile = { funs_per_unit = 3; helpers_per_unit = 3; rich = false }
+let rich_profile = { default_profile with rich = true }
+
+let sized_profile ~lines =
+  (* each helper/function is one line; the fixed skeleton is ~8 lines *)
+  let bulk = max 2 ((lines - 8) / 2) in
+  { funs_per_unit = bulk; helpers_per_unit = bulk; rich = true }
+
+type edit = Touch | Impl_change | Iface_change
+
+let edit_name = function
+  | Touch -> "touch"
+  | Impl_change -> "impl-change"
+  | Iface_change -> "iface-change"
+
+type spec = {
+  sp_index : int;
+  sp_name : string;  (** structure name, e.g. U017 *)
+  sp_file : string;
+  sp_deps : string list;  (** structure names *)
+}
+
+type t = {
+  fs : Vfs.fs;
+  profile : profile;
+  specs : spec list;
+  (* per-unit edit state *)
+  variants : (string, int) Hashtbl.t;  (** bumped by Impl_change *)
+  extras : (string, int) Hashtbl.t;  (** bumped by Iface_change *)
+  touches : (string, int) Hashtbl.t;  (** bumped by Touch *)
+}
+
+(* Deterministic LCG so Random_dag is reproducible without the global
+   random state. *)
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+let unit_name i = Printf.sprintf "U%03d" i
+let unit_file i = Printf.sprintf "u%03d.sml" i
+
+let edges = function
+  | Chain n -> List.init n (fun i -> if i = 0 then [] else [ i - 1 ])
+  | Fanout n -> List.init (n + 1) (fun i -> if i = 0 then [] else [ 0 ])
+  | Diamond layers ->
+    (* unit 0; then pairs (2k+1, 2k+2) each depending on the previous
+       layer's pair (or unit 0); finally a join unit *)
+    let n = (2 * layers) + 2 in
+    List.init n (fun i ->
+        if i = 0 then []
+        else if i = n - 1 then
+          (* join depends on the last pair *)
+          [ n - 3; n - 2 ]
+        else
+          let layer = (i - 1) / 2 in
+          if layer = 0 then [ 0 ] else [ (2 * (layer - 1)) + 1; (2 * (layer - 1)) + 2 ])
+  | Binary_tree depth ->
+    let n = (1 lsl depth) - 1 in
+    (* node i depends on its children 2i+1, 2i+2; leaves on nothing;
+       reverse the indices so dependencies come first *)
+    List.init n (fun i ->
+        let orig = n - 1 - i in
+        let kids = [ (2 * orig) + 1; (2 * orig) + 2 ] in
+        List.filter_map
+          (fun k -> if k < n then Some (n - 1 - k) else None)
+          kids)
+  | Random_dag { units; max_deps; seed } ->
+    let rand = lcg seed in
+    List.init units (fun i ->
+        if i = 0 then []
+        else
+          let want = 1 + rand (max max_deps 1) in
+          let want = min want i in
+          let rec pick acc remaining =
+            if remaining = 0 then acc
+            else
+              let d = rand i in
+              if List.mem d acc then pick acc remaining
+              else pick (d :: acc) (remaining - 1)
+          in
+          List.sort compare (pick [] want))
+
+let source_of t spec =
+  let variant = Option.value ~default:0 (Hashtbl.find_opt t.variants spec.sp_file) in
+  let extras = Option.value ~default:0 (Hashtbl.find_opt t.extras spec.sp_file) in
+  let touches = Option.value ~default:0 (Hashtbl.find_opt t.touches spec.sp_file) in
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  for i = 1 to touches do
+    addf "(* touched %d *)\n" i
+  done;
+  addf "structure %s = struct\n" spec.sp_name;
+  (* base value: sum over dependencies plus a variant-dependent constant *)
+  let dep_sum =
+    match spec.sp_deps with
+    | [] -> string_of_int (1 + variant)
+    | deps ->
+      String.concat " + " (List.map (fun d -> d ^ ".seed") deps)
+      ^ Printf.sprintf " + %d" (1 + variant)
+  in
+  addf "  val seed = %s\n" dep_sum;
+  (* hidden helpers: consume stamps and compile time without touching
+     the interface *)
+  addf "  local\n";
+  for h = 0 to t.profile.helpers_per_unit - 1 do
+    addf "    fun help%d n = if n < 1 then %d else n * %d + help%d (n - 1)\n" h
+      (variant + h) (h + 2) h
+  done;
+  addf "  in\n";
+  for f = 0 to t.profile.funs_per_unit - 1 do
+    let helper = f mod max t.profile.helpers_per_unit 1 in
+    addf "    fun work%d n = help%d (n mod 7) + seed * %d\n" f helper (f + 1)
+  done;
+  addf "  end\n";
+  (* interface edits add exported values *)
+  for e = 1 to extras do
+    addf "  val extra%d = %d\n" e e
+  done;
+  if t.profile.rich then begin
+    (* a datatype and a consumer: interface-stable across Impl_change *)
+    addf "  datatype shape = Dot | Wide of shape * int\n";
+    addf "  fun weigh s = case s of Dot => %d | Wide (inner, n) => n + weigh inner\n"
+      (1 + (variant mod 3));
+    addf "  val sample = weigh (Wide (Wide (Dot, 2), seed))\n"
+  end;
+  addf "end\n";
+  if t.profile.rich then begin
+    (* a signature and a functor over it, applied once *)
+    addf "signature %s_PEER = sig val seed : int end\n" spec.sp_name;
+    addf "functor %s_Mix (X : %s_PEER) = struct val mixed = X.seed + %s.seed \
+          end\n"
+      spec.sp_name spec.sp_name spec.sp_name;
+    addf "structure %s_Self = %s_Mix(%s)\n" spec.sp_name spec.sp_name
+      spec.sp_name
+  end;
+  Buffer.contents buf
+
+let write_unit t spec = t.fs.Vfs.fs_write spec.sp_file (source_of t spec)
+
+let create fs topology profile =
+  let deps = edges topology in
+  let specs =
+    List.mapi
+      (fun i dep_indices ->
+        {
+          sp_index = i;
+          sp_name = unit_name i;
+          sp_file = unit_file i;
+          sp_deps = List.map unit_name dep_indices;
+        })
+      deps
+  in
+  let t =
+    {
+      fs;
+      profile;
+      specs;
+      variants = Hashtbl.create 16;
+      extras = Hashtbl.create 16;
+      touches = Hashtbl.create 16;
+    }
+  in
+  List.iter (write_unit t) specs;
+  t
+
+let sources t = List.map (fun s -> s.sp_file) t.specs
+let size t = List.length t.specs
+
+let total_lines t =
+  List.fold_left
+    (fun acc spec ->
+      match t.fs.Vfs.fs_read spec.sp_file with
+      | Some content ->
+        acc + List.length (String.split_on_char '\n' content)
+      | None -> acc)
+    0 t.specs
+
+let find_spec t file =
+  match List.find_opt (fun s -> String.equal s.sp_file file) t.specs with
+  | Some spec -> spec
+  | None -> invalid_arg ("Gen.edit: unknown file " ^ file)
+
+let bump table file =
+  Hashtbl.replace table file
+    (1 + Option.value ~default:0 (Hashtbl.find_opt table file))
+
+let edit t file kind =
+  let spec = find_spec t file in
+  (match kind with
+  | Touch -> bump t.touches file
+  | Impl_change -> bump t.variants file
+  | Iface_change -> bump t.extras file);
+  write_unit t spec
+
+let middle_file t =
+  let n = List.length t.specs in
+  (List.nth t.specs (n / 2)).sp_file
+
+let base_file t = (List.hd t.specs).sp_file

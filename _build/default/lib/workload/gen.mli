@@ -1,0 +1,68 @@
+(** Synthetic MiniSML project generator.
+
+    The paper's evaluation workload is the SML/NJ compiler itself
+    (65,000 lines, ~200 units) — not available to us, so the benches
+    generate projects of controlled shape and size instead
+    (substitution documented in DESIGN.md).  Generated units have a
+    stable interface across {e implementation} edits and a changed
+    interface under {e interface} edits, which is exactly the property
+    the cutoff experiments need. *)
+
+(** Dependency shapes. *)
+type topology =
+  | Chain of int  (** u0 <- u1 <- … <- u(n-1) *)
+  | Fanout of int  (** one base, n dependents *)
+  | Diamond of int  (** [n] layers of 2 units, each depending on both above *)
+  | Binary_tree of int  (** depth-[n] tree; parents depend on children *)
+  | Random_dag of { units : int; max_deps : int; seed : int }
+      (** each unit depends on up to [max_deps] earlier units *)
+
+type profile = {
+  funs_per_unit : int;  (** exported functions per unit *)
+  helpers_per_unit : int;  (** hidden helper functions (bulk) *)
+  rich : bool;
+      (** also generate a datatype, a signature and a functor per unit,
+          exercising the full module language (closer to the paper's
+          compiler-shaped workload) *)
+}
+
+val default_profile : profile
+
+(** [default_profile] with [rich = true]. *)
+val rich_profile : profile
+
+(** A profile whose units have roughly [lines] lines each. *)
+val sized_profile : lines:int -> profile
+
+(** Kinds of edit applied to one unit. *)
+type edit =
+  | Touch  (** comment-only change *)
+  | Impl_change  (** new constants/bodies, same interface *)
+  | Iface_change  (** adds an exported value: new interface *)
+
+(** A generated project installed on a file system. *)
+type t
+
+(** [create fs topology profile] — generate all sources and write them. *)
+val create : Vfs.fs -> topology -> profile -> t
+
+(** Source file paths, in generation order (the IRM reorders anyway). *)
+val sources : t -> string list
+
+(** Number of units. *)
+val size : t -> int
+
+(** Total source lines, for reporting scale. *)
+val total_lines : t -> int
+
+(** [edit t file kind] — rewrite one unit according to [kind]. *)
+val edit : t -> string -> edit -> unit
+
+(** A file in the middle of the dependency order (interesting victim
+    for edits: it has both dependencies and dependents). *)
+val middle_file : t -> string
+
+(** The file with no dependencies (first in the order). *)
+val base_file : t -> string
+
+val edit_name : edit -> string

@@ -1,0 +1,1 @@
+test/test_depend.ml: Alcotest Depend Lang List Printf String Support

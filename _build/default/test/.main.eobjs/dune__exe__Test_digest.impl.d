@@ -1,0 +1,1 @@
+test/test_digest.ml: Alcotest Char Digestkit Gen Hashtbl Int64 List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Buffer Digestkit Dynamics Lang List Statics Support Translate

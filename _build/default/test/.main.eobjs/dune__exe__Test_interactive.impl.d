@@ -1,0 +1,1 @@
+test/test_interactive.ml: Alcotest Buffer List Sepcomp String Support

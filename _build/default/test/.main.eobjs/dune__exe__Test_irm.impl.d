@@ -1,0 +1,1 @@
+test/test_irm.ml: Alcotest Depend Digestkit Dynamics Filename Irm Link List Pickle String Support Vfs

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Lang List Printf QCheck QCheck_alcotest String Support

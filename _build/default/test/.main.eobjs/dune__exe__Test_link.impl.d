@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Digestkit Dynamics Lambda Link List String Support

@@ -1,0 +1,1 @@
+test/test_matchcheck.ml: Alcotest Lang List Printf Statics String

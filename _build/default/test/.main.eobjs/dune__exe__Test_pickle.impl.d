@@ -1,0 +1,1 @@
+test/test_pickle.ml: Alcotest Digestkit List Pickle Printf Statics String Support

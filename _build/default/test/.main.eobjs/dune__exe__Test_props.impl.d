@@ -1,0 +1,1 @@
+test/test_props.ml: Digestkit Dynamics Irm Lambda Link List Pickle Printf QCheck QCheck_alcotest Sepcomp String Support Vfs Workload

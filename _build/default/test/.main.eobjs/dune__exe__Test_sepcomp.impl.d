@@ -1,0 +1,1 @@
+test/test_sepcomp.ml: Alcotest Buffer Bytes Char Digestkit Dynamics Link List Pickle Sepcomp String Support

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Gen QCheck QCheck_alcotest String Support

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Buffer Digestkit Dynamics Fun Lang Printf QCheck QCheck_alcotest Statics Support Translate

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Digestkit Irm List Option Pickle Vfs Workload

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "smlsep"
+    [
+      ("support", Test_support.suite);
+      ("digest", Test_digest.suite);
+      ("lang", Test_lang.suite);
+      ("elab", Test_elab.suite);
+      ("eval", Test_eval.suite);
+      ("sepcomp", Test_sepcomp.suite);
+      ("irm", Test_irm.suite);
+      ("workload", Test_workload.suite);
+      ("pickle", Test_pickle.suite);
+      ("simplify", Test_simplify.suite);
+      ("matchcheck", Test_matchcheck.suite);
+      ("interactive", Test_interactive.suite);
+      ("vm", Test_vm.suite);
+      ("link", Test_link.suite);
+      ("depend", Test_depend.suite);
+      ("properties", Test_props.suite);
+    ]

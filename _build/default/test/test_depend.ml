@@ -1,0 +1,114 @@
+(* The dependency graph API: providers, reverse edges, transitive
+   cones — what IDE-style tooling over the IRM would consume. *)
+
+module Depgraph = Depend.Depgraph
+module Symbol = Support.Symbol
+
+let parse file src = (file, Lang.Parser.parse_unit ~file src)
+
+(* base <- left, right; join <- left, right; top <- join *)
+let graph () =
+  Depgraph.build
+    [
+      parse "base.sml" "structure Base = struct val b = 1 end";
+      parse "left.sml" "structure Left = struct val l = Base.b end";
+      parse "right.sml" "structure Right = struct val r = Base.b end";
+      parse "join.sml" "structure Join = struct val j = Left.l + Right.r end";
+      parse "top.sml" "structure Top = struct val t = Join.j end";
+    ]
+
+let test_providers () =
+  let g = graph () in
+  Alcotest.(check (option string)) "Base" (Some "base.sml")
+    (Depgraph.provider g (Symbol.intern "Base"));
+  Alcotest.(check (option string)) "Join" (Some "join.sml")
+    (Depgraph.provider g (Symbol.intern "Join"));
+  Alcotest.(check (option string)) "unknown" None
+    (Depgraph.provider g (Symbol.intern "Nowhere"))
+
+let test_direct_dependents () =
+  let g = graph () in
+  Alcotest.(check (list string)) "of base"
+    [ "left.sml"; "right.sml" ]
+    (List.sort String.compare (Depgraph.dependents g "base.sml"));
+  Alcotest.(check (list string)) "of join" [ "top.sml" ]
+    (Depgraph.dependents g "join.sml");
+  Alcotest.(check (list string)) "of top (a sink)" []
+    (Depgraph.dependents g "top.sml")
+
+let test_cone () =
+  let g = graph () in
+  Alcotest.(check (list string)) "cone of base is everything else"
+    [ "join.sml"; "left.sml"; "right.sml"; "top.sml" ]
+    (List.sort String.compare (Depgraph.cone g "base.sml"));
+  Alcotest.(check (list string)) "cone of left"
+    [ "join.sml"; "top.sml" ]
+    (List.sort String.compare (Depgraph.cone g "left.sml"));
+  Alcotest.(check (list string)) "cone excludes the root" []
+    (Depgraph.cone g "top.sml")
+
+let test_topological_respects_edges () =
+  let g = graph () in
+  let order = Depgraph.topological g in
+  let position f =
+    let rec go i = function
+      | [] -> Alcotest.fail ("missing " ^ f)
+      | x :: rest -> if String.equal x f then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  List.iter
+    (fun file ->
+      let node = Depgraph.node g file in
+      List.iter
+        (fun dep ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s after %s" file dep)
+            true
+            (position dep < position file))
+        node.Depgraph.n_deps)
+    order
+
+let test_signature_and_functor_edges () =
+  (* references through signatures and functor applications create
+     edges too *)
+  let g =
+    Depgraph.build
+      [
+        parse "s.sml" "signature S = sig val x : int end";
+        parse "f.sml" "functor F (X : S) = struct val y = X.x end";
+        parse "a.sml" "structure A : S = struct val x = 1 end";
+        parse "use.sml" "structure U = F(A)";
+      ]
+  in
+  Alcotest.(check (list string)) "functor unit depends on the signature"
+    [ "s.sml" ]
+    (Depgraph.node g "f.sml").Depgraph.n_deps;
+  Alcotest.(check (list string)) "application depends on functor and arg"
+    [ "a.sml"; "f.sml" ]
+    (List.sort String.compare (Depgraph.node g "use.sml").Depgraph.n_deps)
+
+let test_where_type_edges () =
+  let g =
+    Depgraph.build
+      [
+        parse "t.sml" "structure T = struct type u = int end";
+        parse "s.sml"
+          "signature S = sig type t val v : t end where type t = T.u";
+      ]
+  in
+  Alcotest.(check (list string)) "where-type reference creates an edge"
+    [ "t.sml" ]
+    (Depgraph.node g "s.sml").Depgraph.n_deps
+
+let suite =
+  [
+    Alcotest.test_case "providers" `Quick test_providers;
+    Alcotest.test_case "direct dependents" `Quick test_direct_dependents;
+    Alcotest.test_case "transitive cones" `Quick test_cone;
+    Alcotest.test_case "topological order respects edges" `Quick
+      test_topological_respects_edges;
+    Alcotest.test_case "signature/functor edges" `Quick
+      test_signature_and_functor_edges;
+    Alcotest.test_case "where-type edges" `Quick test_where_type_edges;
+  ]

@@ -1,0 +1,131 @@
+(* The interactive loop: state accumulation, shadowing, type-directed
+   printing, warnings, and error isolation. *)
+
+module Interactive = Sepcomp.Interactive
+module Diag = Support.Diag
+
+let repl () =
+  let buf = Buffer.create 64 in
+  (Interactive.create ~output:(Buffer.add_string buf) (), buf)
+
+let eval repl input = (Interactive.eval repl input).Interactive.bindings
+
+let test_state_accumulates () =
+  let t, _ = repl () in
+  let _ = eval t "val a = 10" in
+  let _ = eval t "val b = a * 2" in
+  Alcotest.(check (list string)) "uses earlier bindings"
+    [ "val c = 30 : int" ]
+    (eval t "val c = a + b")
+
+let test_shadowing () =
+  let t, _ = repl () in
+  let _ = eval t "val x = 1" in
+  let _ = eval t "fun get () = x" in
+  let _ = eval t "val x = \"shadow\"" in
+  (* the closure still sees the old x; the new x has a new type *)
+  Alcotest.(check (list string)) "closure keeps old x"
+    [ "val it = 1 : int" ] (eval t "get ()");
+  Alcotest.(check (list string)) "new x shadows"
+    [ "val it = \"shadow\" : string" ] (eval t "x")
+
+let test_type_directed_printing () =
+  let t, _ = repl () in
+  Alcotest.(check (list string)) "list" [ "val it = [1, 2, 3] : int list" ]
+    (eval t "[1, 2, 3]");
+  Alcotest.(check (list string)) "bool" [ "val it = true : bool" ]
+    (eval t "1 < 2");
+  Alcotest.(check (list string)) "nested"
+    [ "val it = ([true], \"s\") : bool list * string" ]
+    (eval t "([1 < 2], \"s\")");
+  let _ = eval t "datatype shape = Dot | Box of int * int" in
+  Alcotest.(check (list string)) "datatype constructor"
+    [ "val it = Box ((2, 3)) : shape" ]
+    (eval t "Box (2, 3)");
+  Alcotest.(check (list string)) "function" [ "val it = fn : int -> int" ]
+    (eval t "fn x => x + 1")
+
+let test_polymorphic_binding_display () =
+  let t, _ = repl () in
+  Alcotest.(check (list string)) "polymorphic id"
+    [ "val id = fn : 'a -> 'a" ]
+    (eval t "fun id x = x")
+
+let test_warnings_surface () =
+  let t, _ = repl () in
+  let outcome = Interactive.eval t "fun f 0 = 1" in
+  Alcotest.(check bool) "nonexhaustive reported" true
+    (List.exists
+       (fun w ->
+         let rec has i =
+           i + 13 <= String.length w
+           && (String.sub w i 13 = "nonexhaustive" || has (i + 1))
+         in
+         has 0)
+       outcome.Interactive.warnings)
+
+let test_error_isolation () =
+  let t, _ = repl () in
+  let _ = eval t "val ok = 1" in
+  (* a failing input must not corrupt the session *)
+  (match Diag.guard (fun () -> eval t "val bad = unbound + 1") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected elaboration error");
+  Alcotest.(check (list string)) "session still alive"
+    [ "val it = 2 : int" ] (eval t "ok + 1")
+
+let test_exceptions_cross_inputs () =
+  let t, _ = repl () in
+  let _ = eval t "exception Boom of int" in
+  let _ = eval t "fun go () = raise Boom 42" in
+  Alcotest.(check (list string)) "caught across inputs"
+    [ "val it = 42 : int" ]
+    (eval t "(go ()) handle Boom n => n")
+
+let test_print_side_effects () =
+  let t, buf = repl () in
+  let _ = eval t "val _ = print \"first \"" in
+  let _ = eval t "val _ = print \"second\"" in
+  Alcotest.(check string) "output accumulated" "first second"
+    (Buffer.contents buf)
+
+let test_modules_in_repl () =
+  let t, _ = repl () in
+  let _ =
+    eval t
+      "signature Q = sig type t val mk : int -> t end\n\
+       structure M :> Q = struct type t = int fun mk n = n end"
+  in
+  (* opacity holds interactively too *)
+  (match Diag.guard (fun () -> eval t "M.mk 3 + 1") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "abstract type must not unify with int");
+  let _ = eval t "functor F (X : Q) = struct val v = X.mk 7 end" in
+  Alcotest.(check (list string)) "functor applied interactively"
+    [ "structure R" ]
+    (eval t "structure R = F(M)")
+
+let test_ref_state_persists () =
+  let t, _ = repl () in
+  let _ = eval t "val counter = ref 0" in
+  let _ = eval t "counter := !counter + 1" in
+  let _ = eval t "counter := !counter + 1" in
+  Alcotest.(check (list string)) "mutable state persists"
+    [ "val it = 2 : int" ] (eval t "!counter")
+
+let suite =
+  [
+    Alcotest.test_case "state accumulates" `Quick test_state_accumulates;
+    Alcotest.test_case "shadowing" `Quick test_shadowing;
+    Alcotest.test_case "type-directed printing" `Quick
+      test_type_directed_printing;
+    Alcotest.test_case "polymorphic display" `Quick
+      test_polymorphic_binding_display;
+    Alcotest.test_case "warnings surface" `Quick test_warnings_surface;
+    Alcotest.test_case "error isolation" `Quick test_error_isolation;
+    Alcotest.test_case "exceptions across inputs" `Quick
+      test_exceptions_cross_inputs;
+    Alcotest.test_case "print side effects" `Quick test_print_side_effects;
+    Alcotest.test_case "modules in the loop" `Quick test_modules_in_repl;
+    Alcotest.test_case "ref state persists" `Quick test_ref_state_persists;
+  ]

@@ -1,0 +1,469 @@
+(* The Incremental Recompilation Manager: dependency analysis, the two
+   build policies, and the cutoff-vs-timestamp behaviour the paper's
+   evaluation is about. *)
+
+module Driver = Irm.Driver
+module Group = Irm.Group
+module Scan = Depend.Scan
+module Depgraph = Depend.Depgraph
+module Value = Dynamics.Value
+module Pid = Digestkit.Pid
+module Diag = Support.Diag
+module Symbol = Support.Symbol
+
+(* A three-unit chain: base <- mid <- top *)
+let base_src =
+  "structure Base = struct val origin = 10 fun scale n = n * origin end"
+
+let mid_src =
+  "structure Mid = struct val v = Base.scale 2 end"
+
+let top_src = "structure Top = struct val result = Mid.v + Base.origin end"
+
+let setup sources =
+  let fs = Vfs.memory () in
+  List.iter (fun (path, src) -> fs.Vfs.fs_write path src) sources;
+  (fs, Driver.create fs)
+
+let chain () =
+  setup [ ("base.sml", base_src); ("mid.sml", mid_src); ("top.sml", top_src) ]
+
+let chain_sources = [ "top.sml"; "base.sml"; "mid.sml" ] (* unordered! *)
+
+let names = List.map Filename.basename
+
+let test_scan () =
+  let summary = Scan.scan_source ~file:"m.sml" mid_src in
+  Alcotest.(check (list string))
+    "defines" [ "Mid" ]
+    (List.map Symbol.name (Symbol.Set.elements summary.Scan.defines));
+  Alcotest.(check (list string))
+    "refers" [ "Base" ]
+    (List.map Symbol.name (Symbol.Set.elements summary.Scan.refers))
+
+let test_scan_ignores_locals () =
+  let src =
+    "structure A = struct\n\
+     structure Inner = struct val x = 1 end\n\
+     val y = Inner.x + External.z\n\
+     end\n\
+     functor F (Param : sig val v : int end) = struct val w = Param.v + \
+     Other.k end"
+  in
+  let summary = Scan.scan_source ~file:"a.sml" src in
+  Alcotest.(check (list string))
+    "only free roots" [ "External"; "Other" ]
+    (List.map Symbol.name (Symbol.Set.elements summary.Scan.refers))
+
+let test_topological_order () =
+  let _fs, mgr = chain () in
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  Alcotest.(check (list string))
+    "dependencies first"
+    [ "base.sml"; "mid.sml"; "top.sml" ]
+    stats.Driver.st_order
+
+let test_initial_build_compiles_all () =
+  let _fs, mgr = chain () in
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  Alcotest.(check int) "all compiled" 3 (List.length stats.Driver.st_recompiled);
+  Alcotest.(check int) "none loaded" 0 (List.length stats.Driver.st_loaded)
+
+let test_null_build_loads_all () =
+  let _fs, mgr = chain () in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  Alcotest.(check int) "nothing recompiled" 0
+    (List.length stats.Driver.st_recompiled);
+  Alcotest.(check int) "all loaded" 3 (List.length stats.Driver.st_loaded)
+
+let test_timestamp_cascades_on_touch () =
+  let fs, mgr = chain () in
+  let _ = Driver.build mgr ~policy:Driver.Timestamp ~sources:chain_sources in
+  Vfs.touch fs "base.sml";
+  let stats = Driver.build mgr ~policy:Driver.Timestamp ~sources:chain_sources in
+  (* classical make recompiles the whole cone *)
+  Alcotest.(check (list string))
+    "cascade" [ "base.sml"; "mid.sml"; "top.sml" ]
+    (names stats.Driver.st_recompiled)
+
+let test_cutoff_stops_cascade_on_touch () =
+  let fs, mgr = chain () in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  Vfs.touch fs "base.sml";
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  (* the interface pid is unchanged: only the touched unit recompiles *)
+  Alcotest.(check (list string))
+    "no cascade" [ "base.sml" ]
+    (names stats.Driver.st_recompiled);
+  Alcotest.(check (list string))
+    "cutoff recorded" [ "base.sml" ]
+    (names stats.Driver.st_cutoff_hits)
+
+let test_cutoff_stops_cascade_on_impl_change () =
+  let fs, mgr = chain () in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  (* change the implementation but not the interface *)
+  fs.Vfs.fs_write "base.sml"
+    "structure Base = struct val origin = 99 fun scale n = n + n * origin end";
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  Alcotest.(check (list string))
+    "only base recompiled" [ "base.sml" ]
+    (names stats.Driver.st_recompiled);
+  (* and execution picks up the *new* behaviour through old bins *)
+  let dynenv = Driver.run mgr ~sources:chain_sources in
+  ignore dynenv
+
+let test_interface_change_recompiles_cone () =
+  let fs, mgr = chain () in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  (* change Base's interface: origin becomes a string *)
+  fs.Vfs.fs_write "base.sml"
+    "structure Base = struct val origin = 10 val extra = 1 fun scale n = n * \
+     origin end";
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  Alcotest.(check (list string))
+    "cone recompiled" [ "base.sml"; "mid.sml"; "top.sml" ]
+    (names stats.Driver.st_recompiled)
+
+let test_interface_change_mid_cone_only () =
+  (* editing the middle of the chain never touches the base *)
+  let fs, mgr = chain () in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  fs.Vfs.fs_write "mid.sml"
+    "structure Mid = struct val v = Base.scale 3 val extra = 0 end";
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  Alcotest.(check (list string))
+    "mid and top only" [ "mid.sml"; "top.sml" ]
+    (names stats.Driver.st_recompiled)
+
+let test_diamond_topology () =
+  (* base <- left, right <- join: an interface-preserving edit to left
+     recompiles only left under cutoff; timestamp also rebuilds join *)
+  let sources =
+    [
+      ("base.sml", "structure Base = struct val b = 1 end");
+      ("left.sml", "structure Left = struct val l = Base.b + 1 end");
+      ("right.sml", "structure Right = struct val r = Base.b + 2 end");
+      ( "join.sml",
+        "structure Join = struct val j = Left.l + Right.r end" );
+    ]
+  in
+  let files = List.map fst sources in
+  let fs, mgr = setup sources in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:files in
+  fs.Vfs.fs_write "left.sml" "structure Left = struct val l = Base.b + 100 end";
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:files in
+  Alcotest.(check (list string))
+    "cutoff: left only" [ "left.sml" ]
+    (names stats.Driver.st_recompiled);
+  (* same edit under timestamp: left and join *)
+  let fs2, mgr2 = setup sources in
+  let _ = Driver.build mgr2 ~policy:Driver.Timestamp ~sources:files in
+  fs2.Vfs.fs_write "left.sml"
+    "structure Left = struct val l = Base.b + 100 end";
+  let stats2 = Driver.build mgr2 ~policy:Driver.Timestamp ~sources:files in
+  Alcotest.(check (list string))
+    "timestamp: left and join" [ "left.sml"; "join.sml" ]
+    (names stats2.Driver.st_recompiled)
+
+let test_cutoff_build_equals_scratch_build () =
+  (* soundness: after incremental builds, bins carry the same interface
+     pids as a from-scratch build *)
+  let fs, mgr = chain () in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  fs.Vfs.fs_write "base.sml"
+    "structure Base = struct val origin = 5 fun scale n = n * origin * 2 end";
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  let incremental =
+    List.map
+      (fun f -> (Driver.unit_of mgr f).Pickle.Binfile.uf_static_pid)
+      [ "base.sml"; "mid.sml"; "top.sml" ]
+  in
+  (* scratch *)
+  let fs2 = Vfs.memory () in
+  fs2.Vfs.fs_write "base.sml"
+    "structure Base = struct val origin = 5 fun scale n = n * origin * 2 end";
+  fs2.Vfs.fs_write "mid.sml" mid_src;
+  fs2.Vfs.fs_write "top.sml" top_src;
+  let mgr2 = Driver.create fs2 in
+  let _ = Driver.build mgr2 ~policy:Driver.Cutoff ~sources:chain_sources in
+  let scratch =
+    List.map
+      (fun f -> (Driver.unit_of mgr2 f).Pickle.Binfile.uf_static_pid)
+      [ "base.sml"; "mid.sml"; "top.sml" ]
+  in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "incremental = scratch interface" true (Pid.equal a b))
+    incremental scratch
+
+let test_execution_after_build () =
+  let _fs, mgr = chain () in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  let dynenv = Driver.run mgr ~sources:chain_sources in
+  let top = Driver.unit_of mgr "top.sml" in
+  let _, pid =
+    List.hd top.Pickle.Binfile.uf_codeunit.Link.Codeunit.cu_exports
+  in
+  match Pid.Map.find pid dynenv with
+  | Value.Vrecord fields -> (
+    match Symbol.Map.find (Symbol.intern "result") fields with
+    | Value.Vint n -> Alcotest.(check int) "Top.result" 30 n
+    | v -> Alcotest.fail (Value.to_string v))
+  | v -> Alcotest.fail (Value.to_string v)
+
+let test_cycle_detection () =
+  let fs, mgr =
+    setup
+      [
+        ("a.sml", "structure A = struct val x = B.y end");
+        ("b.sml", "structure B = struct val y = A.x end");
+      ]
+  in
+  ignore fs;
+  match
+    Diag.guard (fun () ->
+        Driver.build mgr ~policy:Driver.Cutoff ~sources:[ "a.sml"; "b.sml" ])
+  with
+  | Error d ->
+    Alcotest.(check bool) "manager error" true (d.Diag.phase = Diag.Manager)
+  | Ok _ -> Alcotest.fail "cycle must be reported"
+
+let test_duplicate_module_detection () =
+  let _fs, mgr =
+    setup
+      [
+        ("a.sml", "structure Dup = struct val x = 1 end");
+        ("b.sml", "structure Dup = struct val x = 2 end");
+      ]
+  in
+  match
+    Diag.guard (fun () ->
+        Driver.build mgr ~policy:Driver.Cutoff ~sources:[ "a.sml"; "b.sml" ])
+  with
+  | Error d ->
+    Alcotest.(check bool) "manager error" true (d.Diag.phase = Diag.Manager)
+  | Ok _ -> Alcotest.fail "duplicate module must be reported"
+
+let test_corrupt_bin_forces_recompile () =
+  let fs, mgr = chain () in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  (* damage mid's bin; the next build must recompile it, not crash *)
+  (match fs.Vfs.fs_read "mid.sml.bin" with
+  | Some bytes ->
+    fs.Vfs.fs_write "mid.sml.bin" (String.sub bytes 0 (String.length bytes / 2))
+  | None -> Alcotest.fail "bin missing");
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:chain_sources in
+  Alcotest.(check (list string))
+    "mid recompiled" [ "mid.sml" ]
+    (names stats.Driver.st_recompiled)
+
+let test_group_files () =
+  Alcotest.(check (list string))
+    "parse"
+    [ "a.sml"; "b.sml" ]
+    (Group.parse "# project\n a.sml \n\nb.sml # main\n");
+  let fs = Vfs.memory () in
+  fs.Vfs.fs_write "sources.cm" "x.sml\ny.sml\n";
+  Alcotest.(check (list string))
+    "load" [ "x.sml"; "y.sml" ] (Group.load fs "sources.cm")
+
+let test_functor_across_units () =
+  (* the paper's central scenario: a functor in one unit, applied in
+     another, with cutoff working across the boundary *)
+  let sources =
+    [
+      ( "sig.sml",
+        "signature ORD = sig type elem val less : elem * elem -> bool end" );
+      ( "sort.sml",
+        "functor Sort (O : ORD) = struct\n\
+         fun insert (x, nil) = [x]\n\
+        \  | insert (x, y :: ys) = if O.less (x, y) then x :: y :: ys else y \
+         :: insert (x, ys)\n\
+         fun sort nil = nil | sort (x :: xs) = insert (x, sort xs)\n\
+         end" );
+      ( "intord.sml",
+        "structure IntOrd = struct type elem = int fun less (a, b) = a < b end"
+      );
+      ( "main.sml",
+        "structure Main = struct\n\
+         structure S = Sort(IntOrd)\n\
+         fun digits xs = let fun go (acc, l) = case l of nil => acc | x :: r \
+         => go (acc * 10 + x, r) in go (0, xs) end\n\
+         val answer = digits (S.sort [3, 1, 2])\n\
+         end" );
+    ]
+  in
+  let files = List.map fst sources in
+  let fs, mgr = setup sources in
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources:files in
+  Alcotest.(check int) "all four compiled" 4
+    (List.length stats.Driver.st_recompiled);
+  let dynenv = Driver.run mgr ~sources:files in
+  let main = Driver.unit_of mgr "main.sml" in
+  let _, pid =
+    List.hd main.Pickle.Binfile.uf_codeunit.Link.Codeunit.cu_exports
+  in
+  (match Pid.Map.find pid dynenv with
+  | Value.Vrecord fields -> (
+    match Symbol.Map.find (Symbol.intern "answer") fields with
+    | Value.Vint n -> Alcotest.(check int) "sorted digits" 123 n
+    | v -> Alcotest.fail (Value.to_string v))
+  | v -> Alcotest.fail (Value.to_string v));
+  (* interface-preserving change to the functor's implementation:
+     cutoff recompiles only sort.sml *)
+  fs.Vfs.fs_write "sort.sml"
+    "functor Sort (O : ORD) = struct\n\
+     fun insert (x, nil) = x :: nil\n\
+    \  | insert (x, y :: ys) = if O.less (x, y) then x :: y :: ys else y :: \
+     insert (x, ys)\n\
+     fun sort nil = nil | sort (x :: xs) = insert (x, sort xs)\n\
+     end";
+  let stats2 = Driver.build mgr ~policy:Driver.Cutoff ~sources:files in
+  Alcotest.(check (list string))
+    "only the functor's unit" [ "sort.sml" ]
+    (names stats2.Driver.st_recompiled)
+
+(* A unit exporting two independent modules, with two clients that each
+   reference only one of them. *)
+let multi_sources =
+  [
+    ( "multi.sml",
+      "structure Alpha = struct val a = 1 end\n\
+       structure Beta = struct val b = 2 end" );
+    ("usea.sml", "structure UseA = struct val v = Alpha.a end");
+    ("useb.sml", "structure UseB = struct val v = Beta.b end");
+  ]
+
+let multi_files = List.map fst multi_sources
+
+let test_selective_skips_sibling_change () =
+  let fs, mgr = setup multi_sources in
+  let _ = Driver.build mgr ~policy:Driver.Selective ~sources:multi_files in
+  (* change Beta's interface; Alpha is untouched *)
+  fs.Vfs.fs_write "multi.sml"
+    "structure Alpha = struct val a = 1 end\n\
+     structure Beta = struct val b = 2 val extra = 3 end";
+  let stats = Driver.build mgr ~policy:Driver.Selective ~sources:multi_files in
+  (* selective: only multi and Beta's client recompile, Alpha's client
+     survives *)
+  Alcotest.(check (list string))
+    "selective spares Alpha's client"
+    [ "multi.sml"; "useb.sml" ]
+    (names stats.Driver.st_recompiled);
+  (* cutoff, in contrast, rebuilds both clients *)
+  let fs2, mgr2 = setup multi_sources in
+  let _ = Driver.build mgr2 ~policy:Driver.Cutoff ~sources:multi_files in
+  fs2.Vfs.fs_write "multi.sml"
+    "structure Alpha = struct val a = 1 end\n\
+     structure Beta = struct val b = 2 val extra = 3 end";
+  let stats2 = Driver.build mgr2 ~policy:Driver.Cutoff ~sources:multi_files in
+  Alcotest.(check int) "cutoff rebuilds all three" 3
+    (List.length stats2.Driver.st_recompiled)
+
+let test_selective_skip_is_sound_in_fresh_session () =
+  (* the hard case: after a selective skip, a *new* manager (fresh
+     context, nothing cached) must still load, link, compile against,
+     and execute the skipped bin *)
+  let fs, mgr = setup multi_sources in
+  let _ = Driver.build mgr ~policy:Driver.Selective ~sources:multi_files in
+  fs.Vfs.fs_write "multi.sml"
+    "structure Alpha = struct val a = 1 end\n\
+     structure Beta = struct val b = 20 val extra = 3 end";
+  let _ = Driver.build mgr ~policy:Driver.Selective ~sources:multi_files in
+  (* fresh manager over the same file system: usea.sml.bin is stale by
+     unit pid but valid by per-binding pids *)
+  let mgr2 = Driver.create fs in
+  let stats = Driver.build mgr2 ~policy:Driver.Selective ~sources:multi_files in
+  Alcotest.(check int) "fresh session: nothing recompiled" 0
+    (List.length stats.Driver.st_recompiled);
+  (* execution still works and sees the *new* Beta *)
+  let dynenv = Driver.run mgr2 ~sources:multi_files in
+  let useb = Driver.unit_of mgr2 "useb.sml" in
+  let _, pid =
+    List.hd useb.Pickle.Binfile.uf_codeunit.Link.Codeunit.cu_exports
+  in
+  (match Pid.Map.find pid dynenv with
+  | Value.Vrecord fields -> (
+    match Symbol.Map.find (Symbol.intern "v") fields with
+    | Value.Vint n -> Alcotest.(check int) "UseB sees new Beta.b" 20 n
+    | v -> Alcotest.fail (Value.to_string v))
+  | v -> Alcotest.fail (Value.to_string v));
+  (* and a new client compiles against the skipped Alpha-client bin *)
+  fs.Vfs.fs_write "chain.sml" "structure Chain = struct val w = UseA.v end";
+  let stats3 =
+    Driver.build mgr2 ~policy:Driver.Selective
+      ~sources:("chain.sml" :: multi_files)
+  in
+  Alcotest.(check (list string))
+    "only the new unit compiles" [ "chain.sml" ]
+    (names stats3.Driver.st_recompiled)
+
+let test_selective_entangled_types_cascade () =
+  (* two exported modules sharing a generative type: changing the
+     owner's interface must reach clients of the *other* module too,
+     because its identity hangs off the owner's pid *)
+  let sources =
+    [
+      ( "pair.sml",
+        "structure Maker = struct datatype t = T of int fun mk n = T n end\n\
+         structure User = struct fun un (Maker.T n) = n val probe = \
+         Maker.mk 0 end" );
+      ("client.sml", "structure Client = struct val v = User.un User.probe end");
+    ]
+  in
+  let files = List.map fst sources in
+  let fs, mgr = setup sources in
+  let _ = Driver.build mgr ~policy:Driver.Selective ~sources:files in
+  (* interface change to Maker (the type's owner) *)
+  fs.Vfs.fs_write "pair.sml"
+    "structure Maker = struct datatype t = T of int fun mk n = T n val more \
+     = 1 end\n\
+     structure User = struct fun un (Maker.T n) = n val probe = Maker.mk 0 \
+     end";
+  let stats = Driver.build mgr ~policy:Driver.Selective ~sources:files in
+  (* User references Maker's type, so User's per-binding pid changes,
+     and the client recompiles: no unsound skip *)
+  Alcotest.(check (list string))
+    "cascade reaches the client" [ "pair.sml"; "client.sml" ]
+    (names stats.Driver.st_recompiled)
+
+let suite =
+  [
+    Alcotest.test_case "dependency scan" `Quick test_scan;
+    Alcotest.test_case "selective skips sibling changes" `Quick
+      test_selective_skips_sibling_change;
+    Alcotest.test_case "selective skip sound in fresh session" `Quick
+      test_selective_skip_is_sound_in_fresh_session;
+    Alcotest.test_case "selective: entangled types still cascade" `Quick
+      test_selective_entangled_types_cascade;
+    Alcotest.test_case "scan ignores local bindings" `Quick
+      test_scan_ignores_locals;
+    Alcotest.test_case "topological order" `Quick test_topological_order;
+    Alcotest.test_case "initial build compiles all" `Quick
+      test_initial_build_compiles_all;
+    Alcotest.test_case "null build loads all" `Quick test_null_build_loads_all;
+    Alcotest.test_case "timestamp cascades on touch" `Quick
+      test_timestamp_cascades_on_touch;
+    Alcotest.test_case "cutoff stops cascade on touch" `Quick
+      test_cutoff_stops_cascade_on_touch;
+    Alcotest.test_case "cutoff stops cascade on implementation change" `Quick
+      test_cutoff_stops_cascade_on_impl_change;
+    Alcotest.test_case "interface change recompiles the cone" `Quick
+      test_interface_change_recompiles_cone;
+    Alcotest.test_case "mid-chain edit spares the base" `Quick
+      test_interface_change_mid_cone_only;
+    Alcotest.test_case "diamond topology" `Quick test_diamond_topology;
+    Alcotest.test_case "incremental equals scratch" `Quick
+      test_cutoff_build_equals_scratch_build;
+    Alcotest.test_case "execution after build" `Quick test_execution_after_build;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "duplicate module detection" `Quick
+      test_duplicate_module_detection;
+    Alcotest.test_case "corrupt bin forces recompile" `Quick
+      test_corrupt_bin_forces_recompile;
+    Alcotest.test_case "group files" `Quick test_group_files;
+    Alcotest.test_case "functor across units with cutoff" `Quick
+      test_functor_across_units;
+  ]

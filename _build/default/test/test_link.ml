@@ -1,0 +1,103 @@
+(* The linker layer in isolation: codeUnit well-formedness, dynamic
+   environments, export extraction. *)
+
+module Codeunit = Link.Codeunit
+module Linker = Link.Linker
+module Value = Dynamics.Value
+module Pid = Digestkit.Pid
+module Symbol = Support.Symbol
+module L = Lambda
+
+let pid_a = Pid.intrinsic "unit-a"
+let pid_b = Pid.intrinsic "unit-b"
+
+let test_imports_inferred () =
+  let code =
+    L.Lrecord
+      [
+        ( Symbol.intern "M",
+          L.Ltuple [ L.Limport pid_a; L.Limport pid_b; L.Limport pid_a ] );
+      ]
+  in
+  let cu = Codeunit.make ~exports:[ (Symbol.intern "M", Pid.intrinsic "x") ] code in
+  Alcotest.(check int) "deduplicated imports" 2
+    (List.length cu.Codeunit.cu_imports);
+  Alcotest.(check bool) "well formed" true (Codeunit.well_formed cu)
+
+let test_ill_formed_detected () =
+  let code = L.Lrecord [ (Symbol.intern "M", L.Lint 1) ] in
+  let cu =
+    {
+      Codeunit.cu_imports = [ pid_a ] (* claims an import the code lacks *);
+      cu_exports = [];
+      cu_code = code;
+    }
+  in
+  Alcotest.(check bool) "mismatch detected" false (Codeunit.well_formed cu)
+
+let test_execute_exports () =
+  let export_pid = Pid.intrinsic "m-dyn" in
+  let code = L.Lrecord [ (Symbol.intern "M", L.Lint 42) ] in
+  let cu = Codeunit.make ~exports:[ (Symbol.intern "M", export_pid) ] code in
+  let dynenv = Linker.execute cu Linker.empty in
+  (match Pid.Map.find_opt export_pid dynenv with
+  | Some (Value.Vint 42) -> ()
+  | Some v -> Alcotest.fail (Value.to_string v)
+  | None -> Alcotest.fail "export missing");
+  match Linker.export_values cu dynenv with
+  | [ (name, Value.Vint 42) ] ->
+    Alcotest.(check string) "name" "M" (Symbol.name name)
+  | _ -> Alcotest.fail "export_values"
+
+let test_missing_import_lists_pids () =
+  let code = L.Lrecord [ (Symbol.intern "M", L.Limport pid_a) ] in
+  let cu = Codeunit.make ~exports:[] code in
+  match Support.Diag.guard (fun () -> Linker.execute cu Linker.empty) with
+  | Error d ->
+    Alcotest.(check bool) "link phase" true (d.Support.Diag.phase = Support.Diag.Link);
+    Alcotest.(check bool) "names the pid" true
+      (let needle = Pid.short pid_a in
+       let msg = d.Support.Diag.message in
+       let rec has i =
+         i + String.length needle <= String.length msg
+         && (String.equal (String.sub msg i (String.length needle)) needle
+             || has (i + 1))
+       in
+       has 0)
+  | Ok _ -> Alcotest.fail "expected link error"
+
+let test_non_record_result_rejected () =
+  let cu = Codeunit.make ~exports:[ (Symbol.intern "M", pid_a) ] (L.Lint 1) in
+  match Support.Diag.guard (fun () -> Linker.execute cu Linker.empty) with
+  | Error d ->
+    Alcotest.(check bool) "link phase" true
+      (d.Support.Diag.phase = Support.Diag.Link)
+  | Ok _ -> Alcotest.fail "expected link error"
+
+let test_dynenv_layering () =
+  (* later executions shadow earlier exports under the same pid,
+     mirroring recompile-and-re-execute of the same unit *)
+  let export_pid = Pid.intrinsic "m-dyn2" in
+  let mk n =
+    Codeunit.make
+      ~exports:[ (Symbol.intern "M", export_pid) ]
+      (L.Lrecord [ (Symbol.intern "M", L.Lint n) ])
+  in
+  let dynenv = Linker.execute (mk 1) Linker.empty in
+  let dynenv = Linker.execute (mk 2) dynenv in
+  match Pid.Map.find_opt export_pid dynenv with
+  | Some (Value.Vint 2) -> ()
+  | _ -> Alcotest.fail "latest execution should win"
+
+let suite =
+  [
+    Alcotest.test_case "imports inferred from code" `Quick test_imports_inferred;
+    Alcotest.test_case "ill-formed units detected" `Quick
+      test_ill_formed_detected;
+    Alcotest.test_case "execute adds exports" `Quick test_execute_exports;
+    Alcotest.test_case "missing imports are named" `Quick
+      test_missing_import_lists_pids;
+    Alcotest.test_case "non-record results rejected" `Quick
+      test_non_record_result_rejected;
+    Alcotest.test_case "dynenv layering" `Quick test_dynenv_layering;
+  ]

@@ -1,0 +1,194 @@
+(* Byte-level and serialization-layer tests: varints, readers, token
+   encoding, environment serialization details. *)
+
+module Buf = Pickle.Buf
+module Serial = Pickle.Serial
+module Types = Statics.Types
+module Stamp = Statics.Stamp
+module Symbol = Support.Symbol
+module Pid = Digestkit.Pid
+
+let roundtrip_int n =
+  let w = Buf.writer () in
+  Buf.int w n;
+  let r = Buf.reader (Buf.contents w) in
+  let back = Buf.read_int r in
+  Alcotest.(check int) (Printf.sprintf "varint %d" n) n back;
+  Alcotest.(check bool) "fully consumed" true (Buf.at_end r)
+
+let test_varints () =
+  List.iter roundtrip_int
+    [ 0; 1; -1; 63; 64; -64; -65; 127; 128; 16383; 16384; -100000;
+      max_int / 2; -(max_int / 2) ]
+
+let test_strings_options_lists () =
+  let w = Buf.writer () in
+  Buf.string w "hello";
+  Buf.string w "";
+  Buf.option w (Buf.string w) (Some "x");
+  Buf.option w (Buf.string w) None;
+  Buf.list w (Buf.int w) [ 1; 2; 3 ];
+  Buf.bool w true;
+  let r = Buf.reader (Buf.contents w) in
+  Alcotest.(check string) "s1" "hello" (Buf.read_string r);
+  Alcotest.(check string) "s2" "" (Buf.read_string r);
+  Alcotest.(check (option string)) "some" (Some "x")
+    (Buf.read_option r (fun () -> Buf.read_string r));
+  Alcotest.(check (option string)) "none" None
+    (Buf.read_option r (fun () -> Buf.read_string r));
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ]
+    (Buf.read_list r (fun () -> Buf.read_int r));
+  Alcotest.(check bool) "bool" true (Buf.read_bool r)
+
+let test_truncation_detected () =
+  let w = Buf.writer () in
+  Buf.string w "some payload";
+  let bytes = Buf.contents w in
+  let r = Buf.reader (String.sub bytes 0 (String.length bytes - 2)) in
+  match Buf.read_string r with
+  | exception Buf.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated string must be detected"
+
+let test_bad_tags_detected () =
+  let r = Buf.reader "\255\255" in
+  (match Buf.read_bool r with
+  | exception Buf.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad bool byte");
+  let r2 = Buf.reader "\007" in
+  match Buf.read_option r2 (fun () -> 0) with
+  | exception Buf.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad option byte"
+
+let mk_ctx () =
+  let ctx = Statics.Context.create () in
+  Statics.Basis.register ctx;
+  ctx
+
+(* Build a small exported-shape environment by hand and roundtrip it. *)
+let test_env_roundtrip_manual () =
+  let ctx = mk_ctx () in
+  let self = Pid.intrinsic "fake-unit" in
+  let t_stamp = Stamp.External (self, 0) in
+  Statics.Context.register ctx t_stamp
+    {
+      Types.tyc_name = Symbol.intern "t";
+      tyc_arity = 1;
+      tyc_defn =
+        Types.Data
+          [
+            {
+              Types.cd_name = Symbol.intern "Leaf";
+              cd_arg = None;
+              cd_tag = 0;
+              cd_span = 2;
+            };
+            {
+              Types.cd_name = Symbol.intern "Node";
+              cd_arg = Some (Types.Tcon (t_stamp, [ Types.Tgen 0 ]));
+              cd_tag = 1;
+              cd_span = 2;
+            };
+          ];
+    };
+  let env =
+    Types.empty_env
+    |> Types.bind_tycon (Symbol.intern "t") t_stamp
+    |> Types.bind_val (Symbol.intern "x")
+         {
+           Types.vi_scheme =
+             { Types.arity = 1; body = Types.Tcon (t_stamp, [ Types.Tgen 0 ]) };
+           vi_kind = Types.Vplain;
+           vi_addr =
+             Types.AdField (Types.AdExtern self, Symbol.intern "x");
+         }
+  in
+  let w = Buf.writer () in
+  Serial.write_env w ctx ~token:(Serial.exported_token ~self) ~with_addrs:true
+    env;
+  let resolve = function
+    | Serial.TokGlobal n -> Stamp.Global n
+    | Serial.TokOwn i -> Stamp.External (self, i)
+    | Serial.TokExtern (p, i) -> Stamp.External (p, i)
+  in
+  let env' = Serial.read_env (Buf.reader (Buf.contents w)) ~resolve in
+  (* the tycon binding survives *)
+  (match Symbol.Map.find_opt (Symbol.intern "t") env'.Types.tycons with
+  | Some stamp -> Alcotest.(check bool) "t stamp" true (Stamp.equal stamp t_stamp)
+  | None -> Alcotest.fail "t lost");
+  (* the val's scheme survives structurally *)
+  match Symbol.Map.find_opt (Symbol.intern "x") env'.Types.vals with
+  | Some info ->
+    Alcotest.(check int) "arity" 1 info.Types.vi_scheme.Types.arity;
+    Alcotest.(check bool) "scheme equal" true
+      (Statics.Unify.equal_scheme ctx info.Types.vi_scheme
+         { Types.arity = 1; body = Types.Tcon (t_stamp, [ Types.Tgen 0 ]) })
+  | None -> Alcotest.fail "x lost"
+
+let test_unresolved_tyvar_rejected () =
+  let ctx = mk_ctx () in
+  let env =
+    Types.bind_val (Symbol.intern "bad")
+      {
+        Types.vi_scheme =
+          Types.monotype (Statics.Unify.fresh_tyvar ~level:1 ());
+        vi_kind = Types.Vplain;
+        vi_addr = Types.AdNone;
+      }
+      Types.empty_env
+  in
+  let w = Buf.writer () in
+  match
+    Serial.write_env w ctx
+      ~token:(Serial.exported_token ~self:(Pid.intrinsic "u"))
+      ~with_addrs:true env
+  with
+  | exception Support.Diag.Error _ -> ()
+  | () -> Alcotest.fail "unresolved unification variable must be rejected"
+
+let test_hash_env_vs_order_of_binding () =
+  (* hash is independent of binding insertion order (canonical order) *)
+  let ctx = mk_ctx () in
+  let vi n =
+    {
+      Types.vi_scheme = Types.monotype Statics.Basis.int_ty;
+      vi_kind = Types.Vplain;
+      vi_addr = Types.AdNone;
+    }
+    |> fun v -> (Symbol.intern n, v)
+  in
+  let a, va = vi "a" and b, vb = vi "b" and c, vc = vi "c" in
+  let env1 =
+    Types.empty_env |> Types.bind_val a va |> Types.bind_val b vb
+    |> Types.bind_val c vc
+  in
+  let env2 =
+    Types.empty_env |> Types.bind_val c vc |> Types.bind_val a va
+    |> Types.bind_val b vb
+  in
+  Alcotest.(check bool) "insertion order irrelevant" true
+    (Pid.equal
+       (Pickle.Hashenv.hash_env ctx env1)
+       (Pickle.Hashenv.hash_env ctx env2))
+
+let test_unit_pid_depends_on_names () =
+  let p = Pid.intrinsic "payload" in
+  let one = Pickle.Hashenv.unit_pid [ (Symbol.intern "A", p) ] in
+  let other = Pickle.Hashenv.unit_pid [ (Symbol.intern "B", p) ] in
+  Alcotest.(check bool) "renaming a module changes the unit pid" false
+    (Pid.equal one other)
+
+let suite =
+  [
+    Alcotest.test_case "varint roundtrips" `Quick test_varints;
+    Alcotest.test_case "strings, options, lists" `Quick
+      test_strings_options_lists;
+    Alcotest.test_case "truncation detected" `Quick test_truncation_detected;
+    Alcotest.test_case "bad tags detected" `Quick test_bad_tags_detected;
+    Alcotest.test_case "manual env roundtrip" `Quick test_env_roundtrip_manual;
+    Alcotest.test_case "unresolved tyvars rejected" `Quick
+      test_unresolved_tyvar_rejected;
+    Alcotest.test_case "hash independent of insertion order" `Quick
+      test_hash_env_vs_order_of_binding;
+    Alcotest.test_case "unit pid depends on binding names" `Quick
+      test_unit_pid_depends_on_names;
+  ]

@@ -1,0 +1,330 @@
+(* Property-based tests of the system's core invariants (DESIGN.md §5):
+   policy inclusion, incremental-equals-scratch, pickle stability,
+   hash invariance, and differential evaluation of generated programs
+   against an OCaml reference. *)
+
+module Gen = Workload.Gen
+module Driver = Irm.Driver
+module Compile = Sepcomp.Compile
+module Value = Dynamics.Value
+module Pid = Digestkit.Pid
+module Symbol = Support.Symbol
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let topology_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Gen.Chain (2 + n)) (0 -- 6);
+        map (fun n -> Gen.Fanout (1 + n)) (0 -- 6);
+        map (fun n -> Gen.Diamond (1 + n)) (0 -- 3);
+        map
+          (fun (units, seed) ->
+            Gen.Random_dag { units = 3 + units; max_deps = 3; seed })
+          (pair (0 -- 9) (0 -- 1000));
+      ])
+
+let edit_gen =
+  QCheck.Gen.oneofl [ Gen.Touch; Gen.Impl_change; Gen.Iface_change ]
+
+let project_arbitrary =
+  QCheck.make
+    ~print:(fun ((_, rich), edits) ->
+      Printf.sprintf "<topology%s + %d edits>"
+        (if rich then " (rich)" else "")
+        (List.length edits))
+    QCheck.Gen.(pair (pair topology_gen bool) (list_size (1 -- 4) edit_gen))
+
+let fresh_project (topology, rich) =
+  let fs = Vfs.memory () in
+  let profile = if rich then Gen.rich_profile else Gen.default_profile in
+  let project = Gen.create fs topology profile in
+  (fs, project, Gen.sources project)
+
+(* pick a victim deterministically from an int seed *)
+let victim_of project i =
+  let sources = Gen.sources project in
+  List.nth sources (i mod List.length sources)
+
+(* ------------------------------------------------------------------ *)
+(* Policy inclusion: selective ⊆ cutoff ⊆ timestamp                    *)
+(* ------------------------------------------------------------------ *)
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let prop_policy_inclusion =
+  QCheck.Test.make ~count:40 ~name:"policies: selective ⊆ cutoff ⊆ timestamp"
+    project_arbitrary
+    (fun (topology, edits) ->
+      let run policy =
+        let fs, project, sources = fresh_project topology in
+        ignore fs;
+        let mgr = Driver.create fs in
+        let _ = Driver.build mgr ~policy ~sources in
+        List.concat_map
+          (fun (i, edit) ->
+            Gen.edit project (victim_of project i) edit;
+            let stats = Driver.build mgr ~policy ~sources in
+            stats.Driver.st_recompiled)
+          (List.mapi (fun i e -> (i * 3, e)) edits)
+      in
+      let ts = run Driver.Timestamp in
+      let co = run Driver.Cutoff in
+      let se = run Driver.Selective in
+      subset co ts && subset se co)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental equals scratch                                          *)
+(* ------------------------------------------------------------------ *)
+
+let final_pids mgr sources =
+  List.map
+    (fun f -> Pid.to_hex (Driver.unit_of mgr f).Pickle.Binfile.uf_static_pid)
+    sources
+
+let prop_incremental_equals_scratch policy name =
+  QCheck.Test.make ~count:30
+    ~name:(Printf.sprintf "%s: incremental build = scratch build" name)
+    project_arbitrary
+    (fun (topology, edits) ->
+      (* incremental: edits interleaved with builds *)
+      let fs, project, sources = fresh_project topology in
+      ignore fs;
+      let mgr = Driver.create fs in
+      let _ = Driver.build mgr ~policy ~sources in
+      List.iteri
+        (fun i edit ->
+          Gen.edit project (victim_of project (i * 5)) edit;
+          ignore (Driver.build mgr ~policy ~sources))
+        edits;
+      let incremental = final_pids mgr sources in
+      (* scratch: the same final sources compiled from nothing *)
+      let fs2, project2, sources2 = fresh_project topology in
+      ignore fs2;
+      List.iteri
+        (fun i edit -> Gen.edit project2 (victim_of project2 (i * 5)) edit)
+        edits;
+      let mgr2 = Driver.create fs2 in
+      let _ = Driver.build mgr2 ~policy ~sources:sources2 in
+      let scratch = final_pids mgr2 sources2 in
+      incremental = scratch)
+
+(* ------------------------------------------------------------------ *)
+(* Pickle stability                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_pickle_roundtrip =
+  QCheck.Test.make ~count:30 ~name:"pickle: read∘write is stable and verified"
+    project_arbitrary
+    (fun (topology, _) ->
+      let fs, _project, sources = fresh_project topology in
+      ignore fs;
+      let mgr = Driver.create fs in
+      let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources in
+      let session = Driver.session mgr in
+      let ctx = Compile.context session in
+      List.for_all
+        (fun file ->
+          let unit_ = Driver.unit_of mgr file in
+          let bytes = Pickle.Binfile.write ctx unit_ in
+          (* load into a brand-new context *)
+          let session2 = Compile.new_session () in
+          let ctx2 = Compile.context session2 in
+          let unit2 = Pickle.Binfile.read ctx2 bytes in
+          let bytes2 = Pickle.Binfile.write ctx2 unit2 in
+          Pid.equal unit_.Pickle.Binfile.uf_static_pid
+            unit2.Pickle.Binfile.uf_static_pid
+          && String.equal bytes bytes2
+          &&
+          match
+            Pickle.Hashenv.verify ctx2
+              ~name_statics:unit2.Pickle.Binfile.uf_name_statics
+              unit2.Pickle.Binfile.uf_env
+          with
+          | Some pid -> Pid.equal pid unit_.Pickle.Binfile.uf_static_pid
+          | None -> false)
+        sources)
+
+(* ------------------------------------------------------------------ *)
+(* Hash invariance under trivia                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trivia_gen =
+  QCheck.Gen.(
+    list_size (1 -- 5)
+      (oneofl
+         [ "(* noise *)"; "\n\n"; "   "; "(* nested (* comment *) *)"; "\t" ]))
+
+let prop_hash_ignores_trivia =
+  QCheck.Test.make ~count:50 ~name:"hash: whitespace and comments ignored"
+    (QCheck.make QCheck.Gen.(pair (0 -- 1000) trivia_gen))
+    (fun (seed, trivia) ->
+      let source =
+        Printf.sprintf
+          "structure S%d = struct val x = %d fun f n = n + %d end" (seed mod 7)
+          seed (seed mod 13)
+      in
+      (* inject trivia around the source and between every token-safe
+         space *)
+      let spacer = " " ^ String.concat " " trivia ^ " " in
+      let noisy =
+        String.concat "" trivia
+        ^ String.concat spacer (String.split_on_char ' ' source)
+        ^ String.concat "" trivia
+      in
+      let s1 = Compile.new_session () in
+      let u1 = Compile.compile s1 ~name:"s.sml" ~source ~imports:[] in
+      let u2 = Compile.compile s1 ~name:"s.sml" ~source:noisy ~imports:[] in
+      Pid.equal u1.Pickle.Binfile.uf_static_pid u2.Pickle.Binfile.uf_static_pid)
+
+(* ------------------------------------------------------------------ *)
+(* Differential evaluation against an OCaml reference                  *)
+(* ------------------------------------------------------------------ *)
+
+(* generate an int expression together with its reference value *)
+let int_exp_gen =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then map (fun v -> (string_of_int v, v)) (0 -- 50)
+         else
+           frequency
+             [
+               (1, map (fun v -> (string_of_int v, v)) (0 -- 50));
+               ( 2,
+                 map2
+                   (fun (sa, va) (sb, vb) ->
+                     (Printf.sprintf "(%s + %s)" sa sb, va + vb))
+                   (self (n / 2)) (self (n / 2)) );
+               ( 2,
+                 map2
+                   (fun (sa, va) (sb, vb) ->
+                     (Printf.sprintf "(%s - %s)" sa sb, va - vb))
+                   (self (n / 2)) (self (n / 2)) );
+               ( 2,
+                 map2
+                   (fun (sa, va) (sb, vb) ->
+                     (Printf.sprintf "(%s * %s)" sa sb, va * vb))
+                   (self (n / 3)) (self (n / 3)) );
+               ( 1,
+                 map2
+                   (fun (sa, va) (sb, vb) ->
+                     (* keep the divisor non-zero *)
+                     ( Printf.sprintf "(%s div (%s + 1))" sa
+                         (Printf.sprintf "(%s * %s)" sb sb),
+                       va / ((vb * vb) + 1) ))
+                   (self (n / 3)) (self (n / 3)) );
+               ( 2,
+                 map3
+                   (fun (sa, va) (sb, vb) (sc, vc) ->
+                     ( Printf.sprintf "(if %s < %s then %s else %s)" sa sb sc
+                         sa,
+                       if va < vb then vc else va ))
+                   (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+               ( 1,
+                 map2
+                   (fun (sa, va) (sb, vb) ->
+                     ( Printf.sprintf "(let val h = %s in h + %s end)" sa sb,
+                       va + vb ))
+                   (self (n / 2)) (self (n / 2)) );
+             ])
+
+let eval_int_unit source_exp =
+  let session = Compile.new_session () in
+  let unit_ =
+    Compile.compile session ~name:"p.sml"
+      ~source:(Printf.sprintf "structure P = struct val r = %s end" source_exp)
+      ~imports:[]
+  in
+  let dynenv = Compile.execute unit_ Link.Linker.empty in
+  let _, pid =
+    List.hd unit_.Pickle.Binfile.uf_codeunit.Link.Codeunit.cu_exports
+  in
+  match Pid.Map.find pid dynenv with
+  | Value.Vrecord fields -> (
+    match Symbol.Map.find (Symbol.intern "r") fields with
+    | Value.Vint n -> n
+    | _ -> failwith "not an int")
+  | _ -> failwith "not a record"
+
+let prop_differential_eval =
+  QCheck.Test.make ~count:80
+    ~name:"evaluation agrees with the OCaml reference"
+    (QCheck.make ~print:fst int_exp_gen)
+    (fun (source, expected) -> eval_int_unit source = expected)
+
+let prop_simplifier_preserves_semantics =
+  QCheck.Test.make ~count:60
+    ~name:"simplifier: optimized = unoptimized result"
+    (QCheck.make ~print:fst int_exp_gen)
+    (fun (source, _) ->
+      let run optimize =
+        let session = Compile.new_session () in
+        let unit_ =
+          Compile.compile ~optimize session ~name:"p.sml"
+            ~source:
+              (Printf.sprintf "structure P = struct val r = %s end" source)
+            ~imports:[]
+        in
+        let dynenv = Compile.execute unit_ Link.Linker.empty in
+        let _, pid =
+          List.hd unit_.Pickle.Binfile.uf_codeunit.Link.Codeunit.cu_exports
+        in
+        match Pid.Map.find pid dynenv with
+        | Value.Vrecord fields -> Symbol.Map.find (Symbol.intern "r") fields
+        | _ -> failwith "not a record"
+      in
+      Value.equal (run true) (run false))
+
+let prop_simplifier_never_grows =
+  QCheck.Test.make ~count:60 ~name:"simplifier: code size never grows"
+    (QCheck.make ~print:fst int_exp_gen)
+    (fun (source, _) ->
+      let session = Compile.new_session () in
+      let compile optimize =
+        (Compile.compile ~optimize session ~name:"p.sml"
+           ~source:(Printf.sprintf "structure P = struct val r = %s end" source)
+           ~imports:[])
+          .Pickle.Binfile.uf_codeunit.Link.Codeunit.cu_code
+      in
+      Lambda.size (compile true) <= Lambda.size (compile false))
+
+(* ------------------------------------------------------------------ *)
+(* Build idempotence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_null_build_idempotent =
+  QCheck.Test.make ~count:30 ~name:"null rebuild recompiles nothing"
+    project_arbitrary
+    (fun (topology, edits) ->
+      List.for_all
+        (fun policy ->
+          let fs, project, sources = fresh_project topology in
+          ignore fs;
+          let mgr = Driver.create fs in
+          let _ = Driver.build mgr ~policy ~sources in
+          List.iteri
+            (fun i edit ->
+              Gen.edit project (victim_of project (i * 7)) edit;
+              ignore (Driver.build mgr ~policy ~sources))
+            edits;
+          let again = Driver.build mgr ~policy ~sources in
+          again.Driver.st_recompiled = [])
+        [ Driver.Timestamp; Driver.Cutoff; Driver.Selective ])
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_policy_inclusion;
+      prop_incremental_equals_scratch Driver.Cutoff "cutoff";
+      prop_incremental_equals_scratch Driver.Selective "selective";
+      prop_pickle_roundtrip;
+      prop_hash_ignores_trivia;
+      prop_differential_eval;
+      prop_simplifier_preserves_semantics;
+      prop_simplifier_never_grows;
+      prop_null_build_idempotent;
+    ]

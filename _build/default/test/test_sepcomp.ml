@@ -1,0 +1,327 @@
+(* The paper's pipeline end to end: separate compilation, intrinsic
+   pids, pickling, type-safe linkage, cutoff behaviour. *)
+
+module Compile = Sepcomp.Compile
+module Interactive = Sepcomp.Interactive
+module Binfile = Pickle.Binfile
+module Hashenv = Pickle.Hashenv
+module Linker = Link.Linker
+module Value = Dynamics.Value
+module Pid = Digestkit.Pid
+module Diag = Support.Diag
+
+let unit_a =
+  "structure A = struct\n\
+  \  val x = 3\n\
+  \  val y = 4\n\
+  \  fun double n = n * 2\n\
+   end"
+
+let unit_b =
+  "structure B = struct\n\
+  \  val z = A.double (A.x + A.y)\n\
+   end"
+
+let lookup_int dynenv (uf : Binfile.t) strname field =
+  let _, pid =
+    List.find
+      (fun (n, _) -> String.equal (Support.Symbol.name n) strname)
+      uf.uf_codeunit.Link.Codeunit.cu_exports
+  in
+  match Pid.Map.find pid dynenv with
+  | Value.Vrecord fields -> (
+    match Support.Symbol.Map.find (Support.Symbol.intern field) fields with
+    | Value.Vint n -> n
+    | v -> Alcotest.fail ("field is " ^ Value.to_string v))
+  | v -> Alcotest.fail ("export is " ^ Value.to_string v)
+
+let test_compile_execute () =
+  let session = Compile.new_session () in
+  let a = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let dynenv = Compile.execute a Linker.empty in
+  Alcotest.(check int) "A.x" 3 (lookup_int dynenv a "A" "x");
+  let b = Compile.compile session ~name:"b.sml" ~source:unit_b ~imports:[ a ] in
+  let dynenv = Compile.execute b dynenv in
+  Alcotest.(check int) "B.z = double (3+4)" 14 (lookup_int dynenv b "B" "z")
+
+let test_imports_recorded () =
+  let session = Compile.new_session () in
+  let a = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let b = Compile.compile session ~name:"b.sml" ~source:unit_b ~imports:[ a ] in
+  (* the cutoff record: B was compiled against A's interface pid *)
+  Alcotest.(check int) "one static import" 1 (List.length b.uf_import_statics);
+  let name, pid = List.hd b.uf_import_statics in
+  Alcotest.(check string) "import name" "a.sml" name;
+  Alcotest.(check bool) "import pid is A's" true (Pid.equal pid a.uf_static_pid);
+  (* and exactly one dynamic import *)
+  Alcotest.(check int) "one dynamic import" 1
+    (List.length b.uf_codeunit.Link.Codeunit.cu_imports)
+
+let test_type_safe_linkage () =
+  let session = Compile.new_session () in
+  let a = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let b = Compile.compile session ~name:"b.sml" ~source:unit_b ~imports:[ a ] in
+  (* executing B without A is a link error, not a wrong answer *)
+  match Diag.guard (fun () -> Compile.execute b Linker.empty) with
+  | Error d -> Alcotest.(check bool) "link phase" true (d.Diag.phase = Diag.Link)
+  | Ok _ -> Alcotest.fail "expected a link error"
+
+let test_stale_import_caught () =
+  (* the paper's "makefile bug": B compiled against an old A must not
+     link against a new A with a different interface *)
+  let session = Compile.new_session () in
+  let a = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let b = Compile.compile session ~name:"b.sml" ~source:unit_b ~imports:[ a ] in
+  let a' =
+    Compile.compile session ~name:"a.sml"
+      ~source:"structure A = struct val x = \"now a string\" end" ~imports:[]
+  in
+  let dynenv = Compile.execute a' Linker.empty in
+  match Diag.guard (fun () -> Compile.execute b dynenv) with
+  | Error d -> Alcotest.(check bool) "link phase" true (d.Diag.phase = Diag.Link)
+  | Ok _ -> Alcotest.fail "stale import must fail to link"
+
+let test_hash_stability_comments () =
+  let session = Compile.new_session () in
+  let a1 = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let with_comments =
+    "(* a comment *) structure A = struct\n\
+     val x = 3 (* three *)\n\
+     val y = 4\n\
+     fun double n = n * 2\n\
+     end"
+  in
+  let a2 =
+    Compile.compile session ~name:"a.sml" ~source:with_comments ~imports:[]
+  in
+  Alcotest.(check bool) "comment change keeps the interface pid" true
+    (Pid.equal a1.uf_static_pid a2.uf_static_pid)
+
+let test_hash_stability_implementation () =
+  (* same types, different implementation: same intrinsic pid — the
+     cutoff case the paper motivates *)
+  let session = Compile.new_session () in
+  let a1 = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let changed =
+    "structure A = struct\n\
+     val x = 30\n\
+     val y = 40\n\
+     fun double n = n + n\n\
+     end"
+  in
+  let a2 = Compile.compile session ~name:"a.sml" ~source:changed ~imports:[] in
+  Alcotest.(check bool) "implementation change keeps the interface pid" true
+    (Pid.equal a1.uf_static_pid a2.uf_static_pid)
+
+let test_hash_sensitivity_interface () =
+  let session = Compile.new_session () in
+  let a1 = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let changed_type =
+    "structure A = struct\n\
+     val x = \"s\"\n\
+     val y = 4\n\
+     fun double n = n * 2\n\
+     end"
+  in
+  let a2 =
+    Compile.compile session ~name:"a.sml" ~source:changed_type ~imports:[]
+  in
+  Alcotest.(check bool) "type change changes the interface pid" false
+    (Pid.equal a1.uf_static_pid a2.uf_static_pid);
+  let added_val =
+    "structure A = struct\n\
+     val x = 3\n\
+     val y = 4\n\
+     val extra = 5\n\
+     fun double n = n * 2\n\
+     end"
+  in
+  let a3 =
+    Compile.compile session ~name:"a.sml" ~source:added_val ~imports:[]
+  in
+  Alcotest.(check bool) "added export changes the interface pid" false
+    (Pid.equal a1.uf_static_pid a3.uf_static_pid)
+
+let test_hash_alpha_conversion () =
+  (* hidden internals (local helpers) do not perturb the hash even
+     though they consume provisional stamps *)
+  let session = Compile.new_session () in
+  let plain =
+    "structure A = struct datatype t = T of int val get = fn T n => n end"
+  in
+  let with_hidden =
+    "structure Hidden = struct datatype junk = J1 | J2 | J3 end\n\
+     structure A = struct datatype t = T of int val get = fn T n => n end"
+  in
+  let a1 = Compile.compile session ~name:"a.sml" ~source:plain ~imports:[] in
+  (* compile a unit with extra stamp consumption first, then A again *)
+  let _noise =
+    Compile.compile session ~name:"noise.sml"
+      ~source:"structure N = struct datatype n = N1 | N2 end" ~imports:[]
+  in
+  let a2 = Compile.compile session ~name:"a.sml" ~source:plain ~imports:[] in
+  Alcotest.(check bool) "stamp numbering is alpha-converted" true
+    (Pid.equal a1.uf_static_pid a2.uf_static_pid);
+  (* but the A inside a bigger unit hashes differently (more exports) *)
+  let a3 =
+    Compile.compile session ~name:"a.sml" ~source:with_hidden ~imports:[]
+  in
+  Alcotest.(check bool) "extra exported structure changes pid" false
+    (Pid.equal a1.uf_static_pid a3.uf_static_pid)
+
+let test_pickle_roundtrip () =
+  let session = Compile.new_session () in
+  let source =
+    "signature S = sig type t val mk : int -> t val un : t -> int end\n\
+     structure M :> S = struct type t = int fun mk n = n fun un n = n end\n\
+     functor Twice (X : S) = struct fun go n = X.un (X.mk n) * 2 end\n\
+     structure T = Twice(M)\n\
+     structure Data = struct datatype color = Red | Green | Blue\n\
+       exception Bad of string\n\
+       fun name c = case c of Red => \"r\" | Green => \"g\" | Blue => \"b\"\n\
+     end"
+  in
+  let a = Compile.compile session ~name:"m.sml" ~source ~imports:[] in
+  let bytes = Compile.save session a in
+  (* load into a *fresh* session: rehydration must be self-contained *)
+  let session2 = Compile.new_session () in
+  let a' = Compile.load session2 bytes in
+  Alcotest.(check bool) "static pid preserved" true
+    (Pid.equal a.uf_static_pid a'.uf_static_pid);
+  Alcotest.(check string) "name preserved" a.uf_name a'.uf_name;
+  (* the rehydrated interface re-hashes to the same intrinsic pids *)
+  (match
+     Hashenv.verify (Compile.context session2)
+       ~name_statics:a'.uf_name_statics a'.uf_env
+   with
+  | Some recomputed ->
+    Alcotest.(check bool) "rehydrated env re-hashes identically" true
+      (Pid.equal recomputed a.uf_static_pid)
+  | None -> Alcotest.fail "per-binding verification failed");
+  (* and a dependent compiles against the rehydrated unit and runs *)
+  let b =
+    Compile.compile session2 ~name:"use.sml"
+      ~source:
+        "structure Use = struct val v = T.go 21 val nm = Data.name Data.Green \
+         end"
+      ~imports:[ a' ]
+  in
+  let dynenv = Compile.execute a' Linker.empty in
+  let dynenv = Compile.execute b dynenv in
+  Alcotest.(check int) "functor through pickle" 42 (lookup_int dynenv b "Use" "v")
+
+let test_bitwise_deterministic_bins () =
+  (* two sessions compiling the same source produce byte-identical bins *)
+  let s1 = Compile.new_session () in
+  let s2 = Compile.new_session () in
+  let a1 = Compile.compile s1 ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let a2 = Compile.compile s2 ~name:"a.sml" ~source:unit_a ~imports:[] in
+  Alcotest.(check bool) "same static pid across sessions" true
+    (Pid.equal a1.uf_static_pid a2.uf_static_pid)
+
+let test_corrupt_bin_rejected () =
+  let session = Compile.new_session () in
+  let a = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let bytes = Compile.save session a in
+  let damaged = Bytes.of_string bytes in
+  let mid = Bytes.length damaged / 2 in
+  Bytes.set damaged mid
+    (Char.chr (Char.code (Bytes.get damaged mid) lxor 0x40));
+  (match Compile.load session (Bytes.to_string damaged) with
+  | exception Pickle.Buf.Corrupt _ -> ()
+  | exception Support.Diag.Error _ -> ()
+  | _ -> Alcotest.fail "corrupt bin must be rejected");
+  (* truncation as well *)
+  match
+    Compile.load session (String.sub bytes 0 (String.length bytes - 3))
+  with
+  | exception Pickle.Buf.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated bin must be rejected"
+
+let test_cutoff_dynamic_pids_stable () =
+  (* same interface ⇒ same dynamic pids ⇒ an old dependent links and
+     runs against the *new* implementation without recompilation *)
+  let session = Compile.new_session () in
+  let a = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let b = Compile.compile session ~name:"b.sml" ~source:unit_b ~imports:[ a ] in
+  let changed_impl =
+    "structure A = struct\n\
+     val x = 10\n\
+     val y = 1\n\
+     fun double n = n * 2\n\
+     end"
+  in
+  let a' =
+    Compile.compile session ~name:"a.sml" ~source:changed_impl ~imports:[]
+  in
+  Alcotest.(check bool) "interface pid unchanged" true
+    (Pid.equal a.uf_static_pid a'.uf_static_pid);
+  (* execute new A, then the *old* B bin *)
+  let dynenv = Compile.execute a' Linker.empty in
+  let dynenv = Compile.execute b dynenv in
+  Alcotest.(check int) "old B over new A: double (10+1)" 22
+    (lookup_int dynenv b "B" "z")
+
+let test_interactive_loop () =
+  let buf = Buffer.create 64 in
+  let repl = Interactive.create ~output:(Buffer.add_string buf) () in
+  let out1 = Interactive.eval repl "val x = 3 + 4" in
+  Alcotest.(check (list string)) "binding display" [ "val x = 7 : int" ]
+    out1.Interactive.bindings;
+  let _ = Interactive.eval repl "fun triple n = 3 * n" in
+  let out3 = Interactive.eval repl "triple x" in
+  Alcotest.(check (list string)) "it binding" [ "val it = 21 : int" ]
+    out3.Interactive.bindings;
+  let _ = Interactive.eval repl "print (intToString (triple 100))" in
+  Alcotest.(check string) "print output" "300" (Buffer.contents buf);
+  (* modules work interactively too *)
+  let out5 =
+    Interactive.eval repl
+      "structure S = struct val v = triple 2 end"
+  in
+  Alcotest.(check (list string)) "structure display" [ "structure S" ]
+    out5.Interactive.bindings;
+  let out6 = Interactive.eval repl "S.v" in
+  Alcotest.(check (list string)) "qualified access" [ "val it = 6 : int" ]
+    out6.Interactive.bindings
+
+let test_interactive_use_compiled_unit () =
+  (* the REPL as the paper's bootstrap loader: bring a separately
+     compiled unit into an interactive session *)
+  let session = Compile.new_session () in
+  let a = Compile.compile session ~name:"a.sml" ~source:unit_a ~imports:[] in
+  let bytes = Compile.save session a in
+  let repl = Interactive.create ~output:ignore () in
+  let a' = Pickle.Binfile.read (Interactive.context repl) bytes in
+  let dynenv = Compile.execute a' Linker.empty in
+  Interactive.use repl a' dynenv;
+  let out = Interactive.eval repl "A.double (A.x + A.y)" in
+  Alcotest.(check (list string)) "compiled unit usable from the loop"
+    [ "val it = 14 : int" ] out.Interactive.bindings
+
+let suite =
+  [
+    Alcotest.test_case "compile and execute units" `Quick test_compile_execute;
+    Alcotest.test_case "import pids recorded" `Quick test_imports_recorded;
+    Alcotest.test_case "type-safe linkage" `Quick test_type_safe_linkage;
+    Alcotest.test_case "stale import caught at link time" `Quick
+      test_stale_import_caught;
+    Alcotest.test_case "hash ignores comments" `Quick
+      test_hash_stability_comments;
+    Alcotest.test_case "hash ignores implementation" `Quick
+      test_hash_stability_implementation;
+    Alcotest.test_case "hash tracks the interface" `Quick
+      test_hash_sensitivity_interface;
+    Alcotest.test_case "hash alpha-converts stamps" `Quick
+      test_hash_alpha_conversion;
+    Alcotest.test_case "pickle roundtrip across sessions" `Quick
+      test_pickle_roundtrip;
+    Alcotest.test_case "deterministic pids across sessions" `Quick
+      test_bitwise_deterministic_bins;
+    Alcotest.test_case "corrupt bins rejected" `Quick test_corrupt_bin_rejected;
+    Alcotest.test_case "cutoff: old dependents run on new implementation"
+      `Quick test_cutoff_dynamic_pids_stable;
+    Alcotest.test_case "interactive loop" `Quick test_interactive_loop;
+    Alcotest.test_case "interactive use of compiled units" `Quick
+      test_interactive_use_compiled_unit;
+  ]

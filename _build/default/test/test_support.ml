@@ -1,0 +1,81 @@
+(* Support substrate: symbol interning, locations, diagnostics. *)
+
+module Symbol = Support.Symbol
+module Loc = Support.Loc
+module Diag = Support.Diag
+
+let test_intern_identity () =
+  let a = Symbol.intern "foo" in
+  let b = Symbol.intern "foo" in
+  let c = Symbol.intern "bar" in
+  Alcotest.(check bool) "same string, same symbol" true (Symbol.equal a b);
+  Alcotest.(check int) "same id" (Symbol.id a) (Symbol.id b);
+  Alcotest.(check bool) "different string, different symbol" false
+    (Symbol.equal a c);
+  Alcotest.(check string) "name preserved" "foo" (Symbol.name a)
+
+let test_fresh_no_collision () =
+  let f1 = Symbol.fresh "tmp" in
+  let f2 = Symbol.fresh "tmp" in
+  Alcotest.(check bool) "fresh symbols distinct" false (Symbol.equal f1 f2);
+  (* '%' can't be written in source identifiers. *)
+  Alcotest.(check bool) "marker present" true
+    (String.contains (Symbol.name f1) '%')
+
+let test_symbol_map () =
+  let m =
+    Symbol.Map.empty
+    |> Symbol.Map.add (Symbol.intern "x") 1
+    |> Symbol.Map.add (Symbol.intern "y") 2
+    |> Symbol.Map.add (Symbol.intern "x") 3
+  in
+  Alcotest.(check int) "overwrite" 3 (Symbol.Map.find (Symbol.intern "x") m);
+  Alcotest.(check int) "cardinal" 2 (Symbol.Map.cardinal m)
+
+let test_loc_merge () =
+  let p o l c = { Loc.line = l; col = c; offset = o } in
+  let a = Loc.make "f.sml" (p 0 1 0) (p 5 1 5) in
+  let b = Loc.make "f.sml" (p 10 2 0) (p 15 2 5) in
+  let m = Loc.merge a b in
+  Alcotest.(check int) "merge start" 0 m.Loc.start_pos.Loc.offset;
+  Alcotest.(check int) "merge end" 15 m.Loc.end_pos.Loc.offset;
+  let m' = Loc.merge b a in
+  Alcotest.(check int) "merge symmetric start" 0 m'.Loc.start_pos.Loc.offset
+
+let test_loc_pp () =
+  let p o l c = { Loc.line = l; col = c; offset = o } in
+  let a = Loc.make "f.sml" (p 0 3 2) (p 5 3 7) in
+  Alcotest.(check string) "single-line form" "f.sml:3.2-7" (Loc.to_string a);
+  let b = Loc.make "f.sml" (p 0 3 2) (p 30 4 1) in
+  Alcotest.(check string) "multi-line form" "f.sml:3.2-4.1" (Loc.to_string b)
+
+let test_diag_guard () =
+  let ok = Diag.guard (fun () -> 42) in
+  Alcotest.(check bool) "ok passes through" true (ok = Ok 42);
+  let err =
+    Diag.guard (fun () -> Diag.error Diag.Parse Loc.dummy "unexpected %s" "eof")
+  in
+  match err with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error d ->
+    Alcotest.(check string) "message formatted" "unexpected eof" d.Diag.message;
+    Alcotest.(check string) "phase name" "syntax error"
+      (Diag.phase_name d.Diag.phase)
+
+let qcheck_intern_bijective =
+  QCheck.Test.make ~count:300 ~name:"symbol: intern is injective on names"
+    QCheck.(pair (string_of_size Gen.(1 -- 20)) (string_of_size Gen.(1 -- 20)))
+    (fun (a, b) ->
+      let sa = Symbol.intern a and sb = Symbol.intern b in
+      String.equal a b = Symbol.equal sa sb)
+
+let suite =
+  [
+    Alcotest.test_case "intern identity" `Quick test_intern_identity;
+    Alcotest.test_case "fresh symbols" `Quick test_fresh_no_collision;
+    Alcotest.test_case "symbol maps" `Quick test_symbol_map;
+    Alcotest.test_case "loc merge" `Quick test_loc_merge;
+    Alcotest.test_case "loc printing" `Quick test_loc_pp;
+    Alcotest.test_case "diag guard" `Quick test_diag_guard;
+    QCheck_alcotest.to_alcotest qcheck_intern_bijective;
+  ]

@@ -1,0 +1,168 @@
+(* The bytecode VM, tested differentially against the tree-walking
+   interpreter over the full front end. *)
+
+module Context = Statics.Context
+module Basis = Statics.Basis
+module Elaborate = Statics.Elaborate
+module Types = Statics.Types
+module Parser = Lang.Parser
+module Eval = Dynamics.Eval
+module Vm = Dynamics.Vm
+
+let lambda_of ?(decs = "") src =
+  let ctx = Context.create () in
+  Basis.register ctx;
+  let env = Basis.env () in
+  let delta, tdecs =
+    if decs = "" then (Types.empty_env, [])
+    else Elaborate.elab_decs ctx env (Parser.parse_decs ~file:"pre.sml" decs)
+  in
+  let env = Types.env_union env delta in
+  let texp, _ = Elaborate.elab_exp ctx env (Parser.parse_exp ~file:"t.sml" src) in
+  Translate.tdecs tdecs (Translate.texp texp)
+
+type outcome = Finished of string * string | Raised of string
+
+let run_interp code =
+  let buf = Buffer.create 32 in
+  let rt =
+    Eval.runtime ~output:(Buffer.add_string buf)
+      ~imports:Digestkit.Pid.Map.empty ()
+  in
+  match Eval.run rt code with
+  | v -> Finished (Vm.observe_eval v, Buffer.contents buf)
+  | exception Eval.Sml_raise (Dynamics.Value.Vexn (id, _)) ->
+    Raised (Support.Symbol.name id.Dynamics.Value.exn_name)
+
+let run_vm code =
+  let buf = Buffer.create 32 in
+  let program = Vm.compile code in
+  match
+    Vm.run ~output:(Buffer.add_string buf) ~imports:Digestkit.Pid.Map.empty
+      program
+  with
+  | v -> Finished (Vm.observe v, Buffer.contents buf)
+  | exception Vm.Vm_raise (Vm.Exnpkt (id, _)) ->
+    Raised (Support.Symbol.name id.Dynamics.Value.exn_name)
+
+let agree ?decs src =
+  let code = lambda_of ?decs src in
+  let a = run_interp code in
+  let b = run_vm code in
+  let show = function
+    | Finished (v, out) -> Printf.sprintf "%s (output %S)" v out
+    | Raised e -> "raised " ^ e
+  in
+  Alcotest.(check string) src (show a) (show b)
+
+let test_arithmetic () =
+  agree "1 + 2 * 3 - 4";
+  agree "~7 div 2";
+  agree "10 mod 3";
+  agree "(1 < 2, 2 <= 2, 3 > 4, \"a\" ^ \"b\")"
+
+let test_functions () =
+  agree "let val add = fn a => fn b => a + b in add 2 40 end";
+  agree ~decs:"fun twice f x = f (f x)" "twice (fn n => n * 3) 2";
+  agree ~decs:"fun fact n = if n = 0 then 1 else n * fact (n - 1)" "fact 12";
+  agree
+    ~decs:
+      "fun even n = if n = 0 then true else odd (n - 1)\n\
+       and odd n = if n = 0 then false else even (n - 1)"
+    "(even 10, odd 7)"
+
+let test_data_and_matching () =
+  agree ~decs:"datatype 'a opt = N | S of 'a" "case S 5 of N => 0 | S n => n";
+  agree
+    ~decs:
+      "fun len xs = case xs of nil => 0 | _ :: r => 1 + len r\n\
+       fun app (a, b) = case a of nil => b | x :: r => x :: app (r, b)"
+    "len (app ([1, 2, 3], [4, 5]))";
+  agree "case (1, (2, 3)) of (a, (b, c)) => a * 100 + b * 10 + c"
+
+let test_exceptions () =
+  agree ~decs:"exception Boom of int" "(raise Boom 5) handle Boom n => n * 2";
+  agree "1 div 0";
+  (* uncaught: both raise Div *)
+  agree "(1 div 0) handle Div => 99";
+  agree ~decs:"exception A exception B"
+    "((raise A) handle B => 1) handle A => 2";
+  agree
+    ~decs:"exception E"
+    "let fun dig n = if n = 0 then raise E else 1 + dig (n - 1) in dig 5 \
+     handle E => 100 end"
+
+let test_refs_and_effects () =
+  agree "let val r = ref 10 in (r := !r + 1; r := !r * 2; !r) end";
+  agree "(print \"side\"; print \"fx\"; 7)"
+
+let test_structures_as_records () =
+  agree
+    ~decs:
+      "structure M = struct val x = 3 fun inc n = n + x end\n\
+       structure N = struct structure Inner = M end"
+    "N.Inner.inc (N.Inner.x)"
+
+let test_deep_recursion_in_vm () =
+  (* the VM must sustain deeper call chains than naive OCaml recursion
+     in the interpreter would; keep this within the interpreter's reach
+     so both agree *)
+  agree ~decs:"fun sum n = if n = 0 then 0 else n + sum (n - 1)" "sum 5000"
+
+let qcheck_differential =
+  QCheck.Test.make ~count:60 ~name:"vm agrees with interpreter on random programs"
+    (QCheck.make ~print:Fun.id
+       QCheck.Gen.(
+         let pure_exp =
+           sized
+           @@ fix (fun self n ->
+                  if n <= 0 then map string_of_int (0 -- 30)
+                  else
+                    frequency
+                      [
+                        (1, map string_of_int (0 -- 30));
+                        ( 2,
+                          map2
+                            (fun a b -> Printf.sprintf "(%s + %s)" a b)
+                            (self (n / 2)) (self (n / 2)) );
+                        ( 1,
+                          map2
+                            (fun a b -> Printf.sprintf "(%s * %s)" a b)
+                            (self (n / 3)) (self (n / 3)) );
+                        ( 1,
+                          map3
+                            (fun a b c ->
+                              Printf.sprintf "(if %s < %s then %s else %s)" a
+                                b c a)
+                            (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+                        ( 1,
+                          map2
+                            (fun a b ->
+                              Printf.sprintf "(let val q = %s in q + %s end)"
+                                a b)
+                            (self (n / 2)) (self (n / 2)) );
+                      ])
+         in
+         pure_exp))
+    (fun src ->
+      let code = lambda_of src in
+      run_interp code = run_vm code)
+
+let test_program_length () =
+  let code = lambda_of "1 + 2" in
+  let program = Vm.compile code in
+  Alcotest.(check bool) "program non-empty" true (Vm.program_length program > 0)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "functions and recursion" `Quick test_functions;
+    Alcotest.test_case "data and matching" `Quick test_data_and_matching;
+    Alcotest.test_case "exceptions" `Quick test_exceptions;
+    Alcotest.test_case "refs and effects" `Quick test_refs_and_effects;
+    Alcotest.test_case "structures as records" `Quick
+      test_structures_as_records;
+    Alcotest.test_case "deep recursion" `Quick test_deep_recursion_in_vm;
+    Alcotest.test_case "program length" `Quick test_program_length;
+    QCheck_alcotest.to_alcotest qcheck_differential;
+  ]
