@@ -20,9 +20,59 @@
 module Gen = Workload.Gen
 module Driver = Irm.Driver
 module Pid = Digestkit.Pid
+module J = Obs.Json
 
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_sepcomp.json                        *)
+(*                                                                     *)
+(* Schema (see README, "Observability"):                               *)
+(*   { "schema": "smlsep-bench/1", "quick": bool,                      *)
+(*     "experiments": {                                                *)
+(*       "build_times":      [{scale,units,lines,policy,build_s,       *)
+(*                             hash_s,dehydrate_s,rehydrate_s,         *)
+(*                             overhead_ratio}],                       *)
+(*       "recompile_counts": [{topology,edit,policy,recompiled,        *)
+(*                             cutoff_hits,total,cutoff_hit_rate}],    *)
+(*       "build_latency":    [{scenario,policy,median_s,recompiled}],  *)
+(*       "pickle_sizes":     [{depth,bytes}] },                        *)
+(*     "metrics": { <Obs.Metrics counters> } }                         *)
+(* ------------------------------------------------------------------ *)
+
+let quick = ref false
+let out_path = ref "BENCH_sepcomp.json"
+
+let tbl_build_times : J.t list ref = ref []
+let tbl_recompile : J.t list ref = ref []
+let tbl_latency : J.t list ref = ref []
+let tbl_pickle_sizes : J.t list ref = ref []
+
+let record tbl row = tbl := row :: !tbl
+
+let write_results () =
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "smlsep-bench/1");
+        ("quick", J.Bool !quick);
+        ( "experiments",
+          J.Obj
+            [
+              ("build_times", J.List (List.rev !tbl_build_times));
+              ("recompile_counts", J.List (List.rev !tbl_recompile));
+              ("build_latency", J.List (List.rev !tbl_latency));
+              ("pickle_sizes", J.List (List.rev !tbl_pickle_sizes));
+            ] );
+        ("metrics", Obs.Metrics.to_json ());
+      ]
+  in
+  let oc = open_out_bin !out_path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "results written to %s\n" !out_path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wrapper                                                    *)
@@ -56,7 +106,8 @@ let run_bechamel ~name cases =
     rows
 
 (* wall-clock timing for project-scale flows; median of [n] runs *)
-let time_median ?(n = 3) f =
+let time_median ?n f =
+  let n = match n with Some n -> n | None -> if !quick then 1 else 3 in
   let samples =
     List.init n (fun _ ->
         let t0 = Unix.gettimeofday () in
@@ -187,7 +238,8 @@ let e3 () =
   (* the paper's workload is 65k lines over ~200 units (~325 lines per
      unit); we sweep unit sizes towards that shape *)
   let scales =
-    [ (30, 40, "small"); (60, 120, "medium"); (48, 330, "paper-shaped") ]
+    if !quick then [ (30, 40, "small") ]
+    else [ (30, 40, "small"); (60, 120, "medium"); (48, 330, "paper-shaped") ]
   in
   List.iter
     (fun (units, lines_per_unit, label) ->
@@ -248,6 +300,19 @@ let e3 () =
               envs)
       in
       let overhead = hash_time +. pickle_time +. unpickle_time in
+      record tbl_build_times
+        (J.Obj
+           [
+             ("scale", J.String label);
+             ("units", J.Int units);
+             ("lines", J.Int lines);
+             ("policy", J.String (Driver.policy_name Driver.Cutoff));
+             ("build_s", J.Float build_time);
+             ("hash_s", J.Float hash_time);
+             ("dehydrate_s", J.Float pickle_time);
+             ("rehydrate_s", J.Float unpickle_time);
+             ("overhead_ratio", J.Float (overhead /. build_time));
+           ]);
       Printf.printf
         "%-13s %4d units %6d lines | compile %7.3fs  hash %7.4fs  dehydrate \
          %7.4fs  rehydrate %7.4fs | overhead/compile = %5.2f%% (paper: ~1%%)\n"
@@ -298,12 +363,18 @@ let e4 () =
 let e5 () =
   section "E5: recompilation counts, cutoff vs timestamp (the paper's motivation)";
   let topologies =
-    [
-      ("chain-16", Gen.Chain 16);
-      ("fanout-15", Gen.Fanout 15);
-      ("diamond-7", Gen.Diamond 7);
-      ("dag-24", Gen.Random_dag { units = 24; max_deps = 3; seed = 11 });
-    ]
+    if !quick then
+      [
+        ("chain-16", Gen.Chain 16);
+        ("dag-24", Gen.Random_dag { units = 24; max_deps = 3; seed = 11 });
+      ]
+    else
+      [
+        ("chain-16", Gen.Chain 16);
+        ("fanout-15", Gen.Fanout 15);
+        ("diamond-7", Gen.Diamond 7);
+        ("dag-24", Gen.Random_dag { units = 24; max_deps = 3; seed = 11 });
+      ]
   in
   Printf.printf "%-11s %-13s | %-18s | %-18s | %-9s | cutoff wins by\n"
     "topology" "edit" "timestamp rebuilds" "cutoff rebuilds" "selective";
@@ -320,7 +391,25 @@ let e5 () =
             (* edit the unit everything depends on: the maximal cone *)
             Gen.edit project (Gen.base_file project) edit;
             let stats = Driver.build mgr ~policy ~sources in
-            (List.length stats.Driver.st_recompiled, List.length sources)
+            let recompiled = List.length stats.Driver.st_recompiled in
+            let cutoff_hits = List.length stats.Driver.st_cutoff_hits in
+            let total = List.length sources in
+            record tbl_recompile
+              (J.Obj
+                 [
+                   ("topology", J.String topo_label);
+                   ("edit", J.String (Gen.edit_name edit));
+                   ("policy", J.String (Driver.policy_name policy));
+                   ("recompiled", J.Int recompiled);
+                   ("cutoff_hits", J.Int cutoff_hits);
+                   ("total", J.Int total);
+                   ( "cutoff_hit_rate",
+                     J.Float
+                       (if recompiled = 0 then 0.
+                        else float_of_int cutoff_hits /. float_of_int recompiled)
+                   );
+                 ]);
+            (recompiled, total)
           in
           let ts, total = count Driver.Timestamp in
           let co, _ = count Driver.Cutoff in
@@ -369,6 +458,8 @@ let e6 () =
       in
       let ctx = Sepcomp.Compile.context session in
       let size = Pickle.Binfile.size_of ctx unit_ in
+      record tbl_pickle_sizes
+        (J.Obj [ ("depth", J.Int depth); ("bytes", J.Int size) ]);
       (* the deepest alias, fully expanded *)
       let deep_ty =
         let str =
@@ -524,6 +615,14 @@ let e9 () =
                 let stats = Driver.build mgr ~policy ~sources in
                 recompiled := List.length stats.Driver.st_recompiled)
           in
+          record tbl_latency
+            (J.Obj
+               [
+                 ("scenario", J.String label);
+                 ("policy", J.String (Driver.policy_name policy));
+                 ("median_s", J.Float t);
+                 ("recompiled", J.Int !recompiled);
+               ]);
           Printf.printf "%-14s | %-10s | %12.2f | %d\n" label
             (Driver.policy_name policy) (1000. *. t) !recompiled)
         [
@@ -686,9 +785,34 @@ let e12 () =
         (Lambda.size code) (Dynamics.Vm.program_length program))
     programs
 
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--out" :: path :: rest ->
+        out_path := path;
+        go rest
+    | [ "--out" ] ->
+        Printf.eprintf "usage: %s [--quick] [--out FILE]\n  --out needs a file\n"
+          Sys.argv.(0);
+        exit 2
+    | arg :: _ ->
+        Printf.eprintf "usage: %s [--quick] [--out FILE]\n  unknown argument %s\n"
+          Sys.argv.(0) arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
 let () =
+  parse_args ();
   print_endline "smlsep benchmark harness — reproduces the paper's evaluation";
-  e1 ();
+  if !quick then
+    print_endline "(quick mode: fewer repetitions, micro-benchmarks skipped)";
+  (* e1/e12 are bechamel micro-benchmark suites: slow and not part of the
+     JSON report, so quick mode skips them. *)
+  if not !quick then e1 ();
   e2 ();
   e3 ();
   e4 ();
@@ -699,5 +823,6 @@ let () =
   e9 ();
   e10 ();
   e11 ();
-  e12 ();
-  print_endline "\ndone."
+  if not !quick then e12 ();
+  write_results ();
+  Printf.printf "\nwrote %s\ndone.\n" !out_path

@@ -1,11 +1,14 @@
 (* irm — the Incremental Recompilation Manager as a command-line tool.
 
-     irm build sources.cm --policy cutoff
+     irm build sources.cm --policy cutoff --trace build.json --stats
      irm run sources.cm
+     irm stats sources.cm
      irm deps sources.cm
 
    A group file lists source paths, one per line; dependency order is
-   computed automatically (section 8 of the paper). *)
+   computed automatically (section 8 of the paper).  --trace writes a
+   Chrome trace_event file (open in chrome://tracing or Perfetto);
+   --stats prints the per-unit build report and the metric counters. *)
 
 let parse_policy = function
   | "cutoff" -> Ok Irm.Driver.Cutoff
@@ -19,11 +22,34 @@ let with_manager dir group f =
   let mgr = Irm.Driver.create fs in
   f fs mgr sources
 
+(* the telemetry envelope: enable tracing when requested, run, then
+   write the trace file and print the metric counters *)
+let with_obs trace stats f =
+  if trace <> None then Obs.Trace.enable ();
+  let code = f () in
+  Option.iter
+    (fun path ->
+      Obs.Trace.write_chrome path;
+      Printf.eprintf "trace written to %s (%d spans)\n" path
+        (List.length (Obs.Trace.events ())))
+    trace;
+  if stats then Format.printf "metrics:@.%a" Obs.Metrics.pp ();
+  code
+
 let guarded f =
   match Support.Diag.guard f with
   | Ok code -> code
   | Error d ->
     prerr_endline (Support.Diag.to_string d);
+    1
+  | exception Pickle.Buf.Corrupt msg ->
+    prerr_endline
+      (Support.Diag.to_string
+         {
+           Support.Diag.phase = Support.Diag.Pickle;
+           loc = Support.Loc.dummy;
+           message = msg;
+         });
     1
   | exception Dynamics.Eval.Sml_raise packet ->
     Printf.eprintf "uncaught exception: %s\n" (Dynamics.Value.to_string packet);
@@ -33,37 +59,69 @@ let guarded f =
     prerr_endline msg;
     1
 
-let build_cmd_impl dir group policy =
-  guarded (fun () ->
-      with_manager dir group (fun _fs mgr sources ->
-          let stats = Irm.Driver.build mgr ~policy ~sources in
-          List.iter
-            (fun file ->
-              let unit_ = Irm.Driver.unit_of mgr file in
-              let tag =
-                if List.exists (String.equal file) stats.Irm.Driver.st_recompiled
-                then
-                  if List.exists (String.equal file) stats.Irm.Driver.st_cutoff_hits
-                  then "recompiled (interface unchanged)"
-                  else "recompiled"
-                else "up to date"
-              in
-              Printf.printf "%-24s %s  [%s]\n" file
-                (Digestkit.Pid.short unit_.Pickle.Binfile.uf_static_pid)
-                tag)
-            stats.Irm.Driver.st_order;
-          Printf.printf "%d recompiled, %d up to date (%s policy)\n"
-            (List.length stats.Irm.Driver.st_recompiled)
-            (List.length stats.Irm.Driver.st_loaded)
-            (Irm.Driver.policy_name policy);
-          0))
+let require_sources group sources =
+  if sources = [] then
+    Support.Diag.error Support.Diag.Manager Support.Loc.dummy
+      "group file %s lists no sources" group
 
-let run_cmd_impl dir group policy =
+let build_units mgr policy sources =
+  let stats = Irm.Driver.build mgr ~policy ~sources in
+  List.iter
+    (fun file ->
+      let unit_ = Irm.Driver.unit_of mgr file in
+      let tag =
+        match Irm.Driver.outcome_of stats file with
+        | "cutoff" -> "recompiled (interface unchanged)"
+        | "loaded" -> "up to date"
+        | outcome -> outcome
+      in
+      Printf.printf "%-24s %s  [%s]\n" file
+        (Digestkit.Pid.short unit_.Pickle.Binfile.uf_static_pid)
+        tag)
+    stats.Irm.Driver.st_order;
+  print_endline (Irm.Driver.summary_line stats);
+  stats
+
+let build_cmd_impl dir group policy trace stats_flag =
   guarded (fun () ->
       with_manager dir group (fun _fs mgr sources ->
-          let _ = Irm.Driver.build mgr ~policy ~sources in
-          let _ = Irm.Driver.run mgr ~sources in
-          0))
+          require_sources group sources;
+          with_obs trace stats_flag (fun () ->
+              let stats = build_units mgr policy sources in
+              if stats_flag then
+                Format.printf "%a" Irm.Driver.pp_report stats;
+              0)))
+
+let run_cmd_impl dir group policy trace stats_flag =
+  guarded (fun () ->
+      with_manager dir group (fun _fs mgr sources ->
+          require_sources group sources;
+          with_obs trace stats_flag (fun () ->
+              let stats = Irm.Driver.build mgr ~policy ~sources in
+              let _ = Irm.Driver.run mgr ~sources in
+              if stats_flag then
+                Format.printf "%a" Irm.Driver.pp_report stats;
+              0)))
+
+let stats_cmd_impl dir group policy trace json =
+  guarded (fun () ->
+      with_manager dir group (fun _fs mgr sources ->
+          require_sources group sources;
+          with_obs trace false (fun () ->
+              let stats = Irm.Driver.build mgr ~policy ~sources in
+              if json then
+                print_endline
+                  (Obs.Json.to_string
+                     (Obs.Json.Obj
+                        [
+                          ("build", Irm.Driver.report_json stats);
+                          ("metrics", Obs.Metrics.to_json ());
+                        ]))
+              else begin
+                Format.printf "%a" Irm.Driver.pp_report stats;
+                Format.printf "metrics:@.%a" Obs.Metrics.pp ()
+              end;
+              0)))
 
 let deps_cmd_impl dir group dot =
   guarded (fun () ->
@@ -130,15 +188,46 @@ let policy_arg =
            $(b,selective) (per-module interface pids) or $(b,timestamp) \
            (classical make).")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"OUT"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the build's phase \
+           spans to $(docv) (open in chrome://tracing or Perfetto).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the per-unit build report and the metric counters.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+
 let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"bring every unit of the group up to date")
-    Term.(const build_cmd_impl $ dir_arg $ group_arg $ policy_arg)
+    Term.(
+      const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ trace_arg
+      $ stats_arg)
 
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"build, then execute all units in dependency order")
-    Term.(const run_cmd_impl $ dir_arg $ group_arg $ policy_arg)
+    Term.(
+      const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ trace_arg
+      $ stats_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"build, then print the per-unit report and metric counters")
+    Term.(
+      const stats_cmd_impl $ dir_arg $ group_arg $ policy_arg $ trace_arg
+      $ json_arg)
 
 let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.")
@@ -151,6 +240,6 @@ let deps_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "irm" ~doc:"incremental recompilation manager for MiniSML")
-    [ build_cmd; run_cmd; deps_cmd ]
+    [ build_cmd; run_cmd; stats_cmd; deps_cmd ]
 
 let () = exit (Cmd.eval' cmd)

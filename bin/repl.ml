@@ -24,7 +24,8 @@ let strip_semi line =
     Some (String.sub line 0 (String.length line - 1))
   else None
 
-let main () =
+let main trace stats =
+  if trace <> None then Obs.Trace.enable ();
   let repl = Sepcomp.Interactive.create () in
   let dynenv = ref Link.Linker.empty in
   let buffer = Buffer.create 256 in
@@ -59,7 +60,13 @@ let main () =
     | Error d -> prerr_endline (Support.Diag.to_string d)
     | exception Sys_error msg -> prerr_endline msg
     | exception Pickle.Buf.Corrupt msg ->
-      Printf.eprintf "corrupt bin file: %s\n" msg
+      prerr_endline
+        (Support.Diag.to_string
+           {
+             Support.Diag.phase = Support.Diag.Pickle;
+             loc = Support.Loc.dummy;
+             message = msg;
+           })
   in
   print_endline "MiniSML interactive loop (:use <file.bin> loads a unit, ctrl-D exits)";
   let rec loop () =
@@ -88,12 +95,32 @@ let main () =
       end
   in
   loop ();
+  Option.iter
+    (fun path ->
+      Obs.Trace.write_chrome path;
+      Printf.eprintf "trace written to %s (%d spans)\n" path
+        (List.length (Obs.Trace.events ())))
+    trace;
+  if stats then Format.eprintf "metrics:@.%a" Obs.Metrics.pp ();
   0
 
 open Cmdliner
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"OUT"
+        ~doc:
+          "On exit, write a Chrome trace_event JSON file of the \
+           session's phase spans to $(docv).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"On exit, print the metric counters to stderr.")
+
 let cmd =
   let doc = "interactive MiniSML session over the visible compiler" in
-  Cmd.v (Cmd.info "repl" ~doc) Term.(const main $ const ())
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const main $ trace_arg $ stats_arg)
 
 let () = exit (Cmd.eval' cmd)

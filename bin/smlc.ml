@@ -16,7 +16,8 @@ let write_file path content =
   output_string oc content;
   close_out oc
 
-let compile_one source_path import_paths run verbose =
+let compile_one source_path import_paths run verbose trace stats =
+  if trace <> None then Obs.Trace.enable ();
   let session = Sepcomp.Compile.new_session () in
   let imports =
     List.map
@@ -56,18 +57,32 @@ let compile_one source_path import_paths run verbose =
     in
     ignore (Sepcomp.Compile.execute unit_ dynenv)
   end;
+  Option.iter
+    (fun path ->
+      Obs.Trace.write_chrome path;
+      Printf.eprintf "trace written to %s (%d spans)\n" path
+        (List.length (Obs.Trace.events ())))
+    trace;
+  if stats then Format.printf "metrics:@.%a" Obs.Metrics.pp ();
   0
 
-let main source_path import_paths run verbose =
+let main source_path import_paths run verbose trace stats =
   match
-    Support.Diag.guard (fun () -> compile_one source_path import_paths run verbose)
+    Support.Diag.guard (fun () ->
+        compile_one source_path import_paths run verbose trace stats)
   with
   | Ok code -> code
   | Error d ->
     prerr_endline (Support.Diag.to_string d);
     1
   | exception Pickle.Buf.Corrupt msg ->
-    Printf.eprintf "corrupt bin file: %s\n" msg;
+    prerr_endline
+      (Support.Diag.to_string
+         {
+           Support.Diag.phase = Support.Diag.Pickle;
+           loc = Support.Loc.dummy;
+           message = msg;
+         });
     1
   | exception Dynamics.Eval.Sml_raise packet ->
     Printf.eprintf "uncaught exception: %s\n" (Dynamics.Value.to_string packet);
@@ -94,10 +109,23 @@ let run_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print pids and imports.")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"OUT"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the compile's phase \
+           spans to $(docv) (open in chrome://tracing or Perfetto).")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print the metric counters.")
+
 let cmd =
   let doc = "compile a MiniSML compilation unit (separate compilation)" in
   Cmd.v
     (Cmd.info "smlc" ~doc)
-    Term.(const main $ source_arg $ imports_arg $ run_arg $ verbose_arg)
+    Term.(
+      const main $ source_arg $ imports_arg $ run_arg $ verbose_arg
+      $ trace_arg $ stats_arg)
 
 let () = exit (Cmd.eval' cmd)

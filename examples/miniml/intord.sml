@@ -1,0 +1,1 @@
+structure IntOrd = struct type elem = int fun less (a, b) = a < b end

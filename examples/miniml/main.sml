@@ -1,0 +1,6 @@
+structure Main = struct
+structure S = Sort(IntOrd)
+fun digits xs = let fun go (acc, l) = case l of nil => acc | x :: r => go (acc * 10 + x, r) in go (0, xs) end
+val answer = digits (S.sort [3, 1, 2])
+val banner = print (intToString answer)
+end

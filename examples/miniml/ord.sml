@@ -1,0 +1,1 @@
+signature ORD = sig type elem val less : elem * elem -> bool end

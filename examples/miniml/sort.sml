@@ -1,0 +1,5 @@
+functor Sort (O : ORD) = struct
+fun insert (x, nil) = [x]
+  | insert (x, y :: ys) = if O.less (x, y) then x :: y :: ys else y :: insert (x, ys)
+fun sort nil = nil | sort (x :: xs) = insert (x, sort xs)
+end

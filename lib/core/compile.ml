@@ -33,20 +33,31 @@ let runtime_export_fields (delta : Types.env) =
     (fun (a, _) (b, _) -> String.compare (Symbol.name a) (Symbol.name b))
     !fields
 
+let m_units = Obs.Metrics.counter "compile.units"
+
 let compile ?(optimize = true) ?warn session ~name ~source ~imports =
+  Obs.Trace.span ~cat:"compile" ~args:[ ("unit", name) ] "compile.unit"
+  @@ fun () ->
+  let phase p f = Obs.Trace.span ~cat:"compile" ~args:[ ("unit", name) ] p f in
   let env = env_of_units session imports in
-  let unit_ = Lang.Parser.parse_unit ~file:name source in
+  let unit_ =
+    phase "parse" (fun () -> Lang.Parser.parse_unit ~file:name source)
+  in
   let delta, tdecs =
-    Statics.Elaborate.elab_compilation_unit ?warn session.ctx env unit_
+    phase "elaborate" (fun () ->
+        Statics.Elaborate.elab_compilation_unit ?warn session.ctx env unit_)
   in
   let fields = runtime_export_fields delta in
-  let export = Pickle.Hashenv.export session.ctx delta in
-  let code = Translate.unit_code tdecs fields in
-  let code = if optimize then Simplify.term code else code in
+  let export = phase "hash" (fun () -> Pickle.Hashenv.export session.ctx delta) in
+  let code = phase "translate" (fun () -> Translate.unit_code tdecs fields) in
+  let code =
+    if optimize then phase "simplify" (fun () -> Simplify.term code) else code
+  in
   let codeunit = Link.Codeunit.make ~exports:export.ex_exports code in
+  Obs.Metrics.incr m_units;
   (* the selective-recompilation record: of the module names this unit
      referenced, which import provided each and at what interface pid *)
-  let summary = Depend.Scan.scan unit_ in
+  let summary = phase "scan" (fun () -> Depend.Scan.scan unit_) in
   let uf_import_name_statics =
     List.concat_map
       (fun (uf : Pickle.Binfile.t) ->

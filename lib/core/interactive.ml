@@ -97,20 +97,26 @@ let describe_bindings t delta =
   List.rev !lines
 
 let eval t input =
-  let decs = parse_input input in
+  Obs.Trace.span ~cat:"repl" "repl.eval" @@ fun () ->
+  let phase p f = Obs.Trace.span ~cat:"repl" p f in
+  let decs = phase "parse" (fun () -> parse_input input) in
   let warnings = ref [] in
   let warn loc msg =
     warnings :=
       Format.asprintf "%a: warning: %s" Support.Loc.pp loc msg :: !warnings
   in
-  let delta, tdecs = Statics.Elaborate.elab_decs ~warn t.ctx t.senv decs in
+  let delta, tdecs =
+    phase "elaborate" (fun () ->
+        Statics.Elaborate.elab_decs ~warn t.ctx t.senv decs)
+  in
   let binders = runtime_binders delta in
   let record =
-    Translate.tdecs tdecs
-      (Lambda.Lrecord (List.map (fun v -> (v, Lambda.Lvar v)) binders))
+    phase "translate" (fun () ->
+        Translate.tdecs tdecs
+          (Lambda.Lrecord (List.map (fun v -> (v, Lambda.Lvar v)) binders)))
   in
   let rt = Dynamics.Eval.runtime ~output:t.output ~imports:t.imports () in
-  (match Dynamics.Eval.eval rt t.values record with
+  (match phase "execute" (fun () -> Dynamics.Eval.eval rt t.values record) with
   | Value.Vrecord fields ->
     Symbol.Map.iter
       (fun v value -> t.values <- Symbol.Map.add v value t.values)

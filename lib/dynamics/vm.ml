@@ -393,6 +393,8 @@ let apply_prim output prim arg =
     | Int n -> raise (Eval.Sml_exit n)
     | v -> exec_error "exit on %s" (observe v))
 
+let m_instructions = Obs.Metrics.counter "vm.instructions"
+
 type frame = { ret : int; saved_env : value list }
 
 type handler = {
@@ -439,9 +441,15 @@ let run ?(output = print_string) ~imports program =
     in
     go n l
   in
+  (* steps accumulate locally; one registry update per run keeps the
+     dispatch loop free of shared-state traffic *)
+  let steps = ref 0 in
+  Fun.protect ~finally:(fun () -> Obs.Metrics.add m_instructions !steps)
+  @@ fun () ->
   while !result = None do
     let instr = code.(!pc) in
     incr pc;
+    incr steps;
     match instr with
     | Kint n -> push (Int n)
     | Kstr s -> push (Str s)

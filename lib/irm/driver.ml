@@ -13,7 +13,14 @@ type stats = {
   st_recompiled : string list;
   st_loaded : string list;
   st_cutoff_hits : string list;
+  st_policy : policy;
+  st_wall_s : float;
+  st_unit_times : (string * float) list;
 }
+
+let m_recompiled = Obs.Metrics.counter "build.recompiled"
+let m_loaded = Obs.Metrics.counter "build.loaded"
+let m_cutoff_hits = Obs.Metrics.counter "build.cutoff_hits"
 
 type t = {
   fs : Vfs.fs;
@@ -43,7 +50,13 @@ let read_bin t file =
     | exception Pickle.Buf.Corrupt _ -> None)
 
 let build t ~policy ~sources =
+  Obs.Trace.span ~cat:"build"
+    ~args:[ ("policy", policy_name policy) ]
+    "build"
+  @@ fun () ->
+  let build_start = Unix.gettimeofday () in
   let parsed =
+    Obs.Trace.span ~cat:"build" "build.scan_sources" @@ fun () ->
     List.map
       (fun file ->
         (file, Lang.Parser.parse_unit ~file (read_source t file)))
@@ -55,9 +68,11 @@ let build t ~policy ~sources =
   let recompiled = ref [] in
   let loaded = ref [] in
   let cutoff_hits = ref [] in
+  let unit_times = ref [] in
   let was_recompiled file = List.exists (String.equal file) !recompiled in
   List.iter
     (fun file ->
+      let unit_start = Unix.gettimeofday () in
       let deps = (Depend.Depgraph.node graph file).Depend.Depgraph.n_deps in
       let imports =
         List.map
@@ -129,35 +144,43 @@ let build t ~policy ~sources =
                       | None -> false)
                     prev.Pickle.Binfile.uf_import_name_statics))
       in
-      if stale then begin
-        let unit_ =
-          Sepcomp.Compile.compile t.session ~name:file
-            ~source:(read_source t file) ~imports
-        in
-        t.fs.Vfs.fs_write (bin_path file)
-          (Sepcomp.Compile.save t.session unit_);
-        Hashtbl.replace t.units file unit_;
-        recompiled := file :: !recompiled;
-        (match previous with
-        | Some prev
-          when Pid.equal prev.Pickle.Binfile.uf_static_pid
-                 unit_.Pickle.Binfile.uf_static_pid ->
-          cutoff_hits := file :: !cutoff_hits
-        | _ -> ())
-      end
-      else begin
-        match previous with
-        | Some prev ->
-          Hashtbl.replace t.units file prev;
-          loaded := file :: !loaded
-        | None -> assert false
-      end)
+      (if stale then begin
+         let unit_ =
+           Sepcomp.Compile.compile t.session ~name:file
+             ~source:(read_source t file) ~imports
+         in
+         t.fs.Vfs.fs_write (bin_path file)
+           (Sepcomp.Compile.save t.session unit_);
+         Hashtbl.replace t.units file unit_;
+         recompiled := file :: !recompiled;
+         match previous with
+         | Some prev
+           when Pid.equal prev.Pickle.Binfile.uf_static_pid
+                  unit_.Pickle.Binfile.uf_static_pid ->
+           cutoff_hits := file :: !cutoff_hits;
+           Obs.Trace.instant ~cat:"build" ~args:[ ("unit", file) ]
+             "build.cutoff_hit"
+         | _ -> ()
+       end
+       else
+         match previous with
+         | Some prev ->
+           Hashtbl.replace t.units file prev;
+           loaded := file :: !loaded
+         | None -> assert false);
+      unit_times := (file, Unix.gettimeofday () -. unit_start) :: !unit_times)
     order;
+  Obs.Metrics.add m_recompiled (List.length !recompiled);
+  Obs.Metrics.add m_loaded (List.length !loaded);
+  Obs.Metrics.add m_cutoff_hits (List.length !cutoff_hits);
   {
     st_order = order;
     st_recompiled = List.rev !recompiled;
     st_loaded = List.rev !loaded;
     st_cutoff_hits = List.rev !cutoff_hits;
+    st_policy = policy;
+    st_wall_s = Unix.gettimeofday () -. build_start;
+    st_unit_times = List.rev !unit_times;
   }
 
 let unit_of t file =
@@ -166,6 +189,7 @@ let unit_of t file =
   | None -> manager_error "unit %s has not been built" file
 
 let run ?output t ~sources =
+  Obs.Trace.span ~cat:"build" "build.run" @@ fun () ->
   (* execute in the order of the last build *)
   let parsed =
     List.map
@@ -178,3 +202,60 @@ let run ?output t ~sources =
     (fun dynenv file ->
       Sepcomp.Compile.execute ?output (unit_of t file) dynenv)
     Link.Linker.empty order
+
+(* ------------------------------------------------------------------ *)
+(* Build reports                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_of stats file =
+  let mem xs = List.exists (String.equal file) xs in
+  if mem stats.st_cutoff_hits then "cutoff"
+  else if mem stats.st_recompiled then "recompiled"
+  else if mem stats.st_loaded then "loaded"
+  else "unknown"
+
+let summary_line stats =
+  Printf.sprintf "%d recompiled / %d loaded / %d cutoff (%s policy, %.1f ms)"
+    (List.length stats.st_recompiled)
+    (List.length stats.st_loaded)
+    (List.length stats.st_cutoff_hits)
+    (policy_name stats.st_policy)
+    (1000. *. stats.st_wall_s)
+
+let pp_report ppf stats =
+  Format.fprintf ppf "build report (%s policy)@." (policy_name stats.st_policy);
+  List.iter
+    (fun file ->
+      let ms =
+        match List.assoc_opt file stats.st_unit_times with
+        | Some s -> 1000. *. s
+        | None -> 0.
+      in
+      Format.fprintf ppf "  %-28s %-10s %8.2f ms@." file
+        (outcome_of stats file) ms)
+    stats.st_order;
+  Format.fprintf ppf "  %s@." (summary_line stats)
+
+let report_json stats =
+  Obs.Json.Obj
+    [
+      ("policy", Obs.Json.String (policy_name stats.st_policy));
+      ("wall_s", Obs.Json.Float stats.st_wall_s);
+      ("recompiled", Obs.Json.Int (List.length stats.st_recompiled));
+      ("loaded", Obs.Json.Int (List.length stats.st_loaded));
+      ("cutoff_hits", Obs.Json.Int (List.length stats.st_cutoff_hits));
+      ( "units",
+        Obs.Json.List
+          (List.map
+             (fun file ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String file);
+                   ("outcome", Obs.Json.String (outcome_of stats file));
+                   ( "wall_s",
+                     match List.assoc_opt file stats.st_unit_times with
+                     | Some s -> Obs.Json.Float s
+                     | None -> Obs.Json.Null );
+                 ])
+             stats.st_order) );
+    ]

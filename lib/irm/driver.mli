@@ -32,6 +32,11 @@ type stats = {
   st_cutoff_hits : string list;
       (** recompiled but interface unchanged, so the cascade stopped
           (always empty under [Timestamp]) *)
+  st_policy : policy;  (** the policy this build ran under *)
+  st_wall_s : float;  (** wall-clock seconds for the whole build *)
+  st_unit_times : (string * float) list;
+      (** wall-clock seconds per unit (staleness check + compile or
+          load), in build order *)
 }
 
 type t
@@ -54,3 +59,19 @@ val unit_of : t -> string -> Pickle.Binfile.t
 (** [run ?output t ~sources] — execute every unit of the last build in
     dependency order; returns the final dynamic environment. *)
 val run : ?output:(string -> unit) -> t -> sources:string list -> Link.Linker.dynenv
+
+(** [outcome_of stats file] — ["recompiled"], ["loaded"], ["cutoff"]
+    (recompiled, interface unchanged) or ["unknown"]. *)
+val outcome_of : stats -> string -> string
+
+(** [summary_line stats] — the one-line
+    ["N recompiled / M loaded / K cutoff (policy, T ms)"] digest. *)
+val summary_line : stats -> string
+
+(** [pp_report ppf stats] — per-unit outcomes and timings, then the
+    summary line. *)
+val pp_report : Format.formatter -> stats -> unit
+
+(** [report_json stats] — the same report as JSON: policy, wall time,
+    the breakdown counts, and one object per unit in build order. *)
+val report_json : stats -> Obs.Json.t

@@ -172,6 +172,9 @@ type stats = { before_nodes : int; after_nodes : int; passes : int }
 
 let max_passes = 4
 
+let m_passes = Obs.Metrics.counter "simplify.passes"
+let m_rewrites = Obs.Metrics.counter "simplify.rewrites"
+
 let term_with_stats t =
   let before_nodes = size t in
   let rec go n t =
@@ -181,6 +184,8 @@ let term_with_stats t =
       if size t' = size t then (t', n + 1) else go (n + 1) t'
   in
   let t', passes = go 0 t in
+  Obs.Metrics.add m_passes passes;
+  Obs.Metrics.add m_rewrites (before_nodes - size t');
   (t', { before_nodes; after_nodes = size t'; passes })
 
 let term t = fst (term_with_stats t)

@@ -6,7 +6,10 @@ type dynenv = Dynamics.Value.t Pid.Map.t
 
 let empty = Pid.Map.empty
 
+let m_executions = Obs.Metrics.counter "link.executions"
+
 let check cu dynenv =
+  Obs.Trace.span ~cat:"link" "link.verify_imports" @@ fun () ->
   let missing =
     List.filter (fun pid -> not (Pid.Map.mem pid dynenv)) cu.Codeunit.cu_imports
   in
@@ -17,6 +20,8 @@ let check cu dynenv =
 
 let execute ?output cu dynenv =
   check cu dynenv;
+  Obs.Trace.span ~cat:"link" "link.execute" @@ fun () ->
+  Obs.Metrics.incr m_executions;
   let rt = Dynamics.Eval.runtime ?output ~imports:dynenv () in
   match Dynamics.Eval.run rt cu.Codeunit.cu_code with
   | Dynamics.Value.Vrecord fields ->

@@ -1,0 +1,30 @@
+(** A minimal JSON tree: enough to emit Chrome traces, metric dumps and
+    bench reports, and to parse them back in tests.
+
+    No dependency on third-party JSON libraries: the telemetry layer
+    must stay a leaf so every other library can link against it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string v] — compact (single-line) rendering.  Strings are
+    escaped per RFC 8259; non-finite floats render as [null]. *)
+val to_string : t -> string
+
+(** [to_buffer buf v] — same, into an existing buffer. *)
+val to_buffer : Buffer.t -> t -> unit
+
+exception Parse_error of string
+
+(** [parse s] — parse one JSON value (surrounding whitespace allowed).
+    Raises {!Parse_error} on malformed input or trailing garbage. *)
+val parse : string -> t
+
+(** [member key v] — field lookup in an [Obj], [None] otherwise. *)
+val member : string -> t -> t option

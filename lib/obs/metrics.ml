@@ -1,0 +1,53 @@
+type kind = Counter | Gauge
+
+type t = { m_name : string; m_kind : kind; mutable m_value : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let register name kind =
+  match Hashtbl.find_opt registry name with
+  | Some m when m.m_kind = kind -> m
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %s already registered with another kind"
+         name)
+  | None ->
+    let m = { m_name = name; m_kind = kind; m_value = 0 } in
+    Hashtbl.add registry name m;
+    m
+
+let counter name = register name Counter
+let gauge name = register name Gauge
+
+let name m = m.m_name
+let value m = m.m_value
+
+let incr m = m.m_value <- m.m_value + 1
+
+let add m n =
+  if n < 0 && m.m_kind = Counter then
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: counter %s cannot decrease" m.m_name);
+  m.m_value <- m.m_value + n
+
+let set m v =
+  match m.m_kind with
+  | Gauge -> m.m_value <- v
+  | Counter ->
+    invalid_arg (Printf.sprintf "Obs.Metrics: %s is a counter, not a gauge" m.m_name)
+
+let find name = Option.map value (Hashtbl.find_opt registry name)
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, m.m_value) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () = Hashtbl.iter (fun _ m -> m.m_value <- 0) registry
+
+let to_json () =
+  Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (snapshot ()))
+
+let pp ppf () =
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-24s %d@." name v)
+    (snapshot ())

@@ -1,0 +1,137 @@
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_start_us : float;
+  ev_dur_us : float;
+  ev_depth : int;
+  ev_args : (string * string) list;
+}
+
+(* entry order doubles as chronology: the clock may be too coarse to
+   order back-to-back spans, a sequence number is not *)
+type pending = { p_event : event; p_seq : int }
+
+let on = ref false
+let epoch = ref 0.0
+let depth = ref 0
+let next_seq = ref 0
+let completed : pending list ref = ref [] (* reverse completion order *)
+
+let enabled () = !on
+
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+
+let reset () =
+  completed := [];
+  depth := 0;
+  next_seq := 0;
+  epoch := Unix.gettimeofday ()
+
+let enable () =
+  reset ();
+  on := true
+
+let disable () = on := false
+
+let record ev seq = completed := { p_event = ev; p_seq = seq } :: !completed
+
+let span ?(cat = "") ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    let seq = !next_seq in
+    Stdlib.incr next_seq;
+    let start = now_us () in
+    let d = !depth in
+    depth := d + 1;
+    let finish () =
+      depth := d;
+      record
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_start_us = start;
+          ev_dur_us = now_us () -. start;
+          ev_depth = d;
+          ev_args = args;
+        }
+        seq
+    in
+    match f () with
+    | result ->
+      finish ();
+      result
+    | exception exn ->
+      finish ();
+      raise exn
+  end
+
+let instant ?(cat = "") ?(args = []) name =
+  if !on then begin
+    let seq = !next_seq in
+    Stdlib.incr next_seq;
+    record
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_start_us = now_us ();
+        ev_dur_us = 0.0;
+        ev_depth = !depth;
+        ev_args = args;
+      }
+      seq
+  end
+
+let events () =
+  List.sort (fun a b -> compare a.p_seq b.p_seq) !completed
+  |> List.map (fun p -> p.p_event)
+
+let chrome_event ev =
+  let base =
+    [
+      ("name", Json.String ev.ev_name);
+      ("cat", Json.String (if ev.ev_cat = "" then "smlsep" else ev.ev_cat));
+      ("ph", Json.String (if ev.ev_dur_us = 0.0 then "i" else "X"));
+      ("ts", Json.Float ev.ev_start_us);
+      ("dur", Json.Float ev.ev_dur_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let args =
+    match ev.ev_args with
+    | [] -> []
+    | args ->
+      [
+        ( "args",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args) );
+      ]
+  in
+  Json.Obj (base @ args)
+
+let to_chrome () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map chrome_event (events ())));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome path =
+  let oc = open_out_bin path in
+  output_string oc (Json.to_string (to_chrome ()));
+  output_char oc '\n';
+  close_out oc
+
+let pp_tree ppf () =
+  List.iter
+    (fun ev ->
+      Format.fprintf ppf "%s%-*s %8.3f ms%s@."
+        (String.make (2 * ev.ev_depth) ' ')
+        (max 1 (32 - (2 * ev.ev_depth)))
+        ev.ev_name (ev.ev_dur_us /. 1000.)
+        (match ev.ev_args with
+        | [] -> ""
+        | args ->
+          "  ["
+          ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+          ^ "]"))
+    (events ())

@@ -1,0 +1,50 @@
+(** Phase-level tracing: nestable timed spans over the whole pipeline.
+
+    Tracing is off by default and a disabled {!span} is a no-op wrapper
+    around its thunk — no clock reads, no allocation beyond the closure
+    at the call site — so instrumentation can stay in hot paths
+    permanently.  When enabled, completed spans accumulate in memory;
+    {!to_chrome} renders them in Chrome [trace_event] format (load the
+    file in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto})
+    and {!pp_tree} as an indented tree with durations for terminals. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;  (** Chrome-trace category, e.g. ["compile"] *)
+  ev_start_us : float;  (** microseconds since {!enable} *)
+  ev_dur_us : float;
+  ev_depth : int;  (** nesting depth at entry; 0 = top level *)
+  ev_args : (string * string) list;
+}
+
+val enable : unit -> unit
+(** Start collecting; clears previously collected spans. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [reset ()] — drop collected spans (tracing stays enabled/disabled
+    as it was); re-bases the trace clock. *)
+val reset : unit -> unit
+
+(** [span ?cat ?args name f] — run [f ()] inside a timed span.  The
+    span is recorded even when [f] raises (and the exception is
+    re-raised).  When tracing is disabled this is exactly [f ()]. *)
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** [instant ?cat ?args name] — a zero-duration marker. *)
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+
+(** [events ()] — completed spans in chronological (entry) order. *)
+val events : unit -> event list
+
+(** [to_chrome ()] — the collected trace as a Chrome [trace_event]
+    JSON object: [{"traceEvents": [...], "displayTimeUnit": "ms"}],
+    one complete ("ph":"X") event per span. *)
+val to_chrome : unit -> Json.t
+
+(** [write_chrome path] — [to_chrome], serialized to [path]. *)
+val write_chrome : string -> unit
+
+(** [pp_tree ppf ()] — spans as an indented tree with durations. *)
+val pp_tree : Format.formatter -> unit -> unit

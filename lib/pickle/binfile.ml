@@ -14,6 +14,10 @@ type t = {
 
 let magic = "SMLSEP.BIN.2"
 
+let m_bytes_written = Obs.Metrics.counter "pickle.bytes_written"
+let m_bytes_read = Obs.Metrics.counter "pickle.bytes_read"
+let m_rehydrations = Obs.Metrics.counter "pickle.rehydrations"
+
 (* ------------------------------------------------------------------ *)
 (* Lambda terms                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -203,6 +207,8 @@ let rec read_lambda r : L.t =
 (* ------------------------------------------------------------------ *)
 
 let write ctx uf =
+  Obs.Trace.span ~cat:"pickle" ~args:[ ("unit", uf.uf_name) ] "pickle.write"
+  @@ fun () ->
   let w = Buf.writer () in
   Buf.string w magic;
   Buf.string w uf.uf_name;
@@ -264,9 +270,14 @@ let write ctx uf =
   let trailer = Buf.writer () in
   Buf.int trailer (Int64.to_int (Int64.shift_right_logical crc 32));
   Buf.int trailer (Int64.to_int (Int64.logand crc 0xFFFFFFFFL));
-  payload ^ Buf.contents trailer
+  let bytes = payload ^ Buf.contents trailer in
+  Obs.Metrics.add m_bytes_written (String.length bytes);
+  bytes
 
 let read ctx data =
+  Obs.Trace.span ~cat:"pickle" "pickle.read" @@ fun () ->
+  Obs.Metrics.add m_bytes_read (String.length data);
+  Obs.Metrics.incr m_rehydrations;
   let r = Buf.reader data in
   let m = Buf.read_string r in
   if not (String.equal m magic) then raise (Buf.Corrupt "bad magic");

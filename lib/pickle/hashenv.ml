@@ -6,7 +6,10 @@ open Statics.Types
 (* Whole-environment hashing                                           *)
 (* ------------------------------------------------------------------ *)
 
+let m_pid_hashes = Obs.Metrics.counter "hash.pids"
+
 let hash_with ctx ~token ~own env =
+  Obs.Metrics.incr m_pid_hashes;
   let w = Buf.writer () in
   (* the definitions of the unit's own stamps are part of the interface *)
   Buf.list w

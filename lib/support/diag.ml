@@ -1,4 +1,4 @@
-type phase = Lex | Parse | Elaborate | Translate | Link | Execute | Manager
+type phase = Lex | Parse | Elaborate | Translate | Pickle | Link | Execute | Manager
 type t = { phase : phase; loc : Loc.t; message : string }
 
 exception Error of t
@@ -8,6 +8,7 @@ let phase_name = function
   | Parse -> "syntax error"
   | Elaborate -> "type error"
   | Translate -> "translation error"
+  | Pickle -> "pickle error"
   | Link -> "link error"
   | Execute -> "runtime error"
   | Manager -> "compilation manager error"

@@ -4,7 +4,7 @@
     exception carrying a located, phase-tagged message, so that drivers
     (smlc, irm, the REPL, tests) handle every compiler error uniformly. *)
 
-type phase = Lex | Parse | Elaborate | Translate | Link | Execute | Manager
+type phase = Lex | Parse | Elaborate | Translate | Pickle | Link | Execute | Manager
 
 type t = { phase : phase; loc : Loc.t; message : string }
 

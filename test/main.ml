@@ -17,4 +17,5 @@ let () =
       ("link", Test_link.suite);
       ("depend", Test_depend.suite);
       ("properties", Test_props.suite);
+      ("obs", Test_obs.suite);
     ]

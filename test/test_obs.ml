@@ -1,0 +1,225 @@
+(* Telemetry layer: spans, metrics, the Chrome-trace export, and the
+   build counters the IRM driver maintains. *)
+
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+module Json = Obs.Json
+module Driver = Irm.Driver
+
+(* ------------------------------------------------------------------ *)
+(* Trace spans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  Trace.enable ();
+  let r =
+    Trace.span "outer" (fun () ->
+        Trace.span "inner-a" (fun () -> ());
+        Trace.span "inner-b" (fun () -> ());
+        17)
+  in
+  Trace.disable ();
+  Alcotest.(check int) "thunk result passes through" 17 r;
+  let evs = Trace.events () in
+  Alcotest.(check (list string))
+    "entry order" [ "outer"; "inner-a"; "inner-b" ]
+    (List.map (fun e -> e.Trace.ev_name) evs);
+  Alcotest.(check (list int))
+    "nesting depths" [ 0; 1; 1 ]
+    (List.map (fun e -> e.Trace.ev_depth) evs);
+  let outer = List.hd evs and inner = List.nth evs 1 in
+  Alcotest.(check bool)
+    "inner contained in outer" true
+    (inner.Trace.ev_start_us >= outer.Trace.ev_start_us
+    && inner.Trace.ev_start_us +. inner.Trace.ev_dur_us
+       <= outer.Trace.ev_start_us +. outer.Trace.ev_dur_us +. 1.0)
+
+let test_span_disabled_is_noop () =
+  Trace.disable ();
+  Trace.reset ();
+  let r = Trace.span "ghost" (fun () -> 3) in
+  Alcotest.(check int) "still runs the thunk" 3 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.events ()))
+
+let test_span_records_on_exception () =
+  Trace.enable ();
+  (try Trace.span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  Trace.disable ();
+  Alcotest.(check (list string))
+    "span survives the raise" [ "boom" ]
+    (List.map (fun e -> e.Trace.ev_name) (Trace.events ()))
+
+let test_chrome_roundtrip () =
+  Trace.enable ();
+  Trace.span ~cat:"compile" ~args:[ ("unit", "a.sml") ] "compile.unit"
+    (fun () -> Trace.span ~cat:"compile" "parse" (fun () -> ()));
+  Trace.instant ~cat:"build" "build.cutoff_hit";
+  Trace.disable ();
+  let parsed = Json.parse (Json.to_string (Trace.to_chrome ())) in
+  Alcotest.(check (option string))
+    "display unit"
+    (Some "ms")
+    (match Json.member "displayTimeUnit" parsed with
+    | Some (Json.String s) -> Some s
+    | _ -> None);
+  let events =
+    match Json.member "traceEvents" parsed with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  Alcotest.(check int) "one event per span" 3 (List.length events);
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool)
+        "complete or instant event" true
+        (match Json.member "ph" ev with
+        | Some (Json.String ("X" | "i")) -> true
+        | _ -> false);
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (k ^ " present") true
+            (Json.member k ev <> None))
+        [ "name"; "cat"; "ts"; "dur"; "pid"; "tid" ])
+    events;
+  let first = List.hd events in
+  Alcotest.(check bool)
+    "span args exported" true
+    (match Json.member "args" first with
+    | Some args -> Json.member "unit" args = Some (Json.String "a.sml")
+    | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_monotonic () =
+  let c = Metrics.counter "test.monotonic" in
+  Metrics.reset ();
+  Alcotest.(check int) "starts at zero" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "accumulates" 5 (Metrics.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.Metrics: counter test.monotonic cannot decrease")
+    (fun () -> Metrics.add c (-1));
+  Alcotest.(check bool)
+    "set rejected on counters" true
+    (try
+       Metrics.set c 0;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "value untouched by rejections" 5 (Metrics.value c)
+
+let test_metric_registry () =
+  let c = Metrics.counter "test.registry" in
+  let c' = Metrics.counter "test.registry" in
+  Metrics.reset ();
+  Metrics.incr c;
+  Alcotest.(check int) "same handle by name" 1 (Metrics.value c');
+  Alcotest.(check (option int)) "find sees it" (Some 1)
+    (Metrics.find "test.registry");
+  Alcotest.(check bool)
+    "kind clash rejected" true
+    (try
+       ignore (Metrics.gauge "test.registry");
+       false
+     with Invalid_argument _ -> true);
+  Metrics.reset ();
+  Alcotest.(check (option int))
+    "reset zeroes but keeps registration" (Some 0)
+    (Metrics.find "test.registry")
+
+let test_metrics_json () =
+  let c = Metrics.counter "test.json" in
+  Metrics.reset ();
+  Metrics.add c 7;
+  let parsed = Json.parse (Json.to_string (Metrics.to_json ())) in
+  Alcotest.(check (option int))
+    "value round-trips"
+    (Some 7)
+    (match Json.member "test.json" parsed with
+    | Some (Json.Int n) -> Some n
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Json parse-back                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd");
+        ("n", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+        ("o", Json.Obj []);
+      ]
+  in
+  Alcotest.(check bool)
+    "tree survives print/parse" true
+    (Json.parse (Json.to_string v) = v);
+  Alcotest.(check bool)
+    "trailing garbage rejected" true
+    (try
+       ignore (Json.parse "{}x");
+       false
+     with Json.Parse_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Driver integration: registry counters match the per-build stats     *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_counters_match_stats () =
+  let fs = Vfs.memory () in
+  fs.Vfs.fs_write "base.sml"
+    "structure Base = struct val origin = 10 fun scale n = n * origin end";
+  fs.Vfs.fs_write "mid.sml" "structure Mid = struct val v = Base.scale 2 end";
+  fs.Vfs.fs_write "top.sml"
+    "structure Top = struct val result = Mid.v + Base.origin end";
+  let mgr = Driver.create fs in
+  let sources = [ "base.sml"; "mid.sml"; "top.sml" ] in
+  let _ = Driver.build mgr ~policy:Driver.Timestamp ~sources in
+  (* a comment-only edit: recompiles cascade under timestamp, but every
+     interface pid is unchanged, so each recompile is a cutoff hit *)
+  fs.Vfs.fs_write "base.sml"
+    "structure Base = struct val origin = 10 fun scale n = n * origin end (* touched *)";
+  Metrics.reset ();
+  let stats = Driver.build mgr ~policy:Driver.Timestamp ~sources in
+  Alcotest.(check (option int))
+    "build.recompiled matches stats"
+    (Some (List.length stats.Driver.st_recompiled))
+    (Metrics.find "build.recompiled");
+  Alcotest.(check (option int))
+    "build.loaded matches stats"
+    (Some (List.length stats.Driver.st_loaded))
+    (Metrics.find "build.loaded");
+  Alcotest.(check (option int))
+    "build.cutoff_hits matches stats"
+    (Some (List.length stats.Driver.st_cutoff_hits))
+    (Metrics.find "build.cutoff_hits");
+  Alcotest.(check bool)
+    "the touch produced cutoff hits" true
+    (List.length stats.Driver.st_cutoff_hits > 0);
+  List.iter
+    (fun file ->
+      Alcotest.(check string)
+        (file ^ " outcome") "cutoff" (Driver.outcome_of stats file))
+    stats.Driver.st_cutoff_hits
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and order" `Quick test_span_nesting;
+    Alcotest.test_case "disabled span is a no-op" `Quick
+      test_span_disabled_is_noop;
+    Alcotest.test_case "span recorded on exception" `Quick
+      test_span_records_on_exception;
+    Alcotest.test_case "chrome trace round-trips" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
+    Alcotest.test_case "metric registry" `Quick test_metric_registry;
+    Alcotest.test_case "metrics to_json" `Quick test_metrics_json;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "build counters match stats" `Quick
+      test_build_counters_match_stats;
+  ]

@@ -62,6 +62,33 @@ let test_diag_guard () =
     Alcotest.(check string) "phase name" "syntax error"
       (Diag.phase_name d.Diag.phase)
 
+let test_phase_names_total () =
+  let phases =
+    [
+      Diag.Lex;
+      Diag.Parse;
+      Diag.Elaborate;
+      Diag.Translate;
+      Diag.Pickle;
+      Diag.Link;
+      Diag.Execute;
+      Diag.Manager;
+    ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "phase has a non-empty name" true
+        (String.length (Diag.phase_name p) > 0))
+    phases;
+  let names = List.map Diag.phase_name phases in
+  Alcotest.(check int)
+    "phase names are distinct"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check string) "pickle phase renders" "pickle error"
+    (Diag.phase_name Diag.Pickle)
+
 let qcheck_intern_bijective =
   QCheck.Test.make ~count:300 ~name:"symbol: intern is injective on names"
     QCheck.(pair (string_of_size Gen.(1 -- 20)) (string_of_size Gen.(1 -- 20)))
@@ -77,5 +104,6 @@ let suite =
     Alcotest.test_case "loc merge" `Quick test_loc_merge;
     Alcotest.test_case "loc printing" `Quick test_loc_pp;
     Alcotest.test_case "diag guard" `Quick test_diag_guard;
+    Alcotest.test_case "phase names total" `Quick test_phase_names_total;
     QCheck_alcotest.to_alcotest qcheck_intern_bijective;
   ]
