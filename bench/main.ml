@@ -15,6 +15,8 @@
      E10 simplifier ablation: code sizes            (table)
      E11 alpha-conversion ablation                  (counts)
      E12 interpreter vs bytecode VM                 (bechamel)
+     E13 parallel build speedup over domains        (timing)
+     E14 unit-cache hit rates, warm-from-clean      (timing + counts)
 *)
 
 module Gen = Workload.Gen
@@ -29,7 +31,7 @@ let section title =
 (* Machine-readable results: BENCH_sepcomp.json                        *)
 (*                                                                     *)
 (* Schema (see README, "Observability"):                               *)
-(*   { "schema": "smlsep-bench/1", "quick": bool,                      *)
+(*   { "schema": "smlsep-bench/2", "quick": bool,                      *)
 (*     "experiments": {                                                *)
 (*       "build_times":      [{scale,units,lines,policy,build_s,       *)
 (*                             hash_s,dehydrate_s,rehydrate_s,         *)
@@ -37,7 +39,11 @@ let section title =
 (*       "recompile_counts": [{topology,edit,policy,recompiled,        *)
 (*                             cutoff_hits,total,cutoff_hit_rate}],    *)
 (*       "build_latency":    [{scenario,policy,median_s,recompiled}],  *)
-(*       "pickle_sizes":     [{depth,bytes}] },                        *)
+(*       "pickle_sizes":     [{depth,bytes}],                          *)
+(*       "parallel_speedup": [{units,lines,width,cores,jobs,serial_s,  *)
+(*                             parallel_s,speedup}],                   *)
+(*       "cache_hit_rate":   [{scenario,units,recompiled,cache_hits,   *)
+(*                             hit_rate,wall_s}] },                    *)
 (*     "metrics": { <Obs.Metrics counters> } }                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -48,6 +54,8 @@ let tbl_build_times : J.t list ref = ref []
 let tbl_recompile : J.t list ref = ref []
 let tbl_latency : J.t list ref = ref []
 let tbl_pickle_sizes : J.t list ref = ref []
+let tbl_parallel : J.t list ref = ref []
+let tbl_cache : J.t list ref = ref []
 
 let record tbl row = tbl := row :: !tbl
 
@@ -55,7 +63,7 @@ let write_results () =
   let doc =
     J.Obj
       [
-        ("schema", J.String "smlsep-bench/1");
+        ("schema", J.String "smlsep-bench/2");
         ("quick", J.Bool !quick);
         ( "experiments",
           J.Obj
@@ -64,6 +72,8 @@ let write_results () =
               ("recompile_counts", J.List (List.rev !tbl_recompile));
               ("build_latency", J.List (List.rev !tbl_latency));
               ("pickle_sizes", J.List (List.rev !tbl_pickle_sizes));
+              ("parallel_speedup", J.List (List.rev !tbl_parallel));
+              ("cache_hit_rate", J.List (List.rev !tbl_cache));
             ] );
         ("metrics", Obs.Metrics.to_json ());
       ]
@@ -785,6 +795,146 @@ let e12 () =
         (Lambda.size code) (Dynamics.Vm.program_length program))
     programs
 
+(* ------------------------------------------------------------------ *)
+(* E13: parallel build speedup                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  section "E13: parallel build speedup (wavefront scheduler over domains)";
+  (* from-clean builds of a wide 64-unit DAG with compile-dominated
+     units; serial and parallel run the same per-unit isolated-session
+     pipeline, so the comparison isolates scheduling, not code paths *)
+  let units = 64 in
+  let fs = Vfs.memory () in
+  let project =
+    Gen.create fs
+      (Gen.Random_dag { units; max_deps = 3; seed = 31 })
+      (Gen.sized_profile ~lines:160)
+  in
+  let sources = Gen.sources project in
+  let lines = Gen.total_lines project in
+  let parsed =
+    List.map
+      (fun f -> (f, Lang.Parser.parse_unit ~file:f (Option.get (fs.Vfs.fs_read f))))
+      sources
+  in
+  let width = Depend.Depgraph.width (Depend.Depgraph.build parsed) in
+  let time_build backend =
+    time_median (fun () ->
+        List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources;
+        let mgr = Driver.create fs in
+        ignore (Driver.build ~backend mgr ~policy:Driver.Cutoff ~sources))
+  in
+  let serial_s = time_build Driver.Serial in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "%d units, %d lines, widest wavefront %d; available cores: %d\n" units
+    lines width cores;
+  if cores = 1 then
+    print_endline
+      "(single-core machine: parallel backends can only lose here — the \
+       speedup column measures scheduling overhead, not parallelism)";
+  Printf.printf "%-10s | %10s | speedup\n" "backend" "median (s)";
+  Printf.printf "%-10s | %10.3f | %6.2fx\n" "serial" serial_s 1.0;
+  let jobs_list = if !quick then [ 2; 4 ] else [ 2; 4; 8 ] in
+  List.iter
+    (fun jobs ->
+      let parallel_s = time_build (Driver.Parallel jobs) in
+      let speedup = serial_s /. parallel_s in
+      record tbl_parallel
+        (J.Obj
+           [
+             ("units", J.Int units);
+             ("lines", J.Int lines);
+             ("width", J.Int width);
+             ("cores", J.Int cores);
+             ("jobs", J.Int jobs);
+             ("serial_s", J.Float serial_s);
+             ("parallel_s", J.Float parallel_s);
+             ("speedup", J.Float speedup);
+           ]);
+      Printf.printf "%-10s | %10.3f | %6.2fx\n"
+        (Printf.sprintf "--jobs %d" jobs)
+        parallel_s speedup)
+    jobs_list
+
+(* ------------------------------------------------------------------ *)
+(* E14: unit-cache hit rates                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  section "E14: content-addressed unit cache — hit rates and warm rebuilds";
+  let units = 48 in
+  let fs = Vfs.memory () in
+  let project =
+    Gen.create fs
+      (Gen.Random_dag { units; max_deps = 3; seed = 41 })
+      Gen.default_profile
+  in
+  let sources = Gen.sources project in
+  let total = List.length sources in
+  let clean () = List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "%d units\n" units;
+  Printf.printf "%-18s | recompiled | cache hits | hit rate | wall (ms)\n"
+    "scenario";
+  let row scenario (stats : Driver.stats) wall_s =
+    let recompiled = List.length stats.Driver.st_recompiled in
+    let hits = List.length stats.Driver.st_cache_hits in
+    let hit_rate = float_of_int hits /. float_of_int total in
+    record tbl_cache
+      (J.Obj
+         [
+           ("scenario", J.String scenario);
+           ("units", J.Int total);
+           ("recompiled", J.Int recompiled);
+           ("cache_hits", J.Int hits);
+           ("hit_rate", J.Float hit_rate);
+           ("wall_s", J.Float wall_s);
+         ]);
+    Printf.printf "%-18s | %10d | %10d | %7.0f%% | %9.2f\n" scenario recompiled
+      hits (100. *. hit_rate) (1000. *. wall_s)
+  in
+  (* cold: empty cache, everything compiles and is stored *)
+  let cold, cold_s =
+    timed (fun () ->
+        Driver.build ~cache:(Cache.create fs) (Driver.create fs)
+          ~policy:Driver.Cutoff ~sources)
+  in
+  row "cold build" cold cold_s;
+  (* warm from clean: bins wiped, fresh manager, fresh cache handle over
+     the same store — a new process finding a populated cache *)
+  clean ();
+  let warm, warm_s =
+    timed (fun () ->
+        Driver.build ~cache:(Cache.create fs) (Driver.create fs)
+          ~policy:Driver.Cutoff ~sources)
+  in
+  row "warm from-clean" warm warm_s;
+  (* steady-state manager: edit one implementation, then revert it — the
+     edit misses (new content), the revert hits (content seen before) *)
+  let mgr = Driver.create fs in
+  let cache = Cache.create fs in
+  let _ = Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources in
+  let victim = Gen.middle_file project in
+  let original = Option.get (fs.Vfs.fs_read victim) in
+  Gen.edit project victim Gen.Impl_change;
+  let edited, edited_s =
+    timed (fun () -> Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources)
+  in
+  row "impl edit (miss)" edited edited_s;
+  fs.Vfs.fs_write victim original;
+  let reverted, reverted_s =
+    timed (fun () -> Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources)
+  in
+  row "revert (hit)" reverted reverted_s;
+  Printf.printf "warm-from-clean rebuild is %.1fx faster than cold\n"
+    (cold_s /. warm_s)
+
 let parse_args () =
   let rec go = function
     | [] -> ()
@@ -824,5 +974,7 @@ let () =
   e10 ();
   e11 ();
   if not !quick then e12 ();
+  e13 ();
+  e14 ();
   write_results ();
   Printf.printf "\nwrote %s\ndone.\n" !out_path

@@ -1,14 +1,21 @@
 (* irm — the Incremental Recompilation Manager as a command-line tool.
 
      irm build sources.cm --policy cutoff --trace build.json --stats
+     irm build sources.cm --jobs 4 --cache
      irm run sources.cm
      irm stats sources.cm
      irm deps sources.cm
+     irm cache stats | gc | clear
 
    A group file lists source paths, one per line; dependency order is
-   computed automatically (section 8 of the paper).  --trace writes a
-   Chrome trace_event file (open in chrome://tracing or Perfetto);
-   --stats prints the per-unit build report and the metric counters. *)
+   computed automatically (section 8 of the paper).  --jobs picks the
+   worker-domain count (independent units compile concurrently; the
+   resulting bin files are byte-identical to a serial build); --cache
+   keeps a content-addressed store of compiled units so any previously
+   seen (source, imports) pair is reused instead of recompiled.
+   --trace writes a Chrome trace_event file (open in chrome://tracing
+   or Perfetto); --stats prints the per-unit build report and the
+   metric counters. *)
 
 let parse_policy = function
   | "cutoff" -> Ok Irm.Driver.Cutoff
@@ -21,6 +28,17 @@ let with_manager dir group f =
   let sources = Irm.Group.load fs group in
   let mgr = Irm.Driver.create fs in
   f fs mgr sources
+
+let backend_of_jobs jobs =
+  if jobs <= 1 then Irm.Driver.Serial else Irm.Driver.Parallel jobs
+
+let cache_of fs enabled cache_dir budget_mb =
+  if enabled then
+    Some
+      (Cache.create ~dir:cache_dir
+         ~budget_bytes:(budget_mb * 1024 * 1024)
+         fs)
+  else None
 
 (* the telemetry envelope: enable tracing when requested, run, then
    write the trace file and print the metric counters *)
@@ -64,8 +82,8 @@ let require_sources group sources =
     Support.Diag.error Support.Diag.Manager Support.Loc.dummy
       "group file %s lists no sources" group
 
-let build_units mgr policy sources =
-  let stats = Irm.Driver.build mgr ~policy ~sources in
+let build_units ~backend ?cache mgr policy sources =
+  let stats = Irm.Driver.build ~backend ?cache mgr ~policy ~sources in
   List.iter
     (fun file ->
       let unit_ = Irm.Driver.unit_of mgr file in
@@ -73,6 +91,7 @@ let build_units mgr policy sources =
         match Irm.Driver.outcome_of stats file with
         | "cutoff" -> "recompiled (interface unchanged)"
         | "loaded" -> "up to date"
+        | "cache" -> "from cache"
         | outcome -> outcome
       in
       Printf.printf "%-24s %s  [%s]\n" file
@@ -82,33 +101,56 @@ let build_units mgr policy sources =
   print_endline (Irm.Driver.summary_line stats);
   stats
 
-let build_cmd_impl dir group policy trace stats_flag =
+let pp_cache_stats = function
+  | Some cache -> Format.printf "cache:@.%a" Cache.pp_stats (Cache.stats cache)
+  | None -> ()
+
+let build_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
+    stats_flag =
   guarded (fun () ->
-      with_manager dir group (fun _fs mgr sources ->
+      with_manager dir group (fun fs mgr sources ->
           require_sources group sources;
+          let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace stats_flag (fun () ->
-              let stats = build_units mgr policy sources in
-              if stats_flag then
+              let stats =
+                build_units ~backend:(backend_of_jobs jobs) ?cache mgr policy
+                  sources
+              in
+              if stats_flag then begin
                 Format.printf "%a" Irm.Driver.pp_report stats;
+                pp_cache_stats cache
+              end;
               0)))
 
-let run_cmd_impl dir group policy trace stats_flag =
+let run_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
+    stats_flag =
   guarded (fun () ->
-      with_manager dir group (fun _fs mgr sources ->
+      with_manager dir group (fun fs mgr sources ->
           require_sources group sources;
+          let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace stats_flag (fun () ->
-              let stats = Irm.Driver.build mgr ~policy ~sources in
+              let stats =
+                Irm.Driver.build ~backend:(backend_of_jobs jobs) ?cache mgr
+                  ~policy ~sources
+              in
               let _ = Irm.Driver.run mgr ~sources in
-              if stats_flag then
+              if stats_flag then begin
                 Format.printf "%a" Irm.Driver.pp_report stats;
+                pp_cache_stats cache
+              end;
               0)))
 
-let stats_cmd_impl dir group policy trace json =
+let stats_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
+    json =
   guarded (fun () ->
-      with_manager dir group (fun _fs mgr sources ->
+      with_manager dir group (fun fs mgr sources ->
           require_sources group sources;
+          let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace false (fun () ->
-              let stats = Irm.Driver.build mgr ~policy ~sources in
+              let stats =
+                Irm.Driver.build ~backend:(backend_of_jobs jobs) ?cache mgr
+                  ~policy ~sources
+              in
               if json then
                 print_endline
                   (Obs.Json.to_string
@@ -162,6 +204,21 @@ let deps_cmd_impl dir group dot =
               order;
           0))
 
+let cache_cmd_impl dir cache_dir budget_mb action =
+  guarded (fun () ->
+      let fs = Vfs.real ~dir in
+      let cache =
+        Cache.create ~dir:cache_dir
+          ~budget_bytes:(budget_mb * 1024 * 1024)
+          fs
+      in
+      (match action with
+      | `Stats -> ()
+      | `Gc -> Cache.gc cache
+      | `Clear -> Cache.clear cache);
+      Format.printf "%a" Cache.pp_stats (Cache.stats cache);
+      0)
+
 open Cmdliner
 
 let dir_arg =
@@ -188,6 +245,41 @@ let policy_arg =
            $(b,selective) (per-module interface pids) or $(b,timestamp) \
            (classical make).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Sched.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of worker domains compiling independent units \
+           concurrently (default: the machine's recommended domain \
+           count).  $(docv) <= 1 builds serially; the bin files are \
+           byte-identical either way.")
+
+let cache_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Reuse compiled units from the content-addressed unit cache \
+           (keyed by source, import interface pids and compiler \
+           version) and store every fresh compile into it.")
+
+let cache_dir_arg =
+  Arg.(
+    value & opt string Cache.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Cache directory, relative to the project root.")
+
+let cache_budget_arg =
+  Arg.(
+    value
+    & opt int (Cache.default_budget / (1024 * 1024))
+    & info [ "cache-budget" ] ~docv:"MIB"
+        ~doc:
+          "Cache size budget in MiB; least-recently-used units are \
+           evicted beyond it.")
+
 let trace_arg =
   Arg.(
     value & opt (some string) None
@@ -211,14 +303,16 @@ let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"bring every unit of the group up to date")
     Term.(
-      const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ trace_arg
+      const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
+      $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
       $ stats_arg)
 
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"build, then execute all units in dependency order")
     Term.(
-      const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ trace_arg
+      const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
+      $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
       $ stats_arg)
 
 let stats_cmd =
@@ -226,8 +320,27 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"build, then print the per-unit report and metric counters")
     Term.(
-      const stats_cmd_impl $ dir_arg $ group_arg $ policy_arg $ trace_arg
+      const stats_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
+      $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
       $ json_arg)
+
+let cache_action_arg =
+  let actions = [ ("stats", `Stats); ("gc", `Gc); ("clear", `Clear) ] in
+  Arg.(
+    required
+    & pos 0 (some (enum actions)) None
+    & info [] ~docv:"ACTION"
+        ~doc:
+          "$(b,stats) prints occupancy and counters, $(b,gc) re-enforces \
+           the size budget, $(b,clear) drops every entry.")
+
+let cache_cmd =
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"inspect or maintain the content-addressed unit cache")
+    Term.(
+      const cache_cmd_impl $ dir_arg $ cache_dir_arg $ cache_budget_arg
+      $ cache_action_arg)
 
 let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.")
@@ -240,6 +353,6 @@ let deps_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "irm" ~doc:"incremental recompilation manager for MiniSML")
-    [ build_cmd; run_cmd; stats_cmd; deps_cmd ]
+    [ build_cmd; run_cmd; stats_cmd; deps_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval' cmd)

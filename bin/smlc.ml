@@ -2,7 +2,13 @@
    optionally loading previously compiled bin files as imports, and
    optionally executing the result.
 
-     smlc foo.sml --import lib.sml.bin --run *)
+     smlc foo.sml --import lib.sml.bin --run
+     smlc foo.sml --cache
+
+   With --cache, the unit's content address (source × import interface
+   pids × compiler version) is looked up in the unit cache first; a hit
+   writes the cached bin file without compiling, a miss compiles and
+   stores the result. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -16,7 +22,8 @@ let write_file path content =
   output_string oc content;
   close_out oc
 
-let compile_one source_path import_paths run verbose trace stats =
+let compile_one source_path import_paths run verbose use_cache cache_dir trace
+    stats =
   if trace <> None then Obs.Trace.enable ();
   let session = Sepcomp.Compile.new_session () in
   let imports =
@@ -28,11 +35,50 @@ let compile_one source_path import_paths run verbose trace stats =
   let warn loc msg =
     Printf.eprintf "%s: warning: %s\n" (Support.Loc.to_string loc) msg
   in
-  let unit_ =
-    Sepcomp.Compile.compile ~warn session ~name:source_path ~source ~imports
+  let cache =
+    if use_cache then Some (Cache.create ~dir:cache_dir (Vfs.real ~dir:"."))
+    else None
+  in
+  let key =
+    Option.map
+      (fun _ ->
+        Cache.key ~version:Pickle.Binfile.magic ~name:source_path ~source
+          ~import_pids:
+            (List.map (fun u -> u.Pickle.Binfile.uf_static_pid) imports))
+      cache
+  in
+  let cached =
+    match (cache, key) with
+    | Some c, Some k -> (
+      match Cache.find c k with
+      | None -> None
+      | Some bytes -> (
+        (* a corrupt entry is a miss, never an error *)
+        match Sepcomp.Compile.load session bytes with
+        | unit_ -> Some (unit_, bytes)
+        | exception Pickle.Buf.Corrupt _ ->
+          Cache.invalidate c k;
+          None))
+    | _ -> None
+  in
+  let unit_, bytes =
+    match cached with
+    | Some (unit_, bytes) ->
+      if verbose then Printf.printf "%s: from cache\n" source_path;
+      (unit_, bytes)
+    | None ->
+      let unit_ =
+        Sepcomp.Compile.compile ~warn session ~name:source_path ~source
+          ~imports
+      in
+      let bytes = Sepcomp.Compile.save session unit_ in
+      (match (cache, key) with
+      | Some c, Some k -> Cache.store c k bytes
+      | _ -> ());
+      (unit_, bytes)
   in
   let bin_path = source_path ^ ".bin" in
-  write_file bin_path (Sepcomp.Compile.save session unit_);
+  write_file bin_path bytes;
   if verbose then begin
     Printf.printf "%s\n" bin_path;
     Printf.printf "  static pid: %s\n"
@@ -66,10 +112,11 @@ let compile_one source_path import_paths run verbose trace stats =
   if stats then Format.printf "metrics:@.%a" Obs.Metrics.pp ();
   0
 
-let main source_path import_paths run verbose trace stats =
+let main source_path import_paths run verbose use_cache cache_dir trace stats =
   match
     Support.Diag.guard (fun () ->
-        compile_one source_path import_paths run verbose trace stats)
+        compile_one source_path import_paths run verbose use_cache cache_dir
+          trace stats)
   with
   | Ok code -> code
   | Error d ->
@@ -109,6 +156,19 @@ let run_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print pids and imports.")
 
+let cache_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Look the unit up in the content-addressed unit cache before \
+           compiling, and store fresh compiles into it.")
+
+let cache_dir_arg =
+  Arg.(
+    value & opt string Cache.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Cache directory.")
+
 let trace_arg =
   Arg.(
     value & opt (some string) None
@@ -126,6 +186,6 @@ let cmd =
     (Cmd.info "smlc" ~doc)
     Term.(
       const main $ source_arg $ imports_arg $ run_arg $ verbose_arg
-      $ trace_arg $ stats_arg)
+      $ cache_flag_arg $ cache_dir_arg $ trace_arg $ stats_arg)
 
 let () = exit (Cmd.eval' cmd)

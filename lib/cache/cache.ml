@@ -1,0 +1,206 @@
+module Pid = Digestkit.Pid
+module Md5 = Digestkit.Md5
+
+let default_dir = ".irm-cache"
+let default_budget = 64 * 1024 * 1024
+
+let m_hits = Obs.Metrics.counter "cache.hits"
+let m_misses = Obs.Metrics.counter "cache.misses"
+let m_evictions = Obs.Metrics.counter "cache.evictions"
+let m_stores = Obs.Metrics.counter "cache.stores"
+let g_bytes = Obs.Metrics.gauge "cache.bytes"
+let g_entries = Obs.Metrics.gauge "cache.entries"
+
+type entry = { mutable e_size : int; mutable e_used : int }
+
+type t = {
+  fs : Vfs.fs;
+  dir : string;
+  budget : int;
+  entries : (string, entry) Hashtbl.t;
+  mutable clock : int;  (** logical LRU clock, persisted in the index *)
+  mutable bytes : int;
+}
+
+type stats = {
+  cs_entries : int;
+  cs_bytes : int;
+  cs_budget : int;
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+  cs_stores : int;
+}
+
+let index_path t = Filename.concat t.dir "index"
+let object_path t key = Filename.concat (Filename.concat t.dir "objects") key
+
+(* keys are hex digests, but never trust the index: a key that could
+   escape the objects directory is ignored *)
+let key_ok key =
+  key <> ""
+  && String.for_all
+       (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+       key
+
+(* The index is plain lines of [key size last-used]; anything that does
+   not parse is dropped silently — a damaged cache is an empty cache,
+   never an error. *)
+let load_index t =
+  match t.fs.Vfs.fs_read (index_path t) with
+  | None -> ()
+  | Some content ->
+    String.split_on_char '\n' content
+    |> List.iter (fun line ->
+           match String.split_on_char ' ' (String.trim line) with
+           | [ key; size; used ] when key_ok key -> (
+             match (int_of_string_opt size, int_of_string_opt used) with
+             | Some size, Some used when size >= 0 ->
+               Hashtbl.replace t.entries key { e_size = size; e_used = used };
+               t.bytes <- t.bytes + size;
+               t.clock <- max t.clock used
+             | _ -> ())
+           | _ -> ())
+
+let save_index t =
+  let buf = Buffer.create 256 in
+  Hashtbl.iter
+    (fun key entry ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d %d\n" key entry.e_size entry.e_used))
+    t.entries;
+  t.fs.Vfs.fs_write (index_path t) (Buffer.contents buf)
+
+let publish t =
+  Obs.Metrics.set g_bytes t.bytes;
+  Obs.Metrics.set g_entries (Hashtbl.length t.entries)
+
+let create ?(dir = default_dir) ?(budget_bytes = default_budget) fs =
+  let t =
+    {
+      fs;
+      dir;
+      budget = max 0 budget_bytes;
+      entries = Hashtbl.create 64;
+      clock = 0;
+      bytes = 0;
+    }
+  in
+  load_index t;
+  publish t;
+  t
+
+let key ~version ~name ~source ~import_pids =
+  let ctx = Md5.init () in
+  Md5.feed_string ctx "smlsep-cache/1\n";
+  Md5.feed_string ctx version;
+  Md5.feed_string ctx "\x00";
+  Md5.feed_string ctx name;
+  Md5.feed_string ctx "\x00";
+  Md5.feed_string ctx source;
+  Md5.feed_string ctx "\x00";
+  List.iter
+    (fun pid -> Md5.feed_string ctx (Pid.to_bytes pid))
+    (List.sort_uniq Pid.compare import_pids);
+  Md5.hex (Md5.finish ctx)
+
+let drop t key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> ()
+  | Some entry ->
+    Hashtbl.remove t.entries key;
+    t.bytes <- t.bytes - entry.e_size;
+    t.fs.Vfs.fs_remove (object_path t key)
+
+(* evict least-recently-used entries until the budget holds *)
+let enforce_budget t =
+  while t.bytes > t.budget && Hashtbl.length t.entries > 0 do
+    let victim =
+      Hashtbl.fold
+        (fun key entry acc ->
+          match acc with
+          | Some (_, best) when best.e_used <= entry.e_used -> acc
+          | Some _ | None -> Some (key, entry))
+        t.entries None
+    in
+    match victim with
+    | Some (key, _) ->
+      drop t key;
+      Obs.Metrics.incr m_evictions
+    | None -> ()
+  done
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.e_used <- t.clock
+
+let find t key =
+  let result =
+    match Hashtbl.find_opt t.entries key with
+    | None -> None
+    | Some entry -> (
+      match t.fs.Vfs.fs_read (object_path t key) with
+      | Some bytes when String.length bytes = entry.e_size ->
+        touch t entry;
+        save_index t;
+        Some bytes
+      | Some _ | None ->
+        (* object missing or truncated behind our back: degrade to miss *)
+        drop t key;
+        save_index t;
+        None)
+  in
+  (match result with
+  | Some _ -> Obs.Metrics.incr m_hits
+  | None -> Obs.Metrics.incr m_misses);
+  publish t;
+  result
+
+let store t key bytes =
+  let size = String.length bytes in
+  if size <= t.budget then begin
+    drop t key;
+    t.fs.Vfs.fs_write (object_path t key) bytes;
+    let entry = { e_size = size; e_used = 0 } in
+    touch t entry;
+    Hashtbl.replace t.entries key entry;
+    t.bytes <- t.bytes + size;
+    Obs.Metrics.incr m_stores;
+    enforce_budget t;
+    save_index t;
+    publish t
+  end
+
+let invalidate t key =
+  drop t key;
+  save_index t;
+  publish t
+
+let gc t =
+  enforce_budget t;
+  save_index t;
+  publish t
+
+let clear t =
+  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) t.entries [] in
+  List.iter (drop t) keys;
+  save_index t;
+  publish t
+
+let stats t =
+  {
+    cs_entries = Hashtbl.length t.entries;
+    cs_bytes = t.bytes;
+    cs_budget = t.budget;
+    cs_hits = Obs.Metrics.value m_hits;
+    cs_misses = Obs.Metrics.value m_misses;
+    cs_evictions = Obs.Metrics.value m_evictions;
+    cs_stores = Obs.Metrics.value m_stores;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "entries   %d@.bytes     %d / %d budget@.hits      %d@.misses    \
+     %d@.evictions %d@.stores    %d@."
+    s.cs_entries s.cs_bytes s.cs_budget s.cs_hits s.cs_misses s.cs_evictions
+    s.cs_stores

@@ -38,6 +38,12 @@ let m_units = Obs.Metrics.counter "compile.units"
 let compile ?(optimize = true) ?warn session ~name ~source ~imports =
   Obs.Trace.span ~cat:"compile" ~args:[ ("unit", name) ] "compile.unit"
   @@ fun () ->
+  (* generated binder names restart from zero for every unit, making
+     the emitted bin bytes a function of (source, imports) alone —
+     independent of session history, build order, or which domain runs
+     the compile.  Binders never escape a unit's own lambda term, so
+     cross-unit reuse of a name is harmless. *)
+  Support.Symbol.with_fresh_scope @@ fun () ->
   let phase p f = Obs.Trace.span ~cat:"compile" ~args:[ ("unit", name) ] p f in
   let env = env_of_units session imports in
   let unit_ =

@@ -92,5 +92,44 @@ let cone t file =
   grow file;
   List.filter (Hashtbl.mem result) t.order
 
+let closure t file =
+  let seen = Hashtbl.create 16 in
+  let rec visit file =
+    List.iter
+      (fun dep ->
+        if not (Hashtbl.mem seen dep) then begin
+          Hashtbl.replace seen dep ();
+          visit dep
+        end)
+      (node t file).n_deps
+  in
+  visit file;
+  List.filter (Hashtbl.mem seen) (topological t)
+
+let ready t ~completed =
+  List.filter
+    (fun file ->
+      (not (completed file)) && List.for_all completed (node t file).n_deps)
+    t.order
+
+let levels t =
+  let level = Hashtbl.create 64 in
+  let order = topological t in
+  List.iter
+    (fun file ->
+      let d =
+        List.fold_left
+          (fun acc dep -> max acc (1 + Hashtbl.find level dep))
+          0 (node t file).n_deps
+      in
+      Hashtbl.replace level file d)
+    order;
+  let deepest = Hashtbl.fold (fun _ d acc -> max acc d) level (-1) in
+  List.init (deepest + 1) (fun d ->
+      List.filter (fun file -> Hashtbl.find level file = d) order)
+
+let width t =
+  List.fold_left (fun acc l -> max acc (List.length l)) 0 (levels t)
+
 let provider t name = Symbol.Table.find_opt t.providers name
 let files t = t.order

@@ -30,6 +30,24 @@ val dependents : t -> string -> string list
 (** The transitive dependents ("cone") of a file, excluding itself. *)
 val cone : t -> string -> string list
 
+(** The transitive {e dependencies} of a file, excluding itself, in
+    dependency order — the order a fresh session must load them in. *)
+val closure : t -> string -> string list
+
+(** [ready t ~completed] — the files whose dependencies all satisfy
+    [completed] but which are not yet [completed] themselves: the next
+    wavefront a scheduler may dispatch.  In input order. *)
+val ready : t -> completed:(string -> bool) -> string list
+
+(** ASAP wavefronts: level 0 is every file with no dependencies, level
+    [d] every file whose deepest dependency chain has length [d].  All
+    files of one level are mutually independent. *)
+val levels : t -> string list list
+
+(** The widest wavefront of {!levels} — an upper bound on usable build
+    parallelism ([0] for the empty graph). *)
+val width : t -> int
+
 (** Provider of a module name, if any. *)
 val provider : t -> Symbol.t -> string option
 

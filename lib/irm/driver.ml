@@ -8,12 +8,16 @@ let policy_name = function
   | Cutoff -> "cutoff"
   | Selective -> "selective"
 
+type backend = Sched.backend = Serial | Parallel of int
+
 type stats = {
   st_order : string list;
   st_recompiled : string list;
   st_loaded : string list;
+  st_cache_hits : string list;
   st_cutoff_hits : string list;
   st_policy : policy;
+  st_backend : backend;
   st_wall_s : float;
   st_unit_times : (string * float) list;
 }
@@ -21,15 +25,28 @@ type stats = {
 let m_recompiled = Obs.Metrics.counter "build.recompiled"
 let m_loaded = Obs.Metrics.counter "build.loaded"
 let m_cutoff_hits = Obs.Metrics.counter "build.cutoff_hits"
+let m_cache_hits = Obs.Metrics.counter "build.cache_hits"
 
 type t = {
   fs : Vfs.fs;
   session : Sepcomp.Compile.session;
   units : (string, Pickle.Binfile.t) Hashtbl.t;  (** last build's results *)
+  bin_bytes : (string, string) Hashtbl.t;
+      (** last build's bin bytes — the closures shipped to workers *)
+  mutable last_order : string list;  (** build order of the last build *)
 }
 
-let create fs = { fs; session = Sepcomp.Compile.new_session (); units = Hashtbl.create 32 }
+let create fs =
+  {
+    fs;
+    session = Sepcomp.Compile.new_session ();
+    units = Hashtbl.create 32;
+    bin_bytes = Hashtbl.create 32;
+    last_order = [];
+  }
+
 let session t = t.session
+let last_order t = t.last_order
 
 let manager_error fmt = Diag.error Diag.Manager Support.Loc.dummy fmt
 let bin_path file = file ^ ".bin"
@@ -45,142 +62,297 @@ let read_bin t file =
   match t.fs.Vfs.fs_read (bin_path file) with
   | None -> None
   | Some bytes -> (
-    match Pickle.Binfile.read (Sepcomp.Compile.context t.session) bytes with
-    | unit_ -> Some unit_
+    match Sepcomp.Compile.load t.session bytes with
+    | unit_ -> Some (unit_, bytes)
     | exception Pickle.Buf.Corrupt _ -> None)
 
-let build t ~policy ~sources =
+(* ------------------------------------------------------------------ *)
+(* Scheduler plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* What [execute] needs to compile one unit without touching any shared
+   state: the source, the direct imports, and the bin bytes of the
+   whole transitive dependency closure (a fresh session must rehydrate
+   every external stamp before it can elaborate against the imports). *)
+type job = {
+  j_name : string;
+  j_source : string;
+  j_closure : (string * string) list;  (** (file, bin bytes), dep order *)
+  j_imports : string list;  (** direct dependencies, scope order *)
+}
+
+type kind = Recompiled | Loaded | Cache_hit
+
+type result = {
+  r_kind : kind;
+  r_bytes : string;  (** the unit's (possibly new) bin bytes *)
+}
+
+(* per-unit bookkeeping recorded by [prepare] for [complete] *)
+type prep = {
+  p_prev_pid : Pid.t option;
+  p_key : string option;  (** cache key, when a cache is attached *)
+  p_start : float;
+}
+
+(* [execute] runs on a worker domain.  It touches nothing but the job:
+   a brand-new session is rehydrated from the closure bytes, the unit
+   is compiled against its direct imports, and the pickled bytes are
+   the result.  Because generated binder names are scoped per compile
+   (Symbol.with_fresh_scope) the bytes are a pure function of
+   (source, closure) — identical no matter which domain, or how many,
+   ran the job.  The serial backend runs this very function inline, so
+   Serial and Parallel builds agree byte-for-byte by construction. *)
+let execute job =
+  Obs.Trace.span ~cat:"compile"
+    ~args:[ ("unit", job.j_name) ]
+    "build.compile_job"
+  @@ fun () ->
+  let session = Sepcomp.Compile.new_session () in
+  let units = Hashtbl.create 16 in
+  List.iter
+    (fun (dep, bytes) ->
+      Hashtbl.replace units dep (Sepcomp.Compile.load session bytes))
+    job.j_closure;
+  let imports =
+    List.map
+      (fun dep ->
+        match Hashtbl.find_opt units dep with
+        | Some unit_ -> unit_
+        | None ->
+          manager_error "dependency %s of %s missing from closure" dep
+            job.j_name)
+      job.j_imports
+  in
+  let unit_ =
+    Sepcomp.Compile.compile session ~name:job.j_name ~source:job.j_source
+      ~imports
+  in
+  { r_kind = Recompiled; r_bytes = Sepcomp.Compile.save session unit_ }
+
+let build ?(backend = Serial) ?cache t ~policy ~sources =
   Obs.Trace.span ~cat:"build"
-    ~args:[ ("policy", policy_name policy) ]
+    ~args:
+      [
+        ("policy", policy_name policy);
+        ("backend", Sched.backend_name backend);
+      ]
     "build"
   @@ fun () ->
   let build_start = Unix.gettimeofday () in
   let parsed =
     Obs.Trace.span ~cat:"build" "build.scan_sources" @@ fun () ->
     List.map
-      (fun file ->
-        (file, Lang.Parser.parse_unit ~file (read_source t file)))
+      (fun file -> (file, Lang.Parser.parse_unit ~file (read_source t file)))
       sources
   in
   let graph = Depend.Depgraph.build parsed in
   let order = Depend.Depgraph.topological graph in
   Hashtbl.reset t.units;
-  let recompiled = ref [] in
-  let loaded = ref [] in
-  let cutoff_hits = ref [] in
-  let unit_times = ref [] in
-  let was_recompiled file = List.exists (String.equal file) !recompiled in
-  List.iter
-    (fun file ->
-      let unit_start = Unix.gettimeofday () in
-      let deps = (Depend.Depgraph.node graph file).Depend.Depgraph.n_deps in
-      let imports =
-        List.map
-          (fun dep ->
-            match Hashtbl.find_opt t.units dep with
-            | Some unit_ -> unit_
-            | None -> manager_error "dependency %s of %s was not built" dep file)
-          deps
-      in
-      let src_mtime =
-        match t.fs.Vfs.fs_mtime file with
-        | Some time -> time
-        | None -> manager_error "source file %s not found" file
-      in
-      let previous = read_bin t file in
-      let source_newer =
-        match t.fs.Vfs.fs_mtime (bin_path file) with
-        | Some bin_time -> src_mtime > bin_time
-        | None -> true
-      in
-      let stale =
-        match (previous, source_newer) with
-        | None, _ | _, true -> true
-        | Some prev, false -> (
-          match policy with
-          | Timestamp ->
-            (* classical make: any recompiled dependency cascades *)
-            List.exists was_recompiled deps
-          | Cutoff ->
-            (* recompile only if some import's *interface* changed *)
-            let recorded = prev.Pickle.Binfile.uf_import_statics in
-            List.length recorded <> List.length deps
-            || not
-                 (List.for_all
-                    (fun dep ->
-                      match
-                        ( List.assoc_opt dep recorded,
-                          Hashtbl.find_opt t.units dep )
-                      with
-                      | Some old_pid, Some current ->
-                        Pid.equal old_pid current.Pickle.Binfile.uf_static_pid
-                      | _ -> false)
-                    deps)
-          | Selective ->
-            (* recompile only if a *referenced module* changed: compare
-               the recorded per-name pids against the providers' current
-               per-name pids *)
-            let current_name_pid modname =
-              List.fold_left
-                (fun acc dep ->
-                  match acc with
-                  | Some _ -> acc
-                  | None -> (
-                    match Hashtbl.find_opt t.units dep with
-                    | Some current ->
-                      List.assoc_opt modname
-                        current.Pickle.Binfile.uf_name_statics
-                    | None -> None))
-                None deps
-            in
-            (* the dependency *set* changing still forces a recompile *)
-            List.length prev.Pickle.Binfile.uf_import_statics
-              <> List.length deps
-            || not
-                 (List.for_all
-                    (fun (modname, old_pid) ->
-                      match current_name_pid modname with
-                      | Some now -> Pid.equal old_pid now
-                      | None -> false)
-                    prev.Pickle.Binfile.uf_import_name_statics))
-      in
-      (if stale then begin
-         let unit_ =
-           Sepcomp.Compile.compile t.session ~name:file
-             ~source:(read_source t file) ~imports
-         in
-         t.fs.Vfs.fs_write (bin_path file)
-           (Sepcomp.Compile.save t.session unit_);
-         Hashtbl.replace t.units file unit_;
-         recompiled := file :: !recompiled;
-         match previous with
-         | Some prev
-           when Pid.equal prev.Pickle.Binfile.uf_static_pid
-                  unit_.Pickle.Binfile.uf_static_pid ->
-           cutoff_hits := file :: !cutoff_hits;
-           Obs.Trace.instant ~cat:"build" ~args:[ ("unit", file) ]
-             "build.cutoff_hit"
-         | _ -> ()
-       end
-       else
-         match previous with
-         | Some prev ->
-           Hashtbl.replace t.units file prev;
-           loaded := file :: !loaded
-         | None -> assert false);
-      unit_times := (file, Unix.gettimeofday () -. unit_start) :: !unit_times)
-    order;
-  Obs.Metrics.add m_recompiled (List.length !recompiled);
-  Obs.Metrics.add m_loaded (List.length !loaded);
-  Obs.Metrics.add m_cutoff_hits (List.length !cutoff_hits);
+  Hashtbl.reset t.bin_bytes;
+  let deps_of file = (Depend.Depgraph.node graph file).Depend.Depgraph.n_deps in
+  (* units whose bin file was rewritten this build (compiled or filled
+     from the cache) — what the Timestamp cascade propagates *)
+  let changed = Hashtbl.create 16 in
+  let preps : (string, prep) Hashtbl.t = Hashtbl.create 16 in
+  let results : (string, result * float) Hashtbl.t = Hashtbl.create 16 in
+  let unit_of_dep file dep =
+    match Hashtbl.find_opt t.units dep with
+    | Some unit_ -> unit_
+    | None -> manager_error "dependency %s of %s was not built" dep file
+  in
+  let cache_key file source =
+    Option.map
+      (fun _ ->
+        Cache.key ~version:Pickle.Binfile.magic ~name:file ~source
+          ~import_pids:
+            (List.map
+               (fun dep -> (unit_of_dep file dep).Pickle.Binfile.uf_static_pid)
+               (deps_of file)))
+      cache
+  in
+  let stale_under_policy deps prev =
+    match policy with
+    | Timestamp ->
+      (* classical make: any rewritten dependency cascades *)
+      List.exists (Hashtbl.mem changed) deps
+    | Cutoff ->
+      (* recompile only if some import's *interface* changed *)
+      let recorded = Hashtbl.create 8 in
+      List.iter
+        (fun (dep, pid) -> Hashtbl.replace recorded dep pid)
+        prev.Pickle.Binfile.uf_import_statics;
+      List.length prev.Pickle.Binfile.uf_import_statics <> List.length deps
+      || not
+           (List.for_all
+              (fun dep ->
+                match
+                  (Hashtbl.find_opt recorded dep, Hashtbl.find_opt t.units dep)
+                with
+                | Some old_pid, Some current ->
+                  Pid.equal old_pid current.Pickle.Binfile.uf_static_pid
+                | _ -> false)
+              deps)
+    | Selective ->
+      (* recompile only if a *referenced module* changed: compare the
+         recorded per-name pids against the providers' current per-name
+         pids (first provider in dependency order wins, as in scope) *)
+      let current = Hashtbl.create 16 in
+      List.iter
+        (fun dep ->
+          match Hashtbl.find_opt t.units dep with
+          | Some unit_ ->
+            List.iter
+              (fun (modname, pid) ->
+                if not (Hashtbl.mem current modname) then
+                  Hashtbl.add current modname pid)
+              unit_.Pickle.Binfile.uf_name_statics
+          | None -> ())
+        deps;
+      (* the dependency *set* changing still forces a recompile *)
+      List.length prev.Pickle.Binfile.uf_import_statics <> List.length deps
+      || not
+           (List.for_all
+              (fun (modname, old_pid) ->
+                match Hashtbl.find_opt current modname with
+                | Some now -> Pid.equal old_pid now
+                | None -> false)
+              prev.Pickle.Binfile.uf_import_name_statics)
+  in
+  (* [prepare] runs on the calling domain once every dependency of
+     [file] completed: staleness check, then cache probe, and only if
+     both miss does the node become a compile job. *)
+  let prepare file =
+    let p_start = Unix.gettimeofday () in
+    let deps = deps_of file in
+    let source = read_source t file in
+    let src_mtime =
+      match t.fs.Vfs.fs_mtime file with
+      | Some time -> time
+      | None -> manager_error "source file %s not found" file
+    in
+    let previous = read_bin t file in
+    let source_newer =
+      match t.fs.Vfs.fs_mtime (bin_path file) with
+      | Some bin_time -> src_mtime > bin_time
+      | None -> true
+    in
+    let stale =
+      match (previous, source_newer) with
+      | None, _ | _, true -> true
+      | Some (prev, _), false -> stale_under_policy deps prev
+    in
+    let key = cache_key file source in
+    Hashtbl.replace preps file
+      {
+        p_prev_pid =
+          Option.map (fun (u, _) -> u.Pickle.Binfile.uf_static_pid) previous;
+        p_key = key;
+        p_start;
+      };
+    let compile_job () =
+      Sched.Run
+        {
+          j_name = file;
+          j_source = source;
+          j_closure =
+            List.map
+              (fun dep ->
+                match Hashtbl.find_opt t.bin_bytes dep with
+                | Some bytes -> (dep, bytes)
+                | None ->
+                  manager_error "dependency %s of %s was not built" dep file)
+              (Depend.Depgraph.closure graph file);
+          j_imports = deps;
+        }
+    in
+    if not stale then begin
+      match previous with
+      | Some (prev, bytes) ->
+        Hashtbl.replace t.units file prev;
+        Hashtbl.replace t.bin_bytes file bytes;
+        Sched.Done { r_kind = Loaded; r_bytes = bytes }
+      | None -> assert false
+    end
+    else
+      match (cache, key) with
+      | Some c, Some k -> (
+        match Cache.find c k with
+        | None -> compile_job ()
+        | Some bytes -> (
+          (* validate by rehydrating; corrupt entries degrade to a miss *)
+          match Sepcomp.Compile.load t.session bytes with
+          | exception Pickle.Buf.Corrupt _ ->
+            Cache.invalidate c k;
+            compile_job ()
+          | unit_ ->
+            if String.equal unit_.Pickle.Binfile.uf_name file then
+              Sched.Done { r_kind = Cache_hit; r_bytes = bytes }
+            else begin
+              Cache.invalidate c k;
+              compile_job ()
+            end))
+      | _ -> compile_job ()
+  in
+  (* [complete] merges a result back on the calling domain: rehydrate
+     into the manager's session, write the bin file, feed the cache. *)
+  let complete file result =
+    let prep = Hashtbl.find preps file in
+    (match result.r_kind with
+    | Loaded -> ()
+    | Recompiled | Cache_hit ->
+      let unit_ = Sepcomp.Compile.load t.session result.r_bytes in
+      t.fs.Vfs.fs_write (bin_path file) result.r_bytes;
+      Hashtbl.replace t.units file unit_;
+      Hashtbl.replace t.bin_bytes file result.r_bytes;
+      Hashtbl.replace changed file ();
+      if result.r_kind = Recompiled then begin
+        (match (cache, prep.p_key) with
+        | Some c, Some k -> Cache.store c k result.r_bytes
+        | _ -> ());
+        match prep.p_prev_pid with
+        | Some old when Pid.equal old unit_.Pickle.Binfile.uf_static_pid ->
+          Obs.Trace.instant ~cat:"build"
+            ~args:[ ("unit", file) ]
+            "build.cutoff_hit"
+        | _ -> ()
+      end);
+    Hashtbl.replace results file
+      (result, Unix.gettimeofday () -. prep.p_start);
+    result
+  in
+  ignore
+    (Sched.run backend ~order ~deps:deps_of ~prepare ~execute ~complete);
+  (* Sched.run raised if any node failed, so every node completed *)
+  let kind_of file = (fst (Hashtbl.find results file)).r_kind in
+  let recompiled = List.filter (fun f -> kind_of f = Recompiled) order in
+  let loaded = List.filter (fun f -> kind_of f = Loaded) order in
+  let cache_hits = List.filter (fun f -> kind_of f = Cache_hit) order in
+  let cutoff_hits =
+    List.filter
+      (fun f ->
+        match (Hashtbl.find preps f).p_prev_pid with
+        | Some old ->
+          Pid.equal old (Hashtbl.find t.units f).Pickle.Binfile.uf_static_pid
+        | None -> false)
+      recompiled
+  in
+  t.last_order <- order;
+  Obs.Metrics.add m_recompiled (List.length recompiled);
+  Obs.Metrics.add m_loaded (List.length loaded);
+  Obs.Metrics.add m_cutoff_hits (List.length cutoff_hits);
+  Obs.Metrics.add m_cache_hits (List.length cache_hits);
   {
     st_order = order;
-    st_recompiled = List.rev !recompiled;
-    st_loaded = List.rev !loaded;
-    st_cutoff_hits = List.rev !cutoff_hits;
+    st_recompiled = recompiled;
+    st_loaded = loaded;
+    st_cache_hits = cache_hits;
+    st_cutoff_hits = cutoff_hits;
     st_policy = policy;
+    st_backend = backend;
     st_wall_s = Unix.gettimeofday () -. build_start;
-    st_unit_times = List.rev !unit_times;
+    st_unit_times =
+      List.map (fun f -> (f, snd (Hashtbl.find results f))) order;
   }
 
 let unit_of t file =
@@ -190,14 +362,24 @@ let unit_of t file =
 
 let run ?output t ~sources =
   Obs.Trace.span ~cat:"build" "build.run" @@ fun () ->
-  (* execute in the order of the last build *)
-  let parsed =
-    List.map
-      (fun file -> (file, Lang.Parser.parse_unit ~file (read_source t file)))
-      sources
+  (* execute in the order recorded by the last build; only if the
+     requested sources differ from that build do we fall back to
+     re-deriving the order from the dependency graph *)
+  let same_sources =
+    List.sort String.compare sources
+    = List.sort String.compare t.last_order
   in
-  let graph = Depend.Depgraph.build parsed in
-  let order = Depend.Depgraph.topological graph in
+  let order =
+    if same_sources then t.last_order
+    else
+      let parsed =
+        List.map
+          (fun file ->
+            (file, Lang.Parser.parse_unit ~file (read_source t file)))
+          sources
+      in
+      Depend.Depgraph.topological (Depend.Depgraph.build parsed)
+  in
   List.fold_left
     (fun dynenv file ->
       Sepcomp.Compile.execute ?output (unit_of t file) dynenv)
@@ -211,38 +393,70 @@ let outcome_of stats file =
   let mem xs = List.exists (String.equal file) xs in
   if mem stats.st_cutoff_hits then "cutoff"
   else if mem stats.st_recompiled then "recompiled"
+  else if mem stats.st_cache_hits then "cache"
   else if mem stats.st_loaded then "loaded"
   else "unknown"
 
 let summary_line stats =
-  Printf.sprintf "%d recompiled / %d loaded / %d cutoff (%s policy, %.1f ms)"
+  Printf.sprintf
+    "%d recompiled / %d loaded / %d cache / %d cutoff (%s policy, %s, %.1f ms)"
     (List.length stats.st_recompiled)
     (List.length stats.st_loaded)
+    (List.length stats.st_cache_hits)
     (List.length stats.st_cutoff_hits)
     (policy_name stats.st_policy)
+    (Sched.backend_name stats.st_backend)
     (1000. *. stats.st_wall_s)
 
+(* report paths iterate every unit; index the per-unit lists once
+   instead of List.assoc-ing each lookup *)
+let times_index stats =
+  let tbl = Hashtbl.create (List.length stats.st_unit_times) in
+  List.iter (fun (file, s) -> Hashtbl.replace tbl file s) stats.st_unit_times;
+  tbl
+
+let outcome_index stats =
+  let tbl = Hashtbl.create (List.length stats.st_order) in
+  let mark outcome files =
+    List.iter
+      (fun file ->
+        if not (Hashtbl.mem tbl file) then Hashtbl.add tbl file outcome)
+      files
+  in
+  mark "cutoff" stats.st_cutoff_hits;
+  mark "recompiled" stats.st_recompiled;
+  mark "cache" stats.st_cache_hits;
+  mark "loaded" stats.st_loaded;
+  fun file -> Option.value ~default:"unknown" (Hashtbl.find_opt tbl file)
+
 let pp_report ppf stats =
-  Format.fprintf ppf "build report (%s policy)@." (policy_name stats.st_policy);
+  let times = times_index stats in
+  let outcome = outcome_index stats in
+  Format.fprintf ppf "build report (%s policy, %s)@."
+    (policy_name stats.st_policy)
+    (Sched.backend_name stats.st_backend);
   List.iter
     (fun file ->
       let ms =
-        match List.assoc_opt file stats.st_unit_times with
+        match Hashtbl.find_opt times file with
         | Some s -> 1000. *. s
         | None -> 0.
       in
-      Format.fprintf ppf "  %-28s %-10s %8.2f ms@." file
-        (outcome_of stats file) ms)
+      Format.fprintf ppf "  %-28s %-10s %8.2f ms@." file (outcome file) ms)
     stats.st_order;
   Format.fprintf ppf "  %s@." (summary_line stats)
 
 let report_json stats =
+  let times = times_index stats in
+  let outcome = outcome_index stats in
   Obs.Json.Obj
     [
       ("policy", Obs.Json.String (policy_name stats.st_policy));
+      ("backend", Obs.Json.String (Sched.backend_name stats.st_backend));
       ("wall_s", Obs.Json.Float stats.st_wall_s);
       ("recompiled", Obs.Json.Int (List.length stats.st_recompiled));
       ("loaded", Obs.Json.Int (List.length stats.st_loaded));
+      ("cache_hits", Obs.Json.Int (List.length stats.st_cache_hits));
       ("cutoff_hits", Obs.Json.Int (List.length stats.st_cutoff_hits));
       ( "units",
         Obs.Json.List
@@ -251,9 +465,9 @@ let report_json stats =
                Obs.Json.Obj
                  [
                    ("name", Obs.Json.String file);
-                   ("outcome", Obs.Json.String (outcome_of stats file));
+                   ("outcome", Obs.Json.String (outcome file));
                    ( "wall_s",
-                     match List.assoc_opt file stats.st_unit_times with
+                     match Hashtbl.find_opt times file with
                      | Some s -> Obs.Json.Float s
                      | None -> Obs.Json.Null );
                  ])

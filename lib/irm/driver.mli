@@ -1,6 +1,6 @@
 (** The Incremental Recompilation Manager (section 8).
 
-    Two recompilation policies over the same dependency DAG:
+    Three recompilation policies over the same dependency DAG:
 
     - {!Timestamp} — classical [make]: a unit is recompiled when its
       source is newer than its bin file {e or any dependency was
@@ -19,24 +19,38 @@
     All policies produce correct builds (bin files carrying the same
     interface pids as a from-scratch build); they differ only in how
     much they recompile — exactly the comparison the evaluation benches
-    measure. *)
+    measure.
+
+    Orthogonally to the policy, [build] takes a {!backend} — compile
+    jobs of independent units can run on a pool of worker domains
+    ({!Sched}) — and an optional content-addressed {!Cache.t} that is
+    consulted before every compile, under every policy.  Because a
+    compiled unit is a pure function of (source, import interface
+    pids), both are sound: parallel builds are byte-identical to serial
+    ones, and cache hits are byte-identical to recompiles. *)
 
 type policy = Timestamp | Cutoff | Selective
 
 val policy_name : policy -> string
 
+(** Where compile jobs run — re-exported from {!Sched.backend}. *)
+type backend = Sched.backend = Serial | Parallel of int
+
 type stats = {
   st_order : string list;  (** topological build order *)
   st_recompiled : string list;
   st_loaded : string list;  (** up to date, loaded from bin *)
+  st_cache_hits : string list;
+      (** stale, but the exact bytes were in the unit cache *)
   st_cutoff_hits : string list;
       (** recompiled but interface unchanged, so the cascade stopped
           (always empty under [Timestamp]) *)
   st_policy : policy;  (** the policy this build ran under *)
+  st_backend : backend;  (** the backend this build ran under *)
   st_wall_s : float;  (** wall-clock seconds for the whole build *)
   st_unit_times : (string * float) list;
-      (** wall-clock seconds per unit (staleness check + compile or
-          load), in build order *)
+      (** wall-clock seconds per unit from staleness check to merged
+          result, in build order (spans overlap under [Parallel]) *)
 }
 
 type t
@@ -47,31 +61,50 @@ val create : Vfs.fs -> t
 
 val session : t -> Sepcomp.Compile.session
 
-(** [build t ~policy ~sources] — bring every unit up to date.  Bin
-    files are written next to sources with extension [.bin].  Raises
-    {!Support.Diag.Error} on missing sources, cycles, or compile
-    errors. *)
-val build : t -> policy:policy -> sources:string list -> stats
+(** The build order recorded by the last successful {!build} ([[]]
+    before the first). *)
+val last_order : t -> string list
+
+(** [build ?backend ?cache t ~policy ~sources] — bring every unit up to
+    date.  Bin files are written next to sources with extension [.bin].
+    [backend] (default {!Serial}) says where compile jobs run; the
+    resulting bin files are byte-identical either way.  [cache], when
+    given, is probed before every compile and fed after every compile.
+    Raises {!Support.Diag.Error} on missing sources, cycles, or compile
+    errors — under [Parallel] the error reported is the one a serial
+    left-to-right build would have raised. *)
+val build :
+  ?backend:backend ->
+  ?cache:Cache.t ->
+  t ->
+  policy:policy ->
+  sources:string list ->
+  stats
 
 (** [unit_of t file] — the Unit of [file] after the last build. *)
 val unit_of : t -> string -> Pickle.Binfile.t
 
 (** [run ?output t ~sources] — execute every unit of the last build in
-    dependency order; returns the final dynamic environment. *)
+    dependency order (the order recorded by that build — sources are
+    re-parsed only if [sources] differs from the last build's set);
+    returns the final dynamic environment. *)
 val run : ?output:(string -> unit) -> t -> sources:string list -> Link.Linker.dynenv
 
-(** [outcome_of stats file] — ["recompiled"], ["loaded"], ["cutoff"]
-    (recompiled, interface unchanged) or ["unknown"]. *)
+(** [outcome_of stats file] — ["recompiled"], ["loaded"], ["cache"]
+    (stale but served from the unit cache), ["cutoff"] (recompiled,
+    interface unchanged) or ["unknown"]. *)
 val outcome_of : stats -> string -> string
 
 (** [summary_line stats] — the one-line
-    ["N recompiled / M loaded / K cutoff (policy, T ms)"] digest. *)
+    ["N recompiled / M loaded / C cache / K cutoff (policy, backend, T ms)"]
+    digest. *)
 val summary_line : stats -> string
 
 (** [pp_report ppf stats] — per-unit outcomes and timings, then the
     summary line. *)
 val pp_report : Format.formatter -> stats -> unit
 
-(** [report_json stats] — the same report as JSON: policy, wall time,
-    the breakdown counts, and one object per unit in build order. *)
+(** [report_json stats] — the same report as JSON: policy, backend,
+    wall time, the breakdown counts, and one object per unit in build
+    order. *)
 val report_json : stats -> Obs.Json.t

@@ -11,36 +11,43 @@ type event = {
    order back-to-back spans, a sequence number is not *)
 type pending = { p_event : event; p_seq : int }
 
-let on = ref false
+(* Spans may be opened from worker domains during parallel builds: the
+   sequence counter is atomic, the completed list is locked, and the
+   nesting depth is domain-local so each domain's spans indent
+   against their own stack. *)
+let on = Atomic.make false
 let epoch = ref 0.0
-let depth = ref 0
-let next_seq = ref 0
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let next_seq = Atomic.make 0
+let lock = Mutex.create ()
 let completed : pending list ref = ref [] (* reverse completion order *)
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
 
 let reset () =
-  completed := [];
-  depth := 0;
-  next_seq := 0;
+  Mutex.protect lock (fun () -> completed := []);
+  Domain.DLS.get depth_key := 0;
+  Atomic.set next_seq 0;
   epoch := Unix.gettimeofday ()
 
 let enable () =
   reset ();
-  on := true
+  Atomic.set on true
 
-let disable () = on := false
+let disable () = Atomic.set on false
 
-let record ev seq = completed := { p_event = ev; p_seq = seq } :: !completed
+let record ev seq =
+  Mutex.protect lock (fun () ->
+      completed := { p_event = ev; p_seq = seq } :: !completed)
 
 let span ?(cat = "") ?(args = []) name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
-    let seq = !next_seq in
-    Stdlib.incr next_seq;
+    let seq = Atomic.fetch_and_add next_seq 1 in
     let start = now_us () in
+    let depth = Domain.DLS.get depth_key in
     let d = !depth in
     depth := d + 1;
     let finish () =
@@ -66,23 +73,23 @@ let span ?(cat = "") ?(args = []) name f =
   end
 
 let instant ?(cat = "") ?(args = []) name =
-  if !on then begin
-    let seq = !next_seq in
-    Stdlib.incr next_seq;
+  if Atomic.get on then begin
+    let seq = Atomic.fetch_and_add next_seq 1 in
     record
       {
         ev_name = name;
         ev_cat = cat;
         ev_start_us = now_us ();
         ev_dur_us = 0.0;
-        ev_depth = !depth;
+        ev_depth = !(Domain.DLS.get depth_key);
         ev_args = args;
       }
       seq
   end
 
 let events () =
-  List.sort (fun a b -> compare a.p_seq b.p_seq) !completed
+  let pending = Mutex.protect lock (fun () -> !completed) in
+  List.sort (fun a b -> compare a.p_seq b.p_seq) pending
   |> List.map (fun p -> p.p_event)
 
 let chrome_event ev =

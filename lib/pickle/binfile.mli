@@ -26,6 +26,11 @@ type t = {
   uf_codeunit : Link.Codeunit.t;
 }
 
+(** The format magic ("SMLSEP.BIN.…").  Changes whenever the layout
+    does, so it doubles as the compiler-version component of
+    content-addressed cache keys. *)
+val magic : string
+
 (** [write ctx unit] — serialize to bytes. *)
 val write : Statics.Context.t -> t -> string
 

@@ -1,0 +1,181 @@
+type backend = Serial | Parallel of int
+
+let backend_name = function
+  | Serial -> "serial"
+  | Parallel n -> Printf.sprintf "parallel-%d" n
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs = function
+  | Serial -> 1
+  | Parallel n -> max 1 n
+
+type ('job, 'result) action = Run of 'job | Done of 'result
+
+type 'result outcome =
+  | Completed of 'result
+  | Failed of exn
+  | Skipped of string
+
+let m_dispatched = Obs.Metrics.counter "sched.dispatched"
+let m_inline = Obs.Metrics.counter "sched.inline"
+let g_jobs = Obs.Metrics.gauge "sched.jobs"
+
+(* per-node scheduling state, driven entirely by the calling domain *)
+type 'result node_state = {
+  mutable ns_waiting : int;  (** unfinished dependencies *)
+  mutable ns_poisoned : string option;  (** a failed dependency's name *)
+  mutable ns_outcome : 'result outcome option;
+}
+
+let run backend ~order ~deps ~prepare ~execute ~complete =
+  Obs.Trace.span ~cat:"sched"
+    ~args:[ ("backend", backend_name backend) ]
+    "sched.run"
+  @@ fun () ->
+  let workers = min (jobs backend) (max 1 (List.length order)) in
+  Obs.Metrics.set g_jobs workers;
+  let states : (string, 'r node_state) Hashtbl.t =
+    Hashtbl.create (List.length order)
+  in
+  let dependents : (string, string list) Hashtbl.t =
+    Hashtbl.create (List.length order)
+  in
+  List.iter
+    (fun node ->
+      let ds = deps node in
+      Hashtbl.replace states node
+        { ns_waiting = List.length ds; ns_poisoned = None; ns_outcome = None };
+      List.iter
+        (fun dep ->
+          Hashtbl.replace dependents dep
+            (node :: Option.value ~default:[] (Hashtbl.find_opt dependents dep)))
+        ds)
+    order;
+  let remaining = ref (List.length order) in
+  (* worker plumbing — only used by the parallel backend *)
+  let lock = Mutex.create () in
+  let work_ready = Condition.create () in
+  let result_ready = Condition.create () in
+  let job_queue = Queue.create () in
+  let result_queue = Queue.create () in
+  let quit = ref false in
+  let dispatch node job =
+    Obs.Metrics.incr m_dispatched;
+    Mutex.protect lock (fun () ->
+        Queue.push (node, job) job_queue;
+        Condition.signal work_ready)
+  in
+  let worker_loop () =
+    let rec loop () =
+      Mutex.lock lock;
+      while Queue.is_empty job_queue && not !quit do
+        Condition.wait work_ready lock
+      done;
+      if Queue.is_empty job_queue then Mutex.unlock lock
+      else begin
+        let node, job = Queue.pop job_queue in
+        Mutex.unlock lock;
+        let result =
+          match execute job with
+          | result -> Ok result
+          | exception exn -> Error exn
+        in
+        Mutex.protect lock (fun () ->
+            Queue.push (node, result) result_queue;
+            Condition.signal result_ready);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  (* ---- main-domain scheduling (shared by both backends) ---- *)
+  let rec finish node outcome =
+    let state = Hashtbl.find states node in
+    state.ns_outcome <- Some outcome;
+    decr remaining;
+    let culprit =
+      match outcome with
+      | Completed _ -> None
+      | Failed _ -> Some node
+      | Skipped root -> Some root
+    in
+    List.iter
+      (fun dependent ->
+        let dstate = Hashtbl.find states dependent in
+        (match culprit with
+        | Some root when dstate.ns_poisoned = None ->
+          dstate.ns_poisoned <- Some root
+        | Some _ | None -> ());
+        dstate.ns_waiting <- dstate.ns_waiting - 1;
+        if dstate.ns_waiting = 0 then
+          match dstate.ns_poisoned with
+          | Some root -> finish dependent (Skipped root)
+          | None -> start dependent)
+      (Option.value ~default:[] (Hashtbl.find_opt dependents node))
+  and settle node result =
+    match complete node result with
+    | result -> finish node (Completed result)
+    | exception exn -> finish node (Failed exn)
+  and start node =
+    match prepare node with
+    | exception exn -> finish node (Failed exn)
+    | Done result ->
+      Obs.Metrics.incr m_inline;
+      settle node result
+    | Run job ->
+      if workers <= 1 then (
+        match execute job with
+        | result -> settle node result
+        | exception exn -> finish node (Failed exn))
+      else dispatch node job
+  in
+  let initially_ready =
+    List.filter (fun node -> (Hashtbl.find states node).ns_waiting = 0) order
+  in
+  if workers <= 1 then List.iter start initially_ready
+  else begin
+    let pool = List.init workers (fun _ -> Domain.spawn worker_loop) in
+    Fun.protect ~finally:(fun () ->
+        Mutex.protect lock (fun () ->
+            quit := true;
+            Condition.broadcast work_ready);
+        List.iter Domain.join pool)
+    @@ fun () ->
+    List.iter start initially_ready;
+    while !remaining > 0 do
+      let batch =
+        Mutex.protect lock (fun () ->
+            while Queue.is_empty result_queue do
+              Condition.wait result_ready lock
+            done;
+            let batch = ref [] in
+            while not (Queue.is_empty result_queue) do
+              batch := Queue.pop result_queue :: !batch
+            done;
+            List.rev !batch)
+      in
+      List.iter
+        (fun (node, result) ->
+          match result with
+          | Ok result -> settle node result
+          | Error exn -> finish node (Failed exn))
+        batch
+    done
+  end;
+  let outcomes =
+    List.map
+      (fun node ->
+        match (Hashtbl.find states node).ns_outcome with
+        | Some outcome -> (node, outcome)
+        | None -> assert false (* every node is finished by now *))
+      order
+  in
+  (* deterministic failure: raise for the earliest failed node in
+     [order], exactly as a serial left-to-right run would have *)
+  (match
+     List.find_opt (function _, Failed _ -> true | _ -> false) outcomes
+   with
+  | Some (_, Failed exn) -> raise exn
+  | Some _ | None -> ());
+  outcomes

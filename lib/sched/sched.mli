@@ -1,0 +1,74 @@
+(** DAG-aware wavefront scheduler over an OCaml 5 domain pool.
+
+    The paper makes compiling a unit a pure function of
+    [(source, import interface pids)] — which is exactly the licence a
+    build system needs to run independent units concurrently.  This
+    module supplies the generic machinery: it walks a dependency DAG in
+    wavefront order, dispatching every node whose dependencies have all
+    completed, and guarantees a {e deterministic} outcome regardless of
+    completion order:
+
+    - node work is split into three phases — [prepare] and [complete]
+      always run on the calling domain (they may touch shared, unlocked
+      state such as the manager's session), while [execute] may run on
+      a worker domain and must only touch the job value it was given;
+    - results are reported back as they arrive, but the final outcome
+      list is in the caller's node order;
+    - failures are deterministic: every node whose dependencies
+      succeeded is still attempted, and the error raised is the one
+      belonging to the {e earliest failed node in the given order} —
+      the same error a serial left-to-right run would have raised.
+      Nodes downstream of a failure are skipped.
+
+    The scheduler knows nothing about compilation; [Irm.Driver] plugs
+    staleness checks and cache probes into [prepare], isolated compile
+    sessions into [execute], and session merging into [complete]. *)
+
+(** How to run a build.  [Serial] executes everything on the calling
+    domain (no domains are spawned); [Parallel n] uses [n] worker
+    domains ([n <= 1] degrades to [Serial]). *)
+type backend = Serial | Parallel of int
+
+val backend_name : backend -> string
+
+(** The machine's recommended worker count
+    ({!Domain.recommended_domain_count}). *)
+val default_jobs : unit -> int
+
+(** [jobs backend] — the worker count a backend stands for ([Serial]
+    is 1). *)
+val jobs : backend -> int
+
+(** What [prepare] decided for a node: either hand a job to a worker,
+    or finish the node immediately with a result (already up to date,
+    cache hit, …). *)
+type ('job, 'result) action = Run of 'job | Done of 'result
+
+(** A node's fate in the outcome list. *)
+type 'result outcome =
+  | Completed of 'result
+  | Failed of exn  (** [prepare], [execute] or [complete] raised *)
+  | Skipped of string  (** a dependency failed; names the culprit *)
+
+(** [run backend ~order ~deps ~prepare ~execute ~complete] — schedule
+    every node of [order] (a topological order: dependencies before
+    dependents; [deps] must only name nodes in [order]).
+
+    For each node, once its dependencies completed: [prepare node] runs
+    on the calling domain; a [Run job] is handed to a worker which runs
+    [execute job]; the result (from the worker or directly from
+    [Done]) is passed to [complete node result] on the calling domain.
+    Completion order across independent nodes is unspecified — both
+    callbacks must not depend on it.
+
+    Returns outcomes in [order].  If any node failed, raises that
+    node's exception — choosing the earliest failed node in [order],
+    exactly as a serial run would. *)
+val run :
+  backend ->
+  order:string list ->
+  deps:(string -> string list) ->
+  prepare:(string -> ('job, 'result) action) ->
+  execute:('job -> 'result) ->
+  complete:(string -> 'result -> 'result) ->
+  (string * 'result outcome) list

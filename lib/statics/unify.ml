@@ -2,11 +2,12 @@ open Types
 
 exception Unify_error of ty * ty
 
-let tyvar_counter = ref 0
+(* atomic: unification variables are per-compilation, but concurrent
+   compiles on separate domains share this id spring *)
+let tyvar_counter = Atomic.make 0
 
 let fresh_tyvar ~level () =
-  incr tyvar_counter;
-  Tvar (ref (Unbound { id = !tyvar_counter; level }))
+  Tvar (ref (Unbound { id = Atomic.fetch_and_add tyvar_counter 1 + 1; level }))
 
 let rec head_normalize ctx ty =
   match repr ty with

@@ -18,4 +18,6 @@ let () =
       ("depend", Test_depend.suite);
       ("properties", Test_props.suite);
       ("obs", Test_obs.suite);
+      ("sched", Test_sched.suite);
+      ("cache", Test_cache.suite);
     ]

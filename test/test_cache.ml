@@ -1,0 +1,208 @@
+(* The content-addressed unit cache: warm-cache rebuilds from clean,
+   miss-on-edit / hit-on-revert, LRU eviction under a byte budget, and
+   corruption (object or index) degrading to misses, never to errors. *)
+
+module Gen = Workload.Gen
+module Driver = Irm.Driver
+
+let setup () =
+  let fs = Vfs.memory () in
+  let project = Gen.create fs (Gen.Diamond 3) Gen.default_profile in
+  (fs, project, Gen.sources project)
+
+let clean_bins fs sources =
+  List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources
+
+let cache_objects fs =
+  List.filter
+    (fun path ->
+      String.length path > 19
+      && String.equal (String.sub path 0 19) ".irm-cache/objects/")
+    (fs.Vfs.fs_list ())
+
+let test_warm_cache_from_clean () =
+  let fs, _, sources = setup () in
+  let mgr = Driver.create fs in
+  let s0 =
+    Driver.build ~cache:(Cache.create fs) mgr ~policy:Driver.Cutoff ~sources
+  in
+  Alcotest.(check int) "cold build compiles everything" (List.length sources)
+    (List.length s0.Driver.st_recompiled);
+  clean_bins fs sources;
+  (* fresh manager and fresh cache handle over the same file system:
+     a new process finding the cache a previous one left behind *)
+  let mgr2 = Driver.create fs in
+  let s1 =
+    Driver.build ~cache:(Cache.create fs) mgr2 ~policy:Driver.Cutoff ~sources
+  in
+  Alcotest.(check int) "warm from-clean build recompiles nothing" 0
+    (List.length s1.Driver.st_recompiled);
+  Alcotest.(check int) "every unit served from the cache"
+    (List.length sources)
+    (List.length s1.Driver.st_cache_hits);
+  (* and the result is a working build *)
+  let dynenv = Driver.run mgr2 ~sources in
+  Alcotest.(check int) "cached build runs" (List.length sources)
+    (Digestkit.Pid.Map.cardinal dynenv)
+
+let test_edit_misses_revert_hits () =
+  let fs, project, sources = setup () in
+  let cache = Cache.create fs in
+  let mgr = Driver.create fs in
+  let _ = Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources in
+  let victim = Gen.middle_file project in
+  let original = Option.get (fs.Vfs.fs_read victim) in
+  Gen.edit project victim Gen.Impl_change;
+  let s1 = Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources in
+  Alcotest.(check (list string)) "edited source misses and recompiles"
+    [ victim ] s1.Driver.st_recompiled;
+  Alcotest.(check (list string)) "no hit for never-seen content" []
+    s1.Driver.st_cache_hits;
+  (* revert: same bytes as the first build, newer mtime — stale by
+     timestamp, but the content address is back in the cache *)
+  fs.Vfs.fs_write victim original;
+  let s2 = Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources in
+  Alcotest.(check (list string)) "reverted source hits" [ victim ]
+    s2.Driver.st_cache_hits;
+  Alcotest.(check (list string)) "nothing recompiled on revert" []
+    s2.Driver.st_recompiled
+
+let test_eviction_respects_budget () =
+  let fs = Vfs.memory () in
+  let cache = Cache.create ~budget_bytes:100 fs in
+  let blob c = String.make 40 c in
+  Cache.store cache "aa" (blob 'a');
+  Cache.store cache "bb" (blob 'b');
+  ignore (Cache.find cache "aa");
+  (* 120 bytes would exceed the 100-byte budget: the LRU entry — bb,
+     since aa was just touched — must go *)
+  Cache.store cache "cc" (blob 'c');
+  let st = Cache.stats cache in
+  Alcotest.(check bool) "within budget" true (st.Cache.cs_bytes <= 100);
+  Alcotest.(check int) "two entries left" 2 st.Cache.cs_entries;
+  Alcotest.(check bool) "LRU entry evicted" true (Cache.find cache "bb" = None);
+  Alcotest.(check bool) "recently-used entry survives" true
+    (Cache.find cache "aa" <> None);
+  Alcotest.(check bool) "new entry survives" true
+    (Cache.find cache "cc" <> None);
+  (* an entry larger than the whole budget is refused outright *)
+  Cache.store cache "dd" (String.make 200 'd');
+  Alcotest.(check bool) "oversized entry not stored" true
+    (Cache.find cache "dd" = None)
+
+let test_corrupt_objects_degrade_to_misses () =
+  let fs, _, sources = setup () in
+  let mgr = Driver.create fs in
+  let _ =
+    Driver.build ~cache:(Cache.create fs) mgr ~policy:Driver.Cutoff ~sources
+  in
+  (* smash every cached object, keeping sizes intact so the index still
+     trusts them: the CRC check in Binfile.read must catch it *)
+  List.iter
+    (fun path ->
+      let size = String.length (Option.get (fs.Vfs.fs_read path)) in
+      fs.Vfs.fs_write path (String.make size 'x'))
+    (cache_objects fs);
+  clean_bins fs sources;
+  let mgr2 = Driver.create fs in
+  let s =
+    Driver.build ~cache:(Cache.create fs) mgr2 ~policy:Driver.Cutoff ~sources
+  in
+  Alcotest.(check int) "all recompiled, no error" (List.length sources)
+    (List.length s.Driver.st_recompiled);
+  Alcotest.(check (list string)) "no hits from garbage" []
+    s.Driver.st_cache_hits
+
+let test_truncated_objects_degrade_to_misses () =
+  let fs, _, sources = setup () in
+  let mgr = Driver.create fs in
+  let _ =
+    Driver.build ~cache:(Cache.create fs) mgr ~policy:Driver.Cutoff ~sources
+  in
+  (* truncate instead: the size recorded in the index no longer
+     matches, which the cache itself must treat as a miss *)
+  List.iter (fun path -> fs.Vfs.fs_write path "stub") (cache_objects fs);
+  clean_bins fs sources;
+  let mgr2 = Driver.create fs in
+  let s =
+    Driver.build ~cache:(Cache.create fs) mgr2 ~policy:Driver.Cutoff ~sources
+  in
+  Alcotest.(check int) "all recompiled, no error" (List.length sources)
+    (List.length s.Driver.st_recompiled)
+
+let test_corrupt_index_is_empty_cache () =
+  let fs = Vfs.memory () in
+  fs.Vfs.fs_write ".irm-cache/index" "complete garbage\n-3 x\nnot a line";
+  let cache = Cache.create fs in
+  Alcotest.(check int) "damaged index reads as empty" 0
+    (Cache.stats cache).Cache.cs_entries;
+  (* and the instance still works *)
+  let key =
+    Cache.key ~version:"v1" ~name:"u.sml" ~source:"val x = 1" ~import_pids:[]
+  in
+  Cache.store cache key "some bytes";
+  Alcotest.(check bool) "store after damage works" true
+    (Cache.find cache key <> None)
+
+let test_key_sensitivity () =
+  let pid_a = Digestkit.Pid.intrinsic "interface a" in
+  let pid_b = Digestkit.Pid.intrinsic "interface b" in
+  let base =
+    Cache.key ~version:"v1" ~name:"u.sml" ~source:"src"
+      ~import_pids:[ pid_a; pid_b ]
+  in
+  let same_reordered =
+    Cache.key ~version:"v1" ~name:"u.sml" ~source:"src"
+      ~import_pids:[ pid_b; pid_a ]
+  in
+  Alcotest.(check string) "import order does not matter" base same_reordered;
+  List.iter
+    (fun (label, key) ->
+      Alcotest.(check bool) label false (String.equal base key))
+    [
+      ( "source changes the key",
+        Cache.key ~version:"v1" ~name:"u.sml" ~source:"src'"
+          ~import_pids:[ pid_a; pid_b ] );
+      ( "imports change the key",
+        Cache.key ~version:"v1" ~name:"u.sml" ~source:"src"
+          ~import_pids:[ pid_a ] );
+      ( "version changes the key",
+        Cache.key ~version:"v2" ~name:"u.sml" ~source:"src"
+          ~import_pids:[ pid_a; pid_b ] );
+      ( "unit name changes the key",
+        Cache.key ~version:"v1" ~name:"v.sml" ~source:"src"
+          ~import_pids:[ pid_a; pid_b ] );
+    ]
+
+let test_clear_and_gc () =
+  let fs = Vfs.memory () in
+  let cache = Cache.create ~budget_bytes:1000 fs in
+  Cache.store cache "aa" (String.make 30 'a');
+  Cache.store cache "bb" (String.make 30 'b');
+  Cache.gc cache;
+  Alcotest.(check int) "gc under budget keeps everything" 2
+    (Cache.stats cache).Cache.cs_entries;
+  Cache.clear cache;
+  Alcotest.(check int) "clear drops everything" 0
+    (Cache.stats cache).Cache.cs_entries;
+  Alcotest.(check int) "clear leaves no bytes" 0
+    (Cache.stats cache).Cache.cs_bytes;
+  Alcotest.(check bool) "objects gone from disk" true (cache_objects fs = [])
+
+let suite =
+  [
+    Alcotest.test_case "warm cache rebuilds from clean" `Quick
+      test_warm_cache_from_clean;
+    Alcotest.test_case "edit misses, revert hits" `Quick
+      test_edit_misses_revert_hits;
+    Alcotest.test_case "eviction respects budget" `Quick
+      test_eviction_respects_budget;
+    Alcotest.test_case "corrupt objects are misses" `Quick
+      test_corrupt_objects_degrade_to_misses;
+    Alcotest.test_case "truncated objects are misses" `Quick
+      test_truncated_objects_degrade_to_misses;
+    Alcotest.test_case "corrupt index is empty cache" `Quick
+      test_corrupt_index_is_empty_cache;
+    Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+    Alcotest.test_case "clear and gc" `Quick test_clear_and_gc;
+  ]

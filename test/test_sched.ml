@@ -1,0 +1,186 @@
+(* The wavefront scheduler: dispatch mechanics (ordering, failure
+   determinism) on toy graphs, and the headline property — a parallel
+   build is indistinguishable from a serial one: same bin bytes, same
+   export pids, same recompiled/loaded/cache/cutoff partitions, under
+   every policy. *)
+
+module Gen = Workload.Gen
+module Driver = Irm.Driver
+module Pid = Digestkit.Pid
+
+(* ---- mechanics on a toy diamond: a <- {b, c} <- d ---- *)
+
+let toy_order = [ "a"; "b"; "c"; "d" ]
+
+let toy_deps = function
+  | "d" -> [ "b"; "c" ]
+  | "b" | "c" -> [ "a" ]
+  | _ -> []
+
+let backends = [ Sched.Serial; Sched.Parallel 3 ]
+
+let test_outcomes_in_caller_order () =
+  List.iter
+    (fun backend ->
+      let outcomes =
+        Sched.run backend ~order:toy_order ~deps:toy_deps
+          ~prepare:(fun node ->
+            if String.equal node "c" then Sched.Done "cached-c"
+            else Sched.Run node)
+          ~execute:(fun node -> "ran-" ^ node)
+          ~complete:(fun _ result -> result)
+      in
+      Alcotest.(check (list string))
+        (Sched.backend_name backend ^ ": caller order")
+        toy_order (List.map fst outcomes);
+      List.iter
+        (fun (node, outcome) ->
+          match outcome with
+          | Sched.Completed result ->
+            let expected =
+              if String.equal node "c" then "cached-c" else "ran-" ^ node
+            in
+            Alcotest.(check string) node expected result
+          | Sched.Failed _ | Sched.Skipped _ ->
+            Alcotest.fail (node ^ " should have completed"))
+        outcomes)
+    backends
+
+let test_earliest_failure_raised () =
+  (* b and c both fail; the surfaced error must be b's (the earliest
+     failed node in the given order), whatever completed first *)
+  List.iter
+    (fun backend ->
+      match
+        Sched.run backend ~order:toy_order ~deps:toy_deps
+          ~prepare:(fun node -> Sched.Run node)
+          ~execute:(fun node ->
+            match node with "b" | "c" -> failwith node | _ -> node)
+          ~complete:(fun _ result -> result)
+      with
+      | _ -> Alcotest.fail "expected the build to fail"
+      | exception Failure culprit ->
+        Alcotest.(check string)
+          (Sched.backend_name backend ^ ": earliest failure")
+          "b" culprit)
+    backends
+
+let test_complete_respects_deps () =
+  (* on a 40-node dag under heavy parallelism, every [complete] must
+     still see all its dependencies completed (they run on the calling
+     domain, so no locking is needed to observe this) *)
+  let n = 40 in
+  let name i = Printf.sprintf "n%02d" i in
+  let deps_of node =
+    let i = int_of_string (String.sub node 1 2) in
+    if i = 0 then []
+    else
+      List.sort_uniq compare [ ((i * 7) + 1) mod i; ((i * 13) + 5) mod i ]
+      |> List.map name
+  in
+  let order = List.init n name in
+  let completed = Hashtbl.create n in
+  let outcomes =
+    Sched.run (Sched.Parallel 8) ~order ~deps:deps_of
+      ~prepare:(fun node -> Sched.Run node)
+      ~execute:(fun node -> node)
+      ~complete:(fun node result ->
+        List.iter
+          (fun dep ->
+            if not (Hashtbl.mem completed dep) then
+              Alcotest.fail
+                (Printf.sprintf "%s completed before its dependency %s" node
+                   dep))
+          (deps_of node);
+        Hashtbl.replace completed node ();
+        result)
+  in
+  Alcotest.(check int) "all nodes completed" n (List.length outcomes)
+
+(* ---- parallel ≡ serial on generated projects ---- *)
+
+let policies = [ Driver.Timestamp; Driver.Cutoff; Driver.Selective ]
+
+(* Cold build, implementation edit, interface edit — rebuilding after
+   each — then collect everything observable: the per-build partitions,
+   every unit's bin bytes, every unit's export pid. *)
+let build_sequence backend policy ~seed ~units =
+  let fs = Vfs.memory () in
+  let project =
+    Gen.create fs
+      (Gen.Random_dag { units; max_deps = 3; seed })
+      Gen.default_profile
+  in
+  let mgr = Driver.create fs in
+  let sources = Gen.sources project in
+  let partitions stats =
+    ( stats.Driver.st_recompiled,
+      stats.Driver.st_loaded,
+      stats.Driver.st_cache_hits,
+      stats.Driver.st_cutoff_hits )
+  in
+  let s0 = Driver.build ~backend mgr ~policy ~sources in
+  Gen.edit project (Gen.middle_file project) Gen.Impl_change;
+  let s1 = Driver.build ~backend mgr ~policy ~sources in
+  Gen.edit project (Gen.base_file project) Gen.Iface_change;
+  let s2 = Driver.build ~backend mgr ~policy ~sources in
+  let bins =
+    List.map (fun f -> Option.get (fs.Vfs.fs_read (f ^ ".bin"))) sources
+  in
+  let exports =
+    List.map
+      (fun f -> Pid.to_hex (Driver.unit_of mgr f).Pickle.Binfile.uf_static_pid)
+      sources
+  in
+  (List.map partitions [ s0; s1; s2 ], bins, exports)
+
+let check_parallel_equals_serial policy ~seed ~jobs ~units =
+  let parts_s, bins_s, exports_s =
+    build_sequence Driver.Serial policy ~seed ~units
+  in
+  let parts_p, bins_p, exports_p =
+    build_sequence (Driver.Parallel jobs) policy ~seed ~units
+  in
+  if parts_s <> parts_p then
+    Alcotest.fail
+      (Printf.sprintf "%s/seed %d: build partitions differ"
+         (Driver.policy_name policy) seed);
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s/seed %d: export pids" (Driver.policy_name policy) seed)
+    exports_s exports_p;
+  List.iteri
+    (fun i b_s ->
+      if not (String.equal b_s (List.nth bins_p i)) then
+        Alcotest.fail
+          (Printf.sprintf "%s/seed %d: bin bytes of unit %d differ"
+             (Driver.policy_name policy) seed i))
+    bins_s
+
+let test_parallel_equals_serial policy () =
+  check_parallel_equals_serial policy ~seed:23 ~jobs:4 ~units:12
+
+let prop_parallel_equals_serial =
+  QCheck.Test.make ~count:6 ~name:"parallel build = serial build"
+    QCheck.(
+      triple (int_range 0 1000) (int_range 2 6)
+        (oneofl ~print:Driver.policy_name policies))
+    (fun (seed, jobs, policy) ->
+      check_parallel_equals_serial policy ~seed ~jobs ~units:10;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "outcomes in caller order" `Quick
+      test_outcomes_in_caller_order;
+    Alcotest.test_case "earliest failure raised" `Quick
+      test_earliest_failure_raised;
+    Alcotest.test_case "complete respects dependencies" `Quick
+      test_complete_respects_deps;
+    Alcotest.test_case "parallel = serial (timestamp)" `Quick
+      (test_parallel_equals_serial Driver.Timestamp);
+    Alcotest.test_case "parallel = serial (cutoff)" `Quick
+      (test_parallel_equals_serial Driver.Cutoff);
+    Alcotest.test_case "parallel = serial (selective)" `Quick
+      (test_parallel_equals_serial Driver.Selective);
+    QCheck_alcotest.to_alcotest prop_parallel_equals_serial;
+  ]
