@@ -17,6 +17,7 @@
      E12 interpreter vs bytecode VM                 (bechamel)
      E13 parallel build speedup over domains        (timing)
      E14 unit-cache hit rates, warm-from-clean      (timing + counts)
+     E15 atomic-commit overhead vs raw writes       (timing)
 *)
 
 module Gen = Workload.Gen
@@ -31,7 +32,7 @@ let section title =
 (* Machine-readable results: BENCH_sepcomp.json                        *)
 (*                                                                     *)
 (* Schema (see README, "Observability"):                               *)
-(*   { "schema": "smlsep-bench/2", "quick": bool,                      *)
+(*   { "schema": "smlsep-bench/3", "quick": bool,                      *)
 (*     "experiments": {                                                *)
 (*       "build_times":      [{scale,units,lines,policy,build_s,       *)
 (*                             hash_s,dehydrate_s,rehydrate_s,         *)
@@ -43,7 +44,9 @@ let section title =
 (*       "parallel_speedup": [{units,lines,width,cores,jobs,serial_s,  *)
 (*                             parallel_s,speedup}],                   *)
 (*       "cache_hit_rate":   [{scenario,units,recompiled,cache_hits,   *)
-(*                             hit_rate,wall_s}] },                    *)
+(*                             hit_rate,wall_s}],                      *)
+(*       "atomic_overhead":  [{group,units,reps,raw_s,atomic_s,        *)
+(*                             overhead_ratio}] },                     *)
 (*     "metrics": { <Obs.Metrics counters> } }                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -56,6 +59,7 @@ let tbl_latency : J.t list ref = ref []
 let tbl_pickle_sizes : J.t list ref = ref []
 let tbl_parallel : J.t list ref = ref []
 let tbl_cache : J.t list ref = ref []
+let tbl_atomic : J.t list ref = ref []
 
 let record tbl row = tbl := row :: !tbl
 
@@ -63,7 +67,7 @@ let write_results () =
   let doc =
     J.Obj
       [
-        ("schema", J.String "smlsep-bench/2");
+        ("schema", J.String "smlsep-bench/3");
         ("quick", J.Bool !quick);
         ( "experiments",
           J.Obj
@@ -74,6 +78,7 @@ let write_results () =
               ("pickle_sizes", J.List (List.rev !tbl_pickle_sizes));
               ("parallel_speedup", J.List (List.rev !tbl_parallel));
               ("cache_hit_rate", J.List (List.rev !tbl_cache));
+              ("atomic_overhead", J.List (List.rev !tbl_atomic));
             ] );
         ("metrics", Obs.Metrics.to_json ());
       ]
@@ -935,6 +940,91 @@ let e14 () =
   Printf.printf "warm-from-clean rebuild is %.1fx faster than cold\n"
     (cold_s /. warm_s)
 
+(* ------------------------------------------------------------------ *)
+(* E15: atomic-commit overhead vs raw writes                           *)
+(* ------------------------------------------------------------------ *)
+
+(* an fs that defeats the commit protocol: staged content goes straight
+   to the final name and the publishing rename becomes a no-op — the
+   build does raw, non-crash-safe writes *)
+let rawify fs =
+  let final path =
+    String.sub path 0 (String.length path - String.length ".#commit")
+  in
+  {
+    fs with
+    Vfs.fs_write =
+      (fun path content ->
+        if Vfs.is_commit_temp path then fs.Vfs.fs_write (final path) content
+        else fs.Vfs.fs_write path content);
+    Vfs.fs_rename =
+      (fun src dst ->
+        if Vfs.is_commit_temp src && String.equal (final src) dst then ()
+        else fs.Vfs.fs_rename src dst);
+  }
+
+let e15 () =
+  section "E15: atomic-commit overhead vs raw writes";
+  (* the example group, loaded into a memory fs so both variants pay
+     identical (deterministic) I/O costs; a generated group stands in
+     when the examples are not on disk *)
+  let fs = Vfs.memory () in
+  let group, sources =
+    match
+      let real = Vfs.real ~dir:"examples/miniml" in
+      let sources = Irm.Group.load real "sources.cm" in
+      List.iter
+        (fun f ->
+          match real.Vfs.fs_read f with
+          | Some content -> fs.Vfs.fs_write f content
+          | None -> failwith f)
+        sources;
+      sources
+    with
+    | sources -> ("examples/miniml", sources)
+    | exception _ ->
+      let project = Gen.create fs (Gen.Diamond 2) Gen.default_profile in
+      ("diamond-8", Gen.sources project)
+  in
+  let units = List.length sources in
+  let reps = if !quick then 11 else 41 in
+  let clean () = List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources in
+  let median samples =
+    let a = List.sort compare samples in
+    List.nth a (List.length a / 2)
+  in
+  let time_build fs' =
+    clean ();
+    let t0 = Unix.gettimeofday () in
+    let _ = Driver.build (Driver.create fs') ~policy:Driver.Cutoff ~sources in
+    Unix.gettimeofday () -. t0
+  in
+  (* warm up, then interleave the variants so drift hits both medians *)
+  let raw_fs = rawify fs in
+  for _ = 1 to 3 do
+    ignore (time_build fs)
+  done;
+  let pairs = List.init reps (fun _ -> (time_build raw_fs, time_build fs)) in
+  let raw_s = median (List.map fst pairs) in
+  let atomic_s = median (List.map snd pairs) in
+  let overhead = (atomic_s -. raw_s) /. raw_s in
+  record tbl_atomic
+    (J.Obj
+       [
+         ("group", J.String group);
+         ("units", J.Int units);
+         ("reps", J.Int reps);
+         ("raw_s", J.Float raw_s);
+         ("atomic_s", J.Float atomic_s);
+         ("overhead_ratio", J.Float overhead);
+       ]);
+  Printf.printf
+    "%s (%d units, median of %d from-clean builds)\n\
+     raw writes    %8.3f ms\n\
+     atomic commit %8.3f ms\n\
+     overhead      %+7.2f%%  (crash safety budget: < 5%%)\n"
+    group units reps (1000. *. raw_s) (1000. *. atomic_s) (100. *. overhead)
+
 let parse_args () =
   let rec go = function
     | [] -> ()
@@ -976,5 +1066,6 @@ let () =
   if not !quick then e12 ();
   e13 ();
   e14 ();
+  e15 ();
   write_results ();
   Printf.printf "\nwrote %s\ndone.\n" !out_path

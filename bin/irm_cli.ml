@@ -5,6 +5,7 @@
      irm run sources.cm
      irm stats sources.cm
      irm deps sources.cm
+     irm recover sources.cm
      irm cache stats | gc | clear
 
    A group file lists source paths, one per line; dependency order is
@@ -15,7 +16,14 @@
    seen (source, imports) pair is reused instead of recompiled.
    --trace writes a Chrome trace_event file (open in chrome://tracing
    or Perfetto); --stats prints the per-unit build report and the
-   metric counters. *)
+   metric counters.
+
+   --fault-seed wraps the file system in the deterministic
+   fault-injection layer (for exercising crash safety: a simulated
+   crash exits with code 3 and an intact on-disk state; rerunning
+   without faults recovers).  `irm recover` quarantines damaged bin
+   files and sweeps staging files so the next build recompiles exactly
+   what was lost. *)
 
 let parse_policy = function
   | "cutoff" -> Ok Irm.Driver.Cutoff
@@ -23,8 +31,18 @@ let parse_policy = function
   | "selective" -> Ok Irm.Driver.Selective
   | other -> Error (`Msg (Printf.sprintf "unknown policy %S" other))
 
-let with_manager dir group f =
+let with_manager ?fault_seed ?(fault_ops = 32) dir group f =
   let fs = Vfs.real ~dir in
+  let fs =
+    match fault_seed with
+    | None -> fs
+    | Some seed ->
+      let plan = Vfs.seeded_plan ~seed ~ops:fault_ops in
+      Printf.eprintf "fault injection: seed %d over %d ops — plan [%s]\n%!"
+        seed fault_ops
+        (String.concat "; " (List.map Vfs.fault_name plan));
+      fst (Vfs.faulty ~plan fs)
+  in
   let sources = Irm.Group.load fs group in
   let mgr = Irm.Driver.create fs in
   f fs mgr sources
@@ -73,6 +91,16 @@ let guarded f =
     Printf.eprintf "uncaught exception: %s\n" (Dynamics.Value.to_string packet);
     1
   | exception Dynamics.Eval.Sml_exit code -> code
+  | exception Vfs.Crash { crash_op; crash_path } ->
+    Printf.eprintf
+      "simulated crash during %s of %s — on-disk state is safe; rerun \
+       (optionally `irm recover`) to converge\n"
+      crash_op crash_path;
+    3
+  | exception Vfs.Fault { fault_op; fault_path; _ } ->
+    Printf.eprintf "injected fault persisted: %s of %s failed\n" fault_op
+      fault_path;
+    1
   | exception Sys_error msg ->
     prerr_endline msg;
     1
@@ -106,9 +134,9 @@ let pp_cache_stats = function
   | None -> ()
 
 let build_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
-    stats_flag =
+    stats_flag fault_seed fault_ops =
   guarded (fun () ->
-      with_manager dir group (fun fs mgr sources ->
+      with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace stats_flag (fun () ->
@@ -123,9 +151,9 @@ let build_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
               0)))
 
 let run_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
-    stats_flag =
+    stats_flag fault_seed fault_ops =
   guarded (fun () ->
-      with_manager dir group (fun fs mgr sources ->
+      with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace stats_flag (fun () ->
@@ -204,6 +232,14 @@ let deps_cmd_impl dir group dot =
               order;
           0))
 
+let recover_cmd_impl dir group =
+  guarded (fun () ->
+      with_manager dir group (fun _fs mgr sources ->
+          require_sources group sources;
+          let report = Irm.Driver.recover mgr ~sources in
+          Format.printf "%a" Irm.Driver.pp_recovery report;
+          0))
+
 let cache_cmd_impl dir cache_dir budget_mb action =
   guarded (fun () ->
       let fs = Vfs.real ~dir in
@@ -214,7 +250,9 @@ let cache_cmd_impl dir cache_dir budget_mb action =
       in
       (match action with
       | `Stats -> ()
-      | `Gc -> Cache.gc cache
+      | `Gc ->
+        let report = Cache.gc cache in
+        Format.printf "gc:@.%a" Cache.pp_gc_report report
       | `Clear -> Cache.clear cache);
       Format.printf "%a" Cache.pp_stats (Cache.stats cache);
       0)
@@ -299,13 +337,31 @@ let json_arg =
     value & flag
     & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
 
+let fault_seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Inject deterministic file-system faults from the plan seeded \
+           by $(docv) (crash-safety testing).  A simulated crash exits \
+           with code 3, leaving a safe on-disk state; rerun without this \
+           flag to recover.")
+
+let fault_ops_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "fault-ops" ] ~docv:"N"
+        ~doc:
+          "Spread the injection points of $(b,--fault-seed) over the \
+           first $(docv) operations per class (default 32).")
+
 let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"bring every unit of the group up to date")
     Term.(
       const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
       $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
-      $ stats_arg)
+      $ stats_arg $ fault_seed_arg $ fault_ops_arg)
 
 let run_cmd =
   Cmd.v
@@ -313,7 +369,7 @@ let run_cmd =
     Term.(
       const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
       $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
-      $ stats_arg)
+      $ stats_arg $ fault_seed_arg $ fault_ops_arg)
 
 let stats_cmd =
   Cmd.v
@@ -350,9 +406,18 @@ let deps_cmd =
     (Cmd.info "deps" ~doc:"print the computed dependency graph")
     Term.(const deps_cmd_impl $ dir_arg $ group_arg $ dot_arg)
 
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "quarantine damaged bin files and sweep interrupted-commit \
+          staging files, so the next build recompiles exactly what was \
+          lost")
+    Term.(const recover_cmd_impl $ dir_arg $ group_arg)
+
 let cmd =
   Cmd.group
     (Cmd.info "irm" ~doc:"incremental recompilation manager for MiniSML")
-    [ build_cmd; run_cmd; stats_cmd; deps_cmd; cache_cmd ]
+    [ build_cmd; run_cmd; stats_cmd; deps_cmd; recover_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval' cmd)

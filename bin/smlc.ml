@@ -17,10 +17,14 @@ let read_file path =
   close_in ic;
   content
 
+(* atomic: a crash mid-write must never leave a torn bin file under the
+   final name (same write-temp/rename protocol as Vfs.real) *)
 let write_file path content =
-  let oc = open_out_bin path in
+  let tmp = path ^ ".#tmp" in
+  let oc = open_out_bin tmp in
   output_string oc content;
-  close_out oc
+  close_out oc;
+  Sys.rename tmp path
 
 let compile_one source_path import_paths run verbose use_cache cache_dir trace
     stats =

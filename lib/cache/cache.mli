@@ -12,15 +12,26 @@
     system for the CLI) under a directory:
 
     {v
-      <dir>/index            one line per entry: key size last-used
+      <dir>/index            snapshot: one line per entry (key size last-used)
+      <dir>/journal          records appended since the snapshot:
+                               + key size last-used   (stored)
+                               - key                  (dropped)
+                               @ key last-used        (recency touch)
       <dir>/objects/<key>    the bin bytes
     v}
 
+    Every persistent mutation is crash-safe: object bytes and both
+    metadata files are only written through {!Vfs.commit}
+    (write-temp/rename), and an object is committed {e before} the
+    journal learns its key — so a crash anywhere leaves either a
+    consistent cache or an orphaned object that {!gc} reclaims, never
+    an index entry pointing at torn bytes.
+
     Eviction is LRU by a logical clock persisted in the index: when the
     byte total exceeds the budget, least-recently-used entries are
-    dropped.  A corrupt index or object is never an error — damaged
-    state degrades to misses (the consumer must still validate the
-    bytes it gets back, e.g. by un-pickling them, and report
+    dropped.  A corrupt index, journal or object is never an error —
+    damaged state degrades to misses (the consumer must still validate
+    the bytes it gets back, e.g. by un-pickling them, and report
     {!invalidate} on failure). *)
 
 type t
@@ -69,11 +80,23 @@ val store : t -> string -> string -> unit
     downstream (corrupt object).  Not counted as an eviction. *)
 val invalidate : t -> string -> unit
 
-(** [gc t] — re-enforce the budget (useful after shrinking it). *)
-val gc : t -> unit
+(** What one {!gc} pass did. *)
+type gc_report = {
+  gc_evicted : int;  (** LRU evictions forced by the budget *)
+  gc_orphans : int;
+      (** orphaned objects and stale commit-staging files removed *)
+  gc_reclaimed_bytes : int;  (** bytes freed by removing orphans *)
+}
+
+(** [gc t] — re-enforce the budget, compact the journal into the index
+    snapshot, and reclaim orphans: objects the index does not know
+    (a store that crashed between the object commit and the index
+    update) and staging files left by interrupted commits. *)
+val gc : t -> gc_report
 
 (** [clear t] — drop every entry. *)
 val clear : t -> unit
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+val pp_gc_report : Format.formatter -> gc_report -> unit

@@ -130,7 +130,13 @@ let execute job =
   in
   { r_kind = Recompiled; r_bytes = Sepcomp.Compile.save session unit_ }
 
-let build ?(backend = Serial) ?cache t ~policy ~sources =
+(* transient injected faults (and nothing else) are worth retrying *)
+let transient_fault = function
+  | Vfs.Fault { fault_transient; _ } -> fault_transient
+  | _ -> false
+
+let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001) t
+    ~policy ~sources =
   Obs.Trace.span ~cat:"build"
     ~args:
       [
@@ -302,7 +308,10 @@ let build ?(backend = Serial) ?cache t ~policy ~sources =
     | Loaded -> ()
     | Recompiled | Cache_hit ->
       let unit_ = Sepcomp.Compile.load t.session result.r_bytes in
-      t.fs.Vfs.fs_write (bin_path file) result.r_bytes;
+      (* atomic commit: a crash mid-write must never leave a torn bin
+         under the final name — at worst an orphan staging file that
+         [recover] sweeps up *)
+      Vfs.commit t.fs (bin_path file) result.r_bytes;
       Hashtbl.replace t.units file unit_;
       Hashtbl.replace t.bin_bytes file result.r_bytes;
       Hashtbl.replace changed file ();
@@ -322,7 +331,8 @@ let build ?(backend = Serial) ?cache t ~policy ~sources =
     result
   in
   ignore
-    (Sched.run backend ~order ~deps:deps_of ~prepare ~execute ~complete);
+    (Sched.run ~retries ~backoff_s ~retryable:transient_fault backend ~order
+       ~deps:deps_of ~prepare ~execute ~complete);
   (* Sched.run raised if any node failed, so every node completed *)
   let kind_of file = (fst (Hashtbl.find results file)).r_kind in
   let recompiled = List.filter (fun f -> kind_of f = Recompiled) order in
@@ -359,6 +369,67 @@ let unit_of t file =
   match Hashtbl.find_opt t.units file with
   | Some unit_ -> unit_
   | None -> manager_error "unit %s has not been built" file
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  rv_intact : string list;
+  rv_quarantined : string list;
+  rv_missing : string list;
+  rv_temps_swept : int;
+}
+
+let m_quarantined = Obs.Metrics.counter "build.quarantined"
+
+let quarantine_path file = bin_path file ^ ".quarantined"
+
+let recover t ~sources =
+  Obs.Trace.span ~cat:"build" "build.recover" @@ fun () ->
+  (* sweep staging files left behind by interrupted atomic commits *)
+  let temps = List.filter Vfs.is_commit_temp (t.fs.Vfs.fs_list ()) in
+  List.iter t.fs.Vfs.fs_remove temps;
+  let intact = ref [] and quarantined = ref [] and missing = ref [] in
+  List.iter
+    (fun file ->
+      match t.fs.Vfs.fs_read (bin_path file) with
+      | None -> missing := file :: !missing
+      | Some bytes -> (
+        (* validate in a scratch session so a damaged file cannot
+           register anything in the manager's context *)
+        let ok =
+          match Sepcomp.Compile.load (Sepcomp.Compile.new_session ()) bytes with
+          | unit_ -> String.equal unit_.Pickle.Binfile.uf_name file
+          | exception Pickle.Buf.Corrupt _ -> false
+        in
+        if ok then intact := file :: !intact
+        else begin
+          (* set the damaged bin aside (for postmortems) so the next
+             build sees it as absent and recompiles the unit instead of
+             aborting the wavefront *)
+          (try t.fs.Vfs.fs_rename (bin_path file) (quarantine_path file) with
+          | Vfs.Fault _ | Sys_error _ -> t.fs.Vfs.fs_remove (bin_path file));
+          Obs.Metrics.incr m_quarantined;
+          quarantined := file :: !quarantined
+        end))
+    sources;
+  {
+    rv_intact = List.rev !intact;
+    rv_quarantined = List.rev !quarantined;
+    rv_missing = List.rev !missing;
+    rv_temps_swept = List.length temps;
+  }
+
+let pp_recovery ppf r =
+  Format.fprintf ppf "intact      %d@.quarantined %d%s@.missing     \
+                      %d@.temps swept %d@."
+    (List.length r.rv_intact)
+    (List.length r.rv_quarantined)
+    (match r.rv_quarantined with
+    | [] -> ""
+    | files -> "  (" ^ String.concat ", " files ^ ")")
+    (List.length r.rv_missing) r.rv_temps_swept
 
 let run ?output t ~sources =
   Obs.Trace.span ~cat:"build" "build.run" @@ fun () ->

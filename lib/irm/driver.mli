@@ -65,17 +65,24 @@ val session : t -> Sepcomp.Compile.session
     before the first). *)
 val last_order : t -> string list
 
-(** [build ?backend ?cache t ~policy ~sources] — bring every unit up to
-    date.  Bin files are written next to sources with extension [.bin].
-    [backend] (default {!Serial}) says where compile jobs run; the
-    resulting bin files are byte-identical either way.  [cache], when
-    given, is probed before every compile and fed after every compile.
+(** [build ?backend ?cache ?retries ?backoff_s t ~policy ~sources] —
+    bring every unit up to date.  Bin files are written next to sources
+    with extension [.bin], always through the atomic-commit protocol
+    ({!Vfs.commit}) so a crash mid-build never leaves a torn bin under
+    its final name.  [backend] (default {!Serial}) says where compile
+    jobs run; the resulting bin files are byte-identical either way.
+    [cache], when given, is probed before every compile and fed after
+    every compile.  Transient file-system faults ({!Vfs.Fault} with
+    [fault_transient]) are retried up to [retries] times (default 2)
+    with exponential backoff starting at [backoff_s] seconds.
     Raises {!Support.Diag.Error} on missing sources, cycles, or compile
     errors — under [Parallel] the error reported is the one a serial
     left-to-right build would have raised. *)
 val build :
   ?backend:backend ->
   ?cache:Cache.t ->
+  ?retries:int ->
+  ?backoff_s:float ->
   t ->
   policy:policy ->
   sources:string list ->
@@ -83,6 +90,28 @@ val build :
 
 (** [unit_of t file] — the Unit of [file] after the last build. *)
 val unit_of : t -> string -> Pickle.Binfile.t
+
+(** What a {!recover} pass found on disk. *)
+type recovery = {
+  rv_intact : string list;  (** bins that rehydrate cleanly *)
+  rv_quarantined : string list;
+      (** damaged bins, set aside as [<file>.bin.quarantined] — the
+          next build recompiles them instead of aborting *)
+  rv_missing : string list;  (** sources with no bin at all *)
+  rv_temps_swept : int;
+      (** staging files of interrupted atomic commits removed *)
+}
+
+(** [recover t ~sources] — the crash-recovery pass: sweep staging files
+    left by interrupted commits, validate every bin file (CRC + unit
+    name) in a scratch session, and quarantine the damaged ones so the
+    next {!build} schedules their recompilation.  After [recover], a
+    crashed build is indistinguishable from a cold (or partially warm)
+    cache: [build] converges to exactly the state a fault-free build
+    would have produced. *)
+val recover : t -> sources:string list -> recovery
+
+val pp_recovery : Format.formatter -> recovery -> unit
 
 (** [run ?output t ~sources] — execute every unit of the last build in
     dependency order (the order recorded by that build — sources are

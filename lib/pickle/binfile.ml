@@ -12,7 +12,7 @@ type t = {
   uf_codeunit : Link.Codeunit.t;
 }
 
-let magic = "SMLSEP.BIN.2"
+let magic = "SMLSEP.BIN.3"
 
 let m_bytes_written = Obs.Metrics.counter "pickle.bytes_written"
 let m_bytes_read = Obs.Metrics.counter "pickle.bytes_read"
@@ -267,10 +267,11 @@ let write ctx uf =
   write_lambda w uf.uf_codeunit.Link.Codeunit.cu_code;
   let payload = Buf.contents w in
   let crc = Digestkit.Crc64.of_string payload in
-  let trailer = Buf.writer () in
-  Buf.int trailer (Int64.to_int (Int64.shift_right_logical crc 32));
-  Buf.int trailer (Int64.to_int (Int64.logand crc 0xFFFFFFFFL));
-  let bytes = payload ^ Buf.contents trailer in
+  (* fixed-width big-endian CRC-64 trailer: readers can locate and
+     verify it before parsing a single payload byte *)
+  let trailer = Bytes.create 8 in
+  Bytes.set_int64_be trailer 0 crc;
+  let bytes = payload ^ Bytes.to_string trailer in
   Obs.Metrics.add m_bytes_written (String.length bytes);
   bytes
 
@@ -278,7 +279,18 @@ let read ctx data =
   Obs.Trace.span ~cat:"pickle" "pickle.read" @@ fun () ->
   Obs.Metrics.add m_bytes_read (String.length data);
   Obs.Metrics.incr m_rehydrations;
-  let r = Buf.reader data in
+  (* Verify the CRC trailer FIRST: nothing of the payload is parsed —
+     let alone registered in [ctx] — before the whole file is known to
+     be intact.  Any torn or flipped byte is a checked [Corrupt], never
+     a wrong environment. *)
+  if String.length data < 8 then raise (Buf.Corrupt "truncated bin file");
+  let payload = String.sub data 0 (String.length data - 8) in
+  let declared =
+    Bytes.get_int64_be (Bytes.of_string (String.sub data (String.length data - 8) 8)) 0
+  in
+  if not (Int64.equal declared (Digestkit.Crc64.of_string payload)) then
+    raise (Buf.Corrupt "CRC mismatch: bin file is corrupt");
+  let r = Buf.reader payload in
   let m = Buf.read_string r in
   if not (String.equal m magic) then raise (Buf.Corrupt "bad magic");
   let uf_name = Buf.read_string r in
@@ -335,27 +347,7 @@ let read ctx data =
         (name, pid))
   in
   let cu_code = read_lambda r in
-  (* CRC trailer *)
-  let payload_end = ref 0 in
-  ignore payload_end;
-  let hi = Buf.read_int r in
-  let lo = Buf.read_int r in
   if not (Buf.at_end r) then raise (Buf.Corrupt "trailing bytes");
-  let declared =
-    Int64.logor
-      (Int64.shift_left (Int64.of_int hi) 32)
-      (Int64.of_int lo)
-  in
-  (* re-serialize-free CRC check: the payload is everything before the
-     trailer; recover its extent by re-encoding the trailer *)
-  let trailer = Buf.writer () in
-  Buf.int trailer hi;
-  Buf.int trailer lo;
-  let trailer_len = String.length (Buf.contents trailer) in
-  let payload = String.sub data 0 (String.length data - trailer_len) in
-  let actual = Digestkit.Crc64.of_string payload in
-  if not (Int64.equal declared actual) then
-    raise (Buf.Corrupt "CRC mismatch: bin file is corrupt");
   {
     uf_name;
     uf_static_pid;

@@ -6,10 +6,13 @@
 
     Layout: magic, unit name, static pid, import-interface list, the own
     stamp table (dehydrated definitions), the environment tree (with
-    stubs for external references), the exports, the code, and a CRC-64
-    trailer guarding against corruption.  Reading verifies the magic and
-    CRC and registers the unit's own type constructors in the context
-    ("rehydration", section 4). *)
+    stubs for external references), the exports, the code, and a
+    fixed-width CRC-64 trailer guarding against corruption.  Reading
+    verifies the CRC {e before parsing anything} — a damaged file is a
+    checked {!Buf.Corrupt}, never a wrong environment and never a
+    partially-registered context — then checks the magic and registers
+    the unit's own type constructors in the context ("rehydration",
+    section 4). *)
 
 type t = {
   uf_name : string;  (** the compilation unit's name (source path) *)

@@ -19,6 +19,7 @@ type 'result outcome =
 
 let m_dispatched = Obs.Metrics.counter "sched.dispatched"
 let m_inline = Obs.Metrics.counter "sched.inline"
+let m_retries = Obs.Metrics.counter "sched.retries"
 let g_jobs = Obs.Metrics.gauge "sched.jobs"
 
 (* per-node scheduling state, driven entirely by the calling domain *)
@@ -28,11 +29,29 @@ type 'result node_state = {
   mutable ns_outcome : 'result outcome option;
 }
 
-let run backend ~order ~deps ~prepare ~execute ~complete =
+let run ?(retries = 0) ?(backoff_s = 0.001) ?(retryable = fun _ -> false)
+    backend ~order ~deps ~prepare ~execute ~complete =
   Obs.Trace.span ~cat:"sched"
     ~args:[ ("backend", backend_name backend) ]
     "sched.run"
   @@ fun () ->
+  (* bounded retry with exponential backoff around every node callback:
+     transient faults (a flaky file system, a racing process) get
+     [retries] more chances before poisoning the node's cone *)
+  let attempt f x =
+    let rec go k =
+      match f x with
+      | v -> v
+      | exception e when k < retries && retryable e ->
+        Obs.Metrics.incr m_retries;
+        if backoff_s > 0. then Unix.sleepf (backoff_s *. float_of_int (1 lsl k));
+        go (k + 1)
+    in
+    go 0
+  in
+  let prepare = attempt prepare
+  and execute = attempt execute
+  and complete node = attempt (complete node) in
   let workers = min (jobs backend) (max 1 (List.length order)) in
   Obs.Metrics.set g_jobs workers;
   let states : (string, 'r node_state) Hashtbl.t =

@@ -50,9 +50,16 @@ type 'result outcome =
   | Failed of exn  (** [prepare], [execute] or [complete] raised *)
   | Skipped of string  (** a dependency failed; names the culprit *)
 
-(** [run backend ~order ~deps ~prepare ~execute ~complete] — schedule
-    every node of [order] (a topological order: dependencies before
-    dependents; [deps] must only name nodes in [order]).
+(** [run ?retries ?backoff_s ?retryable backend ~order ~deps ~prepare
+    ~execute ~complete] — schedule every node of [order] (a topological
+    order: dependencies before dependents; [deps] must only name nodes
+    in [order]).
+
+    When a callback raises an exception for which [retryable] returns
+    true (default: never), it is re-invoked up to [retries] more times
+    (default 0), sleeping [backoff_s * 2^attempt] seconds in between —
+    bounded recovery from transient faults without poisoning the node's
+    dependent cone.
 
     For each node, once its dependencies completed: [prepare node] runs
     on the calling domain; a [Run job] is handed to a worker which runs
@@ -65,6 +72,9 @@ type 'result outcome =
     node's exception — choosing the earliest failed node in [order],
     exactly as a serial run would. *)
 val run :
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?retryable:(exn -> bool) ->
   backend ->
   order:string list ->
   deps:(string -> string list) ->

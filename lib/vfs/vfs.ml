@@ -3,8 +3,12 @@ type fs = {
   fs_write : string -> string -> unit;
   fs_mtime : string -> int option;
   fs_remove : string -> unit;
+  fs_rename : string -> string -> unit;
   fs_list : unit -> string list;
 }
+
+exception Fault of { fault_op : string; fault_path : string; fault_transient : bool }
+exception Crash of { crash_op : string; crash_path : string }
 
 let memory () =
   let files : (string, string * int) Hashtbl.t = Hashtbl.create 64 in
@@ -17,6 +21,16 @@ let memory () =
         Hashtbl.replace files path (content, !clock));
     fs_mtime = (fun path -> Option.map snd (Hashtbl.find_opt files path));
     fs_remove = (fun path -> Hashtbl.remove files path);
+    fs_rename =
+      (fun src dst ->
+        match Hashtbl.find_opt files src with
+        | None -> raise (Sys_error (Printf.sprintf "rename: %s not found" src))
+        | Some (content, _) ->
+          (* a rename is a single table mutation: it either happens or it
+             does not — never a torn in-between, mirroring POSIX rename *)
+          incr clock;
+          Hashtbl.remove files src;
+          Hashtbl.replace files dst (content, !clock));
     fs_list =
       (fun () ->
         Hashtbl.fold (fun path _ acc -> path :: acc) files []
@@ -28,8 +42,34 @@ let touch fs path =
   | Some content -> fs.fs_write path content
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Atomic commit protocol                                              *)
+(* ------------------------------------------------------------------ *)
+
+let commit_path path = path ^ ".#commit"
+
+let is_commit_temp path =
+  let suffix = ".#commit" in
+  let n = String.length path and k = String.length suffix in
+  n >= k && String.equal (String.sub path (n - k) k) suffix
+
+let commit fs path content =
+  let tmp = commit_path path in
+  fs.fs_write tmp content;
+  fs.fs_rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* The host file system                                                *)
+(* ------------------------------------------------------------------ *)
+
 let real ~dir =
   let join path = Filename.concat dir path in
+  let rec ensure d =
+    if not (Sys.file_exists d) then begin
+      ensure (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
   let read path =
     let full = join path in
     if Sys.file_exists full && not (Sys.is_directory full) then begin
@@ -43,17 +83,14 @@ let real ~dir =
   in
   let write path content =
     let full = join path in
-    let parent = Filename.dirname full in
-    let rec ensure dir =
-      if not (Sys.file_exists dir) then begin
-        ensure (Filename.dirname dir);
-        Sys.mkdir dir 0o755
-      end
-    in
-    ensure parent;
-    let oc = open_out_bin full in
+    ensure (Filename.dirname full);
+    (* write-temp/rename so a crash mid-write never leaves a torn file
+       under the final name — the same guarantee {!memory} gives *)
+    let tmp = full ^ ".#tmp" in
+    let oc = open_out_bin tmp in
     output_string oc content;
-    close_out oc
+    close_out oc;
+    Sys.rename tmp full
   in
   let mtime path =
     let full = join path in
@@ -62,8 +99,13 @@ let real ~dir =
     else None
   in
   let remove path =
-    let full = join path in
-    if Sys.file_exists full then Sys.remove full
+    (* already-missing files are fine: removal is idempotent *)
+    try Sys.remove (join path) with Sys_error _ -> ()
+  in
+  let rename src dst =
+    let full_dst = join dst in
+    ensure (Filename.dirname full_dst);
+    Sys.rename (join src) full_dst
   in
   let list () =
     let rec walk prefix acc =
@@ -77,4 +119,194 @@ let real ~dir =
     in
     if Sys.file_exists dir then List.sort String.compare (walk "" []) else []
   in
-  { fs_read = read; fs_write = write; fs_mtime = mtime; fs_remove = remove; fs_list = list }
+  {
+    fs_read = read;
+    fs_write = write;
+    fs_mtime = mtime;
+    fs_remove = remove;
+    fs_rename = rename;
+    fs_list = list;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault injection                                       *)
+(* ------------------------------------------------------------------ *)
+
+type fault =
+  | Write_fail of int
+  | Write_torn of int * int
+  | Write_crash of int * int
+  | Read_corrupt of int
+  | Remove_fail of int
+  | Rename_fail of int
+
+let fault_name = function
+  | Write_fail n -> Printf.sprintf "write-fail@%d" n
+  | Write_torn (n, k) -> Printf.sprintf "write-torn@%d/%d" n k
+  | Write_crash (n, k) -> Printf.sprintf "write-crash@%d/%d" n k
+  | Read_corrupt n -> Printf.sprintf "read-corrupt@%d" n
+  | Remove_fail n -> Printf.sprintf "remove-fail@%d" n
+  | Rename_fail n -> Printf.sprintf "rename-fail@%d" n
+
+type op = { op_kind : string; op_path : string; op_fault : string option }
+
+type injector = {
+  i_lock : Mutex.t;
+  mutable i_log : op list;  (** newest first *)
+  mutable i_reads : int;
+  mutable i_writes : int;
+  mutable i_removes : int;
+  mutable i_renames : int;
+  mutable i_fired : int;
+  mutable i_crashed : bool;
+  i_plan : fault list;
+}
+
+let oplog inj = Mutex.protect inj.i_lock (fun () -> List.rev inj.i_log)
+let writes inj = Mutex.protect inj.i_lock (fun () -> inj.i_writes)
+let faults_fired inj = Mutex.protect inj.i_lock (fun () -> inj.i_fired)
+let crashed inj = Mutex.protect inj.i_lock (fun () -> inj.i_crashed)
+
+(* flip one byte of [content], deterministically from [salt] *)
+let corrupt_content ~salt content =
+  if String.length content = 0 then content
+  else begin
+    let bytes = Bytes.of_string content in
+    let i = salt mod Bytes.length bytes in
+    Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x5A));
+    Bytes.to_string bytes
+  end
+
+let faulty ?(only = fun _ -> true) ~plan fs =
+  let inj =
+    {
+      i_lock = Mutex.create ();
+      i_log = [];
+      i_reads = 0;
+      i_writes = 0;
+      i_removes = 0;
+      i_renames = 0;
+      i_fired = 0;
+      i_crashed = false;
+      i_plan = plan;
+    }
+  in
+  (* count the op (if its path is eligible) and return the fault the
+     plan schedules for it, logging either way.  Once a crash fault has
+     fired the "process" is dead: nothing further reaches the backing
+     store — every subsequent operation just raises {!Crash} again. *)
+  let step kind path pick =
+    Mutex.protect inj.i_lock (fun () ->
+        if inj.i_crashed then
+          raise (Crash { crash_op = kind; crash_path = path });
+        let fault =
+          if only path then begin
+            let nth = pick () in
+            List.find_opt
+              (fun f ->
+                match (kind, f) with
+                | "write", (Write_fail n | Write_torn (n, _) | Write_crash (n, _))
+                  -> n = nth
+                | "read", Read_corrupt n -> n = nth
+                | "remove", Remove_fail n -> n = nth
+                | "rename", Rename_fail n -> n = nth
+                | _ -> false)
+              inj.i_plan
+          end
+          else None
+        in
+        if fault <> None then inj.i_fired <- inj.i_fired + 1;
+        inj.i_log <-
+          { op_kind = kind; op_path = path; op_fault = Option.map fault_name fault }
+          :: inj.i_log;
+        fault)
+  in
+  let wrapped =
+    {
+      fs_read =
+        (fun path ->
+          let fault =
+            step "read" path (fun () ->
+                inj.i_reads <- inj.i_reads + 1;
+                inj.i_reads)
+          in
+          let result = fs.fs_read path in
+          match fault with
+          | Some (Read_corrupt n) ->
+            Option.map (corrupt_content ~salt:n) result
+          | _ -> result);
+      fs_write =
+        (fun path content ->
+          let fault =
+            step "write" path (fun () ->
+                inj.i_writes <- inj.i_writes + 1;
+                inj.i_writes)
+          in
+          match fault with
+          | Some (Write_fail _) ->
+            raise
+              (Fault
+                 { fault_op = "write"; fault_path = path; fault_transient = true })
+          | Some (Write_torn (_, k)) ->
+            fs.fs_write path (String.sub content 0 (min k (String.length content)))
+          | Some (Write_crash (_, k)) ->
+            (* the dying process got k bytes onto disk, then vanished *)
+            fs.fs_write path (String.sub content 0 (min k (String.length content)));
+            Mutex.protect inj.i_lock (fun () -> inj.i_crashed <- true);
+            raise (Crash { crash_op = "write"; crash_path = path })
+          | _ -> fs.fs_write path content);
+      fs_mtime =
+        (fun path ->
+          Mutex.protect inj.i_lock (fun () ->
+              if inj.i_crashed then
+                raise (Crash { crash_op = "mtime"; crash_path = path }));
+          fs.fs_mtime path);
+      fs_remove =
+        (fun path ->
+          let fault =
+            step "remove" path (fun () ->
+                inj.i_removes <- inj.i_removes + 1;
+                inj.i_removes)
+          in
+          match fault with
+          | Some (Remove_fail _) ->
+            raise
+              (Fault
+                 { fault_op = "remove"; fault_path = path; fault_transient = true })
+          | _ -> fs.fs_remove path);
+      fs_rename =
+        (fun src dst ->
+          let fault =
+            step "rename" src (fun () ->
+                inj.i_renames <- inj.i_renames + 1;
+                inj.i_renames)
+          in
+          match fault with
+          | Some (Rename_fail _) ->
+            raise
+              (Fault
+                 { fault_op = "rename"; fault_path = src; fault_transient = true })
+          | _ -> fs.fs_rename src dst);
+      fs_list =
+        (fun () ->
+          Mutex.protect inj.i_lock (fun () ->
+              if inj.i_crashed then
+                raise (Crash { crash_op = "list"; crash_path = "" }));
+          fs.fs_list ());
+    }
+  in
+  (wrapped, inj)
+
+let seeded_plan ~seed ~ops =
+  let state = Random.State.make [| seed; ops; 0x5EED |] in
+  let ops = max 1 ops in
+  let n_faults = 1 + Random.State.int state 4 in
+  List.init n_faults (fun _ ->
+      let at = 1 + Random.State.int state ops in
+      match Random.State.int state 6 with
+      | 0 -> Write_fail at
+      | 1 -> Write_torn (at, Random.State.int state 64)
+      | 2 -> Write_crash (at, Random.State.int state 64)
+      | 3 -> Read_corrupt at
+      | 4 -> Remove_fail at
+      | _ -> Rename_fail at)

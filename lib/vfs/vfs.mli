@@ -1,21 +1,36 @@
 (** File-system abstraction for the compilation manager.
 
-    The IRM only needs read/write/mtime, so it works over an abstract
-    {!fs} record.  Two implementations:
+    The IRM only needs read/write/mtime/remove/rename, so it works over
+    an abstract {!fs} record.  Three implementations:
 
     - {!memory}: an in-memory store with a *logical clock* (every write
       bumps it), giving the recompilation benches deterministic,
       race-free timestamps;
     - {!real}: the host file system (used by the [irm] command-line
-      tool). *)
+      tool);
+    - {!faulty}: a deterministic fault-injection wrapper over any other
+      [fs], used by the crash-recovery test harness. *)
 
 type fs = {
   fs_read : string -> string option;
   fs_write : string -> string -> unit;
   fs_mtime : string -> int option;  (** [None] if absent *)
-  fs_remove : string -> unit;
-  fs_list : unit -> string list;  (** all known paths (memory only) *)
+  fs_remove : string -> unit;  (** idempotent: missing files are fine *)
+  fs_rename : string -> string -> unit;
+      (** atomic move, overwriting the destination — never torn *)
+  fs_list : unit -> string list;  (** all known paths under the root *)
 }
+
+(** An injected failure: the operation did not happen (or, for a
+    remove/rename, may be retried).  [fault_transient] faults succeed
+    when retried — {!Sched}'s bounded retry loop keys on it. *)
+exception Fault of { fault_op : string; fault_path : string; fault_transient : bool }
+
+(** A simulated process death in the middle of an operation: for a
+    write, a prefix of the bytes may already be on disk.  Never retry
+    this — the harness catches it and restarts from the disk state the
+    "dead" process left behind. *)
+exception Crash of { crash_op : string; crash_path : string }
 
 (** A fresh in-memory file system. *)
 val memory : unit -> fs
@@ -25,7 +40,77 @@ val memory : unit -> fs
     rebuild. *)
 val touch : fs -> string -> unit
 
+(** [commit fs path content] — the atomic-commit protocol: write
+    [content] to {!commit_path}[ path], then rename it over [path].
+    A crash before the rename leaves [path] untouched (the orphan temp
+    file is reclaimed by recovery/gc passes); after it, the new content
+    is fully in place.  There is no in-between. *)
+val commit : fs -> string -> string -> unit
+
+(** [commit_path path] — the temp-file name [commit] stages into
+    ([path ^ ".#commit"]). *)
+val commit_path : string -> string
+
+(** [is_commit_temp path] — recognizes staging files left behind by a
+    crashed {!commit}. *)
+val is_commit_temp : string -> bool
+
 (** The host file system rooted at [dir] (paths are joined to it).
-    [fs_mtime] is wall-clock seconds; [fs_list] enumerates [dir]
-    recursively. *)
+    [fs_write] is atomic (write-temp/rename); [fs_remove] ignores
+    already-missing files; [fs_mtime] is wall-clock seconds; [fs_list]
+    enumerates [dir] recursively. *)
 val real : dir:string -> fs
+
+(** {1 Deterministic fault injection} *)
+
+(** One scheduled failure.  Indices are 1-based per operation class
+    (counted over eligible paths only — see [faulty]'s [only]):
+    [Write_fail n] makes the [n]-th write raise a transient {!Fault};
+    [Write_torn (n, k)] silently truncates the [n]-th write after [k]
+    bytes; [Write_crash (n, k)] truncates after [k] bytes and raises
+    {!Crash}; [Read_corrupt n] flips one byte of the [n]-th read's
+    result; [Remove_fail n] / [Rename_fail n] raise a transient
+    {!Fault}. *)
+type fault =
+  | Write_fail of int
+  | Write_torn of int * int
+  | Write_crash of int * int
+  | Read_corrupt of int
+  | Remove_fail of int
+  | Rename_fail of int
+
+val fault_name : fault -> string
+
+(** One logged operation: its class, its path, and the name of the
+    fault that fired on it (if any). *)
+type op = { op_kind : string; op_path : string; op_fault : string option }
+
+(** The mutable state behind a {!faulty} wrapper: per-class operation
+    counters and the op-log. *)
+type injector
+
+(** [faulty ?only ~plan fs] — a wrapper over [fs] that injects the
+    failures scheduled in [plan], deterministically: the same plan over
+    the same operation sequence fires the same faults.  [only] filters
+    which paths are counted and eligible (default: all).  Thread-safe;
+    every operation is appended to the op-log. *)
+val faulty : ?only:(string -> bool) -> plan:fault list -> fs -> fs * injector
+
+(** The operations seen so far, oldest first. *)
+val oplog : injector -> op list
+
+(** Eligible writes counted so far. *)
+val writes : injector -> int
+
+(** How many scheduled faults actually fired. *)
+val faults_fired : injector -> int
+
+(** Whether a [Write_crash] fault has fired.  Once it has, the wrapper
+    behaves like a dead process: every further operation raises
+    {!Crash} and nothing reaches the backing store — restart from the
+    backing [fs] to model the post-crash recovery. *)
+val crashed : injector -> bool
+
+(** [seeded_plan ~seed ~ops] — a small deterministic fault plan with
+    injection points drawn from [1..ops].  Same seed, same plan. *)
+val seeded_plan : seed:int -> ops:int -> fault list

@@ -20,4 +20,5 @@ let () =
       ("obs", Test_obs.suite);
       ("sched", Test_sched.suite);
       ("cache", Test_cache.suite);
+      ("faults", Test_faults.suite);
     ]

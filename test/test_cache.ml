@@ -179,7 +179,9 @@ let test_clear_and_gc () =
   let cache = Cache.create ~budget_bytes:1000 fs in
   Cache.store cache "aa" (String.make 30 'a');
   Cache.store cache "bb" (String.make 30 'b');
-  Cache.gc cache;
+  let report = Cache.gc cache in
+  Alcotest.(check int) "gc under budget evicts nothing" 0
+    report.Cache.gc_evicted;
   Alcotest.(check int) "gc under budget keeps everything" 2
     (Cache.stats cache).Cache.cs_entries;
   Cache.clear cache;
@@ -188,6 +190,69 @@ let test_clear_and_gc () =
   Alcotest.(check int) "clear leaves no bytes" 0
     (Cache.stats cache).Cache.cs_bytes;
   Alcotest.(check bool) "objects gone from disk" true (cache_objects fs = [])
+
+let test_crash_between_object_and_index () =
+  let fs = Vfs.memory () in
+  (* a store is: commit the object (write 1), then commit the journal
+     record (write 2).  Crash during write 2: the object is on disk but
+     no index will ever learn the key *)
+  let ffs, _ = Vfs.faulty ~plan:[ Vfs.Write_crash (2, 5) ] fs in
+  let cache = Cache.create ffs in
+  (match Cache.store cache "aa" (String.make 30 'a') with
+  | () -> Alcotest.fail "store should crash mid-journal-update"
+  | exception Vfs.Crash _ -> ());
+  Alcotest.(check int) "the orphaned object is on disk" 1
+    (List.length (cache_objects fs));
+  (* the next process: the key is a miss, never a torn hit *)
+  let cache2 = Cache.create fs in
+  Alcotest.(check int) "crashed store is invisible to the index" 0
+    (Cache.stats cache2).Cache.cs_entries;
+  Alcotest.(check bool) "lookup degrades to a miss" true
+    (Cache.find cache2 "aa" = None);
+  (* gc reclaims the orphan (and the torn journal staging file) *)
+  let report = Cache.gc cache2 in
+  Alcotest.(check bool) "gc finds the orphans" true
+    (report.Cache.gc_orphans >= 1);
+  Alcotest.(check bool) "gc reports the reclaimed bytes" true
+    (report.Cache.gc_reclaimed_bytes >= 30);
+  Alcotest.(check (list string)) "objects directory is clean" []
+    (cache_objects fs)
+
+let test_concurrent_eviction_during_lookup () =
+  let fs = Vfs.memory () in
+  let a = Cache.create fs in
+  Cache.store a "aa" (String.make 30 'a');
+  Cache.store a "bb" (String.make 30 'b');
+  (* a second process opens the same cache and learns both keys *)
+  let b = Cache.create fs in
+  Alcotest.(check int) "second handle sees both entries" 2
+    (Cache.stats b).Cache.cs_entries;
+  (* the first process evicts aa behind the second one's back *)
+  Cache.invalidate a "aa";
+  Alcotest.(check bool) "stale lookup degrades to a miss" true
+    (Cache.find b "aa" = None);
+  Alcotest.(check bool) "unaffected entries still hit" true
+    (Cache.find b "bb" <> None);
+  (* and the first process clearing everything is just more misses *)
+  Cache.clear a;
+  Alcotest.(check bool) "lookup after a concurrent clear" true
+    (Cache.find b "bb" = None)
+
+let test_gc_reclaims_strays () =
+  let fs = Vfs.memory () in
+  let cache = Cache.create fs in
+  Cache.store cache "aa" (String.make 30 'a');
+  (* a stray object nothing indexes, and a staging file left by some
+     interrupted commit *)
+  fs.Vfs.fs_write ".irm-cache/objects/deadbeef" (String.make 25 'x');
+  fs.Vfs.fs_write ".irm-cache/objects/cafe.#commit" (String.make 15 'y');
+  let report = Cache.gc cache in
+  Alcotest.(check int) "both strays reclaimed" 2 report.Cache.gc_orphans;
+  Alcotest.(check int) "reclaimed bytes reported" 40
+    report.Cache.gc_reclaimed_bytes;
+  Alcotest.(check bool) "live entry untouched" true
+    (Cache.find cache "aa" <> None);
+  Alcotest.(check int) "nothing evicted" 0 report.Cache.gc_evicted
 
 let suite =
   [
@@ -205,4 +270,9 @@ let suite =
       test_corrupt_index_is_empty_cache;
     Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
     Alcotest.test_case "clear and gc" `Quick test_clear_and_gc;
+    Alcotest.test_case "crash between object write and index update" `Quick
+      test_crash_between_object_and_index;
+    Alcotest.test_case "concurrent eviction during lookup" `Quick
+      test_concurrent_eviction_during_lookup;
+    Alcotest.test_case "gc reclaims strays" `Quick test_gc_reclaims_strays;
   ]

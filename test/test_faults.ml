@@ -1,0 +1,437 @@
+(* Fault injection and crash recovery.
+
+   Mechanics of the deterministic Vfs.faulty wrapper (torn writes,
+   transient failures, kill semantics, op-log determinism), the atomic
+   commit protocol, retry-with-backoff in the driver — and the headline
+   harness: over random DAGs × policies × backends × fault plans, kill
+   a build at every injected crash point, recover, rebuild, and assert
+   the final bins, export pids and build partitions are byte-identical
+   to a fault-free serial build.  A crashed build must be
+   indistinguishable from a cold cache. *)
+
+module Gen = Workload.Gen
+module Driver = Irm.Driver
+module Pid = Digestkit.Pid
+
+let policies = [ Driver.Timestamp; Driver.Cutoff; Driver.Selective ]
+let backends = [ Driver.Serial; Driver.Parallel 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Vfs.faulty mechanics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_torn_write_is_silent () =
+  let fs = Vfs.memory () in
+  let ffs, inj = Vfs.faulty ~plan:[ Vfs.Write_torn (2, 3) ] fs in
+  ffs.Vfs.fs_write "a" "full content";
+  ffs.Vfs.fs_write "b" "full content";
+  Alcotest.(check (option string)) "first write intact" (Some "full content")
+    (fs.Vfs.fs_read "a");
+  Alcotest.(check (option string)) "second write torn after 3 bytes"
+    (Some "ful") (fs.Vfs.fs_read "b");
+  Alcotest.(check int) "one fault fired" 1 (Vfs.faults_fired inj);
+  let faulted =
+    List.filter (fun op -> op.Vfs.op_fault <> None) (Vfs.oplog inj)
+  in
+  Alcotest.(check int) "op-log records the fault" 1 (List.length faulted)
+
+let test_write_fail_is_transient () =
+  let fs = Vfs.memory () in
+  let ffs, inj = Vfs.faulty ~plan:[ Vfs.Write_fail 1 ] fs in
+  (match ffs.Vfs.fs_write "a" "x" with
+  | () -> Alcotest.fail "first write should fail"
+  | exception Vfs.Fault { fault_transient; _ } ->
+    Alcotest.(check bool) "fault is transient" true fault_transient);
+  Alcotest.(check (option string)) "nothing written" None (fs.Vfs.fs_read "a");
+  (* the retry — a fresh write op — succeeds *)
+  ffs.Vfs.fs_write "a" "x";
+  Alcotest.(check (option string)) "retry lands" (Some "x")
+    (fs.Vfs.fs_read "a");
+  Alcotest.(check bool) "not a crash" false (Vfs.crashed inj)
+
+let test_crash_kills_the_process () =
+  let fs = Vfs.memory () in
+  let ffs, inj = Vfs.faulty ~plan:[ Vfs.Write_crash (2, 4) ] fs in
+  ffs.Vfs.fs_write "a" "first";
+  (match ffs.Vfs.fs_write "b" "second write" with
+  | () -> Alcotest.fail "second write should crash"
+  | exception Vfs.Crash _ -> ());
+  Alcotest.(check bool) "injector is dead" true (Vfs.crashed inj);
+  (* a prefix of the dying write reached the disk *)
+  Alcotest.(check (option string)) "torn prefix on disk" (Some "seco")
+    (fs.Vfs.fs_read "b");
+  (* the dead process can do nothing more *)
+  (match ffs.Vfs.fs_read "a" with
+  | _ -> Alcotest.fail "reads after death must crash"
+  | exception Vfs.Crash _ -> ());
+  (match ffs.Vfs.fs_write "c" "z" with
+  | () -> Alcotest.fail "writes after death must crash"
+  | exception Vfs.Crash _ -> ());
+  (* ...but the backing store survives for the next process *)
+  Alcotest.(check (option string)) "backing store intact" (Some "first")
+    (fs.Vfs.fs_read "a")
+
+let test_read_corruption () =
+  let fs = Vfs.memory () in
+  fs.Vfs.fs_write "f" "pristine bytes";
+  let ffs, _ = Vfs.faulty ~plan:[ Vfs.Read_corrupt 1 ] fs in
+  let corrupted = Option.get (ffs.Vfs.fs_read "f") in
+  Alcotest.(check bool) "read sees corrupted bytes" false
+    (String.equal corrupted "pristine bytes");
+  Alcotest.(check int) "same length" (String.length "pristine bytes")
+    (String.length corrupted);
+  Alcotest.(check (option string)) "backing store untouched"
+    (Some "pristine bytes") (fs.Vfs.fs_read "f");
+  Alcotest.(check (option string)) "next read is clean"
+    (Some "pristine bytes") (ffs.Vfs.fs_read "f")
+
+let test_oplog_deterministic () =
+  let run () =
+    let fs = Vfs.memory () in
+    let ffs, inj = Vfs.faulty ~plan:[ Vfs.Write_torn (2, 1); Vfs.Remove_fail 1 ] fs in
+    ffs.Vfs.fs_write "a" "1";
+    ffs.Vfs.fs_write "b" "2";
+    ignore (ffs.Vfs.fs_read "a");
+    (try ffs.Vfs.fs_remove "a" with Vfs.Fault _ -> ());
+    List.map
+      (fun op ->
+        Printf.sprintf "%s %s %s" op.Vfs.op_kind op.Vfs.op_path
+          (Option.value ~default:"-" op.Vfs.op_fault))
+      (Vfs.oplog inj)
+  in
+  Alcotest.(check (list string)) "same plan, same ops, same log" (run ()) (run ())
+
+let test_seeded_plan_deterministic () =
+  let plan1 = Vfs.seeded_plan ~seed:42 ~ops:30 in
+  let plan2 = Vfs.seeded_plan ~seed:42 ~ops:30 in
+  Alcotest.(check (list string)) "same seed, same plan"
+    (List.map Vfs.fault_name plan1)
+    (List.map Vfs.fault_name plan2);
+  Alcotest.(check bool) "plan is non-empty" true (List.length plan1 >= 1)
+
+let test_commit_is_atomic_under_crash () =
+  let fs = Vfs.memory () in
+  fs.Vfs.fs_write "f" "old";
+  let ffs, _ = Vfs.faulty ~plan:[ Vfs.Write_crash (1, 5) ] fs in
+  (match Vfs.commit ffs "f" "replacement" with
+  | () -> Alcotest.fail "commit should crash"
+  | exception Vfs.Crash _ -> ());
+  Alcotest.(check (option string)) "target untouched by the torn commit"
+    (Some "old") (fs.Vfs.fs_read "f");
+  (* the orphaned staging file is recognizable for recovery sweeps *)
+  Alcotest.(check bool) "staging orphan left behind" true
+    (List.exists Vfs.is_commit_temp (fs.Vfs.fs_list ()));
+  (* a clean commit replaces atomically and leaves no staging file *)
+  Vfs.commit fs "f" "replacement";
+  Alcotest.(check (option string)) "committed" (Some "replacement")
+    (fs.Vfs.fs_read "f")
+
+(* ------------------------------------------------------------------ *)
+(* Build-level fault tolerance                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bins_of fs sources =
+  List.map (fun f -> Option.get (fs.Vfs.fs_read (f ^ ".bin"))) sources
+
+let pids_of mgr sources =
+  List.map
+    (fun f -> Pid.to_hex (Driver.unit_of mgr f).Pickle.Binfile.uf_static_pid)
+    sources
+
+(* the fault-free serial reference for a topology: final bins and pids *)
+let reference topology =
+  let fs = Vfs.memory () in
+  let project = Gen.create fs topology Gen.default_profile in
+  let sources = Gen.sources project in
+  let mgr = Driver.create fs in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources in
+  (bins_of fs sources, pids_of mgr sources)
+
+let test_transient_faults_are_retried () =
+  let topology = Gen.Diamond 2 in
+  let ref_bins, ref_pids = reference topology in
+  let fs = Vfs.memory () in
+  let project = Gen.create fs topology Gen.default_profile in
+  let sources = Gen.sources project in
+  let ffs, inj =
+    Vfs.faulty ~plan:[ Vfs.Write_fail 2; Vfs.Write_fail 5 ] fs
+  in
+  let mgr = Driver.create ffs in
+  let stats = Driver.build mgr ~policy:Driver.Cutoff ~sources in
+  Alcotest.(check int) "everything compiled despite faults"
+    (List.length sources)
+    (List.length stats.Driver.st_recompiled);
+  Alcotest.(check bool) "the faults really fired" true
+    (Vfs.faults_fired inj >= 1);
+  Alcotest.(check (list string)) "pids match the fault-free build" ref_pids
+    (pids_of mgr sources);
+  List.iteri
+    (fun i b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bin %d matches the fault-free build" i)
+        true
+        (String.equal b (List.nth ref_bins i)))
+    (bins_of fs sources)
+
+let test_torn_bin_self_heals () =
+  let topology = Gen.Diamond 2 in
+  let ref_bins, ref_pids = reference topology in
+  let fs = Vfs.memory () in
+  let project = Gen.create fs topology Gen.default_profile in
+  let sources = Gen.sources project in
+  (* the first write is the first unit's staged bin: tear it silently —
+     the commit protocol then installs a corrupt bin under the final
+     name, which nothing in this build re-reads *)
+  let ffs, _ = Vfs.faulty ~plan:[ Vfs.Write_torn (1, 17) ] fs in
+  let mgr = Driver.create ffs in
+  let _ = Driver.build mgr ~policy:Driver.Cutoff ~sources in
+  (* recovery: the damaged bin is quarantined, the rebuild recompiles
+     exactly that unit, and the result converges *)
+  let mgr2 = Driver.create fs in
+  let report = Driver.recover mgr2 ~sources in
+  Alcotest.(check int) "one unit quarantined" 1
+    (List.length report.Driver.rv_quarantined);
+  let s = Driver.build mgr2 ~policy:Driver.Cutoff ~sources in
+  Alcotest.(check (list string)) "only the damaged unit recompiles"
+    report.Driver.rv_quarantined s.Driver.st_recompiled;
+  Alcotest.(check (list string)) "pids converge" ref_pids (pids_of mgr2 sources);
+  List.iteri
+    (fun i b ->
+      Alcotest.(check bool) (Printf.sprintf "bin %d converges" i) true
+        (String.equal b (List.nth ref_bins i)))
+    (bins_of fs sources)
+
+(* ------------------------------------------------------------------ *)
+(* The crash-recovery harness                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Kill a build at write [crash_at] (torn after [torn] bytes), then
+   model the next process: recover, gc the cache, rebuild without
+   faults, and demand convergence with the fault-free serial build. *)
+let crash_and_recover ~topology ~policy ~backend ~with_cache ~crash_at ~torn
+    ~ref_bins ~ref_pids =
+  let fs = Vfs.memory () in
+  let project = Gen.create fs topology Gen.default_profile in
+  let sources = Gen.sources project in
+  let ffs, inj =
+    Vfs.faulty ~plan:[ Vfs.Write_crash (crash_at, torn) ] fs
+  in
+  let mgr = Driver.create ffs in
+  let cache = if with_cache then Some (Cache.create ffs) else None in
+  let crashed =
+    match Driver.build ?cache ~backend mgr ~policy ~sources with
+    | _ -> false
+    | exception Vfs.Crash _ -> true
+  in
+  ignore (Vfs.oplog inj);
+  (* the next process starts from whatever the dead one left on disk *)
+  let mgr2 = Driver.create fs in
+  let _report = Driver.recover mgr2 ~sources in
+  let cache2 = if with_cache then Some (Cache.create fs) else None in
+  Option.iter (fun c -> ignore (Cache.gc c)) cache2;
+  let _ = Driver.build ?cache:cache2 mgr2 ~policy ~sources in
+  let label fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.sprintf "%s/%s/crash@%d%s: %s" (Driver.policy_name policy)
+          (Sched.backend_name backend) crash_at
+          (if crashed then "" else " (no crash fired)")
+          s)
+      fmt
+  in
+  Alcotest.(check (list string))
+    (label "export pids converge")
+    ref_pids (pids_of mgr2 sources);
+  List.iteri
+    (fun i b ->
+      if not (String.equal b (List.nth ref_bins i)) then
+        Alcotest.fail (label "bin bytes of unit %d diverge" i))
+    (bins_of fs sources);
+  (* after convergence the crashed history is invisible: a null rebuild
+     loads everything, exactly as it would after the fault-free build *)
+  let null = Driver.build ?cache:cache2 mgr2 ~policy ~sources in
+  Alcotest.(check (list string)) (label "null rebuild recompiles nothing") []
+    null.Driver.st_recompiled;
+  Alcotest.(check int)
+    (label "null rebuild loads every unit")
+    (List.length sources)
+    (List.length null.Driver.st_loaded)
+
+(* count the eligible writes of one fault-free build of this
+   configuration — every one of them is a crash point to exercise *)
+let count_writes ~topology ~policy ~backend ~with_cache =
+  let fs = Vfs.memory () in
+  let project = Gen.create fs topology Gen.default_profile in
+  let sources = Gen.sources project in
+  let ffs, inj = Vfs.faulty ~plan:[] fs in
+  let mgr = Driver.create ffs in
+  let cache = if with_cache then Some (Cache.create ffs) else None in
+  let _ = Driver.build ?cache ~backend mgr ~policy ~sources in
+  Vfs.writes inj
+
+let crash_recovery_exhaustive ~units ~seed ~policy ~backend ~with_cache () =
+  let topology = Gen.Random_dag { units; max_deps = 3; seed } in
+  let fs_ref = Vfs.memory () in
+  let project_ref = Gen.create fs_ref topology Gen.default_profile in
+  let sources_ref = Gen.sources project_ref in
+  let mgr_ref = Driver.create fs_ref in
+  let _ = Driver.build mgr_ref ~policy ~sources:sources_ref in
+  let ref_bins = bins_of fs_ref sources_ref in
+  let ref_pids = pids_of mgr_ref sources_ref in
+  let writes = count_writes ~topology ~policy ~backend ~with_cache in
+  Alcotest.(check bool) "the build writes something" true (writes > 0);
+  for crash_at = 1 to writes do
+    crash_and_recover ~topology ~policy ~backend ~with_cache ~crash_at
+      ~torn:(crash_at * 13 mod 48) ~ref_bins ~ref_pids
+  done
+
+(* the harness across all three policies and both backends *)
+let crash_recovery_cases =
+  List.concat_map
+    (fun policy ->
+      List.map
+        (fun backend ->
+          Alcotest.test_case
+            (Printf.sprintf "crash recovery (%s, %s)"
+               (Driver.policy_name policy)
+               (Sched.backend_name backend))
+            `Quick
+            (crash_recovery_exhaustive ~units:6 ~seed:17 ~policy ~backend
+               ~with_cache:true))
+        backends)
+    policies
+
+(* CI runs the harness over published seeds: FAULT_SEEDS=s1,s2,s3 *)
+let fixed_seeds () =
+  match Sys.getenv_opt "FAULT_SEEDS" with
+  | None | Some "" -> [ 7; 23; 101 ]
+  | Some s ->
+    List.filter_map int_of_string_opt (String.split_on_char ',' (String.trim s))
+
+let test_fixed_seeds () =
+  List.iter
+    (fun seed ->
+      crash_recovery_exhaustive ~units:5 ~seed ~policy:Driver.Cutoff
+        ~backend:Driver.Serial ~with_cache:true ())
+    (fixed_seeds ())
+
+(* randomized: arbitrary seeded fault plans (torn writes, transient
+   failures, corrupted reads, crashes) restricted to bins and cache
+   files; whatever happens, recovery must converge *)
+let persistent_path path =
+  String.length path >= 4
+  && (Filename.check_suffix path ".bin"
+     || Vfs.is_commit_temp path
+     ||
+     let dir = Cache.default_dir in
+     String.length path > String.length dir
+     && String.equal (String.sub path 0 (String.length dir)) dir)
+
+let prop_random_fault_plans_recover =
+  QCheck.Test.make ~count:12 ~name:"random fault plans: recovery converges"
+    QCheck.(
+      quad (int_range 0 1000) (int_range 4 8) (int_range 0 1000)
+        (pair
+           (oneofl ~print:Driver.policy_name policies)
+           (oneofl ~print:Sched.backend_name backends)))
+    (fun (dag_seed, units, fault_seed, (policy, backend)) ->
+      let topology = Gen.Random_dag { units; max_deps = 3; seed = dag_seed } in
+      (* fault-free serial reference *)
+      let fs_ref = Vfs.memory () in
+      let project_ref = Gen.create fs_ref topology Gen.default_profile in
+      let sources_ref = Gen.sources project_ref in
+      let mgr_ref = Driver.create fs_ref in
+      let _ = Driver.build mgr_ref ~policy ~sources:sources_ref in
+      let ref_bins = bins_of fs_ref sources_ref in
+      let ref_pids = pids_of mgr_ref sources_ref in
+      (* the faulted run *)
+      let fs = Vfs.memory () in
+      let project = Gen.create fs topology Gen.default_profile in
+      let sources = Gen.sources project in
+      let plan = Vfs.seeded_plan ~seed:fault_seed ~ops:(4 * units) in
+      let ffs, _inj = Vfs.faulty ~only:persistent_path ~plan fs in
+      let mgr = Driver.create ffs in
+      (match
+         Driver.build ~cache:(Cache.create ffs) ~backend mgr ~policy ~sources
+       with
+      | _ -> ()
+      | exception (Vfs.Crash _ | Vfs.Fault _) -> ());
+      (* recovery in a fresh process *)
+      let mgr2 = Driver.create fs in
+      let _ = Driver.recover mgr2 ~sources in
+      let cache2 = Cache.create fs in
+      ignore (Cache.gc cache2);
+      let _ = Driver.build ~cache:cache2 mgr2 ~policy ~sources in
+      ref_pids = pids_of mgr2 sources
+      && List.for_all2 String.equal ref_bins (bins_of fs sources)
+      && (Driver.build ~cache:cache2 mgr2 ~policy ~sources).Driver.st_recompiled
+         = [])
+
+(* after recovery, the next edit behaves exactly as it would have with
+   no crash in the history: identical partitions *)
+let test_post_recovery_edit_partitions () =
+  let topology = Gen.Random_dag { units = 7; max_deps = 3; seed = 5 } in
+  List.iter
+    (fun policy ->
+      (* fault-free history *)
+      let fs_ref = Vfs.memory () in
+      let project_ref = Gen.create fs_ref topology Gen.default_profile in
+      let sources_ref = Gen.sources project_ref in
+      let mgr_ref = Driver.create fs_ref in
+      let _ = Driver.build mgr_ref ~policy ~sources:sources_ref in
+      (* crashed-and-recovered history *)
+      let fs = Vfs.memory () in
+      let project = Gen.create fs topology Gen.default_profile in
+      let sources = Gen.sources project in
+      let ffs, _ = Vfs.faulty ~plan:[ Vfs.Write_crash (3, 9) ] fs in
+      (match
+         Driver.build (Driver.create ffs) ~policy ~sources
+       with
+      | _ -> ()
+      | exception Vfs.Crash _ -> ());
+      let mgr = Driver.create fs in
+      let _ = Driver.recover mgr ~sources in
+      let _ = Driver.build mgr ~policy ~sources in
+      (* the same edit on both histories *)
+      Gen.edit project_ref (Gen.middle_file project_ref) Gen.Impl_change;
+      Gen.edit project (Gen.middle_file project) Gen.Impl_change;
+      let s_ref = Driver.build mgr_ref ~policy ~sources:sources_ref in
+      let s = Driver.build mgr ~policy ~sources in
+      let partitions s =
+        ( s.Driver.st_recompiled,
+          s.Driver.st_loaded,
+          s.Driver.st_cache_hits,
+          s.Driver.st_cutoff_hits )
+      in
+      if partitions s_ref <> partitions s then
+        Alcotest.fail
+          (Printf.sprintf "%s: post-recovery edit partitions differ"
+             (Driver.policy_name policy)))
+    policies
+
+let suite =
+  [
+    Alcotest.test_case "torn writes are silent" `Quick test_torn_write_is_silent;
+    Alcotest.test_case "write failures are transient" `Quick
+      test_write_fail_is_transient;
+    Alcotest.test_case "a crash kills the process" `Quick
+      test_crash_kills_the_process;
+    Alcotest.test_case "read corruption" `Quick test_read_corruption;
+    Alcotest.test_case "op-log is deterministic" `Quick test_oplog_deterministic;
+    Alcotest.test_case "seeded plans are deterministic" `Quick
+      test_seeded_plan_deterministic;
+    Alcotest.test_case "commit is atomic under crash" `Quick
+      test_commit_is_atomic_under_crash;
+    Alcotest.test_case "transient faults are retried" `Quick
+      test_transient_faults_are_retried;
+    Alcotest.test_case "torn bin self-heals via recover" `Quick
+      test_torn_bin_self_heals;
+  ]
+  @ crash_recovery_cases
+  @ [
+      Alcotest.test_case "crash recovery (published seeds)" `Quick
+        test_fixed_seeds;
+      Alcotest.test_case "post-recovery edits behave identically" `Quick
+        test_post_recovery_edit_partitions;
+      QCheck_alcotest.to_alcotest prop_random_fault_plans_recover;
+    ]

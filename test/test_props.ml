@@ -293,6 +293,61 @@ let prop_simplifier_never_grows =
       Lambda.size (compile true) <= Lambda.size (compile false))
 
 (* ------------------------------------------------------------------ *)
+(* Corruption is always checked                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* a damaged bin must either rehydrate identically or raise the checked
+   [Buf.Corrupt] — never a wrong environment, never a stray exception *)
+let flip_is_checked unit_ bytes pos mask =
+  let flipped = Bytes.of_string bytes in
+  Bytes.set flipped pos
+    (Char.chr (Char.code (Bytes.get flipped pos) lxor mask));
+  let flipped = Bytes.to_string flipped in
+  let ctx = Compile.context (Compile.new_session ()) in
+  match Pickle.Binfile.read ctx flipped with
+  | unit2 ->
+    (* only acceptable if the rehydration is indistinguishable *)
+    Pid.equal unit2.Pickle.Binfile.uf_static_pid
+      unit_.Pickle.Binfile.uf_static_pid
+    && String.equal (Pickle.Binfile.write ctx unit2) bytes
+  | exception Pickle.Buf.Corrupt _ -> true
+  | exception _ -> false
+
+let test_every_byte_flip_is_checked () =
+  let session = Compile.new_session () in
+  let unit_ =
+    Compile.compile session ~name:"u.sml"
+      ~source:"structure U = struct val x = 41 fun f n = n + x end" ~imports:[]
+  in
+  let bytes = Pickle.Binfile.write (Compile.context session) unit_ in
+  for pos = 0 to String.length bytes - 1 do
+    if not (flip_is_checked unit_ bytes pos 0x01) then
+      Alcotest.fail
+        (Printf.sprintf "flip at byte %d/%d escaped the corruption check" pos
+           (String.length bytes))
+  done
+
+let prop_random_flip_is_checked =
+  QCheck.Test.make ~count:60
+    ~name:"pickle: any 1-byte flip rehydrates identically or is Corrupt"
+    (QCheck.make
+       ~print:(fun (seed, pos, mask) ->
+         Printf.sprintf "<seed %d, byte %d, mask 0x%02x>" seed pos mask)
+       QCheck.Gen.(triple (0 -- 1000) (0 -- 100_000) (1 -- 255)))
+    (fun (seed, pos, mask) ->
+      let session = Compile.new_session () in
+      let unit_ =
+        Compile.compile session ~name:"u.sml"
+          ~source:
+            (Printf.sprintf
+               "structure U%d = struct val x = %d fun f n = n * x + %d end"
+               (seed mod 5) seed (seed mod 17))
+          ~imports:[]
+      in
+      let bytes = Pickle.Binfile.write (Compile.context session) unit_ in
+      flip_is_checked unit_ bytes (pos mod String.length bytes) mask)
+
+(* ------------------------------------------------------------------ *)
 (* Build idempotence                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -322,9 +377,14 @@ let suite =
       prop_incremental_equals_scratch Driver.Cutoff "cutoff";
       prop_incremental_equals_scratch Driver.Selective "selective";
       prop_pickle_roundtrip;
+      prop_random_flip_is_checked;
       prop_hash_ignores_trivia;
       prop_differential_eval;
       prop_simplifier_preserves_semantics;
       prop_simplifier_never_grows;
       prop_null_build_idempotent;
+    ]
+  @ [
+      Alcotest.test_case "every 1-byte flip in a bin is checked" `Quick
+        test_every_byte_flip_is_checked;
     ]
