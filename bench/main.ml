@@ -18,6 +18,7 @@
      E13 parallel build speedup over domains        (timing)
      E14 unit-cache hit rates, warm-from-clean      (timing + counts)
      E15 atomic-commit overhead vs raw writes       (timing)
+     E16 keep-going/diagnostics overhead, clean DAG (timing)
 *)
 
 module Gen = Workload.Gen
@@ -32,7 +33,7 @@ let section title =
 (* Machine-readable results: BENCH_sepcomp.json                        *)
 (*                                                                     *)
 (* Schema (see README, "Observability"):                               *)
-(*   { "schema": "smlsep-bench/3", "quick": bool,                      *)
+(*   { "schema": "smlsep-bench/4", "quick": bool,                      *)
 (*     "experiments": {                                                *)
 (*       "build_times":      [{scale,units,lines,policy,build_s,       *)
 (*                             hash_s,dehydrate_s,rehydrate_s,         *)
@@ -46,7 +47,9 @@ let section title =
 (*       "cache_hit_rate":   [{scenario,units,recompiled,cache_hits,   *)
 (*                             hit_rate,wall_s}],                      *)
 (*       "atomic_overhead":  [{group,units,reps,raw_s,atomic_s,        *)
-(*                             overhead_ratio}] },                     *)
+(*                             overhead_ratio}],                       *)
+(*       "keepgoing_overhead": [{topology,units,reps,failfast_s,       *)
+(*                             keepgoing_s,overhead_ratio}] },         *)
 (*     "metrics": { <Obs.Metrics counters> } }                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -60,6 +63,7 @@ let tbl_pickle_sizes : J.t list ref = ref []
 let tbl_parallel : J.t list ref = ref []
 let tbl_cache : J.t list ref = ref []
 let tbl_atomic : J.t list ref = ref []
+let tbl_keepgoing : J.t list ref = ref []
 
 let record tbl row = tbl := row :: !tbl
 
@@ -67,7 +71,7 @@ let write_results () =
   let doc =
     J.Obj
       [
-        ("schema", J.String "smlsep-bench/3");
+        ("schema", J.String "smlsep-bench/4");
         ("quick", J.Bool !quick);
         ( "experiments",
           J.Obj
@@ -79,6 +83,7 @@ let write_results () =
               ("parallel_speedup", J.List (List.rev !tbl_parallel));
               ("cache_hit_rate", J.List (List.rev !tbl_cache));
               ("atomic_overhead", J.List (List.rev !tbl_atomic));
+              ("keepgoing_overhead", J.List (List.rev !tbl_keepgoing));
             ] );
         ("metrics", Obs.Metrics.to_json ());
       ]
@@ -449,7 +454,7 @@ let rec expanded_size ctx ty =
     1 + expanded_size ctx a + expanded_size ctx b
   | Statics.Types.Ttuple parts ->
     List.fold_left (fun acc t -> acc + expanded_size ctx t) 1 parts
-  | Statics.Types.Tvar _ | Statics.Types.Tgen _ -> 1
+  | Statics.Types.Tvar _ | Statics.Types.Tgen _ | Statics.Types.Terror -> 1
 
 let e6 () =
   section "E6: DAG sharing in pickled environments (paper sec. 4)";
@@ -1025,6 +1030,67 @@ let e15 () =
      overhead      %+7.2f%%  (crash safety budget: < 5%%)\n"
     group units reps (1000. *. raw_s) (1000. *. atomic_s) (100. *. overhead)
 
+(* ------------------------------------------------------------------ *)
+(* E16: keep-going/diagnostics overhead on a clean build               *)
+(* ------------------------------------------------------------------ *)
+
+(* keep-going adds a recovery-mode pre-parse of every source and a
+   diagnostic collector per compile; on an error-free DAG both are pure
+   bookkeeping, so their cost is the whole price of the feature for the
+   common (clean) case *)
+let e16 () =
+  section "E16: keep-going/diagnostics overhead on a clean build";
+  let fs = Vfs.memory () in
+  let project =
+    Gen.create fs
+      (Gen.Random_dag { units = 16; max_deps = 3; seed = 7 })
+      Gen.default_profile
+  in
+  let sources = Gen.sources project in
+  let units = List.length sources in
+  let reps = if !quick then 11 else 41 in
+  let clean () = List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources in
+  let median samples =
+    let a = List.sort compare samples in
+    List.nth a (List.length a / 2)
+  in
+  let time_build ~keep_going =
+    clean ();
+    let t0 = Unix.gettimeofday () in
+    let _ =
+      Driver.build (Driver.create fs) ~keep_going ~policy:Driver.Cutoff
+        ~sources
+    in
+    Unix.gettimeofday () -. t0
+  in
+  (* warm up, then interleave the variants so drift hits both medians *)
+  for _ = 1 to 3 do
+    ignore (time_build ~keep_going:false)
+  done;
+  let pairs =
+    List.init reps (fun _ ->
+        (time_build ~keep_going:false, time_build ~keep_going:true))
+  in
+  let failfast_s = median (List.map fst pairs) in
+  let keepgoing_s = median (List.map snd pairs) in
+  let overhead = (keepgoing_s -. failfast_s) /. failfast_s in
+  record tbl_keepgoing
+    (J.Obj
+       [
+         ("topology", J.String "random-dag-16");
+         ("units", J.Int units);
+         ("reps", J.Int reps);
+         ("failfast_s", J.Float failfast_s);
+         ("keepgoing_s", J.Float keepgoing_s);
+         ("overhead_ratio", J.Float overhead);
+       ]);
+  Printf.printf
+    "random-dag-16 (%d units, median of %d from-clean builds)\n\
+     fail-fast     %8.3f ms\n\
+     keep-going    %8.3f ms\n\
+     overhead      %+7.2f%%  (diagnostics budget: < 2%%)\n"
+    units reps (1000. *. failfast_s) (1000. *. keepgoing_s) (100. *. overhead)
+
 let parse_args () =
   let rec go = function
     | [] -> ()
@@ -1067,5 +1133,6 @@ let () =
   e13 ();
   e14 ();
   e15 ();
+  e16 ();
   write_results ();
   Printf.printf "\nwrote %s\ndone.\n" !out_path

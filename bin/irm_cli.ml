@@ -72,20 +72,31 @@ let with_obs trace stats f =
   if stats then Format.printf "metrics:@.%a" Obs.Metrics.pp ();
   code
 
-let guarded f =
-  match Support.Diag.guard f with
+(* the machine-readable diagnostics envelope (--error-format=json),
+   validated in CI against schemas/diagnostics.schema.json *)
+let diagnostics_envelope ?(failed = []) ?(skipped = []) diags =
+  Obs.Json.Obj
+    [
+      ("version", Obs.Json.String "smlsep-diag/1");
+      ("failed", Obs.Json.List (List.map (fun f -> Obs.Json.String f) failed));
+      ( "skipped",
+        Obs.Json.List (List.map (fun f -> Obs.Json.String f) skipped) );
+      ("diagnostics", Obs.Json.List (List.map Irm.Driver.diag_json diags));
+    ]
+
+let guarded ?(error_format = `Text) f =
+  let report ds =
+    match error_format with
+    | `Text -> List.iter (fun d -> prerr_endline (Support.Diag.to_string d)) ds
+    | `Json -> print_endline (Obs.Json.to_string (diagnostics_envelope ds))
+  in
+  match Support.Diag.guard_all f with
   | Ok code -> code
-  | Error d ->
-    prerr_endline (Support.Diag.to_string d);
+  | Error ds ->
+    report ds;
     1
   | exception Pickle.Buf.Corrupt msg ->
-    prerr_endline
-      (Support.Diag.to_string
-         {
-           Support.Diag.phase = Support.Diag.Pickle;
-           loc = Support.Loc.dummy;
-           message = msg;
-         });
+    report [ Support.Diag.make Support.Diag.Pickle Support.Loc.dummy msg ];
     1
   | exception Dynamics.Eval.Sml_raise packet ->
     Printf.eprintf "uncaught exception: %s\n" (Dynamics.Value.to_string packet);
@@ -110,74 +121,116 @@ let require_sources group sources =
     Support.Diag.error Support.Diag.Manager Support.Loc.dummy
       "group file %s lists no sources" group
 
-let build_units ~backend ?cache mgr policy sources =
-  let stats = Irm.Driver.build ~backend ?cache mgr ~policy ~sources in
-  List.iter
-    (fun file ->
-      let unit_ = Irm.Driver.unit_of mgr file in
-      let tag =
+(* render a build's failed/skipped partitions: structured diagnostics
+   with source excerpts on stderr (text) or the JSON envelope on stdout;
+   returns the exit code the partitions call for *)
+let report_diagnostics fs error_format (stats : Irm.Driver.stats) =
+  let failed = stats.Irm.Driver.st_failed in
+  let skipped = stats.Irm.Driver.st_skipped in
+  (match error_format with
+  | `Json ->
+    print_endline
+      (Obs.Json.to_string
+         (diagnostics_envelope ~failed:(List.map fst failed)
+            ~skipped:(List.map fst skipped)
+            (List.concat_map snd failed)))
+  | `Text ->
+    let source_of file = fs.Vfs.fs_read file in
+    List.iter
+      (fun (_, ds) ->
+        List.iter
+          (fun d -> Format.eprintf "%a" (Support.Diag.render ~source_of) d)
+          ds)
+      failed;
+    List.iter
+      (fun (file, culprit) ->
+        Format.eprintf "%s: skipped: dependency %s failed@." file culprit)
+      skipped);
+  if failed = [] && skipped = [] then 0 else 1
+
+let build_units ~backend ?cache ~keep_going ~werror ?max_errors ~error_format
+    fs mgr policy sources =
+  let stats =
+    Irm.Driver.build ~backend ?cache ~keep_going ~werror ?max_errors mgr
+      ~policy ~sources
+  in
+  if error_format = `Text then begin
+    List.iter
+      (fun file ->
         match Irm.Driver.outcome_of stats file with
-        | "cutoff" -> "recompiled (interface unchanged)"
-        | "loaded" -> "up to date"
-        | "cache" -> "from cache"
-        | outcome -> outcome
-      in
-      Printf.printf "%-24s %s  [%s]\n" file
-        (Digestkit.Pid.short unit_.Pickle.Binfile.uf_static_pid)
-        tag)
-    stats.Irm.Driver.st_order;
-  print_endline (Irm.Driver.summary_line stats);
-  stats
+        | "failed" | "skipped" ->
+          Printf.printf "%-24s %s  [%s]\n" file (String.make 8 '-')
+            (Irm.Driver.outcome_of stats file)
+        | outcome ->
+          let unit_ = Irm.Driver.unit_of mgr file in
+          let tag =
+            match outcome with
+            | "cutoff" -> "recompiled (interface unchanged)"
+            | "loaded" -> "up to date"
+            | "cache" -> "from cache"
+            | other -> other
+          in
+          Printf.printf "%-24s %s  [%s]\n" file
+            (Digestkit.Pid.short unit_.Pickle.Binfile.uf_static_pid)
+            tag)
+      stats.Irm.Driver.st_order;
+    print_endline (Irm.Driver.summary_line stats)
+  end;
+  let code = report_diagnostics fs error_format stats in
+  (stats, code)
 
 let pp_cache_stats = function
   | Some cache -> Format.printf "cache:@.%a" Cache.pp_stats (Cache.stats cache)
   | None -> ()
 
 let build_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
-    stats_flag fault_seed fault_ops =
-  guarded (fun () ->
+    stats_flag fault_seed fault_ops keep_going werror max_errors error_format =
+  guarded ~error_format (fun () ->
       with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace stats_flag (fun () ->
-              let stats =
-                build_units ~backend:(backend_of_jobs jobs) ?cache mgr policy
-                  sources
+              let stats, code =
+                build_units ~backend:(backend_of_jobs jobs) ?cache ~keep_going
+                  ~werror ?max_errors ~error_format fs mgr policy sources
               in
               if stats_flag then begin
                 Format.printf "%a" Irm.Driver.pp_report stats;
                 pp_cache_stats cache
               end;
-              0)))
+              code)))
 
 let run_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
-    stats_flag fault_seed fault_ops =
-  guarded (fun () ->
+    stats_flag fault_seed fault_ops keep_going werror max_errors error_format =
+  guarded ~error_format (fun () ->
       with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace stats_flag (fun () ->
               let stats =
-                Irm.Driver.build ~backend:(backend_of_jobs jobs) ?cache mgr
-                  ~policy ~sources
+                Irm.Driver.build ~backend:(backend_of_jobs jobs) ?cache
+                  ~keep_going ~werror ?max_errors mgr ~policy ~sources
               in
-              let _ = Irm.Driver.run mgr ~sources in
+              let code = report_diagnostics fs error_format stats in
+              (* failed or skipped units have no bin to execute — report
+                 the diagnostics and stop before running anything *)
+              if code = 0 then ignore (Irm.Driver.run mgr ~sources);
               if stats_flag then begin
                 Format.printf "%a" Irm.Driver.pp_report stats;
                 pp_cache_stats cache
               end;
-              0)))
+              code)))
 
 let stats_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
-    json =
+    json keep_going werror max_errors =
   guarded (fun () ->
       with_manager dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace false (fun () ->
               let stats =
-                Irm.Driver.build ~backend:(backend_of_jobs jobs) ?cache mgr
-                  ~policy ~sources
+                Irm.Driver.build ~backend:(backend_of_jobs jobs) ?cache
+                  ~keep_going ~werror ?max_errors mgr ~policy ~sources
               in
               if json then
                 print_endline
@@ -191,7 +244,7 @@ let stats_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
                 Format.printf "%a" Irm.Driver.pp_report stats;
                 Format.printf "metrics:@.%a" Obs.Metrics.pp ()
               end;
-              0)))
+              if stats.Irm.Driver.st_failed = [] then 0 else 1)))
 
 let deps_cmd_impl dir group dot =
   guarded (fun () ->
@@ -355,30 +408,84 @@ let fault_ops_arg =
           "Spread the injection points of $(b,--fault-seed) over the \
            first $(docv) operations per class (default 32).")
 
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "k"; "keep-going" ]
+        ~doc:
+          "Do not stop at the first broken unit: collect structured \
+           diagnostics per unit, skip only the units downstream of a \
+           failure (poison propagation), and still build every unit not \
+           reachable from one.  The failed/skipped partitions and the \
+           diagnostics are deterministic — identical for any \
+           $(b,--jobs).")
+
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "warn-error" ]
+        ~doc:
+          "Promote warnings (nonexhaustive match, redundant rule, …) to \
+           errors.")
+
+let max_errors_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:
+          "Stop collecting after $(docv) errors per unit (default \
+           64).")
+
+let error_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "error-format" ] ~docv:"FMT"
+        ~doc:
+          "How to report diagnostics: $(b,text) (human-readable, with \
+           source excerpts, on stderr) or $(b,json) (one machine-readable \
+           envelope on stdout, schema $(i,schemas/diagnostics.schema.json)).")
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:"on reported diagnostics (compile, link or runtime errors).";
+    Cmd.Exit.info 2 ~doc:"on command-line usage errors.";
+    Cmd.Exit.info 3
+      ~doc:
+        "on a simulated crash under $(b,--fault-seed); the on-disk state \
+         is safe and a rerun converges.";
+  ]
+
 let build_cmd =
   Cmd.v
-    (Cmd.info "build" ~doc:"bring every unit of the group up to date")
+    (Cmd.info "build" ~exits
+       ~doc:"bring every unit of the group up to date")
     Term.(
       const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
       $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
-      $ stats_arg $ fault_seed_arg $ fault_ops_arg)
+      $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
+      $ werror_arg $ max_errors_arg $ error_format_arg)
 
 let run_cmd =
   Cmd.v
-    (Cmd.info "run" ~doc:"build, then execute all units in dependency order")
+    (Cmd.info "run" ~exits
+       ~doc:"build, then execute all units in dependency order")
     Term.(
       const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
       $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
-      $ stats_arg $ fault_seed_arg $ fault_ops_arg)
+      $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
+      $ werror_arg $ max_errors_arg $ error_format_arg)
 
 let stats_cmd =
   Cmd.v
-    (Cmd.info "stats"
+    (Cmd.info "stats" ~exits
        ~doc:"build, then print the per-unit report and metric counters")
     Term.(
       const stats_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
       $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
-      $ json_arg)
+      $ json_arg $ keep_going_arg $ werror_arg $ max_errors_arg)
 
 let cache_action_arg =
   let actions = [ ("stats", `Stats); ("gc", `Gc); ("clear", `Clear) ] in
@@ -392,7 +499,7 @@ let cache_action_arg =
 
 let cache_cmd =
   Cmd.v
-    (Cmd.info "cache"
+    (Cmd.info "cache" ~exits
        ~doc:"inspect or maintain the content-addressed unit cache")
     Term.(
       const cache_cmd_impl $ dir_arg $ cache_dir_arg $ cache_budget_arg
@@ -403,12 +510,12 @@ let dot_arg =
 
 let deps_cmd =
   Cmd.v
-    (Cmd.info "deps" ~doc:"print the computed dependency graph")
+    (Cmd.info "deps" ~exits ~doc:"print the computed dependency graph")
     Term.(const deps_cmd_impl $ dir_arg $ group_arg $ dot_arg)
 
 let recover_cmd =
   Cmd.v
-    (Cmd.info "recover"
+    (Cmd.info "recover" ~exits
        ~doc:
          "quarantine damaged bin files and sweep interrupted-commit \
           staging files, so the next build recompiles exactly what was \
@@ -417,7 +524,14 @@ let recover_cmd =
 
 let cmd =
   Cmd.group
-    (Cmd.info "irm" ~doc:"incremental recompilation manager for MiniSML")
+    (Cmd.info "irm" ~exits
+       ~doc:"incremental recompilation manager for MiniSML")
     [ build_cmd; run_cmd; stats_cmd; deps_cmd; recover_cmd; cache_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* standardized exit codes (documented under EXIT STATUS in --help):
+   0 success, 1 diagnostics, 2 usage errors, 3 simulated crash.
+   cmdliner reports parse errors as Exit.cli_error (124); fold them
+   into the documented usage code. *)
+let () =
+  let code = Cmd.eval' ~term_err:2 cmd in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -62,11 +62,7 @@ let main trace stats =
     | exception Pickle.Buf.Corrupt msg ->
       prerr_endline
         (Support.Diag.to_string
-           {
-             Support.Diag.phase = Support.Diag.Pickle;
-             loc = Support.Loc.dummy;
-             message = msg;
-           })
+           (Support.Diag.make Support.Diag.Pickle Support.Loc.dummy msg))
   in
   print_endline "MiniSML interactive loop (:use <file.bin> loads a unit, ctrl-D exits)";
   let rec loop () =

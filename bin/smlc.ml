@@ -26,8 +26,8 @@ let write_file path content =
   close_out oc;
   Sys.rename tmp path
 
-let compile_one source_path import_paths run verbose use_cache cache_dir trace
-    stats =
+let compile_one diags source_path import_paths run verbose use_cache cache_dir
+    trace stats =
   if trace <> None then Obs.Trace.enable ();
   let session = Sepcomp.Compile.new_session () in
   let imports =
@@ -36,9 +36,6 @@ let compile_one source_path import_paths run verbose use_cache cache_dir trace
       import_paths
   in
   let source = read_file source_path in
-  let warn loc msg =
-    Printf.eprintf "%s: warning: %s\n" (Support.Loc.to_string loc) msg
-  in
   let cache =
     if use_cache then Some (Cache.create ~dir:cache_dir (Vfs.real ~dir:"."))
     else None
@@ -72,7 +69,7 @@ let compile_one source_path import_paths run verbose use_cache cache_dir trace
       (unit_, bytes)
     | None ->
       let unit_ =
-        Sepcomp.Compile.compile ~warn session ~name:source_path ~source
+        Sepcomp.Compile.compile ~diags session ~name:source_path ~source
           ~imports
       in
       let bytes = Sepcomp.Compile.save session unit_ in
@@ -116,24 +113,56 @@ let compile_one source_path import_paths run verbose use_cache cache_dir trace
   if stats then Format.printf "metrics:@.%a" Obs.Metrics.pp ();
   0
 
-let main source_path import_paths run verbose use_cache cache_dir trace stats =
+(* diagnostics rendering: human-readable with source excerpts on stderr,
+   or the machine-readable envelope (schemas/diagnostics.schema.json) on
+   stdout.  In json mode the envelope is always printed, even when empty,
+   so callers can parse stdout unconditionally. *)
+let report_diags source_path error_format ~failed ds =
+  match error_format with
+  | `Json ->
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [
+              ("version", Obs.Json.String "smlsep-diag/1");
+              ( "failed",
+                Obs.Json.List
+                  (if failed then [ Obs.Json.String source_path ] else []) );
+              ("skipped", Obs.Json.List []);
+              ( "diagnostics",
+                Obs.Json.List (List.map Irm.Driver.diag_json ds) );
+            ]))
+  | `Text ->
+    let source_of file =
+      if Sys.file_exists file then Some (read_file file) else None
+    in
+    List.iter
+      (fun d -> Format.eprintf "%a" (Support.Diag.render ~source_of) d)
+      ds
+
+let main source_path import_paths run verbose use_cache cache_dir trace stats
+    werror max_errors error_format =
+  (* the whole compile runs under one collector: the front end recovers
+     and every diagnostic of the unit is reported in a single run *)
+  let diags =
+    Support.Diag.collector ?limit:max_errors ~werror ~unit_name:source_path ()
+  in
   match
-    Support.Diag.guard (fun () ->
-        compile_one source_path import_paths run verbose use_cache cache_dir
-          trace stats)
+    Support.Diag.guard_all (fun () ->
+        compile_one diags source_path import_paths run verbose use_cache
+          cache_dir trace stats)
   with
-  | Ok code -> code
-  | Error d ->
-    prerr_endline (Support.Diag.to_string d);
+  | Ok code ->
+    (* surviving diagnostics are warnings/notes *)
+    report_diags source_path error_format ~failed:false
+      (Support.Diag.diags diags);
+    code
+  | Error ds ->
+    report_diags source_path error_format ~failed:true ds;
     1
   | exception Pickle.Buf.Corrupt msg ->
-    prerr_endline
-      (Support.Diag.to_string
-         {
-           Support.Diag.phase = Support.Diag.Pickle;
-           loc = Support.Loc.dummy;
-           message = msg;
-         });
+    report_diags source_path error_format ~failed:true
+      [ Support.Diag.make Support.Diag.Pickle Support.Loc.dummy msg ];
     1
   | exception Dynamics.Eval.Sml_raise packet ->
     Printf.eprintf "uncaught exception: %s\n" (Dynamics.Value.to_string packet);
@@ -184,12 +213,51 @@ let trace_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print the metric counters.")
 
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "warn-error" ]
+        ~doc:
+          "Promote warnings (nonexhaustive match, redundant rule, …) to \
+           errors.")
+
+let max_errors_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:"Stop collecting after $(docv) errors (default 64).")
+
+let error_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "error-format" ] ~docv:"FMT"
+        ~doc:
+          "How to report diagnostics: $(b,text) (human-readable, with \
+           source excerpts, on stderr) or $(b,json) (one machine-readable \
+           envelope on stdout, schema $(i,schemas/diagnostics.schema.json)).")
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:"on reported diagnostics (compile, link or runtime errors).";
+    Cmd.Exit.info 2 ~doc:"on command-line usage errors.";
+    Cmd.Exit.info 3 ~doc:"on a simulated crash (fault injection).";
+  ]
+
 let cmd =
   let doc = "compile a MiniSML compilation unit (separate compilation)" in
   Cmd.v
-    (Cmd.info "smlc" ~doc)
+    (Cmd.info "smlc" ~doc ~exits)
     Term.(
       const main $ source_arg $ imports_arg $ run_arg $ verbose_arg
-      $ cache_flag_arg $ cache_dir_arg $ trace_arg $ stats_arg)
+      $ cache_flag_arg $ cache_dir_arg $ trace_arg $ stats_arg $ werror_arg
+      $ max_errors_arg $ error_format_arg)
 
-let () = exit (Cmd.eval' cmd)
+(* standardized exit codes (documented under EXIT STATUS in --help):
+   cmdliner reports parse errors as Exit.cli_error (124); fold them into
+   the documented usage code. *)
+let () =
+  let code = Cmd.eval' ~term_err:2 cmd in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

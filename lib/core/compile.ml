@@ -34,8 +34,11 @@ let runtime_export_fields (delta : Types.env) =
     !fields
 
 let m_units = Obs.Metrics.counter "compile.units"
+let m_failed_units = Obs.Metrics.counter "compile.failed_units"
+let m_diag_errors = Obs.Metrics.counter "diag.errors"
+let m_diag_warnings = Obs.Metrics.counter "diag.warnings"
 
-let compile ?(optimize = true) ?warn session ~name ~source ~imports =
+let compile ?(optimize = true) ?warn ?diags session ~name ~source ~imports =
   Obs.Trace.span ~cat:"compile" ~args:[ ("unit", name) ] "compile.unit"
   @@ fun () ->
   (* generated binder names restart from zero for every unit, making
@@ -46,13 +49,43 @@ let compile ?(optimize = true) ?warn session ~name ~source ~imports =
   Support.Symbol.with_fresh_scope @@ fun () ->
   let phase p f = Obs.Trace.span ~cat:"compile" ~args:[ ("unit", name) ] p f in
   let env = env_of_units session imports in
+  (* recovery mode: the front end accumulates into [diags] instead of
+     raising on the first error.  A unit with parse errors skips
+     elaboration (a partially recovered AST would only produce
+     confusing secondary type errors); a unit with elaboration errors
+     stops before translation, so the error type never reaches a
+     pickled interface.  Either way the whole batch is raised as
+     {!Support.Diag.Errors}. *)
+  let unit_failed c =
+    Obs.Metrics.incr m_failed_units;
+    Obs.Metrics.add m_diag_errors (Support.Diag.error_count c);
+    Obs.Metrics.add m_diag_warnings (Support.Diag.warning_count c);
+    raise (Support.Diag.Errors (Support.Diag.diags c))
+  in
+  let check_front_end () =
+    match diags with
+    | Some c when Support.Diag.has_errors c -> unit_failed c
+    | _ -> ()
+  in
   let unit_ =
-    phase "parse" (fun () -> Lang.Parser.parse_unit ~file:name source)
+    try phase "parse" (fun () -> Lang.Parser.parse_unit ?diags ~file:name source)
+    with Support.Diag.Errors _ as e -> (
+      (* the collector hit its error limit mid-phase *)
+      match diags with Some c -> unit_failed c | None -> raise e)
   in
+  check_front_end ();
   let delta, tdecs =
-    phase "elaborate" (fun () ->
-        Statics.Elaborate.elab_compilation_unit ?warn session.ctx env unit_)
+    try
+      phase "elaborate" (fun () ->
+          Statics.Elaborate.elab_compilation_unit ?warn ?diags session.ctx env
+            unit_)
+    with Support.Diag.Errors _ as e -> (
+      match diags with Some c -> unit_failed c | None -> raise e)
   in
+  check_front_end ();
+  (match diags with
+  | Some c -> Obs.Metrics.add m_diag_warnings (Support.Diag.warning_count c)
+  | None -> ());
   let fields = runtime_export_fields delta in
   let export = phase "hash" (fun () -> Pickle.Hashenv.export session.ctx delta) in
   let code = phase "translate" (fun () -> Translate.unit_code tdecs fields) in
@@ -88,5 +121,6 @@ let compile ?(optimize = true) ?warn session ~name ~source ~imports =
 
 let load session bytes = Pickle.Binfile.read session.ctx bytes
 let save session unit_ = Pickle.Binfile.write session.ctx unit_
-let execute ?output unit_ dynenv =
-  Link.Linker.execute ?output unit_.Pickle.Binfile.uf_codeunit dynenv
+let execute ?output ?bin_path unit_ dynenv =
+  Link.Linker.execute ?output ~unit_name:unit_.Pickle.Binfile.uf_name ?bin_path
+    unit_.Pickle.Binfile.uf_codeunit dynenv

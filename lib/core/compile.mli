@@ -32,11 +32,19 @@ val basis_env : session -> Statics.Types.env
 (** [compile session ~name ~source ~imports] — compile one unit.
     [imports] are the already-compiled units whose exports the source
     may reference, in scope order.  [optimize] (default [true]) runs
-    the lambda simplifier over the unit's code.  Raises
-    {!Support.Diag.Error} on any front-end failure. *)
+    the lambda simplifier over the unit's code.
+
+    Without [diags], raises {!Support.Diag.Error} on the first
+    front-end failure (fail-fast).  With a [diags] collector, the
+    lexer, parser and elaborator recover and accumulate every
+    diagnostic they can; if any is an error the whole batch is raised
+    as {!Support.Diag.Errors} before translation, so a broken unit
+    still reports all its problems in one compile and the error type
+    never escapes into a pickled interface. *)
 val compile :
   ?optimize:bool ->
   ?warn:(Support.Loc.t -> string -> unit) ->
+  ?diags:Support.Diag.collector ->
   session ->
   name:string ->
   source:string ->
@@ -56,6 +64,7 @@ val save : session -> Pickle.Binfile.t -> string
     The linker verifies every import pid first (type-safe linkage). *)
 val execute :
   ?output:(string -> unit) ->
+  ?bin_path:string ->
   Pickle.Binfile.t ->
   Link.Linker.dynenv ->
   Link.Linker.dynenv

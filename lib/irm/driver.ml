@@ -16,6 +16,8 @@ type stats = {
   st_loaded : string list;
   st_cache_hits : string list;
   st_cutoff_hits : string list;
+  st_failed : (string * Diag.t list) list;
+  st_skipped : (string * string) list;
   st_policy : policy;
   st_backend : backend;
   st_wall_s : float;
@@ -26,6 +28,8 @@ let m_recompiled = Obs.Metrics.counter "build.recompiled"
 let m_loaded = Obs.Metrics.counter "build.loaded"
 let m_cutoff_hits = Obs.Metrics.counter "build.cutoff_hits"
 let m_cache_hits = Obs.Metrics.counter "build.cache_hits"
+let m_failed = Obs.Metrics.counter "build.failed"
+let m_skipped = Obs.Metrics.counter "build.skipped"
 
 type t = {
   fs : Vfs.fs;
@@ -79,6 +83,9 @@ type job = {
   j_source : string;
   j_closure : (string * string) list;  (** (file, bin bytes), dep order *)
   j_imports : string list;  (** direct dependencies, scope order *)
+  j_collect : bool;  (** compile under a diagnostics collector *)
+  j_werror : bool;  (** promote warnings to errors *)
+  j_limit : int option;  (** collector error limit *)
 }
 
 type kind = Recompiled | Loaded | Cache_hit
@@ -124,9 +131,16 @@ let execute job =
             job.j_name)
       job.j_imports
   in
+  let diags =
+    if job.j_collect || job.j_werror then
+      Some
+        (Diag.collector ?limit:job.j_limit ~werror:job.j_werror
+           ~unit_name:job.j_name ())
+    else None
+  in
   let unit_ =
-    Sepcomp.Compile.compile session ~name:job.j_name ~source:job.j_source
-      ~imports
+    Sepcomp.Compile.compile ?diags session ~name:job.j_name
+      ~source:job.j_source ~imports
   in
   { r_kind = Recompiled; r_bytes = Sepcomp.Compile.save session unit_ }
 
@@ -135,8 +149,8 @@ let transient_fault = function
   | Vfs.Fault { fault_transient; _ } -> fault_transient
   | _ -> false
 
-let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001) t
-    ~policy ~sources =
+let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
+    ?(keep_going = false) ?(werror = false) ?max_errors t ~policy ~sources =
   Obs.Trace.span ~cat:"build"
     ~args:
       [
@@ -149,7 +163,23 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001) t
   let parsed =
     Obs.Trace.span ~cat:"build" "build.scan_sources" @@ fun () ->
     List.map
-      (fun file -> (file, Lang.Parser.parse_unit ~file (read_source t file)))
+      (fun file ->
+        let source = read_source t file in
+        let unit_ =
+          if keep_going then
+            (* throwaway recovery parse: the dependency scan must survive
+               broken sources, whose diagnostics then surface as failed
+               compile jobs (compiles are pure, so the job re-derives
+               exactly the same diagnostics) instead of aborting the
+               whole build before anything was scheduled *)
+            let scan_diags = Diag.collector ~unit_name:file () in
+            match Lang.Parser.parse_unit ~diags:scan_diags ~file source with
+            | unit_ -> unit_
+            | exception Diag.Errors _ ->
+              { Lang.Ast.unit_file = file; unit_decs = [] }
+          else Lang.Parser.parse_unit ~file source
+        in
+        (file, unit_))
       sources
   in
   let graph = Depend.Depgraph.build parsed in
@@ -270,6 +300,9 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001) t
                   manager_error "dependency %s of %s was not built" dep file)
               (Depend.Depgraph.closure graph file);
           j_imports = deps;
+          j_collect = keep_going;
+          j_werror = werror;
+          j_limit = max_errors;
         }
     in
     if not stale then begin
@@ -330,14 +363,49 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001) t
       (result, Unix.gettimeofday () -. prep.p_start);
     result
   in
-  ignore
-    (Sched.run ~retries ~backoff_s ~retryable:transient_fault backend ~order
-       ~deps:deps_of ~prepare ~execute ~complete);
-  (* Sched.run raised if any node failed, so every node completed *)
-  let kind_of file = (fst (Hashtbl.find results file)).r_kind in
-  let recompiled = List.filter (fun f -> kind_of f = Recompiled) order in
-  let loaded = List.filter (fun f -> kind_of f = Loaded) order in
-  let cache_hits = List.filter (fun f -> kind_of f = Cache_hit) order in
+  let outcomes =
+    Sched.run ~retries ~backoff_s ~retryable:transient_fault ~keep_going
+      backend ~order ~deps:deps_of ~prepare ~execute ~complete
+  in
+  (* without [keep_going], Sched.run raised if any node failed, so every
+     node completed; with it, failed and skipped nodes have no entry in
+     [results] and land in their own partitions below *)
+  let outcome_tbl = Hashtbl.create 16 in
+  List.iter (fun (f, o) -> Hashtbl.replace outcome_tbl f o) outcomes;
+  let failed =
+    List.filter_map
+      (fun f ->
+        match Hashtbl.find_opt outcome_tbl f with
+        | Some (Sched.Failed exn) ->
+          let ds =
+            match Diag.of_exn exn with
+            | Some ds -> ds
+            | None ->
+              (* a non-diagnostic exception (injected fault that exhausted
+                 its retries, …) still yields a structured diagnostic *)
+              [
+                Diag.make ~unit_name:f Diag.Manager Support.Loc.dummy
+                  (Printexc.to_string exn);
+              ]
+          in
+          Some (f, ds)
+        | _ -> None)
+      order
+  in
+  let skipped =
+    List.filter_map
+      (fun f ->
+        match Hashtbl.find_opt outcome_tbl f with
+        | Some (Sched.Skipped culprit) -> Some (f, culprit)
+        | _ -> None)
+      order
+  in
+  let kind_of file =
+    Option.map (fun (r, _) -> r.r_kind) (Hashtbl.find_opt results file)
+  in
+  let recompiled = List.filter (fun f -> kind_of f = Some Recompiled) order in
+  let loaded = List.filter (fun f -> kind_of f = Some Loaded) order in
+  let cache_hits = List.filter (fun f -> kind_of f = Some Cache_hit) order in
   let cutoff_hits =
     List.filter
       (fun f ->
@@ -352,17 +420,23 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001) t
   Obs.Metrics.add m_loaded (List.length loaded);
   Obs.Metrics.add m_cutoff_hits (List.length cutoff_hits);
   Obs.Metrics.add m_cache_hits (List.length cache_hits);
+  Obs.Metrics.add m_failed (List.length failed);
+  Obs.Metrics.add m_skipped (List.length skipped);
   {
     st_order = order;
     st_recompiled = recompiled;
     st_loaded = loaded;
     st_cache_hits = cache_hits;
     st_cutoff_hits = cutoff_hits;
+    st_failed = failed;
+    st_skipped = skipped;
     st_policy = policy;
     st_backend = backend;
     st_wall_s = Unix.gettimeofday () -. build_start;
     st_unit_times =
-      List.map (fun f -> (f, snd (Hashtbl.find results f))) order;
+      List.filter_map
+        (fun f -> Option.map (fun (_, s) -> (f, s)) (Hashtbl.find_opt results f))
+        order;
   }
 
 let unit_of t file =
@@ -462,19 +536,28 @@ let run ?output t ~sources =
 
 let outcome_of stats file =
   let mem xs = List.exists (String.equal file) xs in
-  if mem stats.st_cutoff_hits then "cutoff"
+  if List.mem_assoc file stats.st_failed then "failed"
+  else if List.mem_assoc file stats.st_skipped then "skipped"
+  else if mem stats.st_cutoff_hits then "cutoff"
   else if mem stats.st_recompiled then "recompiled"
   else if mem stats.st_cache_hits then "cache"
   else if mem stats.st_loaded then "loaded"
   else "unknown"
 
 let summary_line stats =
+  let broken =
+    match (List.length stats.st_failed, List.length stats.st_skipped) with
+    | 0, 0 -> ""
+    | f, s -> Printf.sprintf " / %d failed / %d skipped" f s
+  in
   Printf.sprintf
-    "%d recompiled / %d loaded / %d cache / %d cutoff (%s policy, %s, %.1f ms)"
+    "%d recompiled / %d loaded / %d cache / %d cutoff%s (%s policy, %s, %.1f \
+     ms)"
     (List.length stats.st_recompiled)
     (List.length stats.st_loaded)
     (List.length stats.st_cache_hits)
     (List.length stats.st_cutoff_hits)
+    broken
     (policy_name stats.st_policy)
     (Sched.backend_name stats.st_backend)
     (1000. *. stats.st_wall_s)
@@ -494,6 +577,8 @@ let outcome_index stats =
         if not (Hashtbl.mem tbl file) then Hashtbl.add tbl file outcome)
       files
   in
+  mark "failed" (List.map fst stats.st_failed);
+  mark "skipped" (List.map fst stats.st_skipped);
   mark "cutoff" stats.st_cutoff_hits;
   mark "recompiled" stats.st_recompiled;
   mark "cache" stats.st_cache_hits;
@@ -515,7 +600,31 @@ let pp_report ppf stats =
       in
       Format.fprintf ppf "  %-28s %-10s %8.2f ms@." file (outcome file) ms)
     stats.st_order;
+  List.iter
+    (fun (_, ds) -> List.iter (fun d -> Format.fprintf ppf "  %a@." Diag.pp d) ds)
+    stats.st_failed;
+  List.iter
+    (fun (file, culprit) ->
+      Format.fprintf ppf "  %s: skipped: dependency %s failed@." file culprit)
+    stats.st_skipped;
   Format.fprintf ppf "  %s@." (summary_line stats)
+
+(* structured diagnostics as JSON — lives here rather than in Support
+   because the support layer does not depend on Obs *)
+let diag_json (d : Diag.t) =
+  let open Obs.Json in
+  Obj
+    [
+      ("severity", String (Diag.severity_name d.Diag.severity));
+      ("phase", String (Diag.phase_id d.Diag.phase));
+      ("code", String d.Diag.code);
+      ("file", String d.Diag.loc.Support.Loc.file);
+      ("line", Int d.Diag.loc.Support.Loc.start_pos.Support.Loc.line);
+      ("col", Int d.Diag.loc.Support.Loc.start_pos.Support.Loc.col);
+      ("message", String d.Diag.message);
+      ( "unit",
+        match d.Diag.unit_name with Some u -> String u | None -> Null );
+    ]
 
 let report_json stats =
   let times = times_index stats in
@@ -529,6 +638,13 @@ let report_json stats =
       ("loaded", Obs.Json.Int (List.length stats.st_loaded));
       ("cache_hits", Obs.Json.Int (List.length stats.st_cache_hits));
       ("cutoff_hits", Obs.Json.Int (List.length stats.st_cutoff_hits));
+      ("failed", Obs.Json.Int (List.length stats.st_failed));
+      ("skipped", Obs.Json.Int (List.length stats.st_skipped));
+      ( "diagnostics",
+        Obs.Json.List
+          (List.concat_map
+             (fun (_, ds) -> List.map diag_json ds)
+             stats.st_failed) );
       ( "units",
         Obs.Json.List
           (List.map

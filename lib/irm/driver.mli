@@ -45,6 +45,12 @@ type stats = {
   st_cutoff_hits : string list;
       (** recompiled but interface unchanged, so the cascade stopped
           (always empty under [Timestamp]) *)
+  st_failed : (string * Support.Diag.t list) list;
+      (** units whose compile failed, with their structured diagnostics
+          (only non-empty under [keep_going]) *)
+  st_skipped : (string * string) list;
+      (** units not attempted because a dependency failed, with the
+          culprit (only non-empty under [keep_going]) *)
   st_policy : policy;  (** the policy this build ran under *)
   st_backend : backend;  (** the backend this build ran under *)
   st_wall_s : float;  (** wall-clock seconds for the whole build *)
@@ -77,12 +83,27 @@ val last_order : t -> string list
     with exponential backoff starting at [backoff_s] seconds.
     Raises {!Support.Diag.Error} on missing sources, cycles, or compile
     errors — under [Parallel] the error reported is the one a serial
-    left-to-right build would have raised. *)
+    left-to-right build would have raised.
+
+    With [keep_going] (default false) compile errors no longer raise:
+    each unit compiles under a diagnostics collector (front-end recovery
+    on), a failed unit lands in {!stats.st_failed} with every diagnostic
+    it produced, its dependent cone lands in {!stats.st_skipped}
+    (poison propagation — those units are not attempted), and every
+    unit {e not} reachable from a failure still builds.  Because a
+    compiled unit is a pure function of (source, import pids), the
+    failed/skipped partitions and the diagnostics are identical under
+    every backend, in deterministic (serial build) order.  [werror]
+    promotes warnings to errors at emission time; [max_errors] bounds
+    the diagnostics collected per unit. *)
 val build :
   ?backend:backend ->
   ?cache:Cache.t ->
   ?retries:int ->
   ?backoff_s:float ->
+  ?keep_going:bool ->
+  ?werror:bool ->
+  ?max_errors:int ->
   t ->
   policy:policy ->
   sources:string list ->
@@ -121,19 +142,25 @@ val run : ?output:(string -> unit) -> t -> sources:string list -> Link.Linker.dy
 
 (** [outcome_of stats file] — ["recompiled"], ["loaded"], ["cache"]
     (stale but served from the unit cache), ["cutoff"] (recompiled,
-    interface unchanged) or ["unknown"]. *)
+    interface unchanged), ["failed"], ["skipped"] or ["unknown"]. *)
 val outcome_of : stats -> string -> string
 
 (** [summary_line stats] — the one-line
     ["N recompiled / M loaded / C cache / K cutoff (policy, backend, T ms)"]
-    digest. *)
+    digest; a [" / F failed / S skipped"] segment appears when either
+    partition is non-empty. *)
 val summary_line : stats -> string
 
-(** [pp_report ppf stats] — per-unit outcomes and timings, then the
-    summary line. *)
+(** [pp_report ppf stats] — per-unit outcomes and timings, the
+    diagnostics of failed units, then the summary line. *)
 val pp_report : Format.formatter -> stats -> unit
 
+(** [diag_json d] — one diagnostic as a JSON object (severity, phase,
+    code, file, line, col, message, unit). *)
+val diag_json : Support.Diag.t -> Obs.Json.t
+
 (** [report_json stats] — the same report as JSON: policy, backend,
-    wall time, the breakdown counts, and one object per unit in build
-    order. *)
+    wall time, the breakdown counts (including failed/skipped), one
+    object per unit in build order, and a [diagnostics] array with
+    every failed unit's diagnostics in deterministic order. *)
 val report_json : stats -> Obs.Json.t

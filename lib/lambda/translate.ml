@@ -106,6 +106,10 @@ let rec texp (e : T.texp) =
   match e with
   | T.TEint n -> Lint n
   | T.TEstring s -> Lstring s
+  | T.TEerror ->
+    (* units with reported errors never reach translation *)
+    Support.Diag.error Support.Diag.Translate Support.Loc.dummy
+      "error placeholder escaped to translation"
   | T.TEvar a -> addr a
   | T.TEprim p -> Lprim p
   | T.TEcon (rep, None) -> Lcon0 rep.Ty.rep_tag

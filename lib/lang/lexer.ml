@@ -231,18 +231,36 @@ let scan_token cur =
   in
   (tok, Loc.make cur.file start (cursor_pos cur))
 
-let all ~file src =
+let all ?diags ~file src =
   let cur = { file; src; offset = 0; line = 1; col = 0 } in
+  let eof acc =
+    let p = cursor_pos cur in
+    List.rev ((Token.EOF, Loc.make file p p) :: acc)
+  in
   let rec loop acc =
-    skip_trivia cur;
-    if at_end cur then
-      let p = cursor_pos cur in
-      List.rev ((Token.EOF, Loc.make file p p) :: acc)
-    else loop (scan_token cur :: acc)
+    match
+      skip_trivia cur;
+      if at_end cur then None else Some (scan_token cur)
+    with
+    | None -> eof acc
+    | Some tok -> loop (tok :: acc)
+    | exception Diag.Error d -> (
+      (* recovery: report the bad token and resynchronize one character
+         past the failure point so scanning always makes progress *)
+      match diags with
+      | None -> raise (Diag.Error d)
+      | Some c ->
+        Diag.emit c d;
+        if at_end cur then eof acc
+        else begin
+          advance cur;
+          loop acc
+        end)
   in
   loop []
 
-let make ~file src = { tokens = Array.of_list (all ~file src); pos = 0 }
+let make ?diags ~file src =
+  { tokens = Array.of_list (all ?diags ~file src); pos = 0 }
 
 let peek lexer = fst lexer.tokens.(lexer.pos)
 let loc lexer = snd lexer.tokens.(lexer.pos)

@@ -6,8 +6,11 @@
 
 type t
 
-(** [make ~file source] lexes the whole of [source]. *)
-val make : file:string -> string -> t
+(** [make ~file source] lexes the whole of [source].  Without [diags]
+    the first lexical error raises {!Support.Diag.Error}; with a
+    collector, errors are recorded and scanning resumes one character
+    past the failure point. *)
+val make : ?diags:Support.Diag.collector -> file:string -> string -> t
 
 (** Current token (EOF once exhausted). *)
 val peek : t -> Token.t
@@ -23,4 +26,6 @@ val next : t -> Token.t
 
 (** [all ~file source] is the full token stream with locations, EOF last.
     Mainly for tests and the dependency scanner. *)
-val all : file:string -> string -> (Token.t * Support.Loc.t) list
+val all :
+  ?diags:Support.Diag.collector ->
+  file:string -> string -> (Token.t * Support.Loc.t) list

@@ -3,9 +3,32 @@ module Loc = Support.Loc
 module Diag = Support.Diag
 open Ast
 
-type state = { lx : Lexer.t }
+type state = { lx : Lexer.t; diags : Diag.collector option }
 
 let err st fmt = Diag.error Diag.Parse (Lexer.loc st.lx) fmt
+
+let starts_dec = function
+  | Token.VAL | Token.FUN | Token.TYPE | Token.DATATYPE | Token.EXCEPTION
+  | Token.STRUCTURE | Token.SIGNATURE | Token.FUNCTOR | Token.LOCAL
+  | Token.OPEN ->
+    true
+  | _ -> false
+
+(* Error recovery: skip tokens until something that can plausibly
+   follow a broken declaration — the start of the next declaration, a
+   scope delimiter the enclosing construct is waiting for, or EOF.
+   [parse_dec] always consumes its leading keyword before it can fail,
+   so each recovery round makes progress. *)
+let sync_to_dec st =
+  let rec skip () =
+    match Lexer.peek st.lx with
+    | Token.EOF | Token.IN | Token.END -> ()
+    | tok when starts_dec tok -> ()
+    | _ ->
+      ignore (Lexer.next st.lx);
+      skip ()
+  in
+  skip ()
 
 let expect st tok =
   let got = Lexer.peek st.lx in
@@ -507,17 +530,20 @@ and sequence_exps exps =
 (* Declarations                                                        *)
 (* ------------------------------------------------------------------ *)
 
-and starts_dec = function
-  | Token.VAL | Token.FUN | Token.TYPE | Token.DATATYPE | Token.EXCEPTION
-  | Token.STRUCTURE | Token.SIGNATURE | Token.FUNCTOR | Token.LOCAL
-  | Token.OPEN ->
-    true
-  | _ -> false
-
 and parse_dec_seq st =
   let rec loop acc =
     if accept st Token.SEMI then loop acc
-    else if starts_dec (Lexer.peek st.lx) then loop (parse_dec st :: acc)
+    else if starts_dec (Lexer.peek st.lx) then begin
+      match parse_dec st with
+      | dec -> loop (dec :: acc)
+      | exception Diag.Error d when st.diags <> None -> (
+        match st.diags with
+        | None -> assert false
+        | Some c ->
+          Diag.emit c d;
+          sync_to_dec st;
+          loop acc)
+    end
     else List.rev acc
   in
   loop []
@@ -841,26 +867,48 @@ and parse_spec st =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let parse_unit ~file source =
-  let st = { lx = Lexer.make ~file source } in
-  let decs = parse_dec_seq st in
-  (match Lexer.peek st.lx with
-  | Token.EOF -> ()
-  | tok -> err st "expected a declaration but found '%s'" (Token.to_string tok));
-  { unit_file = file; unit_decs = decs }
+let parse_unit ?diags ~file source =
+  let st = { lx = Lexer.make ?diags ~file source; diags } in
+  (* in recovery mode a stray top-level token (e.g. an unmatched 'end')
+     is reported once, skipped to the next declaration, and parsing
+     resumes; fail-fast mode raises as before *)
+  let rec toplevel acc =
+    let acc = acc @ parse_dec_seq st in
+    match (Lexer.peek st.lx, diags) with
+    | Token.EOF, _ -> acc
+    | tok, None ->
+      err st "expected a declaration but found '%s'" (Token.to_string tok)
+    | tok, Some c ->
+      Diag.error_into c Diag.Parse (Lexer.loc st.lx)
+        "expected a declaration but found '%s'" (Token.to_string tok);
+      ignore (Lexer.next st.lx);
+      sync_to_dec st;
+      (* sync stops at IN/END for the sake of nested recovery; at top
+         level those are just more stray tokens *)
+      (match Lexer.peek st.lx with
+      | Token.IN | Token.END -> ignore (Lexer.next st.lx)
+      | _ -> ());
+      toplevel acc
+  in
+  { unit_file = file; unit_decs = toplevel [] }
 
 let parse_exp ~file source =
-  let st = { lx = Lexer.make ~file source } in
+  let st = { lx = Lexer.make ~file source; diags = None } in
   let exp = parse_exp_ st in
   (match Lexer.peek st.lx with
   | Token.EOF -> ()
   | tok -> err st "trailing input: '%s'" (Token.to_string tok));
   exp
 
-let parse_decs ~file source =
-  let st = { lx = Lexer.make ~file source } in
+let parse_decs ?diags ~file source =
+  let st = { lx = Lexer.make ?diags ~file source; diags } in
   let decs = parse_dec_seq st in
   (match Lexer.peek st.lx with
   | Token.EOF -> ()
-  | tok -> err st "expected a declaration but found '%s'" (Token.to_string tok));
+  | tok ->
+    (match diags with
+    | None -> err st "expected a declaration but found '%s'" (Token.to_string tok)
+    | Some c ->
+      Diag.error_into c Diag.Parse (Lexer.loc st.lx)
+        "expected a declaration but found '%s'" (Token.to_string tok)));
   decs

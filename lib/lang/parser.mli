@@ -12,13 +12,21 @@
     and [handle]/type constraints weakest.  Match constructs ([fn],
     [case], [handle]) extend as far right as possible, as in SML. *)
 
-(** [parse_unit ~file source] parses a whole compilation unit. *)
-val parse_unit : file:string -> string -> Ast.unit_
+(** [parse_unit ~file source] parses a whole compilation unit.
+    Without [diags], the first syntax error raises
+    {!Support.Diag.Error}.  With a collector, the parser reports the
+    error, synchronizes at the next declaration keyword (or a scope
+    delimiter), and keeps parsing, so one broken declaration still
+    yields the rest of the file's diagnostics. *)
+val parse_unit :
+  ?diags:Support.Diag.collector -> file:string -> string -> Ast.unit_
 
 (** [parse_exp ~file source] parses a single expression followed by EOF;
     used by the REPL and tests. *)
 val parse_exp : file:string -> string -> Ast.exp
 
 (** [parse_decs ~file source] parses a declaration sequence followed by
-    EOF; used by the REPL. *)
-val parse_decs : file:string -> string -> Ast.dec list
+    EOF; used by the REPL.  [diags] enables the same recovery as
+    {!parse_unit}. *)
+val parse_decs :
+  ?diags:Support.Diag.collector -> file:string -> string -> Ast.dec list

@@ -8,18 +8,35 @@ let empty = Pid.Map.empty
 
 let m_executions = Obs.Metrics.counter "link.executions"
 
-let check cu dynenv =
+(* link diagnostics have no source location; carrying the unit (and,
+   when the manager knows it, the bin path) makes "stale import" errors
+   name the offending unit instead of printing an empty location *)
+let link_error ?unit_name ?bin_path fmt =
+  Format.kasprintf
+    (fun message ->
+      let message =
+        match bin_path with
+        | Some path -> Printf.sprintf "%s (bin: %s)" message path
+        | None -> message
+      in
+      raise
+        (Diag.Error
+           (Diag.make ~code:"E0601" ?unit_name Diag.Link Support.Loc.dummy
+              message)))
+    fmt
+
+let check ?unit_name ?bin_path cu dynenv =
   Obs.Trace.span ~cat:"link" "link.verify_imports" @@ fun () ->
   let missing =
     List.filter (fun pid -> not (Pid.Map.mem pid dynenv)) cu.Codeunit.cu_imports
   in
   if missing <> [] then
-    Diag.error Diag.Link Support.Loc.dummy
+    link_error ?unit_name ?bin_path
       "unsatisfied imports (stale or missing units): %s"
       (String.concat ", " (List.map Pid.short missing))
 
-let execute ?output cu dynenv =
-  check cu dynenv;
+let execute ?output ?unit_name ?bin_path cu dynenv =
+  check ?unit_name ?bin_path cu dynenv;
   Obs.Trace.span ~cat:"link" "link.execute" @@ fun () ->
   Obs.Metrics.incr m_executions;
   let rt = Dynamics.Eval.runtime ?output ~imports:dynenv () in
@@ -30,11 +47,11 @@ let execute ?output cu dynenv =
         match Symbol.Map.find_opt name fields with
         | Some value -> Pid.Map.add pid value dynenv
         | None ->
-          Diag.error Diag.Link Support.Loc.dummy
-            "unit's code did not produce export %a" Symbol.pp name)
+          link_error ?unit_name ?bin_path
+            "unit's code did not produce export %s" (Symbol.name name))
       dynenv cu.Codeunit.cu_exports
   | v ->
-    Diag.error Diag.Link Support.Loc.dummy
+    link_error ?unit_name ?bin_path
       "unit's code produced %s instead of an export record"
       (Dynamics.Value.to_string v)
 

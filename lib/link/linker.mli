@@ -12,14 +12,21 @@ type dynenv = Dynamics.Value.t Digestkit.Pid.Map.t
 val empty : dynenv
 
 (** [check cu dynenv] verifies every import of [cu] is present.
-    Raises {!Support.Diag.Error} (phase [Link]) listing the missing
-    pids otherwise. *)
-val check : Codeunit.t -> dynenv -> unit
+    Raises {!Support.Diag.Error} (phase [Link], code [E0601]) listing
+    the missing pids otherwise.  [unit_name] and [bin_path], when
+    known, are carried on the diagnostic so the error names the
+    offending unit rather than an empty location. *)
+val check :
+  ?unit_name:string -> ?bin_path:string -> Codeunit.t -> dynenv -> unit
 
 (** [execute ?output cu dynenv] — {!check}, run the unit's code, and
     return [dynenv] extended with the unit's exports.  [output]
     receives [print]ed strings. *)
-val execute : ?output:(string -> unit) -> Codeunit.t -> dynenv -> dynenv
+val execute :
+  ?output:(string -> unit) ->
+  ?unit_name:string ->
+  ?bin_path:string ->
+  Codeunit.t -> dynenv -> dynenv
 
 (** [export_values cu dynenv] — the record of values the unit exports,
     keyed by source name, extracted after {!execute} (for the REPL and

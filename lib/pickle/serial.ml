@@ -83,6 +83,11 @@ let rec write_ty w ~token ty =
   | Ttuple parts ->
     Buf.byte w 3;
     Buf.list w (write_ty w ~token) parts
+  | Terror ->
+    (* errored units never reach pickling: the collector raises before
+       translate.  A Terror here is a compiler bug, not a user error. *)
+    Diag.error Diag.Pickle Support.Loc.dummy
+      "error type escaped to a compilation-unit boundary"
 
 let write_scheme w ~token scheme =
   Buf.int w scheme.arity;

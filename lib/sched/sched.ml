@@ -30,7 +30,7 @@ type 'result node_state = {
 }
 
 let run ?(retries = 0) ?(backoff_s = 0.001) ?(retryable = fun _ -> false)
-    backend ~order ~deps ~prepare ~execute ~complete =
+    ?(keep_going = false) backend ~order ~deps ~prepare ~execute ~complete =
   Obs.Trace.span ~cat:"sched"
     ~args:[ ("backend", backend_name backend) ]
     "sched.run"
@@ -191,10 +191,13 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(retryable = fun _ -> false)
       order
   in
   (* deterministic failure: raise for the earliest failed node in
-     [order], exactly as a serial left-to-right run would have *)
-  (match
-     List.find_opt (function _, Failed _ -> true | _ -> false) outcomes
-   with
-  | Some (_, Failed exn) -> raise exn
-  | Some _ | None -> ());
+     [order], exactly as a serial left-to-right run would have.  Under
+     [keep_going] the caller reads failures out of the outcome list
+     instead; every node not downstream of a failure has still run. *)
+  if not keep_going then
+    (match
+       List.find_opt (function _, Failed _ -> true | _ -> false) outcomes
+     with
+    | Some (_, Failed exn) -> raise exn
+    | Some _ | None -> ());
   outcomes

@@ -70,11 +70,15 @@ type 'result outcome =
 
     Returns outcomes in [order].  If any node failed, raises that
     node's exception — choosing the earliest failed node in [order],
-    exactly as a serial run would. *)
+    exactly as a serial run would.  With [keep_going] (default false)
+    no exception is raised: failures stay in the outcome list as
+    [Failed], their dependent cones as [Skipped], and every node not
+    downstream of a failure still runs. *)
 val run :
   ?retries:int ->
   ?backoff_s:float ->
   ?retryable:(exn -> bool) ->
+  ?keep_going:bool ->
   backend ->
   order:string list ->
   deps:(string -> string list) ->

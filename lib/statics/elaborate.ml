@@ -10,7 +10,18 @@ type state = {
   ctx : Context.t;
   mutable level : int;
   warn : Loc.t -> string -> unit;
+  diags : Diag.collector option;
 }
+
+(* non-fatal finding: always goes to the [warn] callback, and — when
+   elaborating under a collector — also becomes a structured warning
+   with a stable code *)
+let warn_diag st ~code loc msg =
+  st.warn loc msg;
+  match st.diags with
+  | None -> ()
+  | Some c ->
+    Diag.emit c (Diag.make ~severity:Diag.Warning ~code Diag.Elaborate loc msg)
 
 (* report exhaustiveness/redundancy findings for one compiled match *)
 let check_match st loc ~warn_inexhaustive tpats =
@@ -18,9 +29,11 @@ let check_match st loc ~warn_inexhaustive tpats =
     (fun finding ->
       match finding with
       | `Inexhaustive ->
-        if warn_inexhaustive then st.warn loc "match nonexhaustive"
+        if warn_inexhaustive then
+          warn_diag st ~code:"W0001" loc "match nonexhaustive"
       | `Redundant i ->
-        st.warn loc (Printf.sprintf "match rule %d is redundant" (i + 1)))
+        warn_diag st ~code:"W0002" loc
+          (Printf.sprintf "match rule %d is redundant" (i + 1)))
     (Matchcheck.check tpats)
 
 let fresh_ty st = Unify.fresh_tyvar ~level:st.level ()
@@ -28,9 +41,21 @@ let fresh_ty st = Unify.fresh_tyvar ~level:st.level ()
 let unify_at st loc t1 t2 =
   try Unify.unify st.ctx t1 t2
   with Unify.Unify_error (a, b) ->
-    err loc "type mismatch: %s vs %s"
-      (Tyformat.ty_to_string st.ctx a)
-      (Tyformat.ty_to_string st.ctx b)
+    let message =
+      Printf.sprintf "type mismatch: %s vs %s"
+        (Tyformat.ty_to_string st.ctx a)
+        (Tyformat.ty_to_string st.ctx b)
+    in
+    let d = Diag.make ~code:"E0301" Diag.Elaborate loc message in
+    (match st.diags with
+    | None -> raise (Diag.Error d)
+    | Some c ->
+      (* report once, then poison both sides so later constraints on
+         the same unification variables unify silently instead of
+         producing a cascade of secondary mismatches *)
+      Diag.emit c d;
+      Unify.poison st.ctx t1;
+      Unify.poison st.ctx t2)
 
 (* ------------------------------------------------------------------ *)
 (* Name resolution                                                     *)
@@ -42,7 +67,9 @@ let resolve_holder env loc (path : A.path) =
     | q :: rest -> (
       match Symbol.Map.find_opt q env.strs with
       | Some info -> walk info.str_env rest
-      | None -> err loc "unbound structure %a" Symbol.pp q)
+      | None ->
+        Diag.error_code ~code:"E0303" Diag.Elaborate loc
+          "unbound structure %a" Symbol.pp q)
   in
   walk env path.A.qualifiers
 
@@ -50,30 +77,40 @@ let resolve_str env loc (path : A.path) =
   let holder = resolve_holder env loc path in
   match Symbol.Map.find_opt path.A.base holder.strs with
   | Some info -> info
-  | None -> err loc "unbound structure %a" A.pp_path path
+  | None ->
+    Diag.error_code ~code:"E0303" Diag.Elaborate loc "unbound structure %a"
+      A.pp_path path
 
 let resolve_val env loc path =
   let holder = resolve_holder env loc path in
   match Symbol.Map.find_opt path.A.base holder.vals with
   | Some info -> info
-  | None -> err loc "unbound variable %a" A.pp_path path
+  | None ->
+    Diag.error_code ~code:"E0302" Diag.Elaborate loc "unbound variable %a"
+      A.pp_path path
 
 let resolve_tycon env loc path =
   let holder = resolve_holder env loc path in
   match Symbol.Map.find_opt path.A.base holder.tycons with
   | Some stamp -> stamp
-  | None -> err loc "unbound type constructor %a" A.pp_path path
+  | None ->
+    Diag.error_code ~code:"E0304" Diag.Elaborate loc
+      "unbound type constructor %a" A.pp_path path
 
 let resolve_fct env loc path =
   let holder = resolve_holder env loc path in
   match Symbol.Map.find_opt path.A.base holder.fcts with
   | Some info -> info
-  | None -> err loc "unbound functor %a" A.pp_path path
+  | None ->
+    Diag.error_code ~code:"E0305" Diag.Elaborate loc "unbound functor %a"
+      A.pp_path path
 
 let resolve_sig env loc name =
   match Symbol.Map.find_opt name env.sigs with
   | Some info -> info
-  | None -> err loc "unbound signature %a" Symbol.pp name
+  | None ->
+    Diag.error_code ~code:"E0306" Diag.Elaborate loc "unbound signature %a"
+      Symbol.pp name
 
 (* ------------------------------------------------------------------ *)
 (* Type expressions                                                    *)
@@ -285,7 +322,13 @@ let rec elab_exp_ st env scope (exp : A.exp) : Tast.texp * ty =
   | A.Eint n -> (Tast.TEint n, Basis.int_ty)
   | A.Estring s -> (Tast.TEstring s, Basis.string_ty)
   | A.Evar path -> (
-    let info = resolve_val env loc path in
+    match resolve_val env loc path with
+    | exception Diag.Error d when st.diags <> None ->
+      (* recover with the error type: every use of the unknown name
+         elaborates, but produces no further diagnostics *)
+      (match st.diags with Some c -> Diag.emit c d | None -> assert false);
+      (Tast.TEerror, Terror)
+    | info -> (
     let ty = Unify.instantiate ~level:st.level info.vi_scheme in
     match info.vi_kind with
     | Vplain -> (
@@ -301,7 +344,7 @@ let rec elab_exp_ st env scope (exp : A.exp) : Tast.texp * ty =
         | Tarrow _ -> true
         | _ -> false
       in
-      (Tast.TEexncon (info.vi_addr, has_arg), ty))
+      (Tast.TEexncon (info.vi_addr, has_arg), ty)))
   | A.Eselect _ -> err loc "a tuple selector #n must be applied directly"
   | A.Eapp ({ A.exp_desc = A.Eselect n; _ }, arg) -> (
     let targ, arg_ty = elab_exp_ st env scope arg in
@@ -452,7 +495,7 @@ and elab_dec_ st env (dec : A.dec) : env * Tast.tdec list =
     st.level <- st.level - 1;
     (match Matchcheck.check [ tpat ] with
     | findings when List.mem `Inexhaustive findings ->
-      st.warn loc "binding not exhaustive"
+      warn_diag st ~code:"W0003" loc "binding not exhaustive"
     | _ -> ());
     let expansive = not (non_expansive env exp) in
     let delta =
@@ -872,7 +915,7 @@ and elab_specs st env specs =
           | Tcon (_, args) -> List.fold_left max_gen acc args
           | Tarrow (a, b) -> max_gen (max_gen acc a) b
           | Ttuple parts -> List.fold_left max_gen acc parts
-          | Tvar _ -> acc
+          | Tvar _ | Terror -> acc
         in
         let arity = max_gen 0 body in
         ( bind_val name
@@ -994,18 +1037,27 @@ and elab_decs_ st env decs =
   let delta, rev_tdecs =
     List.fold_left
       (fun (delta, rev_tdecs) dec ->
-        let d, t = elab_dec_ st (env_union env delta) dec in
-        (env_union delta d, List.rev_append t rev_tdecs))
+        let saved_level = st.level in
+        match elab_dec_ st (env_union env delta) dec with
+        | d, t -> (env_union delta d, List.rev_append t rev_tdecs)
+        | exception Diag.Error d when st.diags <> None ->
+          (* declaration-level recovery: report, drop the broken
+             declaration's bindings, and continue with the next one *)
+          st.level <- saved_level;
+          (match st.diags with
+          | Some c -> Diag.emit c d
+          | None -> assert false);
+          (delta, rev_tdecs))
       (empty_env, []) decs
   in
   (delta, List.rev rev_tdecs)
 
 let elab_exp ?(warn = fun _ _ -> ()) ctx env exp =
-  let st = { ctx; level = 0; warn } in
+  let st = { ctx; level = 0; warn; diags = None } in
   elab_exp_ st env (val_scope st) exp
 
-let elab_decs ?(warn = fun _ _ -> ()) ctx env decs =
-  let st = { ctx; level = 0; warn } in
+let elab_decs ?(warn = fun _ _ -> ()) ?diags ctx env decs =
+  let st = { ctx; level = 0; warn; diags } in
   elab_decs_ st env decs
 
 let rec check_unit_dec (dec : A.dec) =
@@ -1019,6 +1071,22 @@ let rec check_unit_dec (dec : A.dec) =
       "separately compiled units may only contain structure, signature and \
        functor declarations (compile core declarations inside a structure)"
 
-let elab_compilation_unit ?warn ctx env (unit_ : A.unit_) =
-  List.iter check_unit_dec unit_.A.unit_decs;
-  elab_decs ?warn ctx env unit_.A.unit_decs
+let elab_compilation_unit ?warn ?diags ctx env (unit_ : A.unit_) =
+  match diags with
+  | None ->
+    List.iter check_unit_dec unit_.A.unit_decs;
+    elab_decs ?warn ctx env unit_.A.unit_decs
+  | Some c ->
+    (* report every unit-discipline violation, then elaborate the
+       well-formed declarations that remain *)
+    let ok_decs =
+      List.filter
+        (fun dec ->
+          match check_unit_dec dec with
+          | () -> true
+          | exception Diag.Error d ->
+            Diag.emit c d;
+            false)
+        unit_.A.unit_decs
+    in
+    elab_decs ?warn ~diags:c ctx env ok_decs

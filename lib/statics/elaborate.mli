@@ -6,7 +6,14 @@
     static semantics of the module language (signature elaboration,
     transparent/opaque ascription, functor declaration and application).
 
-    All failures raise {!Support.Diag.Error} with phase [Elaborate]. *)
+    Without a [diags] collector, all failures raise
+    {!Support.Diag.Error} with phase [Elaborate].  With one, the
+    elaborator recovers: a failed declaration is reported and skipped,
+    a type mismatch is reported once and both sides are poisoned with
+    the error type [Terror] (which unifies with anything, so one
+    mistake does not cascade), and match-compilation findings are also
+    recorded as structured warnings (W0001 nonexhaustive match, W0002
+    redundant rule, W0003 nonexhaustive binding). *)
 
 (** The optional [warn] callback receives non-fatal findings — match
     nonexhaustiveness and redundancy — with their source locations. *)
@@ -26,6 +33,7 @@ val elab_exp :
     declarations. *)
 val elab_decs :
   ?warn:(Support.Loc.t -> string -> unit) ->
+  ?diags:Support.Diag.collector ->
   Context.t ->
   Types.env ->
   Lang.Ast.dec list ->
@@ -38,6 +46,7 @@ val elab_decs :
     satisfies the same rule). *)
 val elab_compilation_unit :
   ?warn:(Support.Loc.t -> string -> unit) ->
+  ?diags:Support.Diag.collector ->
   Context.t ->
   Types.env ->
   Lang.Ast.unit_ ->

@@ -56,6 +56,7 @@ let rec subst_ty ctx rz ty =
     | None -> Tcon (rename_stamp rz stamp, args))
   | Tarrow (a, b) -> Tarrow (subst_ty ctx rz a, subst_ty ctx rz b)
   | Ttuple parts -> Ttuple (List.map (subst_ty ctx rz) parts)
+  | Terror -> Terror
 
 let subst_scheme ctx rz scheme =
   if is_empty rz then scheme
@@ -183,6 +184,7 @@ let traverse ctx env ~on_stamp =
       visit_ty a;
       visit_ty b
     | Ttuple parts -> List.iter visit_ty parts
+    | Terror -> ()
   and visit_val info =
     visit_ty info.vi_scheme.body;
     match info.vi_kind with

@@ -30,6 +30,7 @@ type texp =
   | TEcase of texp * (tpat * texp) list * fail
   | TEraise of texp
   | TEhandle of texp * (tpat * texp) list
+  | TEerror
 
 and fail = FailMatch | FailBind
 
@@ -116,6 +117,7 @@ let rec pp_texp ppf = function
          (fun ppf (p, b) -> Format.fprintf ppf "%a => %a" pp_tpat p pp_texp b))
       rules
   | TEraise e -> Format.fprintf ppf "raise %a" pp_texp e
+  | TEerror -> Format.pp_print_string ppf "<error>"
   | TEhandle (e, rules) ->
     Format.fprintf ppf "(%a handle %a)" pp_texp e
       (Format.pp_print_list

@@ -39,6 +39,10 @@ type texp =
   | TEcase of texp * (tpat * texp) list * fail
   | TEraise of texp
   | TEhandle of texp * (tpat * texp) list
+  | TEerror
+      (** placeholder for an expression the elaborator reported an
+          error for; never reaches translation (the collector raises
+          before the translate phase) *)
 
 (** Which standard exception a non-exhaustive match raises. *)
 and fail = FailMatch | FailBind

@@ -9,6 +9,7 @@ let rec pp_prec ctx prec ppf ty =
   match repr ty with
   | Tvar { contents = Unbound { id; _ } } -> Format.fprintf ppf "'_%d" id
   | Tvar { contents = Link _ } -> assert false
+  | Terror -> Format.pp_print_string ppf "<error>"
   | Tgen i -> Format.pp_print_string ppf (gen_name i)
   | Tcon (stamp, args) -> (
     let name =

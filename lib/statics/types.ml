@@ -6,6 +6,7 @@ type ty =
   | Tcon of Stamp.t * ty list
   | Tarrow of ty * ty
   | Ttuple of ty list
+  | Terror
 
 and tvar =
   | Unbound of { id : int; level : int }
@@ -112,6 +113,7 @@ let instantiate_scheme fresh scheme =
     | Tcon (stamp, args) -> Tcon (stamp, List.map go args)
     | Tarrow (a, b) -> Tarrow (go a, go b)
     | Ttuple parts -> Ttuple (List.map go parts)
+    | Terror -> Terror
   in
   if scheme.arity = 0 then scheme.body else go scheme.body
 

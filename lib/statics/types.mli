@@ -18,6 +18,10 @@ type ty =
   | Tcon of Stamp.t * ty list
   | Tarrow of ty * ty
   | Ttuple of ty list  (** [unit] is [Ttuple []] *)
+  | Terror
+      (** the error type: stands for a type the elaborator could not
+          determine after reporting a diagnostic.  Unifies with
+          anything, so one type error does not cascade. *)
 
 and tvar =
   | Unbound of { id : int; level : int }

@@ -37,6 +37,7 @@ let rec adjust ctx cell_id max_level ty =
     adjust ctx cell_id max_level a;
     adjust ctx cell_id max_level b;
   | Ttuple parts -> List.iter (adjust ctx cell_id max_level) parts
+  | Terror -> ()
 
 let rec unify ctx t1 t2 =
   let t1 = head_normalize ctx t1 and t2 = head_normalize ctx t2 in
@@ -55,11 +56,32 @@ let rec unify ctx t1 t2 =
   | Ttuple p1, Ttuple p2 ->
     (try List.iter2 (unify ctx) p1 p2
      with Invalid_argument _ -> raise (Unify_error (t1, t2)))
+  (* the error type unifies with anything: it stands for a type the
+     elaborator already reported a diagnostic about, so no constraint
+     involving it should produce a second error *)
+  | Terror, _ | _, Terror -> ()
   | Tgen _, _ | _, Tgen _ ->
     (* schemes are instantiated before unification; a loose Tgen is a
        compiler bug *)
     assert false
   | _ -> raise (Unify_error (t1, t2))
+
+(* After reporting a type error, bind every unification variable still
+   reachable from the offending type to the error type, so downstream
+   uses of the same variables cannot produce cascading mismatches. *)
+let poison ctx ty =
+  let rec go ty =
+    match head_normalize ctx ty with
+    | Tvar ({ contents = Unbound _ } as cell) -> cell := Link Terror
+    | Tvar { contents = Link _ } -> assert false (* head_normalize *)
+    | Tgen _ | Terror -> ()
+    | Tcon (_, args) -> List.iter go args
+    | Tarrow (a, b) ->
+      go a;
+      go b
+    | Ttuple parts -> List.iter go parts
+  in
+  go ty
 
 let generalize ctx ~level ty =
   let table = Hashtbl.create 8 in
@@ -79,6 +101,7 @@ let generalize ctx ~level ty =
     | Tcon (stamp, args) -> Tcon (stamp, List.map go args)
     | Tarrow (a, b) -> Tarrow (go a, go b)
     | Ttuple parts -> Ttuple (List.map go parts)
+    | Terror -> Terror
   in
   ignore ctx;
   let body = go ty in
@@ -102,6 +125,7 @@ let rec equal_ty ctx t1 t2 =
   | Ttuple p1, Ttuple p2 ->
     List.length p1 = List.length p2 && List.for_all2 (equal_ty ctx) p1 p2
   | Tvar c1, Tvar c2 -> c1 == c2
+  | Terror, Terror -> true
   | _ -> false
 
 let equal_scheme ctx s1 s2 =

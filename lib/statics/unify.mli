@@ -16,6 +16,12 @@ val head_normalize : Context.t -> Types.ty -> Types.ty
     Performs the occurs check and level adjustment. *)
 val unify : Context.t -> Types.ty -> Types.ty -> unit
 
+(** [poison ctx ty] binds every unification variable reachable from
+    [ty] to the error type [Terror].  Called after a reported type
+    mismatch so later constraints on the same variables unify silently
+    instead of cascading. *)
+val poison : Context.t -> Types.ty -> unit
+
 (** [generalize ctx ~level ty] turns into [Tgen] every unification
     variable of [ty] whose level exceeds [level].  Returns the scheme. *)
 val generalize : Context.t -> level:int -> Types.ty -> Types.scheme

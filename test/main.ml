@@ -8,6 +8,7 @@ let () =
       ("eval", Test_eval.suite);
       ("sepcomp", Test_sepcomp.suite);
       ("irm", Test_irm.suite);
+      ("keepgoing", Test_keepgoing.suite);
       ("workload", Test_workload.suite);
       ("pickle", Test_pickle.suite);
       ("simplify", Test_simplify.suite);
