@@ -19,6 +19,7 @@
      E14 unit-cache hit rates, warm-from-clean      (timing + counts)
      E15 atomic-commit overhead vs raw writes       (timing)
      E16 keep-going/diagnostics overhead, clean DAG (timing)
+     E17 worker-backend overhead vs in-process domains (timing + counts)
 *)
 
 module Gen = Workload.Gen
@@ -49,7 +50,10 @@ let section title =
 (*       "atomic_overhead":  [{group,units,reps,raw_s,atomic_s,        *)
 (*                             overhead_ratio}],                       *)
 (*       "keepgoing_overhead": [{topology,units,reps,failfast_s,       *)
-(*                             keepgoing_s,overhead_ratio}] },         *)
+(*                             keepgoing_s,overhead_ratio}],           *)
+(*       "worker_overhead":  [{units,lines,jobs,workers_s,domains_s,   *)
+(*                             overhead_ratio,spawns,ipc_bytes_out,    *)
+(*                             ipc_bytes_in}] },                       *)
 (*     "metrics": { <Obs.Metrics counters> } }                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -64,6 +68,7 @@ let tbl_parallel : J.t list ref = ref []
 let tbl_cache : J.t list ref = ref []
 let tbl_atomic : J.t list ref = ref []
 let tbl_keepgoing : J.t list ref = ref []
+let tbl_worker : J.t list ref = ref []
 
 let record tbl row = tbl := row :: !tbl
 
@@ -71,7 +76,7 @@ let write_results () =
   let doc =
     J.Obj
       [
-        ("schema", J.String "smlsep-bench/4");
+        ("schema", J.String "smlsep-bench/5");
         ("quick", J.Bool !quick);
         ( "experiments",
           J.Obj
@@ -84,6 +89,7 @@ let write_results () =
               ("cache_hit_rate", J.List (List.rev !tbl_cache));
               ("atomic_overhead", J.List (List.rev !tbl_atomic));
               ("keepgoing_overhead", J.List (List.rev !tbl_keepgoing));
+              ("worker_overhead", J.List (List.rev !tbl_worker));
             ] );
         ("metrics", Obs.Metrics.to_json ());
       ]
@@ -1091,6 +1097,76 @@ let e16 () =
      overhead      %+7.2f%%  (diagnostics budget: < 2%%)\n"
     units reps (1000. *. failfast_s) (1000. *. keepgoing_s) (100. *. overhead)
 
+(* ------------------------------------------------------------------ *)
+(* E17: worker-backend overhead vs in-process domains                  *)
+(* ------------------------------------------------------------------ *)
+
+(* the supervised out-of-process backend pays fork+exec-free spawns,
+   framed IPC and pickled units on every compile; on a clean build of a
+   healthy DAG that is the whole price of crash isolation.  NOTE: this
+   experiment must run before anything spawns a domain (OCaml 5 forbids
+   Unix.fork once other domains have been created), so main () calls it
+   ahead of E13 and the workers variant is measured before the domains
+   variant below. *)
+let e17 () =
+  section "E17: worker-backend overhead vs in-process domains (clean build)";
+  let units = 32 in
+  let jobs = 4 in
+  let fs = Vfs.memory () in
+  let project =
+    Gen.create fs
+      (Gen.Random_dag { units; max_deps = 3; seed = 31 })
+      (Gen.sized_profile ~lines:160)
+  in
+  let sources = Gen.sources project in
+  let lines = Gen.total_lines project in
+  let time_build backend =
+    time_median (fun () ->
+        List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources;
+        let mgr = Driver.create fs in
+        ignore (Driver.build ~backend mgr ~policy:Driver.Cutoff ~sources))
+  in
+  let metric name = Option.value ~default:0 (Obs.Metrics.find name) in
+  let workers_backend =
+    Driver.Workers { (Worker.default_config ~jobs ()) with Worker.w_chaos = [] }
+  in
+  (* spawn count and IPC volume from one dedicated build, so the counts
+     describe a single clean build rather than a median's worth *)
+  let spawns0 = metric "worker.spawns" in
+  let out0 = metric "worker.ipc_bytes_out" in
+  let in0 = metric "worker.ipc_bytes_in" in
+  List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources;
+  ignore
+    (Driver.build ~backend:workers_backend (Driver.create fs)
+       ~policy:Driver.Cutoff ~sources);
+  let spawns = metric "worker.spawns" - spawns0 in
+  let ipc_out = metric "worker.ipc_bytes_out" - out0 in
+  let ipc_in = metric "worker.ipc_bytes_in" - in0 in
+  let workers_s = time_build workers_backend in
+  let domains_s = time_build (Driver.Parallel jobs) in
+  let overhead = (workers_s -. domains_s) /. domains_s in
+  record tbl_worker
+    (J.Obj
+       [
+         ("units", J.Int units);
+         ("lines", J.Int lines);
+         ("jobs", J.Int jobs);
+         ("workers_s", J.Float workers_s);
+         ("domains_s", J.Float domains_s);
+         ("overhead_ratio", J.Float overhead);
+         ("spawns", J.Int spawns);
+         ("ipc_bytes_out", J.Int ipc_out);
+         ("ipc_bytes_in", J.Int ipc_in);
+       ]);
+  Printf.printf
+    "%d units, %d lines, %d jobs (from-clean medians)\n\
+     in-process domains %8.3f ms\n\
+     worker processes   %8.3f ms\n\
+     overhead           %+7.2f%%  (isolation budget: < 15%%)\n\
+     per clean build: %d worker spawns, %d B IPC out, %d B IPC in\n"
+    units lines jobs (1000. *. domains_s) (1000. *. workers_s)
+    (100. *. overhead) spawns ipc_out ipc_in
+
 let parse_args () =
   let rec go = function
     | [] -> ()
@@ -1130,6 +1206,9 @@ let () =
   e10 ();
   e11 ();
   if not !quick then e12 ();
+  (* E17 forks worker processes, so it must run before E13 creates the
+     first domain of the process (fork-after-domains is forbidden) *)
+  e17 ();
   e13 ();
   e14 ();
   e15 ();

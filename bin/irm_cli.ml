@@ -50,6 +50,14 @@ let with_manager ?fault_seed ?(fault_ops = 32) dir group f =
 let backend_of_jobs jobs =
   if jobs <= 1 then Irm.Driver.Serial else Irm.Driver.Parallel jobs
 
+(* --workers beats --jobs: process isolation is an explicit opt-in *)
+let backend_of ~jobs ~workers ~worker_timeout =
+  if workers > 0 then
+    Irm.Driver.Workers
+      { (Worker.default_config ~jobs:workers ()) with
+        Worker.w_timeout_s = worker_timeout }
+  else backend_of_jobs jobs
+
 let cache_of fs enabled cache_dir budget_mb =
   if enabled then
     Some
@@ -115,6 +123,10 @@ let guarded ?(error_format = `Text) f =
   | exception Sys_error msg ->
     prerr_endline msg;
     1
+  | exception Worker.Pool_down msg ->
+    Printf.eprintf
+      "build aborted: the compile worker pool died entirely (%s)\n" msg;
+    4
 
 let require_sources group sources =
   if sources = [] then
@@ -183,16 +195,19 @@ let pp_cache_stats = function
   | Some cache -> Format.printf "cache:@.%a" Cache.pp_stats (Cache.stats cache)
   | None -> ()
 
-let build_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
-    stats_flag fault_seed fault_ops keep_going werror max_errors error_format =
+let build_cmd_impl dir group policy jobs workers worker_timeout use_cache
+    cache_dir budget_mb trace stats_flag fault_seed fault_ops keep_going werror
+    max_errors error_format =
   guarded ~error_format (fun () ->
       with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace stats_flag (fun () ->
               let stats, code =
-                build_units ~backend:(backend_of_jobs jobs) ?cache ~keep_going
-                  ~werror ?max_errors ~error_format fs mgr policy sources
+                build_units
+                  ~backend:(backend_of ~jobs ~workers ~worker_timeout)
+                  ?cache ~keep_going ~werror ?max_errors ~error_format fs mgr
+                  policy sources
               in
               if stats_flag then begin
                 Format.printf "%a" Irm.Driver.pp_report stats;
@@ -200,16 +215,18 @@ let build_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
               end;
               code)))
 
-let run_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
-    stats_flag fault_seed fault_ops keep_going werror max_errors error_format =
+let run_cmd_impl dir group policy jobs workers worker_timeout use_cache
+    cache_dir budget_mb trace stats_flag fault_seed fault_ops keep_going werror
+    max_errors error_format =
   guarded ~error_format (fun () ->
       with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace stats_flag (fun () ->
               let stats =
-                Irm.Driver.build ~backend:(backend_of_jobs jobs) ?cache
-                  ~keep_going ~werror ?max_errors mgr ~policy ~sources
+                Irm.Driver.build
+                  ~backend:(backend_of ~jobs ~workers ~worker_timeout)
+                  ?cache ~keep_going ~werror ?max_errors mgr ~policy ~sources
               in
               let code = report_diagnostics fs error_format stats in
               (* failed or skipped units have no bin to execute — report
@@ -221,16 +238,17 @@ let run_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
               end;
               code)))
 
-let stats_cmd_impl dir group policy jobs use_cache cache_dir budget_mb trace
-    json keep_going werror max_errors =
+let stats_cmd_impl dir group policy jobs workers worker_timeout use_cache
+    cache_dir budget_mb trace json keep_going werror max_errors =
   guarded (fun () ->
       with_manager dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
           with_obs trace false (fun () ->
               let stats =
-                Irm.Driver.build ~backend:(backend_of_jobs jobs) ?cache
-                  ~keep_going ~werror ?max_errors mgr ~policy ~sources
+                Irm.Driver.build
+                  ~backend:(backend_of ~jobs ~workers ~worker_timeout)
+                  ?cache ~keep_going ~werror ?max_errors mgr ~policy ~sources
               in
               if json then
                 print_endline
@@ -347,6 +365,29 @@ let jobs_arg =
            count).  $(docv) <= 1 builds serially; the bin files are \
            byte-identical either way.")
 
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Compile every unit in one of $(docv) supervised child \
+           $(i,processes) instead of in-process domains (overrides \
+           $(b,--jobs)).  A compiler crash or hang then costs that unit \
+           alone: crashed units are retried on a fresh worker and \
+           quarantined as $(b,E0701) after repeated crashes, hung units \
+           are killed at $(b,--worker-timeout) and failed as \
+           $(b,E0702).  Bin files are byte-identical to an in-process \
+           build.  0 (the default) disables worker processes.")
+
+let worker_timeout_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "worker-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget per unit compile under $(b,--workers); a \
+           child exceeding it is killed and the unit fails with \
+           $(b,E0702) (default 30s).")
+
 let cache_flag_arg =
   Arg.(
     value & flag
@@ -456,6 +497,11 @@ let exits =
       ~doc:
         "on a simulated crash under $(b,--fault-seed); the on-disk state \
          is safe and a rerun converges.";
+    Cmd.Exit.info 4
+      ~doc:
+        "when the worker pool under $(b,--workers) died entirely \
+         (workers kept dying before doing any work) and the build was \
+         aborted.";
   ]
 
 let build_cmd =
@@ -464,9 +510,10 @@ let build_cmd =
        ~doc:"bring every unit of the group up to date")
     Term.(
       const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
-      $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
-      $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
-      $ werror_arg $ max_errors_arg $ error_format_arg)
+      $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
+      $ cache_budget_arg $ trace_arg $ stats_arg $ fault_seed_arg
+      $ fault_ops_arg $ keep_going_arg $ werror_arg $ max_errors_arg
+      $ error_format_arg)
 
 let run_cmd =
   Cmd.v
@@ -474,9 +521,10 @@ let run_cmd =
        ~doc:"build, then execute all units in dependency order")
     Term.(
       const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
-      $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
-      $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
-      $ werror_arg $ max_errors_arg $ error_format_arg)
+      $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
+      $ cache_budget_arg $ trace_arg $ stats_arg $ fault_seed_arg
+      $ fault_ops_arg $ keep_going_arg $ werror_arg $ max_errors_arg
+      $ error_format_arg)
 
 let stats_cmd =
   Cmd.v
@@ -484,8 +532,9 @@ let stats_cmd =
        ~doc:"build, then print the per-unit report and metric counters")
     Term.(
       const stats_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
-      $ cache_flag_arg $ cache_dir_arg $ cache_budget_arg $ trace_arg
-      $ json_arg $ keep_going_arg $ werror_arg $ max_errors_arg)
+      $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
+      $ cache_budget_arg $ trace_arg $ json_arg $ keep_going_arg $ werror_arg
+      $ max_errors_arg)
 
 let cache_action_arg =
   let actions = [ ("stats", `Stats); ("gc", `Gc); ("clear", `Clear) ] in
@@ -529,7 +578,8 @@ let cmd =
     [ build_cmd; run_cmd; stats_cmd; deps_cmd; recover_cmd; cache_cmd ]
 
 (* standardized exit codes (documented under EXIT STATUS in --help):
-   0 success, 1 diagnostics, 2 usage errors, 3 simulated crash.
+   0 success, 1 diagnostics, 2 usage errors, 3 simulated crash,
+   4 worker pool death.
    cmdliner reports parse errors as Exit.cli_error (124); fold them
    into the documented usage code. *)
 let () =

@@ -26,14 +26,45 @@ let write_file path content =
   close_out oc;
   Sys.rename tmp path
 
+(* compile in a supervised child process (--workers): the job carries
+   the source and the import bins, the child replies with the bin bytes
+   — byte-identical to the in-process compile, but a compiler crash or
+   hang costs an E0701/E0702 diagnostic instead of the process *)
+let compile_supervised ~worker_timeout ~werror ~max_errors ~source_path ~source
+    ~import_bins =
+  let job =
+    {
+      Irm.Wire.j_name = source_path;
+      j_source = source;
+      j_closure = import_bins;
+      j_imports = List.map fst import_bins;
+      j_collect = true;
+      j_werror = werror;
+      j_limit = max_errors;
+    }
+  in
+  let pool =
+    Worker.create
+      { (Worker.default_config ~jobs:1 ()) with Worker.w_timeout_s = worker_timeout }
+      (Irm.Wire.proto ())
+  in
+  Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+  Worker.submit pool ~id:source_path (Irm.Wire.encode_job job);
+  match Worker.next pool with
+  | _, Ok payload -> (Irm.Wire.decode_result payload).Irm.Wire.r_bytes
+  | _, Error exn -> raise exn
+
 let compile_one diags source_path import_paths run verbose use_cache cache_dir
-    trace stats =
+    trace stats workers worker_timeout werror max_errors =
   if trace <> None then Obs.Trace.enable ();
   let session = Sepcomp.Compile.new_session () in
+  let import_bins =
+    List.map (fun path -> (path, read_file path)) import_paths
+  in
   let imports =
     List.map
-      (fun path -> Sepcomp.Compile.load session (read_file path))
-      import_paths
+      (fun (_, bytes) -> Sepcomp.Compile.load session bytes)
+      import_bins
   in
   let source = read_file source_path in
   let cache =
@@ -68,11 +99,21 @@ let compile_one diags source_path import_paths run verbose use_cache cache_dir
       if verbose then Printf.printf "%s: from cache\n" source_path;
       (unit_, bytes)
     | None ->
-      let unit_ =
-        Sepcomp.Compile.compile ~diags session ~name:source_path ~source
-          ~imports
+      let unit_, bytes =
+        if workers then begin
+          let bytes =
+            compile_supervised ~worker_timeout ~werror ~max_errors
+              ~source_path ~source ~import_bins
+          in
+          (Sepcomp.Compile.load session bytes, bytes)
+        end
+        else
+          let unit_ =
+            Sepcomp.Compile.compile ~diags session ~name:source_path ~source
+              ~imports
+          in
+          (unit_, Sepcomp.Compile.save session unit_)
       in
-      let bytes = Sepcomp.Compile.save session unit_ in
       (match (cache, key) with
       | Some c, Some k -> Cache.store c k bytes
       | _ -> ());
@@ -141,7 +182,7 @@ let report_diags source_path error_format ~failed ds =
       ds
 
 let main source_path import_paths run verbose use_cache cache_dir trace stats
-    werror max_errors error_format =
+    workers worker_timeout werror max_errors error_format =
   (* the whole compile runs under one collector: the front end recovers
      and every diagnostic of the unit is reported in a single run *)
   let diags =
@@ -150,7 +191,7 @@ let main source_path import_paths run verbose use_cache cache_dir trace stats
   match
     Support.Diag.guard_all (fun () ->
         compile_one diags source_path import_paths run verbose use_cache
-          cache_dir trace stats)
+          cache_dir trace stats workers worker_timeout werror max_errors)
   with
   | Ok code ->
     (* surviving diagnostics are warnings/notes *)
@@ -171,6 +212,10 @@ let main source_path import_paths run verbose use_cache cache_dir trace stats
   | exception Sys_error msg ->
     prerr_endline msg;
     1
+  | exception Worker.Pool_down msg ->
+    Printf.eprintf
+      "compile aborted: the worker pool died entirely (%s)\n" msg;
+    4
 
 open Cmdliner
 
@@ -213,6 +258,25 @@ let trace_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print the metric counters.")
 
+let workers_arg =
+  Arg.(
+    value & flag
+    & info [ "workers" ]
+        ~doc:
+          "Compile in a supervised child process: a compiler crash is \
+           reported as $(b,E0701) and a hang is killed at \
+           $(b,--worker-timeout) and reported as $(b,E0702), instead of \
+           taking the process down.  The bin file is byte-identical to \
+           an in-process compile.")
+
+let worker_timeout_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "worker-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget for the compile under $(b,--workers) \
+           (default 30s).")
+
 let werror_arg =
   Arg.(
     value & flag
@@ -244,6 +308,10 @@ let exits =
       ~doc:"on reported diagnostics (compile, link or runtime errors).";
     Cmd.Exit.info 2 ~doc:"on command-line usage errors.";
     Cmd.Exit.info 3 ~doc:"on a simulated crash (fault injection).";
+    Cmd.Exit.info 4
+      ~doc:
+        "when the worker pool under $(b,--workers) died entirely and \
+         the compile was aborted.";
   ]
 
 let cmd =
@@ -252,8 +320,8 @@ let cmd =
     (Cmd.info "smlc" ~doc ~exits)
     Term.(
       const main $ source_arg $ imports_arg $ run_arg $ verbose_arg
-      $ cache_flag_arg $ cache_dir_arg $ trace_arg $ stats_arg $ werror_arg
-      $ max_errors_arg $ error_format_arg)
+      $ cache_flag_arg $ cache_dir_arg $ trace_arg $ stats_arg $ workers_arg
+      $ worker_timeout_arg $ werror_arg $ max_errors_arg $ error_format_arg)
 
 (* standardized exit codes (documented under EXIT STATUS in --help):
    cmdliner reports parse errors as Exit.cli_error (124); fold them into

@@ -8,7 +8,10 @@ let policy_name = function
   | Cutoff -> "cutoff"
   | Selective -> "selective"
 
-type backend = Sched.backend = Serial | Parallel of int
+type backend = Sched.backend =
+  | Serial
+  | Parallel of int
+  | Workers of Worker.config
 
 type stats = {
   st_order : string list;
@@ -74,11 +77,10 @@ let read_bin t file =
 (* Scheduler plumbing                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* What [execute] needs to compile one unit without touching any shared
-   state: the source, the direct imports, and the bin bytes of the
-   whole transitive dependency closure (a fresh session must rehydrate
-   every external stamp before it can elaborate against the imports). *)
-type job = {
+(* the compile job, its result, and the pure [execute] every backend
+   runs live in {!Wire}, next to their wire codecs; the aliases keep
+   this file's construction sites unchanged *)
+type job = Wire.job = {
   j_name : string;
   j_source : string;
   j_closure : (string * string) list;  (** (file, bin bytes), dep order *)
@@ -88,12 +90,14 @@ type job = {
   j_limit : int option;  (** collector error limit *)
 }
 
-type kind = Recompiled | Loaded | Cache_hit
+type kind = Wire.kind = Recompiled | Loaded | Cache_hit
 
-type result = {
+type result = Wire.result = {
   r_kind : kind;
   r_bytes : string;  (** the unit's (possibly new) bin bytes *)
 }
+
+let execute = Wire.execute
 
 (* per-unit bookkeeping recorded by [prepare] for [complete] *)
 type prep = {
@@ -101,48 +105,6 @@ type prep = {
   p_key : string option;  (** cache key, when a cache is attached *)
   p_start : float;
 }
-
-(* [execute] runs on a worker domain.  It touches nothing but the job:
-   a brand-new session is rehydrated from the closure bytes, the unit
-   is compiled against its direct imports, and the pickled bytes are
-   the result.  Because generated binder names are scoped per compile
-   (Symbol.with_fresh_scope) the bytes are a pure function of
-   (source, closure) — identical no matter which domain, or how many,
-   ran the job.  The serial backend runs this very function inline, so
-   Serial and Parallel builds agree byte-for-byte by construction. *)
-let execute job =
-  Obs.Trace.span ~cat:"compile"
-    ~args:[ ("unit", job.j_name) ]
-    "build.compile_job"
-  @@ fun () ->
-  let session = Sepcomp.Compile.new_session () in
-  let units = Hashtbl.create 16 in
-  List.iter
-    (fun (dep, bytes) ->
-      Hashtbl.replace units dep (Sepcomp.Compile.load session bytes))
-    job.j_closure;
-  let imports =
-    List.map
-      (fun dep ->
-        match Hashtbl.find_opt units dep with
-        | Some unit_ -> unit_
-        | None ->
-          manager_error "dependency %s of %s missing from closure" dep
-            job.j_name)
-      job.j_imports
-  in
-  let diags =
-    if job.j_collect || job.j_werror then
-      Some
-        (Diag.collector ?limit:job.j_limit ~werror:job.j_werror
-           ~unit_name:job.j_name ())
-    else None
-  in
-  let unit_ =
-    Sepcomp.Compile.compile ?diags session ~name:job.j_name
-      ~source:job.j_source ~imports
-  in
-  { r_kind = Recompiled; r_bytes = Sepcomp.Compile.save session unit_ }
 
 (* transient injected faults (and nothing else) are worth retrying *)
 let transient_fault = function
@@ -363,8 +325,11 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
       (result, Unix.gettimeofday () -. prep.p_start);
     result
   in
+  let codec =
+    match backend with Sched.Workers _ -> Some (Wire.codec ()) | _ -> None
+  in
   let outcomes =
-    Sched.run ~retries ~backoff_s ~retryable:transient_fault ~keep_going
+    Sched.run ~retries ~backoff_s ~retryable:transient_fault ~keep_going ?codec
       backend ~order ~deps:deps_of ~prepare ~execute ~complete
   in
   (* without [keep_going], Sched.run raised if any node failed, so every

@@ -33,8 +33,14 @@ type policy = Timestamp | Cutoff | Selective
 
 val policy_name : policy -> string
 
-(** Where compile jobs run — re-exported from {!Sched.backend}. *)
-type backend = Sched.backend = Serial | Parallel of int
+(** Where compile jobs run — re-exported from {!Sched.backend}.
+    [Workers] runs every compile in a supervised child process
+    ({!Worker}): crash isolation, per-unit timeouts, and quarantine
+    diagnostics ([E0701]/[E0702]), byte-identical to [Serial]. *)
+type backend = Sched.backend =
+  | Serial
+  | Parallel of int
+  | Workers of Worker.config
 
 type stats = {
   st_order : string list;  (** topological build order *)

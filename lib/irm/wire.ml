@@ -1,0 +1,253 @@
+module Diag = Support.Diag
+module Loc = Support.Loc
+module Buf = Pickle.Buf
+
+type job = {
+  j_name : string;
+  j_source : string;
+  j_closure : (string * string) list;
+  j_imports : string list;
+  j_collect : bool;
+  j_werror : bool;
+  j_limit : int option;
+}
+
+type kind = Recompiled | Loaded | Cache_hit
+
+type result = { r_kind : kind; r_bytes : string }
+
+let manager_error fmt = Diag.error Diag.Manager Loc.dummy fmt
+
+(* [execute] may run on a worker domain or in a forked child.  It
+   touches nothing but the job: a brand-new session is rehydrated from
+   the closure bytes, the unit is compiled against its direct imports,
+   and the pickled bytes are the result.  Because generated binder
+   names are scoped per compile (Symbol.with_fresh_scope) the bytes are
+   a pure function of (source, closure) — identical no matter which
+   domain, process, or how many, ran the job.  The serial backend runs
+   this very function inline, so Serial, Parallel and Workers builds
+   agree byte-for-byte by construction. *)
+let execute job =
+  Obs.Trace.span ~cat:"compile"
+    ~args:[ ("unit", job.j_name) ]
+    "build.compile_job"
+  @@ fun () ->
+  let session = Sepcomp.Compile.new_session () in
+  let units = Hashtbl.create 16 in
+  List.iter
+    (fun (dep, bytes) ->
+      Hashtbl.replace units dep (Sepcomp.Compile.load session bytes))
+    job.j_closure;
+  let imports =
+    List.map
+      (fun dep ->
+        match Hashtbl.find_opt units dep with
+        | Some unit_ -> unit_
+        | None ->
+          manager_error "dependency %s of %s missing from closure" dep
+            job.j_name)
+      job.j_imports
+  in
+  let diags =
+    if job.j_collect || job.j_werror then
+      Some
+        (Diag.collector ?limit:job.j_limit ~werror:job.j_werror
+           ~unit_name:job.j_name ())
+    else None
+  in
+  let unit_ =
+    Sepcomp.Compile.compile ?diags session ~name:job.j_name
+      ~source:job.j_source ~imports
+  in
+  { r_kind = Recompiled; r_bytes = Sepcomp.Compile.save session unit_ }
+
+exception Child_failure of string
+
+let () =
+  Printexc.register_printer (function
+    | Child_failure msg -> Some msg
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codecs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let encode_job job =
+  let w = Buf.writer () in
+  Buf.string w job.j_name;
+  Buf.string w job.j_source;
+  Buf.list w
+    (fun (dep, bytes) ->
+      Buf.string w dep;
+      Buf.string w bytes)
+    job.j_closure;
+  Buf.list w (Buf.string w) job.j_imports;
+  Buf.bool w job.j_collect;
+  Buf.bool w job.j_werror;
+  Buf.option w (Buf.int w) job.j_limit;
+  Buf.contents w
+
+let decode_job payload =
+  let r = Buf.reader payload in
+  let j_name = Buf.read_string r in
+  let j_source = Buf.read_string r in
+  let j_closure =
+    Buf.read_list r (fun () ->
+        let dep = Buf.read_string r in
+        let bytes = Buf.read_string r in
+        (dep, bytes))
+  in
+  let j_imports = Buf.read_list r (fun () -> Buf.read_string r) in
+  let j_collect = Buf.read_bool r in
+  let j_werror = Buf.read_bool r in
+  let j_limit = Buf.read_option r (fun () -> Buf.read_int r) in
+  { j_name; j_source; j_closure; j_imports; j_collect; j_werror; j_limit }
+
+let kind_byte = function Recompiled -> 0 | Loaded -> 1 | Cache_hit -> 2
+
+let kind_of_byte = function
+  | 0 -> Recompiled
+  | 1 -> Loaded
+  | 2 -> Cache_hit
+  | b -> raise (Buf.Corrupt (Printf.sprintf "unknown result kind %d" b))
+
+let encode_result result =
+  let w = Buf.writer () in
+  Buf.byte w (kind_byte result.r_kind);
+  Buf.string w result.r_bytes;
+  Buf.contents w
+
+let decode_result payload =
+  let r = Buf.reader payload in
+  let r_kind = kind_of_byte (Buf.read_byte r) in
+  let r_bytes = Buf.read_string r in
+  { r_kind; r_bytes }
+
+(* [Diag.Error] the exception shadows [Diag.Error] the severity; the
+   annotations let type-directed disambiguation pick the severity *)
+let severity_byte (s : Diag.severity) =
+  match s with Error -> 0 | Warning -> 1 | Note -> 2
+
+let severity_of_byte b : Diag.severity =
+  match b with
+  | 0 -> Error
+  | 1 -> Warning
+  | 2 -> Note
+  | b -> raise (Buf.Corrupt (Printf.sprintf "unknown severity %d" b))
+
+let phase_byte = function
+  | Diag.Lex -> 0
+  | Diag.Parse -> 1
+  | Diag.Elaborate -> 2
+  | Diag.Translate -> 3
+  | Diag.Pickle -> 4
+  | Diag.Link -> 5
+  | Diag.Execute -> 6
+  | Diag.Manager -> 7
+
+let phase_of_byte = function
+  | 0 -> Diag.Lex
+  | 1 -> Diag.Parse
+  | 2 -> Diag.Elaborate
+  | 3 -> Diag.Translate
+  | 4 -> Diag.Pickle
+  | 5 -> Diag.Link
+  | 6 -> Diag.Execute
+  | 7 -> Diag.Manager
+  | b -> raise (Buf.Corrupt (Printf.sprintf "unknown phase %d" b))
+
+let write_pos w (p : Loc.pos) =
+  Buf.int w p.Loc.line;
+  Buf.int w p.Loc.col;
+  Buf.int w p.Loc.offset
+
+let read_pos r =
+  let line = Buf.read_int r in
+  let col = Buf.read_int r in
+  let offset = Buf.read_int r in
+  { Loc.line; col; offset }
+
+(* [Diag.pp] distinguishes dummy locations by physical equality, so the
+   wire form records dummy-ness explicitly and decodes it back to the
+   one true [Loc.dummy] — a round-tripped diagnostic renders exactly as
+   the original would have *)
+let write_diag w (d : Diag.t) =
+  Buf.byte w (severity_byte d.Diag.severity);
+  Buf.byte w (phase_byte d.Diag.phase);
+  Buf.string w d.Diag.code;
+  Buf.bool w (d.Diag.loc == Loc.dummy);
+  Buf.string w d.Diag.loc.Loc.file;
+  write_pos w d.Diag.loc.Loc.start_pos;
+  write_pos w d.Diag.loc.Loc.end_pos;
+  Buf.string w d.Diag.message;
+  Buf.option w (Buf.string w) d.Diag.unit_name
+
+let read_diag r =
+  let severity = severity_of_byte (Buf.read_byte r) in
+  let phase = phase_of_byte (Buf.read_byte r) in
+  let code = Buf.read_string r in
+  let is_dummy = Buf.read_bool r in
+  let file = Buf.read_string r in
+  let start_pos = read_pos r in
+  let end_pos = read_pos r in
+  let loc = if is_dummy then Loc.dummy else { Loc.file; start_pos; end_pos } in
+  let message = Buf.read_string r in
+  let unit_name = Buf.read_option r (fun () -> Buf.read_string r) in
+  { Diag.severity; phase; code; loc; message; unit_name }
+
+let encode_exn exn =
+  let w = Buf.writer () in
+  (match exn with
+  | Diag.Error d ->
+    Buf.byte w 0;
+    write_diag w d
+  | Diag.Errors ds ->
+    Buf.byte w 1;
+    Buf.list w (write_diag w) ds
+  | exn ->
+    Buf.byte w 2;
+    Buf.string w (Printexc.to_string exn));
+  Buf.contents w
+
+let decode_exn payload =
+  let r = Buf.reader payload in
+  match Buf.read_byte r with
+  | 0 -> Diag.Error (read_diag r)
+  | 1 -> Diag.Errors (Buf.read_list r (fun () -> read_diag r))
+  | 2 -> Child_failure (Buf.read_string r)
+  | b -> raise (Buf.Corrupt (Printf.sprintf "unknown exception tag %d" b))
+
+(* ------------------------------------------------------------------ *)
+(* The worker protocol                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fail_diag ~id = function
+  | Worker.Crashed { wf_attempts; wf_detail } ->
+    Diag.Error
+      (Diag.make ~code:"E0701" ~unit_name:id Diag.Manager Loc.dummy
+         (Printf.sprintf
+            "compiler crashed while compiling %s (%s); unit quarantined \
+             after %d attempts"
+            id wf_detail wf_attempts))
+  | Worker.Timed_out { wf_timeout_s } ->
+    Diag.Error
+      (Diag.make ~code:"E0702" ~unit_name:id Diag.Manager Loc.dummy
+         (Printf.sprintf
+            "compile of %s exceeded its %gs timeout and was killed" id
+            wf_timeout_s))
+
+let proto () =
+  {
+    Worker.p_handler =
+      (fun ~id:_ payload -> encode_result (execute (decode_job payload)));
+    p_encode_exn = encode_exn;
+    p_decode_exn = decode_exn;
+    p_fail = (fun ~id failure -> fail_diag ~id failure);
+  }
+
+let codec () =
+  {
+    Sched.c_proto = proto ();
+    c_encode_job = encode_job;
+    c_decode_result = decode_result;
+  }

@@ -1,16 +1,24 @@
-type backend = Serial | Parallel of int
+type backend = Serial | Parallel of int | Workers of Worker.config
 
 let backend_name = function
   | Serial -> "serial"
   | Parallel n -> Printf.sprintf "parallel-%d" n
+  | Workers cfg -> Printf.sprintf "workers-%d" (max 1 cfg.Worker.w_jobs)
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 let jobs = function
   | Serial -> 1
   | Parallel n -> max 1 n
+  | Workers cfg -> max 1 cfg.Worker.w_jobs
 
 type ('job, 'result) action = Run of 'job | Done of 'result
+
+type ('job, 'result) codec = {
+  c_proto : Worker.proto;
+  c_encode_job : 'job -> string;
+  c_decode_result : string -> 'result;
+}
 
 type 'result outcome =
   | Completed of 'result
@@ -29,22 +37,31 @@ type 'result node_state = {
   mutable ns_outcome : 'result outcome option;
 }
 
-let run ?(retries = 0) ?(backoff_s = 0.001) ?(retryable = fun _ -> false)
-    ?(keep_going = false) backend ~order ~deps ~prepare ~execute ~complete =
+let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
+    ?(retryable = fun _ -> false) ?(keep_going = false) ?codec backend ~order
+    ~deps ~prepare ~execute ~complete =
   Obs.Trace.span ~cat:"sched"
     ~args:[ ("backend", backend_name backend) ]
     "sched.run"
   @@ fun () ->
   (* bounded retry with exponential backoff around every node callback:
      transient faults (a flaky file system, a racing process) get
-     [retries] more chances before poisoning the node's cone *)
+     [retries] more chances before poisoning the node's cone.  The sleep
+     is capped and jittered — several domains retrying the same flaky
+     resource must not wake in lock-step and collide again. *)
   let attempt f x =
     let rec go k =
       match f x with
       | v -> v
       | exception e when k < retries && retryable e ->
         Obs.Metrics.incr m_retries;
-        if backoff_s > 0. then Unix.sleepf (backoff_s *. float_of_int (1 lsl k));
+        if backoff_s > 0. then begin
+          let base = backoff_s *. float_of_int (1 lsl min k 16) in
+          let jitter =
+            0.5 +. Random.State.float (Random.State.make_self_init ()) 1.0
+          in
+          Unix.sleepf (Float.min backoff_cap_s base *. jitter)
+        end;
         go (k + 1)
     in
     go 0
@@ -84,6 +101,13 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(retryable = fun _ -> false)
     Mutex.protect lock (fun () ->
         Queue.push (node, job) job_queue;
         Condition.signal work_ready)
+  in
+  (* the Workers backend routes jobs to a process pool created at the
+     bottom of this function; [start] is mutually recursive with the
+     bookkeeping, so it reaches the pool through this knot *)
+  let worker_mode = match backend with Workers _ -> true | _ -> false in
+  let pool_submit =
+    ref (fun _node _job -> invalid_arg "Sched.run: worker pool not started")
   in
   let worker_loop () =
     let rec loop () =
@@ -143,7 +167,13 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(retryable = fun _ -> false)
       Obs.Metrics.incr m_inline;
       settle node result
     | Run job ->
-      if workers <= 1 then (
+      if worker_mode then begin
+        (* even a 1-worker pool goes out of process: isolation, not
+           parallelism, is what this backend buys *)
+        Obs.Metrics.incr m_dispatched;
+        !pool_submit node job
+      end
+      else if workers <= 1 then (
         match execute job with
         | result -> settle node result
         | exception exn -> finish node (Failed exn))
@@ -152,6 +182,28 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(retryable = fun _ -> false)
   let initially_ready =
     List.filter (fun node -> (Hashtbl.find states node).ns_waiting = 0) order
   in
+  (match backend with
+  | Workers cfg ->
+    let codec =
+      match codec with
+      | Some c -> c
+      | None -> invalid_arg "Sched.run: the Workers backend requires a codec"
+    in
+    let pool = Worker.create cfg codec.c_proto in
+    pool_submit :=
+      (fun node job -> Worker.submit pool ~id:node (codec.c_encode_job job));
+    Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+    List.iter start initially_ready;
+    while !remaining > 0 do
+      let node, res = Worker.next pool in
+      match res with
+      | Ok payload -> (
+        match codec.c_decode_result payload with
+        | result -> settle node result
+        | exception exn -> finish node (Failed exn))
+      | Error exn -> finish node (Failed exn)
+    done
+  | Serial | Parallel _ ->
   if workers <= 1 then List.iter start initially_ready
   else begin
     let pool = List.init workers (fun _ -> Domain.spawn worker_loop) in
@@ -181,7 +233,7 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(retryable = fun _ -> false)
           | Error exn -> finish node (Failed exn))
         batch
     done
-  end;
+  end);
   let outcomes =
     List.map
       (fun node ->

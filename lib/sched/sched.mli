@@ -26,8 +26,14 @@
 
 (** How to run a build.  [Serial] executes everything on the calling
     domain (no domains are spawned); [Parallel n] uses [n] worker
-    domains ([n <= 1] degrades to [Serial]). *)
-type backend = Serial | Parallel of int
+    domains ([n <= 1] degrades to [Serial]); [Workers cfg] runs every
+    [execute] in a supervised child {e process} from a pool of
+    [cfg.w_jobs] ({!Worker}) — crash isolation, per-job timeouts, and
+    quarantine, at the price of serializing jobs and results through a
+    {!codec}.  [Workers] never spawns domains (forking with live
+    domains is unsafe); the pool is multiplexed with [select] from the
+    calling domain. *)
+type backend = Serial | Parallel of int | Workers of Worker.config
 
 val backend_name : backend -> string
 
@@ -44,6 +50,16 @@ val jobs : backend -> int
     cache hit, …). *)
 type ('job, 'result) action = Run of 'job | Done of 'result
 
+(** How the [Workers] backend moves jobs across the process boundary:
+    [c_encode_job]/[c_decode_result] frame the payloads, and [c_proto]
+    is the child-side handler plus exception transport handed to
+    {!Worker.create}.  The other backends ignore it. *)
+type ('job, 'result) codec = {
+  c_proto : Worker.proto;
+  c_encode_job : 'job -> string;
+  c_decode_result : string -> 'result;
+}
+
 (** A node's fate in the outcome list. *)
 type 'result outcome =
   | Completed of 'result
@@ -57,9 +73,18 @@ type 'result outcome =
 
     When a callback raises an exception for which [retryable] returns
     true (default: never), it is re-invoked up to [retries] more times
-    (default 0), sleeping [backoff_s * 2^attempt] seconds in between —
+    (default 0), sleeping [min backoff_cap_s (backoff_s * 2^attempt)]
+    seconds scaled by a uniform jitter in [0.5, 1.5) in between —
     bounded recovery from transient faults without poisoning the node's
-    dependent cone.
+    dependent cone, and without several domains retrying a shared flaky
+    resource in lock-step.
+
+    The [Workers] backend additionally requires [codec]
+    ([Invalid_argument] otherwise); [execute] then runs {e in the child
+    process} via [codec.c_proto.p_handler], and supervision failures
+    (crash quarantine, timeout, {!Worker.Pool_down}) surface exactly
+    like [execute] exceptions — [Failed] outcomes poisoning the
+    dependent cone, or [Pool_down] aborting the build.
 
     For each node, once its dependencies completed: [prepare node] runs
     on the calling domain; a [Run job] is handed to a worker which runs
@@ -77,8 +102,10 @@ type 'result outcome =
 val run :
   ?retries:int ->
   ?backoff_s:float ->
+  ?backoff_cap_s:float ->
   ?retryable:(exn -> bool) ->
   ?keep_going:bool ->
+  ?codec:('job, 'result) codec ->
   backend ->
   order:string list ->
   deps:(string -> string list) ->

@@ -1,0 +1,469 @@
+(* Supervised out-of-process compile workers: frame integrity, the
+   supervisor's crash/timeout/wedge handling, quarantine accounting,
+   pool death, and the acceptance property — under chaos injection the
+   Workers backend stays byte-identical to Serial for every unit it
+   completes, poisons exactly the chaos units' cones, and a chaos-free
+   rerun recompiles exactly failed ∪ skipped and converges clean. *)
+
+module Driver = Irm.Driver
+module Wire = Irm.Wire
+module Gen = Workload.Gen
+module Diag = Support.Diag
+module Frame = Pickle.Frame
+
+let sorted = List.sort String.compare
+let check_files = Alcotest.(check (list string))
+let failed_names stats = List.map fst stats.Driver.st_failed
+let skipped_names stats = List.map fst stats.Driver.st_skipped
+
+let metric name = Option.value ~default:0 (Obs.Metrics.find name)
+
+(* tight timings so supervision paths run in test time; chaos is
+   injected through the config, not the environment *)
+let wcfg ?(jobs = 2) ?(timeout = 30.) ?(chaos = []) () =
+  {
+    (Worker.default_config ~jobs ()) with
+    Worker.w_timeout_s = timeout;
+    w_heartbeat_s = 0.05;
+    w_backoff_s = 0.001;
+    w_backoff_cap_s = 0.05;
+    w_chaos = chaos;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  let frame = Frame.encode ~kind:3 ~id:"u001.sml" ~payload:"the bytes \x00\xff" in
+  let header = String.sub frame 0 Frame.header_size in
+  let body = String.sub frame Frame.header_size (Frame.body_length header) in
+  Alcotest.(check int)
+    "frame is header + body" (String.length frame)
+    (Frame.header_size + String.length body);
+  let msg = Frame.decode_body body in
+  Alcotest.(check int) "kind" 3 msg.Frame.f_kind;
+  Alcotest.(check string) "id" "u001.sml" msg.Frame.f_id;
+  Alcotest.(check string) "payload" "the bytes \x00\xff" msg.Frame.f_payload
+
+let expect_corrupt name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Buf.Corrupt" name
+  | exception Pickle.Buf.Corrupt _ -> ()
+
+let test_frame_corruption () =
+  let frame = Frame.encode ~kind:2 ~id:"u" ~payload:"payload" in
+  let header = String.sub frame 0 Frame.header_size in
+  let body_len = Frame.body_length header in
+  let body = String.sub frame Frame.header_size body_len in
+  (* flip one byte anywhere in the body: the CRC trailer must catch it *)
+  for i = 0 to body_len - 1 do
+    let b = Bytes.of_string body in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    expect_corrupt
+      (Printf.sprintf "bit flip at %d" i)
+      (fun () -> Frame.decode_body (Bytes.to_string b))
+  done;
+  expect_corrupt "bad magic" (fun () ->
+      Frame.body_length ("XXXX" ^ String.sub header 4 4));
+  expect_corrupt "truncated body" (fun () ->
+      Frame.decode_body (String.sub body 0 3))
+
+(* ------------------------------------------------------------------ *)
+(* Wire codecs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_exn_roundtrip () =
+  let d =
+    Diag.make ~code:"E0302" ~unit_name:"u.sml" Diag.Elaborate
+      (Support.Loc.make "u.sml"
+         { Support.Loc.line = 3; col = 7; offset = 40 }
+         { Support.Loc.line = 3; col = 12; offset = 45 })
+      "unbound variable x"
+  in
+  (match Wire.decode_exn (Wire.encode_exn (Diag.Error d)) with
+  | Diag.Error d' ->
+    Alcotest.(check string) "same rendering" (Diag.to_string d)
+      (Diag.to_string d')
+  | _ -> Alcotest.fail "expected Diag.Error");
+  (* dummy locations survive the trip *physically*: Diag.pp picks the
+     unit-name rendering by [loc == Loc.dummy] *)
+  let dummy = Diag.make ~unit_name:"u.sml" Diag.Manager Support.Loc.dummy "m" in
+  (match Wire.decode_exn (Wire.encode_exn (Diag.Errors [ dummy ])) with
+  | Diag.Errors [ d' ] ->
+    Alcotest.(check bool) "physical dummy" true (d'.Diag.loc == Support.Loc.dummy);
+    Alcotest.(check string) "same rendering" (Diag.to_string dummy)
+      (Diag.to_string d')
+  | _ -> Alcotest.fail "expected Diag.Errors");
+  (* a non-diagnostic exception renders as its bare message, exactly as
+     the in-process exception would have *)
+  match Wire.decode_exn (Wire.encode_exn Stack_overflow) with
+  | e ->
+    Alcotest.(check string) "bare message" (Printexc.to_string Stack_overflow)
+      (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics, over a toy protocol                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Toy_failure of string
+
+let toy_proto () =
+  {
+    Worker.p_handler =
+      (fun ~id payload ->
+        if String.length payload > 0 && payload.[0] = '!' then
+          failwith ("handler refused " ^ id)
+        else id ^ ":" ^ String.uppercase_ascii payload);
+    p_encode_exn = Printexc.to_string;
+    p_decode_exn = (fun s -> Toy_failure s);
+    p_fail =
+      (fun ~id -> function
+        | Worker.Crashed { wf_attempts; _ } ->
+          Toy_failure (Printf.sprintf "%s crashed x%d" id wf_attempts)
+        | Worker.Timed_out { wf_timeout_s } ->
+          Toy_failure (Printf.sprintf "%s timed out after %gs" id wf_timeout_s));
+  }
+
+let drain pool =
+  let results = ref [] in
+  while Worker.pending pool > 0 do
+    results := Worker.next pool :: !results
+  done;
+  List.rev !results
+
+let test_pool_echo () =
+  let pool = Worker.create (wcfg ()) (toy_proto ()) in
+  Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+  let ids = List.init 10 (Printf.sprintf "job%02d") in
+  List.iter (fun id -> Worker.submit pool ~id ("payload of " ^ id)) ids;
+  let results = drain pool in
+  Alcotest.(check int) "all answered" 10 (List.length results);
+  List.iter
+    (fun id ->
+      match List.assoc id results with
+      | Ok reply ->
+        Alcotest.(check string) "echoed"
+          (id ^ ":" ^ String.uppercase_ascii ("payload of " ^ id))
+          reply
+      | Error e -> Alcotest.failf "%s failed: %s" id (Printexc.to_string e))
+    ids
+
+let test_pool_handler_error () =
+  let pool = Worker.create (wcfg ()) (toy_proto ()) in
+  Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+  Worker.submit pool ~id:"good" "fine";
+  Worker.submit pool ~id:"bad" "!boom";
+  let results = drain pool in
+  (match List.assoc "bad" results with
+  | Error (Toy_failure msg) ->
+    Alcotest.(check string) "handler error crossed the pipe"
+      "Failure(\"handler refused bad\")" msg
+  | _ -> Alcotest.fail "expected a decoded handler error");
+  match List.assoc "good" results with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "good failed: %s" (Printexc.to_string e)
+
+let test_pool_crash_quarantine () =
+  let crashes0 = metric "worker.crashes" in
+  let quarantined0 = metric "worker.quarantined" in
+  let pool =
+    Worker.create (wcfg ~chaos:[ ("victim", Worker.Chaos_crash) ] ())
+      (toy_proto ())
+  in
+  Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+  Worker.submit pool ~id:"victim" "x";
+  Worker.submit pool ~id:"bystander" "y";
+  let results = drain pool in
+  (match List.assoc "victim" results with
+  | Error (Toy_failure msg) ->
+    Alcotest.(check string) "quarantined after 2 attempts" "victim crashed x2"
+      msg
+  | _ -> Alcotest.fail "expected quarantine");
+  (match List.assoc "bystander" results with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "bystander failed: %s" (Printexc.to_string e));
+  Alcotest.(check int) "two crashes accounted" 2
+    (metric "worker.crashes" - crashes0);
+  Alcotest.(check int) "one quarantine" 1
+    (metric "worker.quarantined" - quarantined0)
+
+let test_pool_exit_is_crash () =
+  let pool =
+    Worker.create
+      (wcfg ~chaos:[ ("victim", Worker.Chaos_exit 3) ] ())
+      (toy_proto ())
+  in
+  Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+  Worker.submit pool ~id:"victim" "x";
+  match drain pool with
+  | [ ("victim", Error (Toy_failure msg)) ]
+    when msg = "victim crashed x2" -> ()
+  | other ->
+    Alcotest.failf "expected quarantine, got %d results" (List.length other)
+
+let test_pool_timeout () =
+  let timeouts0 = metric "worker.timeouts" in
+  let pool =
+    Worker.create
+      (wcfg ~timeout:0.3 ~chaos:[ ("sleeper", Worker.Chaos_hang) ] ())
+      (toy_proto ())
+  in
+  Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+  Worker.submit pool ~id:"sleeper" "x";
+  (match drain pool with
+  | [ ("sleeper", Error (Toy_failure msg)) ] ->
+    Alcotest.(check string) "timed out" "sleeper timed out after 0.3s" msg
+  | _ -> Alcotest.fail "expected a timeout failure");
+  Alcotest.(check int) "timeout accounted once" 1
+    (metric "worker.timeouts" - timeouts0)
+
+let test_pool_wedge_heartbeat_loss () =
+  (* heartbeats stop but the job deadline is far away: only heartbeat
+     supervision can catch this, and it counts as a crash *)
+  let pool =
+    Worker.create
+      (wcfg ~timeout:60. ~chaos:[ ("wedged", Worker.Chaos_wedge) ] ())
+      (toy_proto ())
+  in
+  Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+  Worker.submit pool ~id:"wedged" "x";
+  match drain pool with
+  | [ ("wedged", Error (Toy_failure msg)) ] when msg = "wedged crashed x2" ->
+    ()
+  | _ -> Alcotest.fail "expected heartbeat-loss quarantine"
+
+let test_pool_down () =
+  let pool =
+    Worker.create (wcfg ~chaos:[ ("*", Worker.Chaos_nostart) ] ())
+      (toy_proto ())
+  in
+  Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+  Worker.submit pool ~id:"any" "x";
+  match drain pool with
+  | _ -> Alcotest.fail "expected Pool_down"
+  | exception Worker.Pool_down _ -> ()
+
+let test_chaos_of_env () =
+  Unix.putenv Worker.chaos_env_var
+    "crash:u1.sml, hang:u2.sml,exit=3:u3.sml,wedge:u4.sml,garbage,nostart";
+  let parsed = Worker.chaos_of_env () in
+  Unix.putenv Worker.chaos_env_var "";
+  Alcotest.(check bool) "crash" true
+    (List.assoc "u1.sml" parsed = Worker.Chaos_crash);
+  Alcotest.(check bool) "hang" true
+    (List.assoc "u2.sml" parsed = Worker.Chaos_hang);
+  Alcotest.(check bool) "exit" true
+    (List.assoc "u3.sml" parsed = Worker.Chaos_exit 3);
+  Alcotest.(check bool) "wedge" true
+    (List.assoc "u4.sml" parsed = Worker.Chaos_wedge);
+  Alcotest.(check bool) "nostart" true
+    (List.assoc "*" parsed = Worker.Chaos_nostart);
+  Alcotest.(check int) "garbage ignored" 5 (List.length parsed)
+
+(* ------------------------------------------------------------------ *)
+(* The Workers scheduler backend on real builds                        *)
+(* ------------------------------------------------------------------ *)
+
+let project topology =
+  let fs = Vfs.memory () in
+  let p = Gen.create fs topology Gen.default_profile in
+  (fs, Driver.create fs, Gen.sources p)
+
+let bin_of fs f = Option.get (fs.Vfs.fs_read (f ^ ".bin"))
+
+let break_unbound fs file =
+  let src = Option.get (fs.Vfs.fs_read file) in
+  let needle = "  val seed = " in
+  let n = String.length needle in
+  let rec find i =
+    if i + n > String.length src then None
+    else if String.sub src i n = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "breaker needle missing in %s" file
+  | Some i ->
+    fs.Vfs.fs_write file
+      (String.sub src 0 i ^ needle ^ "wk_unbound_variable + "
+      ^ String.sub src (i + n) (String.length src - i - n))
+
+let test_workers_match_serial_clean () =
+  List.iter
+    (fun seed ->
+      let topology = Gen.Random_dag { units = 10; max_deps = 3; seed } in
+      let fs_s, mgr_s, sources = project topology in
+      let _ = Driver.build mgr_s ~policy:Driver.Cutoff ~sources in
+      let fs_w, mgr_w, sources_w = project topology in
+      let stats =
+        Driver.build ~backend:(Driver.Workers (wcfg ~jobs:3 ())) mgr_w
+          ~policy:Driver.Cutoff ~sources:sources_w
+      in
+      check_files "all recompiled" (sorted sources)
+        (sorted stats.Driver.st_recompiled);
+      List.iter
+        (fun f ->
+          Alcotest.(check string)
+            (Printf.sprintf "bin bytes of %s (seed %d)" f seed)
+            (bin_of fs_s f) (bin_of fs_w f))
+        sources)
+    [ 11; 42; 77 ]
+
+let test_workers_incremental_noop () =
+  let _fs, mgr, sources = project (Gen.Chain 5) in
+  let backend = Driver.Workers (wcfg ()) in
+  let _ = Driver.build ~backend mgr ~policy:Driver.Cutoff ~sources in
+  let stats = Driver.build ~backend mgr ~policy:Driver.Cutoff ~sources in
+  check_files "nothing recompiled" [] stats.Driver.st_recompiled;
+  Alcotest.(check int) "everything loaded" (List.length sources)
+    (List.length stats.Driver.st_loaded)
+
+(* the acceptance property: chaos + a genuinely broken unit under
+   keep_going.  Serial (immune to chaos) fixes the expected partitions;
+   Workers must agree everywhere chaos does not reach, quarantine the
+   crash unit with E0701, time the hung unit out with E0702, skip their
+   cones, and a chaos-free rerun must recompile exactly failed ∪
+   skipped and converge clean, byte-identical to Serial. *)
+let acceptance_for ~seed =
+  let topology = Gen.Random_dag { units = 9; max_deps = 3; seed } in
+  (* serial reference on an identical broken project *)
+  let fs_s, mgr_s, sources = project topology in
+  break_unbound fs_s "u002.sml";
+  let serial =
+    Driver.build ~keep_going:true mgr_s ~policy:Driver.Cutoff ~sources
+  in
+  (* chaos targets: one crashing, one hanging unit, disjoint from the
+     broken one *)
+  let crash_unit = "u004.sml" and hang_unit = "u007.sml" in
+  let chaos =
+    [ (crash_unit, Worker.Chaos_crash); (hang_unit, Worker.Chaos_hang) ]
+  in
+  let fs_w, mgr_w, _ = project topology in
+  break_unbound fs_w "u002.sml";
+  let crashes0 = metric "worker.crashes" in
+  let workers =
+    Driver.build
+      ~backend:(Driver.Workers (wcfg ~jobs:3 ~timeout:0.4 ~chaos ()))
+      ~keep_going:true mgr_w ~policy:Driver.Cutoff ~sources
+  in
+  (* the workers run fails exactly serial's failures plus the chaos
+     units (unless a chaos unit sits in a failed unit's cone and was
+     never attempted) *)
+  let serial_failed = sorted (failed_names serial) in
+  let workers_failed = sorted (failed_names workers) in
+  let serial_skipped = sorted (skipped_names serial) in
+  let workers_skipped = sorted (skipped_names workers) in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "serial failure %s also fails under workers" f)
+        true
+        (List.mem f workers_failed))
+    serial_failed;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "extra workers failure %s is a chaos unit" f)
+        true
+        (List.mem f [ crash_unit; hang_unit ]))
+    (List.filter (fun f -> not (List.mem f serial_failed)) workers_failed);
+  (* chaos units that serial completed must have failed with the right
+     quarantine code, at most w_crash_limit crash attempts *)
+  List.iter
+    (fun (u, code) ->
+      if not (List.mem u serial_failed || List.mem u serial_skipped) then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "%s failed or skipped under workers" u)
+          true
+          (List.mem u workers_failed || List.mem u workers_skipped);
+        if List.mem u workers_failed then begin
+          let ds = List.assoc u workers.Driver.st_failed in
+          Alcotest.(check string)
+            (Printf.sprintf "%s diagnostic code" u)
+            code (List.hd ds).Diag.code;
+          Alcotest.(check string)
+            (Printf.sprintf "%s unit stamped" u)
+            u
+            (Option.value ~default:"?" (List.hd ds).Diag.unit_name)
+        end
+      end)
+    [ (crash_unit, "E0701"); (hang_unit, "E0702") ];
+  Alcotest.(check bool) "crash attempts bounded by limit" true
+    (metric "worker.crashes" - crashes0 <= 2);
+  (* every unit the workers run completed is byte-identical to serial *)
+  let completed stats srcs =
+    List.filter
+      (fun f ->
+        not
+          (List.mem f (failed_names stats) || List.mem f (skipped_names stats)))
+      srcs
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (Printf.sprintf "completed bin %s matches serial" f)
+        (bin_of fs_s f) (bin_of fs_w f))
+    (completed workers sources);
+  (* chaos-free rerun after fixing the broken source: recompiles exactly
+     failed ∪ skipped and converges clean, byte-identical to a clean
+     serial project *)
+  let fs_clean, mgr_clean, _ = project topology in
+  let _ = Driver.build mgr_clean ~policy:Driver.Cutoff ~sources in
+  let fixed = Option.get (fs_clean.Vfs.fs_read "u002.sml") in
+  fs_w.Vfs.fs_write "u002.sml" fixed;
+  let rerun =
+    Driver.build
+      ~backend:(Driver.Workers (wcfg ~jobs:3 ()))
+      ~keep_going:true mgr_w ~policy:Driver.Cutoff ~sources
+  in
+  check_files "rerun converges clean" [] (failed_names rerun);
+  check_files "rerun skips nothing" [] (skipped_names rerun);
+  check_files "rerun recompiles exactly failed ∪ skipped"
+    (sorted (workers_failed @ workers_skipped))
+    (sorted rerun.Driver.st_recompiled);
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (Printf.sprintf "converged bin %s" f)
+        (bin_of fs_clean f) (bin_of fs_w f))
+    sources
+
+let test_acceptance_chaos_dags () = List.iter (fun seed -> acceptance_for ~seed) [ 5; 23 ]
+
+let test_workers_pool_down_build () =
+  let _fs, mgr, sources = project (Gen.Chain 3) in
+  match
+    Driver.build
+      ~backend:(Driver.Workers (wcfg ~chaos:[ ("*", Worker.Chaos_nostart) ] ()))
+      mgr ~policy:Driver.Cutoff ~sources
+  with
+  | _ -> Alcotest.fail "expected Pool_down"
+  | exception Worker.Pool_down _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "frame round trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame corruption detected" `Quick test_frame_corruption;
+    Alcotest.test_case "wire exception round trip" `Quick
+      test_wire_exn_roundtrip;
+    Alcotest.test_case "pool echoes jobs" `Quick test_pool_echo;
+    Alcotest.test_case "handler errors cross the pipe" `Quick
+      test_pool_handler_error;
+    Alcotest.test_case "crash quarantine after N attempts" `Quick
+      test_pool_crash_quarantine;
+    Alcotest.test_case "nonzero exit counts as crash" `Quick
+      test_pool_exit_is_crash;
+    Alcotest.test_case "hung job times out" `Quick test_pool_timeout;
+    Alcotest.test_case "wedged worker loses heartbeat" `Quick
+      test_pool_wedge_heartbeat_loss;
+    Alcotest.test_case "pool death raises Pool_down" `Quick test_pool_down;
+    Alcotest.test_case "chaos env parsing" `Quick test_chaos_of_env;
+    Alcotest.test_case "workers ≡ serial on clean DAGs" `Quick
+      test_workers_match_serial_clean;
+    Alcotest.test_case "workers incremental no-op" `Quick
+      test_workers_incremental_noop;
+    Alcotest.test_case "acceptance: chaos DAGs, partitions, convergence"
+      `Quick test_acceptance_chaos_dags;
+    Alcotest.test_case "pool death aborts the build" `Quick
+      test_workers_pool_down_build;
+  ]
