@@ -69,6 +69,7 @@ let tbl_cache : J.t list ref = ref []
 let tbl_atomic : J.t list ref = ref []
 let tbl_keepgoing : J.t list ref = ref []
 let tbl_worker : J.t list ref = ref []
+let tbl_obs : J.t list ref = ref []
 
 let record tbl row = tbl := row :: !tbl
 
@@ -76,7 +77,7 @@ let write_results () =
   let doc =
     J.Obj
       [
-        ("schema", J.String "smlsep-bench/5");
+        ("schema", J.String "smlsep-bench/6");
         ("quick", J.Bool !quick);
         ( "experiments",
           J.Obj
@@ -90,6 +91,7 @@ let write_results () =
               ("atomic_overhead", J.List (List.rev !tbl_atomic));
               ("keepgoing_overhead", J.List (List.rev !tbl_keepgoing));
               ("worker_overhead", J.List (List.rev !tbl_worker));
+              ("observability_overhead", J.List (List.rev !tbl_obs));
             ] );
         ("metrics", Obs.Metrics.to_json ());
       ]
@@ -1167,6 +1169,72 @@ let e17 () =
     units lines jobs (1000. *. domains_s) (1000. *. workers_s)
     (100. *. overhead) spawns ipc_out ipc_in
 
+(* ------------------------------------------------------------------ *)
+(* E18: observability overhead on a clean parallel build               *)
+(* ------------------------------------------------------------------ *)
+
+(* the introspection layer's whole price on the hot path: per-phase
+   duration collection in every compile job, the end-of-build profile
+   record (snapshot + journal through Vfs.commit), and full span
+   tracing.  All of it rides an otherwise-unchanged clean parallel
+   build, so the ratio is the overhead a user pays for [--trace] plus
+   the always-on profile store. *)
+let e18 () =
+  section "E18: observability overhead (clean parallel build)";
+  let units = 32 in
+  let jobs = 4 in
+  let fs = Vfs.memory () in
+  let project =
+    Gen.create fs
+      (Gen.Random_dag { units; max_deps = 3; seed = 47 })
+      (Gen.sized_profile ~lines:160)
+  in
+  let sources = Gen.sources project in
+  let lines = Gen.total_lines project in
+  let clean () = List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources in
+  let backend = Driver.Parallel jobs in
+  let baseline_s =
+    time_median (fun () ->
+        clean ();
+        ignore (Driver.build ~backend (Driver.create fs) ~policy:Driver.Cutoff ~sources))
+  in
+  (* instrumented: profile store recording + full tracing *)
+  let trace_events = ref 0 in
+  let profile_bytes = ref 0 in
+  let instrumented_s =
+    time_median (fun () ->
+        clean ();
+        let profile = Obs.Profile.load fs in
+        Obs.Trace.enable ();
+        ignore
+          (Driver.build ~backend ~profile (Driver.create fs)
+             ~policy:Driver.Cutoff ~sources);
+        trace_events := List.length (Obs.Trace.events ());
+        Obs.Trace.disable ();
+        profile_bytes := Obs.Profile.store_bytes profile)
+  in
+  let overhead = (instrumented_s -. baseline_s) /. baseline_s in
+  record tbl_obs
+    (J.Obj
+       [
+         ("units", J.Int units);
+         ("lines", J.Int lines);
+         ("jobs", J.Int jobs);
+         ("baseline_s", J.Float baseline_s);
+         ("instrumented_s", J.Float instrumented_s);
+         ("overhead_ratio", J.Float overhead);
+         ("trace_events", J.Int !trace_events);
+         ("profile_store_bytes", J.Int !profile_bytes);
+       ]);
+  Printf.printf
+    "%d units, %d lines, %d jobs (from-clean medians)\n\
+     bare build            %8.3f ms\n\
+     profile store + trace %8.3f ms\n\
+     overhead              %+7.2f%%  (observability budget: < 5%%)\n\
+     per instrumented build: %d trace events, %d B profile store\n"
+    units lines jobs (1000. *. baseline_s) (1000. *. instrumented_s)
+    (100. *. overhead) !trace_events !profile_bytes
+
 let parse_args () =
   let rec go = function
     | [] -> ()
@@ -1213,5 +1281,6 @@ let () =
   e14 ();
   e15 ();
   e16 ();
+  e18 ();
   write_results ();
   Printf.printf "\nwrote %s\ndone.\n" !out_path

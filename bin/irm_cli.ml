@@ -7,6 +7,8 @@
      irm deps sources.cm
      irm recover sources.cm
      irm cache stats | gc | clear
+     irm explain sort.sml
+     irm profile --json
 
    A group file lists source paths, one per line; dependency order is
    computed automatically (section 8 of the paper).  --jobs picks the
@@ -17,6 +19,15 @@
    --trace writes a Chrome trace_event file (open in chrome://tracing
    or Perfetto); --stats prints the per-unit build report and the
    metric counters.
+
+   Every build is recorded into the persistent profile store
+   (.irm-profile, disable with --no-profile): per-unit outcomes,
+   structured rebuild causes with culprit imports, phase durations and
+   slot occupancy.  `irm explain UNIT` answers "why did this unit
+   rebuild, what did it drag with it, and what does it usually cost";
+   `irm profile` prints the last build's critical path, slowest units
+   and scheduler efficiency (--json emits the smlsep-profile/1
+   envelope, schema schemas/profile.schema.json).
 
    --fault-seed wraps the file system in the deterministic
    fault-injection layer (for exercising crash safety: a simulated
@@ -57,6 +68,9 @@ let backend_of ~jobs ~workers ~worker_timeout =
       { (Worker.default_config ~jobs:workers ()) with
         Worker.w_timeout_s = worker_timeout }
   else backend_of_jobs jobs
+
+let profile_of fs no_profile profile_dir =
+  if no_profile then None else Some (Obs.Profile.load ~dir:profile_dir fs)
 
 let cache_of fs enabled cache_dir budget_mb =
   if enabled then
@@ -160,11 +174,11 @@ let report_diagnostics fs error_format (stats : Irm.Driver.stats) =
       skipped);
   if failed = [] && skipped = [] then 0 else 1
 
-let build_units ~backend ?cache ~keep_going ~werror ?max_errors ~error_format
-    fs mgr policy sources =
+let build_units ~backend ?cache ?profile ~keep_going ~werror ?max_errors
+    ~error_format fs mgr policy sources =
   let stats =
-    Irm.Driver.build ~backend ?cache ~keep_going ~werror ?max_errors mgr
-      ~policy ~sources
+    Irm.Driver.build ~backend ?cache ?profile ~keep_going ~werror ?max_errors
+      mgr ~policy ~sources
   in
   if error_format = `Text then begin
     List.iter
@@ -196,18 +210,19 @@ let pp_cache_stats = function
   | None -> ()
 
 let build_cmd_impl dir group policy jobs workers worker_timeout use_cache
-    cache_dir budget_mb trace stats_flag fault_seed fault_ops keep_going werror
-    max_errors error_format =
+    cache_dir budget_mb no_profile profile_dir trace stats_flag fault_seed
+    fault_ops keep_going werror max_errors error_format =
   guarded ~error_format (fun () ->
       with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
+          let profile = profile_of fs no_profile profile_dir in
           with_obs trace stats_flag (fun () ->
               let stats, code =
                 build_units
                   ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                  ?cache ~keep_going ~werror ?max_errors ~error_format fs mgr
-                  policy sources
+                  ?cache ?profile ~keep_going ~werror ?max_errors ~error_format
+                  fs mgr policy sources
               in
               if stats_flag then begin
                 Format.printf "%a" Irm.Driver.pp_report stats;
@@ -216,17 +231,19 @@ let build_cmd_impl dir group policy jobs workers worker_timeout use_cache
               code)))
 
 let run_cmd_impl dir group policy jobs workers worker_timeout use_cache
-    cache_dir budget_mb trace stats_flag fault_seed fault_ops keep_going werror
-    max_errors error_format =
+    cache_dir budget_mb no_profile profile_dir trace stats_flag fault_seed
+    fault_ops keep_going werror max_errors error_format =
   guarded ~error_format (fun () ->
       with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
+          let profile = profile_of fs no_profile profile_dir in
           with_obs trace stats_flag (fun () ->
               let stats =
                 Irm.Driver.build
                   ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                  ?cache ~keep_going ~werror ?max_errors mgr ~policy ~sources
+                  ?cache ?profile ~keep_going ~werror ?max_errors mgr ~policy
+                  ~sources
               in
               let code = report_diagnostics fs error_format stats in
               (* failed or skipped units have no bin to execute — report
@@ -239,16 +256,19 @@ let run_cmd_impl dir group policy jobs workers worker_timeout use_cache
               code)))
 
 let stats_cmd_impl dir group policy jobs workers worker_timeout use_cache
-    cache_dir budget_mb trace json keep_going werror max_errors =
+    cache_dir budget_mb no_profile profile_dir trace json keep_going werror
+    max_errors =
   guarded (fun () ->
       with_manager dir group (fun fs mgr sources ->
           require_sources group sources;
           let cache = cache_of fs use_cache cache_dir budget_mb in
+          let profile = profile_of fs no_profile profile_dir in
           with_obs trace false (fun () ->
               let stats =
                 Irm.Driver.build
                   ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                  ?cache ~keep_going ~werror ?max_errors mgr ~policy ~sources
+                  ?cache ?profile ~keep_going ~werror ?max_errors mgr ~policy
+                  ~sources
               in
               if json then
                 print_endline
@@ -327,6 +347,272 @@ let cache_cmd_impl dir cache_dir budget_mb action =
       | `Clear -> Cache.clear cache);
       Format.printf "%a" Cache.pp_stats (Cache.stats cache);
       0)
+
+(* ------------------------------------------------------------------ *)
+(* Build introspection: explain and profile                            *)
+(* ------------------------------------------------------------------ *)
+
+module P = Obs.Profile
+
+(* units of the last build that [unit_] dragged along: dependents whose
+   recorded cause blames it, and units skipped because it failed *)
+let poisoned_by b unit_ =
+  List.filter_map
+    (fun v ->
+      if String.equal v.P.up_unit unit_ then None
+      else if List.exists (String.equal unit_) v.P.up_culprits then
+        Some
+          ( v.P.up_unit,
+            if String.equal v.P.up_outcome "skipped" then "skipped"
+            else Option.value ~default:"rebuilt" v.P.up_cause )
+      else None)
+    b.P.bp_units
+
+let opt_json of_value = function
+  | Some v -> of_value v
+  | None -> Obs.Json.Null
+
+let history_json = function
+  | None -> Obs.Json.Null
+  | Some a ->
+    Obs.Json.Obj
+      [
+        ("builds", Obs.Json.Int a.P.ag_builds);
+        ("ewma_s", Obs.Json.Float a.P.ag_ewma_s);
+        ("max_s", Obs.Json.Float a.P.ag_max_s);
+        ("last_s", Obs.Json.Float a.P.ag_last_s);
+        ( "phases",
+          Obs.Json.Obj
+            (List.map (fun (n, s) -> (n, Obs.Json.Float s)) a.P.ag_phases) );
+      ]
+
+let explain_cmd_impl dir profile_dir unit_ json =
+  guarded (fun () ->
+      let fs = Vfs.real ~dir in
+      let p = P.load ~dir:profile_dir fs in
+      match P.last p with
+      | None ->
+        prerr_endline
+          "no recorded builds: run `irm build` (without --no-profile) first";
+        1
+      | Some b -> (
+        match P.find_unit b unit_ with
+        | None ->
+          Printf.eprintf "unit %s is not part of the last recorded build \
+                          (build %d)\n"
+            unit_ b.P.bp_id;
+          1
+        | Some u ->
+          let poisoned = poisoned_by b unit_ in
+          let agg = P.aggregate p unit_ in
+          if json then
+            print_endline
+              (Obs.Json.to_canonical_string
+                 (Obs.Json.Obj
+                    [
+                      ("version", Obs.Json.String "smlsep-profile/1");
+                      ("unit", Obs.Json.String unit_);
+                      ("build", Obs.Json.Int b.P.bp_id);
+                      ("policy", Obs.Json.String b.P.bp_policy);
+                      ("outcome", Obs.Json.String u.P.up_outcome);
+                      ( "cause",
+                        opt_json (fun c -> Obs.Json.String c) u.P.up_cause );
+                      ( "culprits",
+                        Obs.Json.List
+                          (List.map
+                             (fun c -> Obs.Json.String c)
+                             u.P.up_culprits) );
+                      ("wall_s", Obs.Json.Float u.P.up_wall_s);
+                      ( "phases",
+                        Obs.Json.Obj
+                          (List.map
+                             (fun (n, s) -> (n, Obs.Json.Float s))
+                             u.P.up_phases) );
+                      ( "imports",
+                        Obs.Json.Obj
+                          (List.map
+                             (fun (d, pid) -> (d, Obs.Json.String pid))
+                             u.P.up_imports) );
+                      ( "poisoned",
+                        Obs.Json.List
+                          (List.map
+                             (fun (n, via) ->
+                               Obs.Json.Obj
+                                 [
+                                   ("unit", Obs.Json.String n);
+                                   ("via", Obs.Json.String via);
+                                 ])
+                             poisoned) );
+                      ("history", history_json agg);
+                    ]))
+          else begin
+            Printf.printf "%s  (build %d, %s policy, %s)\n" unit_ b.P.bp_id
+              b.P.bp_policy b.P.bp_backend;
+            Printf.printf "  outcome   %s\n" u.P.up_outcome;
+            (match u.P.up_cause with
+            | Some c ->
+              Printf.printf "  cause     %s%s\n" c
+                (match u.P.up_culprits with
+                | [] -> ""
+                | cs -> "  (" ^ String.concat ", " cs ^ ")")
+            | None -> print_endline "  cause     up to date");
+            Printf.printf "  wall      %.2f ms\n" (1000. *. u.P.up_wall_s);
+            (match u.P.up_phases with
+            | [] -> ()
+            | phases ->
+              Printf.printf "  phases    %s\n"
+                (String.concat ", "
+                   (List.map
+                      (fun (n, s) -> Printf.sprintf "%s %.2f ms" n (1000. *. s))
+                      phases)));
+            (match agg with
+            | Some a ->
+              Printf.printf
+                "  history   %d compiles, ewma %.2f ms, max %.2f ms\n"
+                a.P.ag_builds
+                (1000. *. a.P.ag_ewma_s)
+                (1000. *. a.P.ag_max_s)
+            | None -> ());
+            (match poisoned with
+            | [] -> print_endline "  poisoned  nothing"
+            | ps ->
+              Printf.printf "  poisoned  %s\n"
+                (String.concat ", "
+                   (List.map
+                      (fun (n, via) -> Printf.sprintf "%s (%s)" n via)
+                      ps)))
+          end;
+          0))
+
+let profile_envelope p b ~top =
+  let open Obs.Json in
+  let count outcome =
+    List.length
+      (List.filter
+         (fun u -> String.equal u.P.up_outcome outcome)
+         b.P.bp_units)
+  in
+  let causes =
+    List.fold_left
+      (fun acc u ->
+        match u.P.up_cause with
+        | None -> acc
+        | Some c -> (
+          match List.assoc_opt c acc with
+          | Some n -> (c, n + 1) :: List.remove_assoc c acc
+          | None -> (c, 1) :: acc))
+      [] b.P.bp_units
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let compiled =
+    List.filter
+      (fun u ->
+        String.equal u.P.up_outcome "recompiled"
+        || String.equal u.P.up_outcome "cutoff")
+      b.P.bp_units
+  in
+  let top_units =
+    List.filteri
+      (fun i _ -> i < top)
+      (List.sort (fun a b -> compare b.P.up_wall_s a.P.up_wall_s) compiled)
+  in
+  let unit_brief u =
+    Obj [ ("unit", String u.P.up_unit); ("wall_s", Float u.P.up_wall_s) ]
+  in
+  let unit_json u =
+    Obj
+      [
+        ("unit", String u.P.up_unit);
+        ("outcome", String u.P.up_outcome);
+        ("cause", opt_json (fun c -> String c) u.P.up_cause);
+        ("culprits", List (List.map (fun c -> String c) u.P.up_culprits));
+        ("wall_s", Float u.P.up_wall_s);
+        ("phases", Obj (List.map (fun (n, s) -> (n, Float s)) u.P.up_phases));
+      ]
+  in
+  ( causes,
+    top_units,
+    Obj
+      [
+        ("version", String "smlsep-profile/1");
+        ( "build",
+          Obj
+            [
+              ("id", Int b.P.bp_id);
+              ("policy", String b.P.bp_policy);
+              ("backend", String b.P.bp_backend);
+              ("wall_s", Float b.P.bp_wall_s);
+              ("jobs", Int b.P.bp_jobs);
+              ("efficiency", opt_json (fun e -> Float e) (P.efficiency b));
+              ( "counts",
+                Obj
+                  [
+                    ("recompiled", Int (count "recompiled"));
+                    ("cutoff", Int (count "cutoff"));
+                    ("cache", Int (count "cache"));
+                    ("loaded", Int (count "loaded"));
+                    ("failed", Int (count "failed"));
+                    ("skipped", Int (count "skipped"));
+                  ] );
+            ] );
+        ("causes", Obj (List.map (fun (c, n) -> (c, Int n)) causes));
+        ("critical_path", List (List.map unit_brief (P.critical_path b)));
+        ("top", List (List.map unit_brief top_units));
+        ("units", List (List.map unit_json b.P.bp_units));
+        ( "store",
+          Obj
+            [
+              ("builds", Int (List.length (P.builds p)));
+              ("bytes", Int (P.store_bytes p));
+            ] );
+      ] )
+
+let profile_cmd_impl dir profile_dir json top =
+  guarded (fun () ->
+      let fs = Vfs.real ~dir in
+      let p = P.load ~dir:profile_dir fs in
+      match P.last p with
+      | None ->
+        prerr_endline
+          "no recorded builds: run `irm build` (without --no-profile) first";
+        1
+      | Some b ->
+        let causes, top_units, envelope = profile_envelope p b ~top in
+        if json then print_endline (Obs.Json.to_canonical_string envelope)
+        else begin
+          Printf.printf "build %d  (%s policy, %s, %.1f ms wall, %d jobs)\n"
+            b.P.bp_id b.P.bp_policy b.P.bp_backend
+            (1000. *. b.P.bp_wall_s)
+            b.P.bp_jobs;
+          (match P.efficiency b with
+          | Some e -> Printf.printf "  efficiency     %.0f%% of slot time busy\n" (100. *. e)
+          | None -> ());
+          (match causes with
+          | [] -> print_endline "  causes         nothing rebuilt"
+          | cs ->
+            Printf.printf "  causes         %s\n"
+              (String.concat ", "
+                 (List.map (fun (c, n) -> Printf.sprintf "%s %d" c n) cs)));
+          (match P.critical_path b with
+          | [] -> ()
+          | path ->
+            Printf.printf "  critical path  %s  (%.2f ms)\n"
+              (String.concat " -> " (List.map (fun u -> u.P.up_unit) path))
+              (1000.
+              *. List.fold_left (fun acc u -> acc +. u.P.up_wall_s) 0. path));
+          if top_units <> [] then begin
+            print_endline "  slowest units:";
+            List.iter
+              (fun u ->
+                Printf.printf "    %-28s %8.2f ms\n" u.P.up_unit
+                  (1000. *. u.P.up_wall_s))
+              top_units
+          end;
+          Printf.printf "  store          %d builds retained, %d bytes\n"
+            (List.length (P.builds p))
+            (P.store_bytes p)
+        end;
+        0)
 
 open Cmdliner
 
@@ -411,6 +697,21 @@ let cache_budget_arg =
         ~doc:
           "Cache size budget in MiB; least-recently-used units are \
            evicted beyond it.")
+
+let profile_dir_arg =
+  Arg.(
+    value & opt string Obs.Profile.default_dir
+    & info [ "profile-dir" ] ~docv:"DIR"
+        ~doc:"Profile store directory, relative to the project root.")
+
+let no_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-profile" ]
+        ~doc:
+          "Do not record this build into the persistent profile store \
+           (and forgo eviction detection, $(b,irm explain) and \
+           $(b,irm profile) data for it).")
 
 let trace_arg =
   Arg.(
@@ -511,9 +812,9 @@ let build_cmd =
     Term.(
       const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
       $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
-      $ cache_budget_arg $ trace_arg $ stats_arg $ fault_seed_arg
-      $ fault_ops_arg $ keep_going_arg $ werror_arg $ max_errors_arg
-      $ error_format_arg)
+      $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
+      $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
+      $ werror_arg $ max_errors_arg $ error_format_arg)
 
 let run_cmd =
   Cmd.v
@@ -522,9 +823,9 @@ let run_cmd =
     Term.(
       const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
       $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
-      $ cache_budget_arg $ trace_arg $ stats_arg $ fault_seed_arg
-      $ fault_ops_arg $ keep_going_arg $ werror_arg $ max_errors_arg
-      $ error_format_arg)
+      $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
+      $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
+      $ werror_arg $ max_errors_arg $ error_format_arg)
 
 let stats_cmd =
   Cmd.v
@@ -533,8 +834,8 @@ let stats_cmd =
     Term.(
       const stats_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
       $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
-      $ cache_budget_arg $ trace_arg $ json_arg $ keep_going_arg $ werror_arg
-      $ max_errors_arg)
+      $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
+      $ json_arg $ keep_going_arg $ werror_arg $ max_errors_arg)
 
 let cache_action_arg =
   let actions = [ ("stats", `Stats); ("gc", `Gc); ("clear", `Clear) ] in
@@ -571,11 +872,51 @@ let recover_cmd =
           lost")
     Term.(const recover_cmd_impl $ dir_arg $ group_arg)
 
+let unit_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"UNIT"
+        ~doc:"The unit's source path, as listed in the group file.")
+
+let top_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "top" ] ~docv:"N"
+        ~doc:"How many of the slowest compiled units to list (default 5).")
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain" ~exits
+       ~doc:
+         "explain a unit's last build: why it was recompiled (with the \
+          culprit imports), what it poisoned downstream, its phase \
+          timings and its compile-time history")
+    Term.(
+      const explain_cmd_impl $ dir_arg $ profile_dir_arg $ unit_arg $ json_arg)
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile" ~exits
+       ~doc:
+         "report on the last recorded build: critical path, slowest \
+          units, scheduler efficiency, and the rebuild-cause breakdown \
+          ($(b,--json) emits the smlsep-profile/1 envelope)")
+    Term.(const profile_cmd_impl $ dir_arg $ profile_dir_arg $ json_arg $ top_arg)
+
 let cmd =
   Cmd.group
     (Cmd.info "irm" ~exits
        ~doc:"incremental recompilation manager for MiniSML")
-    [ build_cmd; run_cmd; stats_cmd; deps_cmd; recover_cmd; cache_cmd ]
+    [
+      build_cmd;
+      run_cmd;
+      stats_cmd;
+      deps_cmd;
+      recover_cmd;
+      cache_cmd;
+      explain_cmd;
+      profile_cmd;
+    ]
 
 (* standardized exit codes (documented under EXIT STATUS in --help):
    0 success, 1 diagnostics, 2 usage errors, 3 simulated crash,

@@ -41,6 +41,7 @@ let compile_supervised ~worker_timeout ~werror ~max_errors ~source_path ~source
       j_collect = true;
       j_werror = werror;
       j_limit = max_errors;
+      j_build = 0;
     }
   in
   let pool =

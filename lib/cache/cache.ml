@@ -13,6 +13,7 @@ let m_misses = Obs.Metrics.counter "cache.misses"
 let m_evictions = Obs.Metrics.counter "cache.evictions"
 let m_stores = Obs.Metrics.counter "cache.stores"
 let m_orphans = Obs.Metrics.counter "cache.orphans_reclaimed"
+let m_invalidated = Obs.Metrics.counter "cache.invalidated"
 let g_bytes = Obs.Metrics.gauge "cache.bytes"
 let g_entries = Obs.Metrics.gauge "cache.entries"
 
@@ -37,6 +38,7 @@ type stats = {
   cs_misses : int;
   cs_evictions : int;
   cs_stores : int;
+  cs_invalidated : int;
 }
 
 type gc_report = {
@@ -266,6 +268,7 @@ let store t key bytes =
   end
 
 let invalidate t key =
+  if Hashtbl.mem t.entries key then Obs.Metrics.incr m_invalidated;
   drop t key;
   publish t
 
@@ -321,14 +324,15 @@ let stats t =
     cs_misses = Obs.Metrics.value m_misses;
     cs_evictions = Obs.Metrics.value m_evictions;
     cs_stores = Obs.Metrics.value m_stores;
+    cs_invalidated = Obs.Metrics.value m_invalidated;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "entries   %d@.bytes     %d / %d budget@.hits      %d@.misses    \
-     %d@.evictions %d@.stores    %d@."
+     %d@.evictions %d@.stores    %d@.invalidated %d@."
     s.cs_entries s.cs_bytes s.cs_budget s.cs_hits s.cs_misses s.cs_evictions
-    s.cs_stores
+    s.cs_stores s.cs_invalidated
 
 let pp_gc_report ppf r =
   Format.fprintf ppf "evicted   %d@.orphans   %d@.reclaimed %d bytes@."

@@ -45,6 +45,9 @@ type stats = {
   cs_misses : int;
   cs_evictions : int;
   cs_stores : int;
+  cs_invalidated : int;
+      (** entries dropped by {!invalidate} — corrupt or mismatched
+          cache hits degraded to misses *)
 }
 
 (** Default directory ([".irm-cache"]) and budget (64 MiB). *)

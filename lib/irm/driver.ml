@@ -13,6 +13,31 @@ type backend = Sched.backend =
   | Parallel of int
   | Workers of Worker.config
 
+(* why a unit was recompiled.  Derived from the exact comparisons the
+   policies make for the staleness decision itself — the cause is the
+   decision, not a parallel reconstruction that could drift. *)
+type cause =
+  | First_build
+  | Evicted
+  | Corrupt_entry
+  | Source_changed
+  | Import_pid_changed of string list
+  | Forced of string * string list
+
+let cause_name = function
+  | First_build -> "first-build"
+  | Evicted -> "evicted"
+  | Corrupt_entry -> "corrupt-entry"
+  | Source_changed -> "source-changed"
+  | Import_pid_changed _ -> "import-pid-changed"
+  | Forced _ -> "forced"
+
+let cause_culprits = function
+  | Import_pid_changed culprits | Forced (_, culprits) -> culprits
+  | First_build | Evicted | Corrupt_entry | Source_changed -> []
+
+let cause_detail = function Forced (reason, _) -> Some reason | _ -> None
+
 type stats = {
   st_order : string list;
   st_recompiled : string list;
@@ -25,6 +50,10 @@ type stats = {
   st_backend : backend;
   st_wall_s : float;
   st_unit_times : (string * float) list;
+  st_build_id : int;
+  st_jobs : int;
+  st_slot_busy_s : float list;
+  st_causes : (string * cause) list;
 }
 
 let m_recompiled = Obs.Metrics.counter "build.recompiled"
@@ -63,15 +92,16 @@ let read_source t file =
   | Some content -> content
   | None -> manager_error "source file %s not found" file
 
-(* Try to read the unit's previous bin file; damaged files count as
-   absent (forcing recompilation) rather than failing the build. *)
+(* Try to read the unit's previous bin file; damaged files force a
+   recompilation (with a distinct cause) rather than failing the
+   build. *)
 let read_bin t file =
   match t.fs.Vfs.fs_read (bin_path file) with
-  | None -> None
+  | None -> `Absent
   | Some bytes -> (
     match Sepcomp.Compile.load t.session bytes with
-    | unit_ -> Some (unit_, bytes)
-    | exception Pickle.Buf.Corrupt _ -> None)
+    | unit_ -> `Ok (unit_, bytes)
+    | exception Pickle.Buf.Corrupt _ -> `Corrupt)
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler plumbing                                                  *)
@@ -88,6 +118,7 @@ type job = Wire.job = {
   j_collect : bool;  (** compile under a diagnostics collector *)
   j_werror : bool;  (** promote warnings to errors *)
   j_limit : int option;  (** collector error limit *)
+  j_build : int;  (** build id, for cross-process trace correlation *)
 }
 
 type kind = Wire.kind = Recompiled | Loaded | Cache_hit
@@ -95,6 +126,7 @@ type kind = Wire.kind = Recompiled | Loaded | Cache_hit
 type result = Wire.result = {
   r_kind : kind;
   r_bytes : string;  (** the unit's (possibly new) bin bytes *)
+  r_phases : (string * float) list;  (** per-phase compile seconds *)
 }
 
 let execute = Wire.execute
@@ -104,20 +136,42 @@ type prep = {
   p_prev_pid : Pid.t option;
   p_key : string option;  (** cache key, when a cache is attached *)
   p_start : float;
+  p_cause : cause option;  (** why the unit is stale; [None] = fresh *)
 }
+
+(* builds not recorded to a profile store still get distinct ids for
+   trace correlation *)
+let ephemeral_build_id = Atomic.make 1
 
 (* transient injected faults (and nothing else) are worth retrying *)
 let transient_fault = function
   | Vfs.Fault { fault_transient; _ } -> fault_transient
   | _ -> false
 
-let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
-    ?(keep_going = false) ?(werror = false) ?max_errors t ~policy ~sources =
+let outcome_of stats file =
+  let mem xs = List.exists (String.equal file) xs in
+  if List.mem_assoc file stats.st_failed then "failed"
+  else if List.mem_assoc file stats.st_skipped then "skipped"
+  else if mem stats.st_cutoff_hits then "cutoff"
+  else if mem stats.st_recompiled then "recompiled"
+  else if mem stats.st_cache_hits then "cache"
+  else if mem stats.st_loaded then "loaded"
+  else "unknown"
+
+let build ?(backend = Serial) ?cache ?profile ?(retries = 2)
+    ?(backoff_s = 0.001) ?(keep_going = false) ?(werror = false) ?max_errors t
+    ~policy ~sources =
+  let build_id =
+    match profile with
+    | Some p -> Obs.Profile.next_id p
+    | None -> Atomic.fetch_and_add ephemeral_build_id 1
+  in
   Obs.Trace.span ~cat:"build"
     ~args:
       [
         ("policy", policy_name policy);
         ("backend", Sched.backend_name backend);
+        ("build", string_of_int build_id);
       ]
     "build"
   @@ fun () ->
@@ -169,53 +223,85 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
                (deps_of file)))
       cache
   in
-  let stale_under_policy deps prev =
-    match policy with
-    | Timestamp ->
-      (* classical make: any rewritten dependency cascades *)
-      List.exists (Hashtbl.mem changed) deps
-    | Cutoff ->
-      (* recompile only if some import's *interface* changed *)
-      let recorded = Hashtbl.create 8 in
-      List.iter
-        (fun (dep, pid) -> Hashtbl.replace recorded dep pid)
-        prev.Pickle.Binfile.uf_import_statics;
+  (* why a unit with an intact, not-source-newer bin is stale under the
+     policy ([None] = up to date).  The [Some]/[None] decision is the
+     policy's staleness predicate, verbatim; the payload attributes it. *)
+  let stale_cause deps prev =
+    let recorded = Hashtbl.create 8 in
+    List.iter
+      (fun (dep, pid) -> Hashtbl.replace recorded dep pid)
+      prev.Pickle.Binfile.uf_import_statics;
+    (* a dep with no recorded pid, or not (yet) built, counts as changed *)
+    let pid_changed dep =
+      match (Hashtbl.find_opt recorded dep, Hashtbl.find_opt t.units dep) with
+      | Some old_pid, Some current ->
+        not (Pid.equal old_pid current.Pickle.Binfile.uf_static_pid)
+      | _ -> true
+    in
+    let dep_set_changed =
       List.length prev.Pickle.Binfile.uf_import_statics <> List.length deps
-      || not
-           (List.for_all
-              (fun dep ->
-                match
-                  (Hashtbl.find_opt recorded dep, Hashtbl.find_opt t.units dep)
-                with
-                | Some old_pid, Some current ->
-                  Pid.equal old_pid current.Pickle.Binfile.uf_static_pid
-                | _ -> false)
-              deps)
+    in
+    match policy with
+    | Timestamp -> (
+      (* classical make: any rewritten dependency cascades.  When the
+         rewrite left every interface pid intact the rebuild is pure
+         policy imprecision — attributed as a forced cascade, naming
+         the rewritten deps *)
+      match List.filter (Hashtbl.mem changed) deps with
+      | [] -> None
+      | cascaded -> (
+        match List.filter pid_changed cascaded with
+        | [] -> Some (Forced ("timestamp-cascade", cascaded))
+        | culprits -> Some (Import_pid_changed culprits)))
+    | Cutoff -> (
+      (* recompile only if some import's *interface* changed *)
+      if dep_set_changed then Some (Forced ("dependency-set-changed", deps))
+      else
+        match List.filter pid_changed deps with
+        | [] -> None
+        | culprits -> Some (Import_pid_changed culprits))
     | Selective ->
       (* recompile only if a *referenced module* changed: compare the
          recorded per-name pids against the providers' current per-name
          pids (first provider in dependency order wins, as in scope) *)
       let current = Hashtbl.create 16 in
+      let provider = Hashtbl.create 16 in
       List.iter
         (fun dep ->
           match Hashtbl.find_opt t.units dep with
           | Some unit_ ->
             List.iter
               (fun (modname, pid) ->
-                if not (Hashtbl.mem current modname) then
-                  Hashtbl.add current modname pid)
+                if not (Hashtbl.mem current modname) then begin
+                  Hashtbl.add current modname pid;
+                  Hashtbl.add provider modname dep
+                end)
               unit_.Pickle.Binfile.uf_name_statics
           | None -> ())
         deps;
       (* the dependency *set* changing still forces a recompile *)
-      List.length prev.Pickle.Binfile.uf_import_statics <> List.length deps
-      || not
-           (List.for_all
-              (fun (modname, old_pid) ->
-                match Hashtbl.find_opt current modname with
-                | Some now -> Pid.equal old_pid now
-                | None -> false)
-              prev.Pickle.Binfile.uf_import_name_statics)
+      if dep_set_changed then Some (Forced ("dependency-set-changed", deps))
+      else (
+        match
+          List.filter
+            (fun (modname, old_pid) ->
+              match Hashtbl.find_opt current modname with
+              | Some now -> not (Pid.equal old_pid now)
+              | None -> true)
+            prev.Pickle.Binfile.uf_import_name_statics
+        with
+        | [] -> None
+        | changed_mods ->
+          (* culprit = the unit providing the changed module *)
+          Some
+            (Import_pid_changed
+               (List.sort_uniq String.compare
+                  (List.map
+                     (fun (modname, _) ->
+                       Option.value
+                         ~default:(Support.Symbol.name modname)
+                         (Hashtbl.find_opt provider modname))
+                     changed_mods))))
   in
   (* [prepare] runs on the calling domain once every dependency of
      [file] completed: staleness check, then cache probe, and only if
@@ -229,17 +315,32 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
       | Some time -> time
       | None -> manager_error "source file %s not found" file
     in
-    let previous = read_bin t file in
+    let bin_state = read_bin t file in
+    let previous =
+      match bin_state with
+      | `Ok prev -> Some prev
+      | `Corrupt | `Absent -> None
+    in
     let source_newer =
       match t.fs.Vfs.fs_mtime (bin_path file) with
       | Some bin_time -> src_mtime > bin_time
       | None -> true
     in
-    let stale =
-      match (previous, source_newer) with
-      | None, _ | _, true -> true
-      | Some (prev, _), false -> stale_under_policy deps prev
+    let cause =
+      match bin_state with
+      | `Corrupt -> Some Corrupt_entry
+      | `Absent ->
+        (* the profile store remembers whether this unit ever built
+           before: a bin it has seen complete was evicted, anything
+           else is a first build *)
+        Some
+          (match profile with
+          | Some p when Obs.Profile.known p file -> Evicted
+          | Some _ | None -> First_build)
+      | `Ok (prev, _) ->
+        if source_newer then Some Source_changed else stale_cause deps prev
     in
+    let stale = cause <> None in
     let key = cache_key file source in
     Hashtbl.replace preps file
       {
@@ -247,6 +348,7 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
           Option.map (fun (u, _) -> u.Pickle.Binfile.uf_static_pid) previous;
         p_key = key;
         p_start;
+        p_cause = cause;
       };
     let compile_job () =
       Sched.Run
@@ -265,6 +367,7 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
           j_collect = keep_going;
           j_werror = werror;
           j_limit = max_errors;
+          j_build = build_id;
         }
     in
     if not stale then begin
@@ -272,7 +375,7 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
       | Some (prev, bytes) ->
         Hashtbl.replace t.units file prev;
         Hashtbl.replace t.bin_bytes file bytes;
-        Sched.Done { r_kind = Loaded; r_bytes = bytes }
+        Sched.Done { r_kind = Loaded; r_bytes = bytes; r_phases = [] }
       | None -> assert false
     end
     else
@@ -288,7 +391,7 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
             compile_job ()
           | unit_ ->
             if String.equal unit_.Pickle.Binfile.uf_name file then
-              Sched.Done { r_kind = Cache_hit; r_bytes = bytes }
+              Sched.Done { r_kind = Cache_hit; r_bytes = bytes; r_phases = [] }
             else begin
               Cache.invalidate c k;
               compile_job ()
@@ -387,22 +490,91 @@ let build ?(backend = Serial) ?cache ?(retries = 2) ?(backoff_s = 0.001)
   Obs.Metrics.add m_cache_hits (List.length cache_hits);
   Obs.Metrics.add m_failed (List.length failed);
   Obs.Metrics.add m_skipped (List.length skipped);
-  {
-    st_order = order;
-    st_recompiled = recompiled;
-    st_loaded = loaded;
-    st_cache_hits = cache_hits;
-    st_cutoff_hits = cutoff_hits;
-    st_failed = failed;
-    st_skipped = skipped;
-    st_policy = policy;
-    st_backend = backend;
-    st_wall_s = Unix.gettimeofday () -. build_start;
-    st_unit_times =
-      List.filter_map
-        (fun f -> Option.map (fun (_, s) -> (f, s)) (Hashtbl.find_opt results f))
-        order;
-  }
+  let slots = Sched.last_slots () in
+  let stats =
+    {
+      st_order = order;
+      st_recompiled = recompiled;
+      st_loaded = loaded;
+      st_cache_hits = cache_hits;
+      st_cutoff_hits = cutoff_hits;
+      st_failed = failed;
+      st_skipped = skipped;
+      st_policy = policy;
+      st_backend = backend;
+      st_wall_s = Unix.gettimeofday () -. build_start;
+      st_unit_times =
+        List.filter_map
+          (fun f ->
+            Option.map (fun (_, s) -> (f, s)) (Hashtbl.find_opt results f))
+          order;
+      st_build_id = build_id;
+      st_jobs =
+        (match slots with
+        | Some s -> s.Sched.sl_jobs
+        | None -> Sched.jobs backend);
+      st_slot_busy_s =
+        (match slots with
+        | Some s -> Array.to_list s.Sched.sl_busy_s
+        | None -> []);
+      st_causes =
+        List.filter_map
+          (fun f ->
+            Option.bind (Hashtbl.find_opt preps f) (fun p ->
+                Option.map (fun c -> (f, c)) p.p_cause))
+          order;
+    }
+  in
+  (* fold the build into the profile store (crash-safe journal append) *)
+  (match profile with
+  | None -> ()
+  | Some p ->
+    let skipped_tbl = Hashtbl.create 8 in
+    List.iter (fun (f, c) -> Hashtbl.replace skipped_tbl f c) skipped;
+    let bp_units =
+      List.map
+        (fun file ->
+          let prep = Hashtbl.find_opt preps file in
+          let res = Hashtbl.find_opt results file in
+          let cause = Option.bind prep (fun pr -> pr.p_cause) in
+          {
+            Obs.Profile.up_unit = file;
+            up_outcome = outcome_of stats file;
+            up_cause = Option.map cause_name cause;
+            up_culprits =
+              (match Hashtbl.find_opt skipped_tbl file with
+              | Some culprit -> [ culprit ]
+              | None ->
+                Option.value ~default:[] (Option.map cause_culprits cause));
+            up_start_s =
+              (match prep with
+              | Some pr -> pr.p_start -. build_start
+              | None -> 0.);
+            up_wall_s =
+              (match res with Some (_, s) -> s | None -> 0.);
+            up_phases = (match res with Some (r, _) -> r.r_phases | None -> []);
+            up_imports =
+              List.map
+                (fun dep ->
+                  ( dep,
+                    match Hashtbl.find_opt t.units dep with
+                    | Some u -> Pid.to_hex u.Pickle.Binfile.uf_static_pid
+                    | None -> "" ))
+                (deps_of file);
+          })
+        order
+    in
+    Obs.Profile.record p
+      {
+        Obs.Profile.bp_id = build_id;
+        bp_policy = policy_name policy;
+        bp_backend = Sched.backend_name backend;
+        bp_wall_s = stats.st_wall_s;
+        bp_jobs = stats.st_jobs;
+        bp_slot_busy_s = stats.st_slot_busy_s;
+        bp_units;
+      });
+  stats
 
 let unit_of t file =
   match Hashtbl.find_opt t.units file with
@@ -498,16 +670,6 @@ let run ?output t ~sources =
 (* ------------------------------------------------------------------ *)
 (* Build reports                                                       *)
 (* ------------------------------------------------------------------ *)
-
-let outcome_of stats file =
-  let mem xs = List.exists (String.equal file) xs in
-  if List.mem_assoc file stats.st_failed then "failed"
-  else if List.mem_assoc file stats.st_skipped then "skipped"
-  else if mem stats.st_cutoff_hits then "cutoff"
-  else if mem stats.st_recompiled then "recompiled"
-  else if mem stats.st_cache_hits then "cache"
-  else if mem stats.st_loaded then "loaded"
-  else "unknown"
 
 let summary_line stats =
   let broken =

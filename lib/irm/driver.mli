@@ -42,6 +42,34 @@ type backend = Sched.backend =
   | Parallel of int
   | Workers of Worker.config
 
+(** Why a unit was recompiled — derived from the very comparisons the
+    policy's staleness decision makes, so the attribution cannot drift
+    from the behaviour. *)
+type cause =
+  | First_build  (** no bin file and the unit was never seen complete *)
+  | Evicted
+      (** no bin file, but the profile store has seen the unit build —
+          someone removed its output *)
+  | Corrupt_entry  (** the bin file exists but fails to rehydrate *)
+  | Source_changed  (** the source is newer than the bin *)
+  | Import_pid_changed of string list
+      (** an import's interface changed; names the culprit imports
+          (under [Selective], the providers of the changed modules) *)
+  | Forced of string * string list
+      (** recompiled without an interface-level reason: the policy
+          forced it.  The string says why ([timestamp-cascade],
+          [dependency-set-changed]); the list names the deps involved *)
+
+(** The kebab-case wire name: [first-build], [evicted], [corrupt-entry],
+    [source-changed], [import-pid-changed] or [forced]. *)
+val cause_name : cause -> string
+
+(** The imports a cause blames ([[]] for the self-inflicted ones). *)
+val cause_culprits : cause -> string list
+
+(** The [Forced] reason, if any. *)
+val cause_detail : cause -> string option
+
 type stats = {
   st_order : string list;  (** topological build order *)
   st_recompiled : string list;
@@ -63,6 +91,15 @@ type stats = {
   st_unit_times : (string * float) list;
       (** wall-clock seconds per unit from staleness check to merged
           result, in build order (spans overlap under [Parallel]) *)
+  st_build_id : int;
+      (** from the profile store when one was given, else a
+          process-local counter *)
+  st_jobs : int;  (** execution slots the scheduler actually used *)
+  st_slot_busy_s : float list;
+      (** seconds each slot spent holding a job; [busy / (jobs * wall)]
+          is the scheduler efficiency *)
+  st_causes : (string * cause) list;
+      (** every stale unit with why it was recompiled, in build order *)
 }
 
 type t
@@ -84,7 +121,11 @@ val last_order : t -> string list
     its final name.  [backend] (default {!Serial}) says where compile
     jobs run; the resulting bin files are byte-identical either way.
     [cache], when given, is probed before every compile and fed after
-    every compile.  Transient file-system faults ({!Vfs.Fault} with
+    every compile.  [profile], when given, records the whole build —
+    per-unit outcomes, causes, phase durations, import pids, slot
+    occupancy — into the persistent profile store ({!Obs.Profile});
+    it also lets the driver tell an [Evicted] bin apart from a
+    [First_build].  Transient file-system faults ({!Vfs.Fault} with
     [fault_transient]) are retried up to [retries] times (default 2)
     with exponential backoff starting at [backoff_s] seconds.
     Raises {!Support.Diag.Error} on missing sources, cycles, or compile
@@ -105,6 +146,7 @@ val last_order : t -> string list
 val build :
   ?backend:backend ->
   ?cache:Cache.t ->
+  ?profile:Obs.Profile.t ->
   ?retries:int ->
   ?backoff_s:float ->
   ?keep_going:bool ->

@@ -10,11 +10,16 @@ type job = {
   j_collect : bool;
   j_werror : bool;
   j_limit : int option;
+  j_build : int;
 }
 
 type kind = Recompiled | Loaded | Cache_hit
 
-type result = { r_kind : kind; r_bytes : string }
+type result = {
+  r_kind : kind;
+  r_bytes : string;
+  r_phases : (string * float) list;
+}
 
 let manager_error fmt = Diag.error Diag.Manager Loc.dummy fmt
 
@@ -29,9 +34,14 @@ let manager_error fmt = Diag.error Diag.Manager Loc.dummy fmt
    agree byte-for-byte by construction. *)
 let execute job =
   Obs.Trace.span ~cat:"compile"
-    ~args:[ ("unit", job.j_name) ]
+    ~args:[ ("unit", job.j_name); ("build", string_of_int job.j_build) ]
     "build.compile_job"
   @@ fun () ->
+  (* time the two manager-side segments by hand and collect the compile
+     phases ("parse", "elaborate", …) through the phase collector —
+     durations flow back in the result even on untraced builds, feeding
+     the profile store *)
+  let t0 = Unix.gettimeofday () in
   let session = Sepcomp.Compile.new_session () in
   let units = Hashtbl.create 16 in
   List.iter
@@ -55,11 +65,25 @@ let execute job =
            ~unit_name:job.j_name ())
     else None
   in
-  let unit_ =
-    Sepcomp.Compile.compile ?diags session ~name:job.j_name
-      ~source:job.j_source ~imports
+  let rehydrate_s = Unix.gettimeofday () -. t0 in
+  let unit_, phases =
+    Obs.Trace.record_phases (fun () ->
+        Sepcomp.Compile.compile ?diags session ~name:job.j_name
+          ~source:job.j_source ~imports)
   in
-  { r_kind = Recompiled; r_bytes = Sepcomp.Compile.save session unit_ }
+  (* the collector also sees the enclosing compile.unit span — drop it,
+     it is the sum of the phases, not one of them *)
+  let phases =
+    List.filter (fun (n, _) -> not (String.equal n "compile.unit")) phases
+  in
+  let t1 = Unix.gettimeofday () in
+  let r_bytes = Sepcomp.Compile.save session unit_ in
+  let save_s = Unix.gettimeofday () -. t1 in
+  {
+    r_kind = Recompiled;
+    r_bytes;
+    r_phases = (("rehydrate", rehydrate_s) :: phases) @ [ ("save", save_s) ];
+  }
 
 exception Child_failure of string
 
@@ -85,6 +109,7 @@ let encode_job job =
   Buf.bool w job.j_collect;
   Buf.bool w job.j_werror;
   Buf.option w (Buf.int w) job.j_limit;
+  Buf.int w job.j_build;
   Buf.contents w
 
 let decode_job payload =
@@ -101,7 +126,17 @@ let decode_job payload =
   let j_collect = Buf.read_bool r in
   let j_werror = Buf.read_bool r in
   let j_limit = Buf.read_option r (fun () -> Buf.read_int r) in
-  { j_name; j_source; j_closure; j_imports; j_collect; j_werror; j_limit }
+  let j_build = Buf.read_int r in
+  {
+    j_name;
+    j_source;
+    j_closure;
+    j_imports;
+    j_collect;
+    j_werror;
+    j_limit;
+    j_build;
+  }
 
 let kind_byte = function Recompiled -> 0 | Loaded -> 1 | Cache_hit -> 2
 
@@ -115,13 +150,28 @@ let encode_result result =
   let w = Buf.writer () in
   Buf.byte w (kind_byte result.r_kind);
   Buf.string w result.r_bytes;
+  (* Buf has no float form: hex float strings ("%h") round-trip exactly *)
+  Buf.list w
+    (fun (name, s) ->
+      Buf.string w name;
+      Buf.string w (Printf.sprintf "%h" s))
+    result.r_phases;
   Buf.contents w
 
 let decode_result payload =
   let r = Buf.reader payload in
   let r_kind = kind_of_byte (Buf.read_byte r) in
   let r_bytes = Buf.read_string r in
-  { r_kind; r_bytes }
+  let r_phases =
+    Buf.read_list r (fun () ->
+        let name = Buf.read_string r in
+        let s = Buf.read_string r in
+        match float_of_string_opt s with
+        | Some f -> (name, f)
+        | None ->
+          raise (Buf.Corrupt (Printf.sprintf "bad phase duration %S" s)))
+  in
+  { r_kind; r_bytes; r_phases }
 
 (* [Diag.Error] the exception shadows [Diag.Error] the severity; the
    annotations let type-directed disambiguation pick the severity *)

@@ -21,6 +21,7 @@ type job = {
   j_collect : bool;  (** compile under a diagnostics collector *)
   j_werror : bool;  (** promote warnings to errors *)
   j_limit : int option;  (** collector error limit *)
+  j_build : int;  (** the build id, for cross-process trace correlation *)
 }
 
 type kind = Recompiled | Loaded | Cache_hit
@@ -28,6 +29,10 @@ type kind = Recompiled | Loaded | Cache_hit
 type result = {
   r_kind : kind;
   r_bytes : string;  (** the unit's (possibly new) bin bytes *)
+  r_phases : (string * float) list;
+      (** per-phase seconds: [rehydrate], the compile phases ([parse],
+          [elaborate], …) and [save]; collected even on untraced builds
+          and fed to the profile store *)
 }
 
 (** Compile a job in a brand-new session.  Pure: the resulting bytes

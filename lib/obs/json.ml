@@ -70,6 +70,20 @@ let to_string v =
   to_buffer buf v;
   Buffer.contents buf
 
+(* canonical form: object keys sorted recursively, so two structurally
+   equal documents render byte-identically no matter how their field
+   lists were assembled *)
+let rec canonical v =
+  match v with
+  | Obj fields ->
+    Obj
+      (List.map (fun (k, v) -> (k, canonical v)) fields
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+  | List items -> List (List.map canonical items)
+  | (Null | Bool _ | Int _ | Float _ | String _) as v -> v
+
+let to_canonical_string v = to_string (canonical v)
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -20,6 +20,13 @@ val to_string : t -> string
 (** [to_buffer buf v] — same, into an existing buffer. *)
 val to_buffer : Buffer.t -> t -> unit
 
+(** [to_canonical_string v] — like {!to_string} with every object's
+    keys sorted (recursively): structurally equal documents render
+    byte-identically.  Machine-readable envelopes (metric dumps, the
+    profile report) emit through this, so their output is stable
+    across runs and backends. *)
+val to_canonical_string : t -> string
+
 exception Parse_error of string
 
 (** [parse s] — parse one JSON value (surrounding whitespace allowed).

@@ -60,7 +60,14 @@ let reset () =
 let to_json () =
   Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (snapshot ()))
 
+(* the dump is deterministic: [snapshot] sorts by name, and the column
+   width depends only on the set of registered names — byte-stable
+   across runs and backends with the same instrumentation linked in *)
 let pp ppf () =
+  let entries = snapshot () in
+  let width =
+    List.fold_left (fun w (name, _) -> max w (String.length name)) 24 entries
+  in
   List.iter
-    (fun (name, v) -> Format.fprintf ppf "%-24s %d@." name v)
-    (snapshot ())
+    (fun (name, v) -> Format.fprintf ppf "%-*s %d@." width name v)
+    entries

@@ -6,7 +6,15 @@
     permanently.  When enabled, completed spans accumulate in memory;
     {!to_chrome} renders them in Chrome [trace_event] format (load the
     file in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto})
-    and {!pp_tree} as an indented tree with durations for terminals. *)
+    and {!pp_tree} as an indented tree with durations for terminals.
+
+    Spans carry a (pid, tid) pair: tid is the recording domain, pid 0
+    means "this process".  Worker children record into their own buffer
+    and ship it to the supervisor over the frame IPC ({!drain_wire} /
+    {!inject}), which re-bases their clock by the epoch offset
+    exchanged at the handshake and tags them with the child's OS pid —
+    so one Chrome trace spans the parent, its domains, and every child,
+    including crashed ones. *)
 
 type event = {
   ev_name : string;
@@ -14,6 +22,8 @@ type event = {
   ev_start_us : float;  (** microseconds since {!enable} *)
   ev_dur_us : float;
   ev_depth : int;  (** nesting depth at entry; 0 = top level *)
+  ev_pid : int;  (** 0 = this process; a worker child's OS pid *)
+  ev_tid : int;  (** the recording domain's id *)
   ev_args : (string * string) list;
 }
 
@@ -27,20 +37,55 @@ val enabled : unit -> bool
     as it was); re-bases the trace clock. *)
 val reset : unit -> unit
 
+(** [epoch_s ()] — the trace clock's origin, in [Unix.gettimeofday]
+    seconds.  Exchanged at the worker handshake so the supervisor can
+    correct a child's clock offset. *)
+val epoch_s : unit -> float
+
 (** [span ?cat ?args name f] — run [f ()] inside a timed span.  The
     span is recorded even when [f] raises (and the exception is
-    re-raised).  When tracing is disabled this is exactly [f ()]. *)
+    re-raised).  When tracing is disabled this is exactly [f ()]
+    (unless a {!record_phases} collector is active on this domain). *)
 val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 
 (** [instant ?cat ?args name] — a zero-duration marker. *)
 val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 
-(** [events ()] — completed spans in chronological (entry) order. *)
+(** [record_span ?cat ?args ~start_s name f] — record a span after the
+    fact: it started at [start_s] (absolute [Unix.gettimeofday]
+    seconds) and ends now.  Used by the worker supervisor to stand in a
+    [truncated] span for a job whose child died before flushing. *)
+val record_span :
+  ?cat:string -> ?args:(string * string) list -> start_s:float -> string -> unit
+
+(** [record_phases f] — run [f ()] collecting the (name, seconds) of
+    every span that completes inside it on this domain, {e whether or
+    not} tracing is enabled; repeated names are summed.  Collectors
+    nest (the innermost wins).  This is how compile jobs report
+    per-phase durations to the profile store on untraced builds. *)
+val record_phases : (unit -> 'a) -> 'a * (string * float) list
+
+(** [events ()] — completed spans in chronological order (by start
+    time, entry order breaking ties). *)
 val events : unit -> event list
+
+(** [drain_wire ()] — remove every completed event and serialize the
+    batch for the frame IPC ([""] when empty).  Called in worker
+    children to flush their buffer to the supervisor. *)
+val drain_wire : unit -> string
+
+(** [inject ~pid ~offset_us wire] — parse a {!drain_wire} batch from a
+    child, shift every timestamp by [offset_us] (the child/parent epoch
+    difference), tag the events with the child's [pid], and append them
+    to this process's trace.  Returns the number of events injected;
+    malformed input injects nothing (a misbehaving child must not break
+    the build).  No-op when tracing is disabled. *)
+val inject : pid:int -> offset_us:float -> string -> int
 
 (** [to_chrome ()] — the collected trace as a Chrome [trace_event]
     JSON object: [{"traceEvents": [...], "displayTimeUnit": "ms"}],
-    one complete ("ph":"X") event per span. *)
+    one complete ("ph":"X") event per span.  Events carry their
+    process's pid (1 for this process) and domain tid. *)
 val to_chrome : unit -> Json.t
 
 (** [write_chrome path] — [to_chrome], serialized to [path]. *)

@@ -25,6 +25,13 @@ type 'result outcome =
   | Failed of exn
   | Skipped of string
 
+type slots = { sl_jobs : int; sl_busy_s : float array; sl_wall_s : float }
+
+(* the most recent run's slot accounting; builds are driven from the
+   main domain, so a plain ref suffices *)
+let last_slots_ref : slots option ref = ref None
+let last_slots () = !last_slots_ref
+
 let m_dispatched = Obs.Metrics.counter "sched.dispatched"
 let m_inline = Obs.Metrics.counter "sched.inline"
 let m_retries = Obs.Metrics.counter "sched.retries"
@@ -71,6 +78,12 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
   and complete node = attempt (complete node) in
   let workers = min (jobs backend) (max 1 (List.length order)) in
   Obs.Metrics.set g_jobs workers;
+  (* per-slot busy time: how long each execution slot held a job, for
+     the profile report's scheduler-efficiency figure.  The Workers
+     backend reads it off the pool instead. *)
+  let run_t0 = Unix.gettimeofday () in
+  let busy = ref (Array.make workers 0.) in
+  let bump i d = !busy.(i) <- !busy.(i) +. Float.max 0. d in
   let states : (string, 'r node_state) Hashtbl.t =
     Hashtbl.create (List.length order)
   in
@@ -109,7 +122,7 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
   let pool_submit =
     ref (fun _node _job -> invalid_arg "Sched.run: worker pool not started")
   in
-  let worker_loop () =
+  let worker_loop slot =
     let rec loop () =
       Mutex.lock lock;
       while Queue.is_empty job_queue && not !quit do
@@ -119,11 +132,13 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
       else begin
         let node, job = Queue.pop job_queue in
         Mutex.unlock lock;
+        let t0 = Unix.gettimeofday () in
         let result =
           match execute job with
           | result -> Ok result
           | exception exn -> Error exn
         in
+        bump slot (Unix.gettimeofday () -. t0);
         Mutex.protect lock (fun () ->
             Queue.push (node, result) result_queue;
             Condition.signal result_ready);
@@ -173,10 +188,18 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
         Obs.Metrics.incr m_dispatched;
         !pool_submit node job
       end
-      else if workers <= 1 then (
-        match execute job with
-        | result -> settle node result
-        | exception exn -> finish node (Failed exn))
+      else if workers <= 1 then begin
+        let t0 = Unix.gettimeofday () in
+        let result =
+          match execute job with
+          | result -> Ok result
+          | exception exn -> Error exn
+        in
+        bump 0 (Unix.gettimeofday () -. t0);
+        match result with
+        | Ok result -> settle node result
+        | Error exn -> finish node (Failed exn)
+      end
       else dispatch node job
   in
   let initially_ready =
@@ -202,11 +225,14 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
         | result -> settle node result
         | exception exn -> finish node (Failed exn))
       | Error exn -> finish node (Failed exn)
-    done
+    done;
+    busy := Worker.slot_busy pool
   | Serial | Parallel _ ->
   if workers <= 1 then List.iter start initially_ready
   else begin
-    let pool = List.init workers (fun _ -> Domain.spawn worker_loop) in
+    let pool =
+      List.init workers (fun i -> Domain.spawn (fun () -> worker_loop i))
+    in
     Fun.protect ~finally:(fun () ->
         Mutex.protect lock (fun () ->
             quit := true;
@@ -234,6 +260,13 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
         batch
     done
   end);
+  last_slots_ref :=
+    Some
+      {
+        sl_jobs = Array.length !busy;
+        sl_busy_s = Array.copy !busy;
+        sl_wall_s = Unix.gettimeofday () -. run_t0;
+      };
   let outcomes =
     List.map
       (fun node ->

@@ -66,6 +66,19 @@ type 'result outcome =
   | Failed of exn  (** [prepare], [execute] or [complete] raised *)
   | Skipped of string  (** a dependency failed; names the culprit *)
 
+(** Slot accounting for one run: how long each execution slot (domain,
+    worker process, or the calling domain for [Serial]) spent holding a
+    job versus the run's wall time.  [busy / (jobs * wall)] is the
+    scheduler-efficiency figure the profile report prints. *)
+type slots = {
+  sl_jobs : int;
+  sl_busy_s : float array;  (** one entry per slot *)
+  sl_wall_s : float;
+}
+
+(** The accounting of the most recent {!run} on this domain, if any. *)
+val last_slots : unit -> slots option
+
 (** [run ?retries ?backoff_s ?retryable backend ~order ~deps ~prepare
     ~execute ~complete] — schedule every node of [order] (a topological
     order: dependencies before dependents; [deps] must only name nodes

@@ -83,6 +83,7 @@ let k_heartbeat = 1
 let k_request = 2
 let k_response = 3
 let k_error = 4
+let k_trace = 5  (* child -> parent: a drained trace-event batch *)
 
 (* how long without a heartbeat before a worker counts as wedged *)
 let hb_grace cfg = 4. *. cfg.w_heartbeat_s
@@ -160,10 +161,30 @@ let with_alarm_blocked f =
     ~finally:(fun () -> ignore (Unix.sigprocmask Unix.SIG_SETMASK old))
     f
 
+(* ship the child's buffered trace events to the supervisor.  Called
+   before every reply (flush-on-result) and on job receipt, so a child
+   that later crashes has already flushed everything up to its current
+   job — the supervisor loses at most the spans of the dying compile,
+   which it stands in for with a [truncated] span. *)
+let flush_trace send =
+  if Obs.Trace.enabled () then
+    match Obs.Trace.drain_wire () with
+    | "" -> ()
+    | payload -> (
+      try
+        with_alarm_blocked (fun () ->
+            write_frame send (Frame.encode ~kind:k_trace ~id:"" ~payload))
+      with Unix.Unix_error _ -> ())
+
 let child_loop cfg proto ~recv ~send =
   (match List.assoc_opt "*" cfg.w_chaos with
   | Some Chaos_nostart -> Unix._exit 7
   | _ -> ());
+  (* the fork copied the parent's trace buffer (and enabled flag): drop
+     the inherited events — the parent already owns them — and re-base
+     this process's clock.  The HELLO carries the new epoch so the
+     supervisor can correct the offset when it injects our events. *)
+  if Obs.Trace.enabled () then Obs.Trace.reset ();
   Sys.set_signal Sys.sigalrm
     (Sys.Signal_handle
        (fun _ ->
@@ -176,11 +197,14 @@ let child_loop cfg proto ~recv ~send =
          it_value = cfg.w_heartbeat_s;
        });
   with_alarm_blocked (fun () ->
-      write_frame send (Frame.encode ~kind:k_hello ~id:"" ~payload:""));
+      write_frame send
+        (Frame.encode ~kind:k_hello ~id:""
+           ~payload:(Printf.sprintf "%h" (Obs.Trace.epoch_s ()))));
   let rec serve () =
     match read_frame recv with
     | None -> Unix._exit 0 (* parent closed the pipe: orderly shutdown *)
     | Some { Frame.f_kind; f_id; f_payload } when f_kind = k_request ->
+      flush_trace send;
       child_act cfg f_id;
       let reply =
         match proto.p_handler ~id:f_id f_payload with
@@ -189,6 +213,7 @@ let child_loop cfg proto ~recv ~send =
           Frame.encode ~kind:k_error ~id:f_id
             ~payload:(proto.p_encode_exn exn)
       in
+      flush_trace send;
       with_alarm_blocked (fun () -> write_frame send reply);
       serve ()
     | Some _ -> Unix._exit 8 (* protocol violation *)
@@ -206,8 +231,11 @@ type child = {
   mutable ch_pending : string;  (** inbound bytes short of a frame *)
   mutable ch_hello : bool;
   mutable ch_job : (string * string) option;
+  mutable ch_job_t0 : float;  (** when the running job was dispatched *)
   mutable ch_job_deadline : float;
   mutable ch_hb_deadline : float;
+  mutable ch_offset_us : float;
+      (** child trace epoch minus ours, in microseconds *)
 }
 
 type slot = Live of child | Down of float  (** earliest respawn time *)
@@ -217,6 +245,7 @@ type t = {
   proto : proto;
   slots : slot array;
   restarts : int array;  (** spawns per slot, for the backoff exponent *)
+  sb_busy : float array;  (** seconds each slot has spent holding a job *)
   queue : (string * string) Queue.t;
   results : (string * (string, exn) result) Queue.t;
   crashes : (string, int) Hashtbl.t;  (** per-job crash attempts *)
@@ -237,6 +266,7 @@ let create cfg proto =
     proto;
     slots = Array.make jobs (Down 0.);
     restarts = Array.make jobs 0;
+    sb_busy = Array.make jobs 0.;
     queue = Queue.create ();
     results = Queue.create ();
     crashes = Hashtbl.create 16;
@@ -302,8 +332,10 @@ let spawn t i =
           ch_pending = "";
           ch_hello = false;
           ch_job = None;
+          ch_job_t0 = 0.;
           ch_job_deadline = infinity;
           ch_hb_deadline = Unix.gettimeofday () +. hb_grace t.cfg;
+          ch_offset_us = 0.;
         }
 
 (* take the slot down and schedule its respawn with capped, jittered
@@ -353,9 +385,31 @@ let account_nostart t ~detail =
             "%d consecutive workers died before their handshake (last one %s)"
             t.spawn_failures detail))
 
+(* the job died with its child.  Account the slot's busy time, and —
+   since the child's last trace batch went down with it — stand in a
+   [truncated] span covering dispatch-to-death, so the merged trace
+   still shows where the quarantined unit's time went. *)
+let salvage t i c ~detail =
+  match c.ch_job with
+  | None -> ()
+  | Some (id, _) ->
+    let now = Unix.gettimeofday () in
+    t.sb_busy.(i) <- t.sb_busy.(i) +. Float.max 0. (now -. c.ch_job_t0);
+    if Obs.Trace.enabled () then
+      Obs.Trace.record_span ~cat:"worker"
+        ~args:
+          [
+            ("unit", id);
+            ("truncated", "true");
+            ("detail", detail);
+            ("pid", string_of_int c.ch_pid);
+          ]
+        ~start_s:c.ch_job_t0 "build.compile_job"
+
 (* the child's pipe hit EOF (or a read error): it died on its own *)
 let on_eof t i c =
   let detail = status_detail (reap c.ch_pid) in
+  salvage t i c ~detail;
   retire t i c;
   match c.ch_job with
   | Some (id, payload) -> account_crash t ~id ~payload ~detail
@@ -369,6 +423,7 @@ let kill_child c =
 let on_timeout t i c =
   kill_child c;
   Obs.Metrics.incr m_timeouts;
+  salvage t i c ~detail:"timed out";
   retire t i c;
   match c.ch_job with
   | Some (id, _) ->
@@ -384,6 +439,7 @@ let on_timeout t i c =
 let on_heartbeat_lost t i c =
   kill_child c;
   let detail = "went silent (heartbeat lost; killed)" in
+  salvage t i c ~detail;
   retire t i c;
   match c.ch_job with
   | Some (id, payload) -> account_crash t ~id ~payload ~detail
@@ -393,6 +449,7 @@ let on_heartbeat_lost t i c =
    to us as a crashed one *)
 let on_malfunction t i c detail =
   kill_child c;
+  salvage t i c ~detail;
   retire t i c;
   match c.ch_job with
   | Some (id, payload) -> account_crash t ~id ~payload ~detail
@@ -404,13 +461,26 @@ let handle_msg t i c msg =
   | k when k = k_hello ->
     c.ch_hello <- true;
     t.spawn_failures <- 0;
+    (* the HELLO carries the child's trace epoch: the offset between
+       its clock origin and ours corrects every event it later ships *)
+    (match float_of_string_opt msg.Frame.f_payload with
+    | Some child_epoch ->
+      c.ch_offset_us <- (child_epoch -. Obs.Trace.epoch_s ()) *. 1e6
+    | None -> ());
     c.ch_hb_deadline <- now +. hb_grace t.cfg
   | k when k = k_heartbeat -> c.ch_hb_deadline <- now +. hb_grace t.cfg
+  | k when k = k_trace ->
+    c.ch_hb_deadline <- now +. hb_grace t.cfg;
+    if Obs.Trace.enabled () then
+      ignore
+        (Obs.Trace.inject ~pid:c.ch_pid ~offset_us:c.ch_offset_us
+           msg.Frame.f_payload)
   | k when k = k_response || k = k_error -> (
     match c.ch_job with
     | Some (id, _) when String.equal id msg.Frame.f_id ->
       c.ch_job <- None;
       c.ch_job_deadline <- infinity;
+      t.sb_busy.(i) <- t.sb_busy.(i) +. Float.max 0. (now -. c.ch_job_t0);
       t.inflight <- t.inflight - 1;
       Hashtbl.remove t.crashes id;
       let result =
@@ -484,6 +554,7 @@ let dispatch t =
         | () ->
           Obs.Metrics.add m_ipc_out (String.length frame);
           c.ch_job <- Some (id, payload);
+          c.ch_job_t0 <- now;
           t.inflight <- t.inflight + 1;
           c.ch_job_deadline <- now +. t.cfg.w_timeout_s;
           c.ch_hb_deadline <- now +. hb_grace t.cfg
@@ -511,6 +582,7 @@ let expire t =
     t.slots
 
 let pending t = Queue.length t.queue + t.inflight + Queue.length t.results
+let slot_busy t = Array.copy t.sb_busy
 
 let submit t ~id payload =
   if t.closed then invalid_arg "Worker.submit: pool is shut down";

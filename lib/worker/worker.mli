@@ -35,7 +35,14 @@
     crash accounting), never a wrong result.  Lifecycle events flow
     into [lib/obs]: [worker.spawns]/[restarts]/[kills]/[crashes]/
     [timeouts]/[quarantined] counters, [worker.ipc_bytes_in]/[out],
-    the [worker.pool] gauge, and trace instants per event.
+    the [worker.pool] gauge, and trace instants per event.  When
+    tracing is enabled, children ship their own buffered trace events
+    back over the pipe (a dedicated frame kind, flushed on job receipt
+    and before every reply); the HELLO handshake carries the child's
+    clock epoch so the supervisor corrects timestamps before merging —
+    one Chrome trace covers the parent and every child.  A child that
+    dies mid-job contributes a synthetic span marked [truncated]
+    covering dispatch-to-death.
 
     The pool must be driven from the main domain of a process with no
     other domains running (forking with live domains is unsafe); the
@@ -121,6 +128,11 @@ val submit : t -> id:string -> string -> unit
 
 (** Jobs submitted but not yet returned by {!next}. *)
 val pending : t -> int
+
+(** [slot_busy t] — seconds each of the [w_jobs] slots has spent
+    holding a dispatched job (including jobs that ended in a crash,
+    timeout or quarantine), for scheduler-efficiency reporting. *)
+val slot_busy : t -> float array
 
 (** [next t] — block until some job finishes (successfully, with a
     handler error, or by supervision: crash quarantine or timeout) and

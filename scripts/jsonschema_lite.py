@@ -1,0 +1,80 @@
+"""A stdlib-only validator for the subset of JSON Schema draft-07 the
+repo's schemas use: type, enum, const, pattern, required,
+additionalProperties (boolean or schema), items, $ref into
+#/definitions, minimum and maximum.
+
+Shared by validate_diagnostics.py and validate_profile.py so both CLIs
+check their envelopes against the same semantics.  Raises Invalid with
+a $-rooted path on the first violation.
+"""
+
+import re
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def type_ok(value, names):
+    if isinstance(names, str):
+        names = [names]
+    for name in names:
+        expected = TYPES[name]
+        if isinstance(value, expected):
+            # bool is an int in Python; don't let it satisfy "integer"
+            if name in ("integer", "number") and isinstance(value, bool):
+                continue
+            return True
+    return False
+
+
+def validate(value, schema, root, path="$"):
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/"):
+            raise Invalid(f"{path}: unsupported $ref {ref}")
+        target = root
+        for part in ref[2:].split("/"):
+            target = target[part]
+        return validate(value, target, root, path)
+    if "const" in schema and value != schema["const"]:
+        raise Invalid(f"{path}: expected const {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        raise Invalid(f"{path}: {value!r} not one of {schema['enum']}")
+    if "type" in schema and not type_ok(value, schema["type"]):
+        raise Invalid(f"{path}: expected {schema['type']}, got {type(value).__name__}")
+    if "pattern" in schema:
+        if not isinstance(value, str) or not re.search(schema["pattern"], value):
+            raise Invalid(f"{path}: {value!r} does not match {schema['pattern']!r}")
+    if "minimum" in schema:
+        if isinstance(value, (int, float)) and value < schema["minimum"]:
+            raise Invalid(f"{path}: {value} < minimum {schema['minimum']}")
+    if "maximum" in schema:
+        if isinstance(value, (int, float)) and value > schema["maximum"]:
+            raise Invalid(f"{path}: {value} > maximum {schema['maximum']}")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for name in schema.get("required", []):
+            if name not in value:
+                raise Invalid(f"{path}: missing required property {name!r}")
+        for name, item in value.items():
+            if name in props:
+                validate(item, props[name], root, f"{path}.{name}")
+            elif extra is False:
+                raise Invalid(f"{path}: unexpected property {name!r}")
+            elif isinstance(extra, dict):
+                validate(item, extra, root, f"{path}.{name}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]")

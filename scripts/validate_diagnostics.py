@@ -1,80 +1,19 @@
 #!/usr/bin/env python3
 """Validate a diagnostics envelope against schemas/diagnostics.schema.json.
 
-Self-contained (stdlib only): implements the subset of JSON Schema
-draft-07 that the diagnostics schema uses — type, enum, const, pattern,
-required, additionalProperties, items, $ref into #/definitions, and
-minimum.  Exits 0 when the document conforms, 1 with a message when not.
+Self-contained (stdlib only): the JSON Schema subset lives in
+jsonschema_lite.py, shared with validate_profile.py.  Exits 0 when the
+document conforms, 1 with a message when not.
 
     validate_diagnostics.py <schema.json> <document.json>
 """
 
 import json
-import re
+import os
 import sys
 
-TYPES = {
-    "object": dict,
-    "array": list,
-    "string": str,
-    "integer": int,
-    "number": (int, float),
-    "boolean": bool,
-    "null": type(None),
-}
-
-
-def type_ok(value, names):
-    if isinstance(names, str):
-        names = [names]
-    for name in names:
-        expected = TYPES[name]
-        if isinstance(value, expected):
-            # bool is an int in Python; don't let it satisfy "integer"
-            if name in ("integer", "number") and isinstance(value, bool):
-                continue
-            return True
-    return False
-
-
-class Invalid(Exception):
-    pass
-
-
-def validate(value, schema, root, path="$"):
-    if "$ref" in schema:
-        ref = schema["$ref"]
-        if not ref.startswith("#/"):
-            raise Invalid(f"{path}: unsupported $ref {ref}")
-        target = root
-        for part in ref[2:].split("/"):
-            target = target[part]
-        return validate(value, target, root, path)
-    if "const" in schema and value != schema["const"]:
-        raise Invalid(f"{path}: expected const {schema['const']!r}, got {value!r}")
-    if "enum" in schema and value not in schema["enum"]:
-        raise Invalid(f"{path}: {value!r} not one of {schema['enum']}")
-    if "type" in schema and not type_ok(value, schema["type"]):
-        raise Invalid(f"{path}: expected {schema['type']}, got {type(value).__name__}")
-    if "pattern" in schema:
-        if not isinstance(value, str) or not re.search(schema["pattern"], value):
-            raise Invalid(f"{path}: {value!r} does not match {schema['pattern']!r}")
-    if "minimum" in schema:
-        if isinstance(value, (int, float)) and value < schema["minimum"]:
-            raise Invalid(f"{path}: {value} < minimum {schema['minimum']}")
-    if isinstance(value, dict):
-        props = schema.get("properties", {})
-        for name in schema.get("required", []):
-            if name not in value:
-                raise Invalid(f"{path}: missing required property {name!r}")
-        for name, item in value.items():
-            if name in props:
-                validate(item, props[name], root, f"{path}.{name}")
-            elif schema.get("additionalProperties", True) is False:
-                raise Invalid(f"{path}: unexpected property {name!r}")
-    if isinstance(value, list) and "items" in schema:
-        for i, item in enumerate(value):
-            validate(item, schema["items"], root, f"{path}[{i}]")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from jsonschema_lite import Invalid, validate
 
 
 def main():

@@ -19,6 +19,7 @@ let () =
       ("depend", Test_depend.suite);
       ("properties", Test_props.suite);
       ("obs", Test_obs.suite);
+      ("profile", Test_profile.suite);
       ("sched", Test_sched.suite);
       ("cache", Test_cache.suite);
       ("faults", Test_faults.suite);

@@ -90,6 +90,98 @@ let test_chrome_roundtrip () =
     | None -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Cross-process aggregation primitives                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_drain_inject_roundtrip () =
+  Trace.enable ();
+  Trace.span ~cat:"compile" ~args:[ ("unit", "a.sml") ] "parse" (fun () -> ());
+  Trace.span "elaborate" (fun () -> ());
+  let wire = Trace.drain_wire () in
+  Alcotest.(check int) "drain empties the buffer" 0
+    (List.length (Trace.events ()));
+  Alcotest.(check string) "second drain is empty" "" (Trace.drain_wire ());
+  let n = Trace.inject ~pid:4242 ~offset_us:1000.0 wire in
+  Trace.disable ();
+  Alcotest.(check int) "both events injected" 2 n;
+  let evs = Trace.events () in
+  Alcotest.(check (list string))
+    "names survive the wire" [ "parse"; "elaborate" ]
+    (List.map (fun e -> e.Trace.ev_name) evs);
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "tagged with the child pid" 4242 e.Trace.ev_pid;
+      Alcotest.(check bool) "offset applied" true (e.Trace.ev_start_us >= 1000.))
+    evs;
+  let parse = List.hd evs in
+  Alcotest.(check (list (pair string string)))
+    "args survive the wire"
+    [ ("unit", "a.sml") ]
+    parse.Trace.ev_args
+
+let test_inject_malformed_is_noop () =
+  Trace.enable ();
+  Alcotest.(check int) "garbage injects nothing" 0
+    (Trace.inject ~pid:1 ~offset_us:0. "not a wire batch");
+  Alcotest.(check int) "and leaves the trace empty" 0
+    (List.length (Trace.events ()));
+  Trace.disable ()
+
+let test_record_phases_without_tracing () =
+  Trace.disable ();
+  Trace.reset ();
+  let r, phases =
+    Trace.record_phases (fun () ->
+        Trace.span "parse" (fun () -> ());
+        Trace.span "elaborate" (fun () -> Trace.span "unify" (fun () -> ()));
+        (* repeated names are summed into one entry *)
+        Trace.span "parse" (fun () -> ());
+        11)
+  in
+  Alcotest.(check int) "thunk result passes through" 11 r;
+  Alcotest.(check (list string))
+    "each phase reported once"
+    [ "elaborate"; "parse"; "unify" ]
+    (List.sort String.compare (List.map fst phases));
+  List.iter
+    (fun (n, s) ->
+      Alcotest.(check bool) (n ^ " non-negative") true (s >= 0.))
+    phases;
+  Alcotest.(check int) "no spans recorded while disabled" 0
+    (List.length (Trace.events ()))
+
+let test_record_span_is_truncated_standin () =
+  Trace.enable ();
+  let start = Unix.gettimeofday () -. 0.002 in
+  Trace.record_span ~cat:"worker"
+    ~args:[ ("truncated", "true") ]
+    ~start_s:start "build.compile_job";
+  Trace.disable ();
+  match Trace.events () with
+  | [ e ] ->
+    Alcotest.(check string) "name" "build.compile_job" e.Trace.ev_name;
+    Alcotest.(check bool) "spans the elapsed time" true
+      (e.Trace.ev_dur_us >= 1000.);
+    Alcotest.(check (list (pair string string)))
+      "marked truncated"
+      [ ("truncated", "true") ]
+      e.Trace.ev_args
+  | evs -> Alcotest.failf "expected one span, got %d" (List.length evs)
+
+let test_json_canonical_sorted () =
+  let v =
+    Json.Obj
+      [ ("b", Json.Int 2); ("a", Json.Int 1); ("c", Json.Obj [ ("z", Json.Null); ("y", Json.Bool true) ]) ]
+  in
+  Alcotest.(check string)
+    "keys sorted recursively"
+    "{\"a\":1,\"b\":2,\"c\":{\"y\":true,\"z\":null}}"
+    (Json.to_canonical_string v);
+  Alcotest.(check string)
+    "canonical form is stable" (Json.to_canonical_string v)
+    (Json.to_canonical_string (Json.parse (Json.to_canonical_string v)))
+
+(* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -216,6 +308,16 @@ let suite =
     Alcotest.test_case "span recorded on exception" `Quick
       test_span_records_on_exception;
     Alcotest.test_case "chrome trace round-trips" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "drain/inject wire round-trip" `Quick
+      test_drain_inject_roundtrip;
+    Alcotest.test_case "malformed inject is a no-op" `Quick
+      test_inject_malformed_is_noop;
+    Alcotest.test_case "record_phases works untraced" `Quick
+      test_record_phases_without_tracing;
+    Alcotest.test_case "record_span stands in truncated spans" `Quick
+      test_record_span_is_truncated_standin;
+    Alcotest.test_case "canonical json is sorted and stable" `Quick
+      test_json_canonical_sorted;
     Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
     Alcotest.test_case "metric registry" `Quick test_metric_registry;
     Alcotest.test_case "metrics to_json" `Quick test_metrics_json;

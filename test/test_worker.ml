@@ -430,6 +430,117 @@ let acceptance_for ~seed =
 
 let test_acceptance_chaos_dags () = List.iter (fun seed -> acceptance_for ~seed) [ 5; 23 ]
 
+(* ------------------------------------------------------------------ *)
+(* Cross-process trace aggregation                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Obs.Trace
+
+(* the merged-trace property: a Workers build under chaos still yields
+   ONE well-formed Chrome trace — child compile spans land in parent
+   time (offset-corrected, so they nest under the build span), every
+   track's spans are properly bracketed, and a crashed worker's dying
+   job appears as a salvaged span marked truncated *)
+let check_merged_trace ~chaos ~expect_truncated seed =
+  let topology = Gen.Random_dag { units = 8; max_deps = 3; seed } in
+  let _fs, mgr, sources = project topology in
+  Trace.enable ();
+  let finish () = Trace.disable () in
+  Fun.protect ~finally:finish @@ fun () ->
+  let _ =
+    Driver.build
+      ~backend:(Driver.Workers (wcfg ~jobs:2 ~chaos ()))
+      ~keep_going:true mgr ~policy:Driver.Cutoff ~sources
+  in
+  let evs = Trace.events () in
+  let parent_pid = 0 in
+  let child_pids =
+    List.filter (fun e -> e.Trace.ev_pid <> parent_pid) evs
+    |> List.map (fun e -> e.Trace.ev_pid)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "child events present (seed %d)" seed)
+    true
+    (List.length child_pids >= 1);
+  (* child compile spans were shifted into parent time: they start
+     after the parent's build span did *)
+  let build_span =
+    List.find (fun e -> e.Trace.ev_name = "build") evs
+  in
+  List.iter
+    (fun e ->
+      if e.Trace.ev_pid <> parent_pid then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (pid %d) starts inside the build (seed %d)"
+             e.Trace.ev_name e.Trace.ev_pid seed)
+          true
+          (e.Trace.ev_start_us >= build_span.Trace.ev_start_us -. 1000.)
+      end)
+    evs;
+  (* per (pid, tid): start times non-decreasing (events () sorts) and
+     spans properly nested — the same invariant scripts/check_trace.py
+     enforces on the serialized file *)
+  let tracks = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let k = (e.Trace.ev_pid, e.Trace.ev_tid) in
+      Hashtbl.replace tracks k (e :: Option.value ~default:[] (Hashtbl.find_opt tracks k)))
+    evs;
+  Hashtbl.iter
+    (fun (pid, tid) track ->
+      let track = List.rev track in
+      let last = ref neg_infinity in
+      let stack = ref [] in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "pid %d tid %d monotone ts (seed %d)" pid tid seed)
+            true
+            (e.Trace.ev_start_us >= !last);
+          last := e.Trace.ev_start_us;
+          let start = e.Trace.ev_start_us in
+          let stop = start +. e.Trace.ev_dur_us in
+          (* pop closed intervals; 10ns slop for offset-corrected floats *)
+          while !stack <> [] && start >= List.hd !stack -. 0.01 do
+            stack := List.tl !stack
+          done;
+          (match !stack with
+          | enclosing :: _ ->
+            Alcotest.(check bool)
+              (Printf.sprintf "pid %d tid %d %s nests (seed %d)" pid tid
+                 e.Trace.ev_name seed)
+              true
+              (stop <= enclosing +. 0.01)
+          | [] -> ());
+          stack := stop :: !stack)
+        track)
+    tracks;
+  let truncated =
+    List.filter
+      (fun e -> List.assoc_opt "truncated" e.Trace.ev_args = Some "true")
+      evs
+  in
+  if expect_truncated then
+    Alcotest.(check bool)
+      (Printf.sprintf "crashed worker left a truncated span (seed %d)" seed)
+      true
+      (List.length truncated >= 1)
+  else
+    Alcotest.(check int)
+      (Printf.sprintf "no truncated spans on a clean build (seed %d)" seed)
+      0 (List.length truncated)
+
+let test_trace_merge_clean () =
+  List.iter (check_merged_trace ~chaos:[] ~expect_truncated:false) [ 3; 19 ]
+
+let test_trace_merge_chaos () =
+  List.iter
+    (check_merged_trace
+       ~chaos:[ ("u003.sml", Worker.Chaos_crash) ]
+       ~expect_truncated:true)
+    [ 3; 19 ]
+
 let test_workers_pool_down_build () =
   let _fs, mgr, sources = project (Gen.Chain 3) in
   match
@@ -464,6 +575,10 @@ let suite =
       test_workers_incremental_noop;
     Alcotest.test_case "acceptance: chaos DAGs, partitions, convergence"
       `Quick test_acceptance_chaos_dags;
+    Alcotest.test_case "merged trace well-formed (clean)" `Quick
+      test_trace_merge_clean;
+    Alcotest.test_case "merged trace well-formed (chaos, truncated spans)"
+      `Quick test_trace_merge_chaos;
     Alcotest.test_case "pool death aborts the build" `Quick
       test_workers_pool_down_build;
   ]
