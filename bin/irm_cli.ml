@@ -34,7 +34,25 @@
    crash exits with code 3 and an intact on-disk state; rerunning
    without faults recovers).  `irm recover` quarantines damaged bin
    files and sweeps staging files so the next build recompiles exactly
-   what was lost. *)
+   what was lost.
+
+   `irm daemon start` launches the compile server: a long-running
+   process holding warm build state (sessions, cache index, profile
+   store) behind a Unix socket in .irm-daemon/.  --daemon on build,
+   run, explain and profile routes the request there — falling back to
+   in-process execution when nobody is listening — and --watch makes
+   the daemon rebuild the dependent cone of changed files as its
+   polling watcher sees them. *)
+
+(* SIGINT/SIGTERM abort the build via Driver.Interrupted, which the
+   driver treats as fatal even under --keep-going: partial results are
+   recorded into the profile store and [guarded] maps it to exit 130 *)
+let install_interrupt () =
+  let handler name =
+    Sys.Signal_handle (fun _ -> raise (Irm.Driver.Interrupted name))
+  in
+  Sys.set_signal Sys.sigint (handler "SIGINT");
+  Sys.set_signal Sys.sigterm (handler "SIGTERM")
 
 let parse_policy = function
   | "cutoff" -> Ok Irm.Driver.Cutoff
@@ -81,41 +99,54 @@ let cache_of fs enabled cache_dir budget_mb =
   else None
 
 (* the telemetry envelope: enable tracing when requested, run, then
-   write the trace file and print the metric counters *)
+   write the trace file and print the metric counters — through
+   Fun.protect, so an interrupted build still flushes its trace *)
 let with_obs trace stats f =
   if trace <> None then Obs.Trace.enable ();
-  let code = f () in
-  Option.iter
-    (fun path ->
-      Obs.Trace.write_chrome path;
-      Printf.eprintf "trace written to %s (%d spans)\n" path
-        (List.length (Obs.Trace.events ())))
-    trace;
-  if stats then Format.printf "metrics:@.%a" Obs.Metrics.pp ();
-  code
-
-(* the machine-readable diagnostics envelope (--error-format=json),
-   validated in CI against schemas/diagnostics.schema.json *)
-let diagnostics_envelope ?(failed = []) ?(skipped = []) diags =
-  Obs.Json.Obj
-    [
-      ("version", Obs.Json.String "smlsep-diag/1");
-      ("failed", Obs.Json.List (List.map (fun f -> Obs.Json.String f) failed));
-      ( "skipped",
-        Obs.Json.List (List.map (fun f -> Obs.Json.String f) skipped) );
-      ("diagnostics", Obs.Json.List (List.map Irm.Driver.diag_json diags));
-    ]
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun path ->
+          Obs.Trace.write_chrome path;
+          Printf.eprintf "trace written to %s (%d spans)\n" path
+            (List.length (Obs.Trace.events ())))
+        trace;
+      if stats then Format.printf "metrics:@.%a%!" Obs.Metrics.pp ())
+    f
 
 let guarded ?(error_format = `Text) f =
   let report ds =
     match error_format with
     | `Text -> List.iter (fun d -> prerr_endline (Support.Diag.to_string d)) ds
-    | `Json -> print_endline (Obs.Json.to_string (diagnostics_envelope ds))
+    | `Json ->
+      print_endline
+        (Obs.Json.to_string (Irm.Introspect.diagnostics_envelope ds))
   in
   match Support.Diag.guard_all f with
   | Ok code -> code
   | Error ds ->
     report ds;
+    1
+  | exception Irm.Driver.Interrupted reason ->
+    Printf.eprintf
+      "interrupted by %s — partial results are recorded; rerun to converge\n"
+      reason;
+    130
+  | exception Daemon.Lock.Held { lock_path; holder } ->
+    Printf.eprintf
+      "the build lock %s is held by pid %s — another build (or the daemon) \
+       is running in this directory; retry when it finishes\n"
+      lock_path holder;
+    1
+  | exception Daemon.Server.Already_running sock ->
+    Printf.eprintf "a daemon is already serving this directory (socket %s)\n"
+      sock;
+    1
+  | exception Daemon.Client.Protocol_error msg ->
+    Printf.eprintf "daemon protocol error: %s\n" msg;
+    1
+  | exception Daemon.Client.Timeout msg ->
+    Printf.eprintf "daemon timeout: %s\n" msg;
     1
   | exception Pickle.Buf.Corrupt msg ->
     report [ Support.Diag.make Support.Diag.Pickle Support.Loc.dummy msg ];
@@ -147,32 +178,19 @@ let require_sources group sources =
     Support.Diag.error Support.Diag.Manager Support.Loc.dummy
       "group file %s lists no sources" group
 
+(* print a rendered report on the process's own streams *)
+let emit (r : Irm.Introspect.rendered) =
+  print_string r.Irm.Introspect.out;
+  prerr_string r.Irm.Introspect.err;
+  r.Irm.Introspect.code
+
 (* render a build's failed/skipped partitions: structured diagnostics
    with source excerpts on stderr (text) or the JSON envelope on stdout;
    returns the exit code the partitions call for *)
 let report_diagnostics fs error_format (stats : Irm.Driver.stats) =
-  let failed = stats.Irm.Driver.st_failed in
-  let skipped = stats.Irm.Driver.st_skipped in
-  (match error_format with
-  | `Json ->
-    print_endline
-      (Obs.Json.to_string
-         (diagnostics_envelope ~failed:(List.map fst failed)
-            ~skipped:(List.map fst skipped)
-            (List.concat_map snd failed)))
-  | `Text ->
-    let source_of file = fs.Vfs.fs_read file in
-    List.iter
-      (fun (_, ds) ->
-        List.iter
-          (fun d -> Format.eprintf "%a" (Support.Diag.render ~source_of) d)
-          ds)
-      failed;
-    List.iter
-      (fun (file, culprit) ->
-        Format.eprintf "%s: skipped: dependency %s failed@." file culprit)
-      skipped);
-  if failed = [] && skipped = [] then 0 else 1
+  emit
+    (Irm.Introspect.report_diagnostics ~source_of:fs.Vfs.fs_read
+       ~json:(error_format = `Json) stats)
 
 let build_units ~backend ?cache ?profile ~keep_going ~werror ?max_errors
     ~error_format fs mgr policy sources =
@@ -180,87 +198,134 @@ let build_units ~backend ?cache ?profile ~keep_going ~werror ?max_errors
     Irm.Driver.build ~backend ?cache ?profile ~keep_going ~werror ?max_errors
       mgr ~policy ~sources
   in
-  if error_format = `Text then begin
-    List.iter
-      (fun file ->
-        match Irm.Driver.outcome_of stats file with
-        | "failed" | "skipped" ->
-          Printf.printf "%-24s %s  [%s]\n" file (String.make 8 '-')
-            (Irm.Driver.outcome_of stats file)
-        | outcome ->
-          let unit_ = Irm.Driver.unit_of mgr file in
-          let tag =
-            match outcome with
-            | "cutoff" -> "recompiled (interface unchanged)"
-            | "loaded" -> "up to date"
-            | "cache" -> "from cache"
-            | other -> other
-          in
-          Printf.printf "%-24s %s  [%s]\n" file
-            (Digestkit.Pid.short unit_.Pickle.Binfile.uf_static_pid)
-            tag)
-      stats.Irm.Driver.st_order;
-    print_endline (Irm.Driver.summary_line stats)
-  end;
+  if error_format = `Text then
+    print_string (Irm.Introspect.build_listing mgr stats);
   let code = report_diagnostics fs error_format stats in
   (stats, code)
+
+(* --daemon: hand the request to a listening compile server; fall back
+   to in-process execution when nobody is there *)
+let daemon_client ~use_daemon dir =
+  if not use_daemon then None
+  else
+    match Daemon.Client.connect ~dir () with
+    | Some _ as c -> c
+    | None ->
+      Printf.eprintf "irm: no daemon is listening in %s; running in-process\n%!"
+        dir;
+      None
+
+let finish_daemon c req =
+  Fun.protect ~finally:(fun () -> Daemon.Client.close c) @@ fun () ->
+  let resp = Daemon.Client.request ~on_diag:print_string c req in
+  print_string resp.Daemon.Protocol.r_out;
+  prerr_string resp.Daemon.Protocol.r_err;
+  resp.Daemon.Protocol.r_code
 
 let pp_cache_stats = function
   | Some cache -> Format.printf "cache:@.%a" Cache.pp_stats (Cache.stats cache)
   | None -> ()
 
+(* build options as the daemon protocol carries them; process-only
+   features (--workers, --fault-seed, --trace, --stats) stay local *)
+let daemon_build_opts group policy jobs use_cache keep_going werror max_errors
+    error_format =
+  {
+    Daemon.Protocol.b_group = group;
+    b_policy = Irm.Driver.policy_name policy;
+    b_jobs = jobs;
+    b_cache = use_cache;
+    b_keep_going = keep_going;
+    b_werror = werror;
+    b_max_errors = max_errors;
+    b_error_json = (error_format = `Json);
+  }
+
+(* --workers forks; --fault-seed wraps the daemon's real fs — both are
+   strictly in-process features, so they win over --daemon *)
+let daemon_routable ~use_daemon ~workers ~fault_seed =
+  if use_daemon && (workers > 0 || fault_seed <> None) then begin
+    Printf.eprintf
+      "irm: --workers and --fault-seed are in-process features; ignoring \
+       --daemon\n%!";
+    false
+  end
+  else use_daemon
+
 let build_cmd_impl dir group policy jobs workers worker_timeout use_cache
     cache_dir budget_mb no_profile profile_dir trace stats_flag fault_seed
-    fault_ops keep_going werror max_errors error_format =
+    fault_ops keep_going werror max_errors error_format use_daemon =
   guarded ~error_format (fun () ->
-      with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
-          require_sources group sources;
-          let cache = cache_of fs use_cache cache_dir budget_mb in
-          let profile = profile_of fs no_profile profile_dir in
-          with_obs trace stats_flag (fun () ->
-              let stats, code =
-                build_units
-                  ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                  ?cache ?profile ~keep_going ~werror ?max_errors ~error_format
-                  fs mgr policy sources
-              in
-              if stats_flag then begin
-                Format.printf "%a" Irm.Driver.pp_report stats;
-                pp_cache_stats cache
-              end;
-              code)))
+      let use_daemon = daemon_routable ~use_daemon ~workers ~fault_seed in
+      match daemon_client ~use_daemon dir with
+      | Some c ->
+        finish_daemon c
+          (Daemon.Protocol.Build
+             (daemon_build_opts group policy jobs use_cache keep_going werror
+                max_errors error_format))
+      | None ->
+        install_interrupt ();
+        with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
+            require_sources group sources;
+            Daemon.Lock.with_lock ~dir @@ fun () ->
+            let cache = cache_of fs use_cache cache_dir budget_mb in
+            let profile = profile_of fs no_profile profile_dir in
+            with_obs trace stats_flag (fun () ->
+                let stats, code =
+                  build_units
+                    ~backend:(backend_of ~jobs ~workers ~worker_timeout)
+                    ?cache ?profile ~keep_going ~werror ?max_errors
+                    ~error_format fs mgr policy sources
+                in
+                if stats_flag then begin
+                  Format.printf "%a" Irm.Driver.pp_report stats;
+                  pp_cache_stats cache
+                end;
+                code)))
 
 let run_cmd_impl dir group policy jobs workers worker_timeout use_cache
     cache_dir budget_mb no_profile profile_dir trace stats_flag fault_seed
-    fault_ops keep_going werror max_errors error_format =
+    fault_ops keep_going werror max_errors error_format use_daemon =
   guarded ~error_format (fun () ->
-      with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
-          require_sources group sources;
-          let cache = cache_of fs use_cache cache_dir budget_mb in
-          let profile = profile_of fs no_profile profile_dir in
-          with_obs trace stats_flag (fun () ->
-              let stats =
-                Irm.Driver.build
-                  ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                  ?cache ?profile ~keep_going ~werror ?max_errors mgr ~policy
-                  ~sources
-              in
-              let code = report_diagnostics fs error_format stats in
-              (* failed or skipped units have no bin to execute — report
-                 the diagnostics and stop before running anything *)
-              if code = 0 then ignore (Irm.Driver.run mgr ~sources);
-              if stats_flag then begin
-                Format.printf "%a" Irm.Driver.pp_report stats;
-                pp_cache_stats cache
-              end;
-              code)))
+      let use_daemon = daemon_routable ~use_daemon ~workers ~fault_seed in
+      match daemon_client ~use_daemon dir with
+      | Some c ->
+        finish_daemon c
+          (Daemon.Protocol.Run
+             (daemon_build_opts group policy jobs use_cache keep_going werror
+                max_errors error_format))
+      | None ->
+        install_interrupt ();
+        with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
+            require_sources group sources;
+            Daemon.Lock.with_lock ~dir @@ fun () ->
+            let cache = cache_of fs use_cache cache_dir budget_mb in
+            let profile = profile_of fs no_profile profile_dir in
+            with_obs trace stats_flag (fun () ->
+                let stats =
+                  Irm.Driver.build
+                    ~backend:(backend_of ~jobs ~workers ~worker_timeout)
+                    ?cache ?profile ~keep_going ~werror ?max_errors mgr ~policy
+                    ~sources
+                in
+                let code = report_diagnostics fs error_format stats in
+                (* failed or skipped units have no bin to execute — report
+                   the diagnostics and stop before running anything *)
+                if code = 0 then ignore (Irm.Driver.run mgr ~sources);
+                if stats_flag then begin
+                  Format.printf "%a" Irm.Driver.pp_report stats;
+                  pp_cache_stats cache
+                end;
+                code)))
 
 let stats_cmd_impl dir group policy jobs workers worker_timeout use_cache
     cache_dir budget_mb no_profile profile_dir trace json keep_going werror
     max_errors =
   guarded (fun () ->
+      install_interrupt ();
       with_manager dir group (fun fs mgr sources ->
           require_sources group sources;
+          Daemon.Lock.with_lock ~dir @@ fun () ->
           let cache = cache_of fs use_cache cache_dir budget_mb in
           let profile = profile_of fs no_profile profile_dir in
           with_obs trace false (fun () ->
@@ -349,270 +414,210 @@ let cache_cmd_impl dir cache_dir budget_mb action =
       0)
 
 (* ------------------------------------------------------------------ *)
-(* Build introspection: explain and profile                            *)
+(* Build introspection: explain and profile (rendering lives in
+   Irm.Introspect, shared with the daemon)                             *)
 (* ------------------------------------------------------------------ *)
 
-module P = Obs.Profile
-
-(* units of the last build that [unit_] dragged along: dependents whose
-   recorded cause blames it, and units skipped because it failed *)
-let poisoned_by b unit_ =
-  List.filter_map
-    (fun v ->
-      if String.equal v.P.up_unit unit_ then None
-      else if List.exists (String.equal unit_) v.P.up_culprits then
-        Some
-          ( v.P.up_unit,
-            if String.equal v.P.up_outcome "skipped" then "skipped"
-            else Option.value ~default:"rebuilt" v.P.up_cause )
-      else None)
-    b.P.bp_units
-
-let opt_json of_value = function
-  | Some v -> of_value v
-  | None -> Obs.Json.Null
-
-let history_json = function
-  | None -> Obs.Json.Null
-  | Some a ->
-    Obs.Json.Obj
-      [
-        ("builds", Obs.Json.Int a.P.ag_builds);
-        ("ewma_s", Obs.Json.Float a.P.ag_ewma_s);
-        ("max_s", Obs.Json.Float a.P.ag_max_s);
-        ("last_s", Obs.Json.Float a.P.ag_last_s);
-        ( "phases",
-          Obs.Json.Obj
-            (List.map (fun (n, s) -> (n, Obs.Json.Float s)) a.P.ag_phases) );
-      ]
-
-let explain_cmd_impl dir profile_dir unit_ json =
+let explain_cmd_impl dir profile_dir unit_ json use_daemon =
   guarded (fun () ->
-      let fs = Vfs.real ~dir in
-      let p = P.load ~dir:profile_dir fs in
-      match P.last p with
+      match daemon_client ~use_daemon dir with
+      | Some c ->
+        finish_daemon c
+          (Daemon.Protocol.Explain { e_unit = unit_; e_json = json })
       | None ->
-        prerr_endline
-          "no recorded builds: run `irm build` (without --no-profile) first";
-        1
-      | Some b -> (
-        match P.find_unit b unit_ with
-        | None ->
-          Printf.eprintf "unit %s is not part of the last recorded build \
-                          (build %d)\n"
-            unit_ b.P.bp_id;
+        let fs = Vfs.real ~dir in
+        let p = Obs.Profile.load ~dir:profile_dir fs in
+        emit (Irm.Introspect.explain p ~unit_name:unit_ ~json))
+
+let profile_cmd_impl dir profile_dir json top use_daemon =
+  guarded (fun () ->
+      match daemon_client ~use_daemon dir with
+      | Some c ->
+        finish_daemon c (Daemon.Protocol.Profile { p_json = json; p_top = top })
+      | None ->
+        let fs = Vfs.real ~dir in
+        let p = Obs.Profile.load ~dir:profile_dir fs in
+        emit (Irm.Introspect.profile_report p ~json ~top))
+
+(* ------------------------------------------------------------------ *)
+(* The compile server: daemon start / stop / status                    *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_config dir state_dir groups watch poll_s client_timeout use_cache
+    policy jobs log =
+  {
+    Daemon.Server.d_dir = dir;
+    d_state_dir = state_dir;
+    d_groups = groups;
+    d_watch = watch;
+    d_poll_s = poll_s;
+    d_client_timeout_s = client_timeout;
+    d_cache = use_cache;
+    d_policy = Irm.Driver.policy_name policy;
+    d_jobs = jobs;
+    d_log = log;
+  }
+
+let daemon_start_impl dir state_dir groups watch poll_s client_timeout
+    use_cache policy jobs foreground =
+  guarded (fun () ->
+      if foreground then begin
+        let server =
+          Daemon.Server.create
+            (daemon_config dir state_dir groups watch poll_s client_timeout
+               use_cache policy jobs prerr_endline)
+        in
+        install_interrupt ();
+        Daemon.Server.run server;
+        0
+      end
+      else begin
+        let log_path = Daemon.Protocol.log_path ~dir ~state_dir in
+        (try Unix.mkdir (Filename.dirname log_path) 0o755
+         with Unix.Unix_error _ -> ());
+        (* daemonize.  Forking is safe here: no domain has been spawned
+           yet, and the daemon's own Parallel domains are born after *)
+        match Unix.fork () with
+        | 0 ->
+          ignore (Unix.setsid ());
+          let log_fd =
+            Unix.openfile log_path
+              [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+              0o644
+          in
+          let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+          Unix.dup2 devnull Unix.stdin;
+          Unix.dup2 log_fd Unix.stdout;
+          Unix.dup2 log_fd Unix.stderr;
+          Unix.close devnull;
+          Unix.close log_fd;
+          let code =
+            guarded (fun () ->
+                let server =
+                  Daemon.Server.create
+                    (daemon_config dir state_dir groups watch poll_s
+                       client_timeout use_cache policy jobs (fun line ->
+                         Printf.eprintf "%s\n%!" line))
+                in
+                install_interrupt ();
+                Daemon.Server.run server;
+                0)
+          in
+          Stdlib.exit code
+        | child ->
+          (* parent: hand back once the daemon answers its socket (or
+             died trying) *)
+          let deadline = Unix.gettimeofday () +. 10. in
+          let rec await () =
+            match Unix.waitpid [ Unix.WNOHANG ] child with
+            | pid, status when pid = child ->
+              Printf.eprintf "daemon exited at startup (%s); see %s\n"
+                (match status with
+                | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+                | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+                | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n)
+                log_path;
+              1
+            | _ -> (
+              match Daemon.Client.connect ~state_dir ~dir () with
+              | Some c ->
+                Daemon.Client.close c;
+                Printf.printf "daemon started (pid %d), socket %s\n" child
+                  (Daemon.Protocol.socket_path ~dir ~state_dir);
+                0
+              | None ->
+                if Unix.gettimeofday () > deadline then begin
+                  Printf.eprintf "daemon did not come up within 10s; see %s\n"
+                    log_path;
+                  1
+                end
+                else begin
+                  Unix.sleepf 0.1;
+                  await ()
+                end)
+          in
+          await ()
+      end)
+
+let daemon_stop_impl dir state_dir =
+  guarded (fun () ->
+      match Daemon.Client.connect ~state_dir ~dir () with
+      | Some c ->
+        let resp = Daemon.Client.request c Daemon.Protocol.Shutdown in
+        Daemon.Client.close c;
+        print_endline "daemon stopped";
+        resp.Daemon.Protocol.r_code
+      | None -> (
+        (* nobody answering the socket: fall back to the pid file *)
+        let pid_path = Daemon.Protocol.pid_path ~dir ~state_dir in
+        let no_daemon () =
+          prerr_endline "no daemon is serving this directory";
           1
-        | Some u ->
-          let poisoned = poisoned_by b unit_ in
-          let agg = P.aggregate p unit_ in
-          if json then
-            print_endline
-              (Obs.Json.to_canonical_string
-                 (Obs.Json.Obj
-                    [
-                      ("version", Obs.Json.String "smlsep-profile/1");
-                      ("unit", Obs.Json.String unit_);
-                      ("build", Obs.Json.Int b.P.bp_id);
-                      ("policy", Obs.Json.String b.P.bp_policy);
-                      ("outcome", Obs.Json.String u.P.up_outcome);
-                      ( "cause",
-                        opt_json (fun c -> Obs.Json.String c) u.P.up_cause );
-                      ( "culprits",
-                        Obs.Json.List
-                          (List.map
-                             (fun c -> Obs.Json.String c)
-                             u.P.up_culprits) );
-                      ("wall_s", Obs.Json.Float u.P.up_wall_s);
-                      ( "phases",
-                        Obs.Json.Obj
-                          (List.map
-                             (fun (n, s) -> (n, Obs.Json.Float s))
-                             u.P.up_phases) );
-                      ( "imports",
-                        Obs.Json.Obj
-                          (List.map
-                             (fun (d, pid) -> (d, Obs.Json.String pid))
-                             u.P.up_imports) );
-                      ( "poisoned",
-                        Obs.Json.List
-                          (List.map
-                             (fun (n, via) ->
-                               Obs.Json.Obj
-                                 [
-                                   ("unit", Obs.Json.String n);
-                                   ("via", Obs.Json.String via);
-                                 ])
-                             poisoned) );
-                      ("history", history_json agg);
-                    ]))
-          else begin
-            Printf.printf "%s  (build %d, %s policy, %s)\n" unit_ b.P.bp_id
-              b.P.bp_policy b.P.bp_backend;
-            Printf.printf "  outcome   %s\n" u.P.up_outcome;
-            (match u.P.up_cause with
-            | Some c ->
-              Printf.printf "  cause     %s%s\n" c
-                (match u.P.up_culprits with
-                | [] -> ""
-                | cs -> "  (" ^ String.concat ", " cs ^ ")")
-            | None -> print_endline "  cause     up to date");
-            Printf.printf "  wall      %.2f ms\n" (1000. *. u.P.up_wall_s);
-            (match u.P.up_phases with
-            | [] -> ()
-            | phases ->
-              Printf.printf "  phases    %s\n"
-                (String.concat ", "
-                   (List.map
-                      (fun (n, s) -> Printf.sprintf "%s %.2f ms" n (1000. *. s))
-                      phases)));
-            (match agg with
-            | Some a ->
-              Printf.printf
-                "  history   %d compiles, ewma %.2f ms, max %.2f ms\n"
-                a.P.ag_builds
-                (1000. *. a.P.ag_ewma_s)
-                (1000. *. a.P.ag_max_s)
-            | None -> ());
-            (match poisoned with
-            | [] -> print_endline "  poisoned  nothing"
-            | ps ->
-              Printf.printf "  poisoned  %s\n"
-                (String.concat ", "
-                   (List.map
-                      (fun (n, via) -> Printf.sprintf "%s (%s)" n via)
-                      ps)))
-          end;
-          0))
+        in
+        match In_channel.with_open_bin pid_path In_channel.input_all with
+        | exception Sys_error _ -> no_daemon ()
+        | contents -> (
+          match int_of_string_opt (String.trim contents) with
+          | None -> no_daemon ()
+          | Some pid -> (
+            match Unix.kill pid Sys.sigterm with
+            | () ->
+              Printf.printf "sent SIGTERM to daemon pid %d\n" pid;
+              0
+            | exception Unix.Unix_error _ -> no_daemon ()))))
 
-let profile_envelope p b ~top =
-  let open Obs.Json in
-  let count outcome =
-    List.length
-      (List.filter
-         (fun u -> String.equal u.P.up_outcome outcome)
-         b.P.bp_units)
-  in
-  let causes =
-    List.fold_left
-      (fun acc u ->
-        match u.P.up_cause with
-        | None -> acc
-        | Some c -> (
-          match List.assoc_opt c acc with
-          | Some n -> (c, n + 1) :: List.remove_assoc c acc
-          | None -> (c, 1) :: acc))
-      [] b.P.bp_units
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  let compiled =
-    List.filter
-      (fun u ->
-        String.equal u.P.up_outcome "recompiled"
-        || String.equal u.P.up_outcome "cutoff")
-      b.P.bp_units
-  in
-  let top_units =
-    List.filteri
-      (fun i _ -> i < top)
-      (List.sort (fun a b -> compare b.P.up_wall_s a.P.up_wall_s) compiled)
-  in
-  let unit_brief u =
-    Obj [ ("unit", String u.P.up_unit); ("wall_s", Float u.P.up_wall_s) ]
-  in
-  let unit_json u =
-    Obj
-      [
-        ("unit", String u.P.up_unit);
-        ("outcome", String u.P.up_outcome);
-        ("cause", opt_json (fun c -> String c) u.P.up_cause);
-        ("culprits", List (List.map (fun c -> String c) u.P.up_culprits));
-        ("wall_s", Float u.P.up_wall_s);
-        ("phases", Obj (List.map (fun (n, s) -> (n, Float s)) u.P.up_phases));
-      ]
-  in
-  ( causes,
-    top_units,
-    Obj
-      [
-        ("version", String "smlsep-profile/1");
-        ( "build",
-          Obj
-            [
-              ("id", Int b.P.bp_id);
-              ("policy", String b.P.bp_policy);
-              ("backend", String b.P.bp_backend);
-              ("wall_s", Float b.P.bp_wall_s);
-              ("jobs", Int b.P.bp_jobs);
-              ("efficiency", opt_json (fun e -> Float e) (P.efficiency b));
-              ( "counts",
-                Obj
-                  [
-                    ("recompiled", Int (count "recompiled"));
-                    ("cutoff", Int (count "cutoff"));
-                    ("cache", Int (count "cache"));
-                    ("loaded", Int (count "loaded"));
-                    ("failed", Int (count "failed"));
-                    ("skipped", Int (count "skipped"));
-                  ] );
-            ] );
-        ("causes", Obj (List.map (fun (c, n) -> (c, Int n)) causes));
-        ("critical_path", List (List.map unit_brief (P.critical_path b)));
-        ("top", List (List.map unit_brief top_units));
-        ("units", List (List.map unit_json b.P.bp_units));
-        ( "store",
-          Obj
-            [
-              ("builds", Int (List.length (P.builds p)));
-              ("bytes", Int (P.store_bytes p));
-            ] );
-      ] )
-
-let profile_cmd_impl dir profile_dir json top =
+let daemon_status_impl dir state_dir json =
   guarded (fun () ->
-      let fs = Vfs.real ~dir in
-      let p = P.load ~dir:profile_dir fs in
-      match P.last p with
+      match Daemon.Client.connect ~state_dir ~dir () with
       | None ->
-        prerr_endline
-          "no recorded builds: run `irm build` (without --no-profile) first";
+        prerr_endline "no daemon is serving this directory";
         1
-      | Some b ->
-        let causes, top_units, envelope = profile_envelope p b ~top in
-        if json then print_endline (Obs.Json.to_canonical_string envelope)
+      | Some c ->
+        let resp = Daemon.Client.request c Daemon.Protocol.Status in
+        Daemon.Client.close c;
+        if json then print_string resp.Daemon.Protocol.r_out
         else begin
-          Printf.printf "build %d  (%s policy, %s, %.1f ms wall, %d jobs)\n"
-            b.P.bp_id b.P.bp_policy b.P.bp_backend
-            (1000. *. b.P.bp_wall_s)
-            b.P.bp_jobs;
-          (match P.efficiency b with
-          | Some e -> Printf.printf "  efficiency     %.0f%% of slot time busy\n" (100. *. e)
+          let j = Obs.Json.parse resp.Daemon.Protocol.r_out in
+          let str k v =
+            match Obs.Json.member k v with
+            | Some (Obs.Json.String s) -> s
+            | _ -> "?"
+          in
+          let int_ k v =
+            match Obs.Json.member k v with Some (Obs.Json.Int n) -> n | _ -> 0
+          in
+          let float_ k v =
+            match Obs.Json.member k v with
+            | Some (Obs.Json.Float f) -> f
+            | Some (Obs.Json.Int n) -> float_of_int n
+            | _ -> 0.
+          in
+          Printf.printf "daemon %s  (pid %d, up %.1fs)\n" (str "version" j)
+            (int_ "pid" j) (float_ "uptime_s" j);
+          Printf.printf "  served    %d requests, %d clients connected\n"
+            (int_ "served" j) (int_ "clients" j);
+          (match Obs.Json.member "watch" j with
+          | Some w ->
+            Printf.printf
+              "  watch     %s, poll %.2fs: %d files tracked, %d sweeps, %d \
+               dirty\n"
+              (match Obs.Json.member "eager" w with
+              | Some (Obs.Json.Bool true) -> "eager"
+              | _ -> "lazy")
+              (float_ "poll_s" w) (int_ "tracked" w) (int_ "sweeps" w)
+              (int_ "dirty_total" w)
           | None -> ());
-          (match causes with
-          | [] -> print_endline "  causes         nothing rebuilt"
-          | cs ->
-            Printf.printf "  causes         %s\n"
-              (String.concat ", "
-                 (List.map (fun (c, n) -> Printf.sprintf "%s %d" c n) cs)));
-          (match P.critical_path b with
-          | [] -> ()
-          | path ->
-            Printf.printf "  critical path  %s  (%.2f ms)\n"
-              (String.concat " -> " (List.map (fun u -> u.P.up_unit) path))
-              (1000.
-              *. List.fold_left (fun acc u -> acc +. u.P.up_wall_s) 0. path));
-          if top_units <> [] then begin
-            print_endline "  slowest units:";
+          match Obs.Json.member "groups" j with
+          | Some (Obs.Json.List gs) ->
             List.iter
-              (fun u ->
-                Printf.printf "    %-28s %8.2f ms\n" u.P.up_unit
-                  (1000. *. u.P.up_wall_s))
-              top_units
-          end;
-          Printf.printf "  store          %d builds retained, %d bytes\n"
-            (List.length (P.builds p))
-            (P.store_bytes p)
+              (fun g ->
+                Printf.printf "  group     %s: %d units, %d builds\n"
+                  (str "group" g) (int_ "units" g) (int_ "builds" g))
+              gs
+          | _ -> ()
         end;
-        0)
+        resp.Daemon.Protocol.r_code)
+
 
 open Cmdliner
 
@@ -788,6 +793,17 @@ let error_format_arg =
            source excerpts, on stderr) or $(b,json) (one machine-readable \
            envelope on stdout, schema $(i,schemas/diagnostics.schema.json)).")
 
+let daemon_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "daemon" ]
+        ~doc:
+          "Route the request to a running compile server (started with \
+           $(b,irm daemon start)), reusing its warm build state; falls \
+           back to in-process execution when no daemon is listening.  \
+           In-process features ($(b,--workers), $(b,--fault-seed), \
+           $(b,--trace), $(b,--stats)) are not routed.")
+
 let exits =
   [
     Cmd.Exit.info 0 ~doc:"on success.";
@@ -803,6 +819,10 @@ let exits =
         "when the worker pool under $(b,--workers) died entirely \
          (workers kept dying before doing any work) and the build was \
          aborted.";
+    Cmd.Exit.info 130
+      ~doc:
+        "when interrupted by SIGINT or SIGTERM; the partial build is \
+         recorded in the profile store and a rerun converges.";
   ]
 
 let build_cmd =
@@ -814,7 +834,7 @@ let build_cmd =
       $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
       $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
       $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
-      $ werror_arg $ max_errors_arg $ error_format_arg)
+      $ werror_arg $ max_errors_arg $ error_format_arg $ daemon_flag_arg)
 
 let run_cmd =
   Cmd.v
@@ -825,7 +845,7 @@ let run_cmd =
       $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
       $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
       $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
-      $ werror_arg $ max_errors_arg $ error_format_arg)
+      $ werror_arg $ max_errors_arg $ error_format_arg $ daemon_flag_arg)
 
 let stats_cmd =
   Cmd.v
@@ -892,7 +912,8 @@ let explain_cmd =
           culprit imports), what it poisoned downstream, its phase \
           timings and its compile-time history")
     Term.(
-      const explain_cmd_impl $ dir_arg $ profile_dir_arg $ unit_arg $ json_arg)
+      const explain_cmd_impl $ dir_arg $ profile_dir_arg $ unit_arg $ json_arg
+      $ daemon_flag_arg)
 
 let profile_cmd =
   Cmd.v
@@ -901,7 +922,97 @@ let profile_cmd =
          "report on the last recorded build: critical path, slowest \
           units, scheduler efficiency, and the rebuild-cause breakdown \
           ($(b,--json) emits the smlsep-profile/1 envelope)")
-    Term.(const profile_cmd_impl $ dir_arg $ profile_dir_arg $ json_arg $ top_arg)
+    Term.(
+      const profile_cmd_impl $ dir_arg $ profile_dir_arg $ json_arg $ top_arg
+      $ daemon_flag_arg)
+
+let state_dir_arg =
+  Arg.(
+    value
+    & opt string Daemon.Protocol.default_state_dir
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Daemon state directory (socket, pid file, log), relative to \
+           the project root.  Kept short by default: Unix socket paths \
+           are limited to roughly 100 bytes.")
+
+let watch_arg =
+  Arg.(
+    value & flag
+    & info [ "watch" ]
+        ~doc:
+          "Rebuild the dependent cone of changed files eagerly as the \
+           polling watcher sees them, instead of leaving them to \
+           invalidate the next requested build.")
+
+let poll_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "poll" ] ~docv:"SEC"
+        ~doc:
+          "Watcher sweep interval: tracked files are re-checked by mtime \
+           and content digest every $(docv) seconds (default 0.5).")
+
+let client_timeout_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "client-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Drop a client stuck mid-frame (or not draining its response) \
+           after $(docv) seconds of silence (default 30).")
+
+let foreground_arg =
+  Arg.(
+    value & flag
+    & info [ "foreground" ]
+        ~doc:
+          "Serve in the foreground instead of daemonizing: log to stderr, \
+           stop on Ctrl-C.")
+
+let daemon_groups_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"GROUP"
+        ~doc:
+          "Group files to build at startup and keep under the file \
+           watcher.  Later $(b,build --daemon) requests add their groups \
+           too.")
+
+let daemon_start_cmd =
+  Cmd.v
+    (Cmd.info "start" ~exits
+       ~doc:
+         "start the compile server for this directory: warm build state \
+          behind the Unix socket $(i,.irm-daemon/sock)")
+    Term.(
+      const daemon_start_impl $ dir_arg $ state_dir_arg $ daemon_groups_arg
+      $ watch_arg $ poll_arg $ client_timeout_arg $ cache_flag_arg
+      $ policy_arg $ jobs_arg $ foreground_arg)
+
+let daemon_stop_cmd =
+  Cmd.v
+    (Cmd.info "stop" ~exits
+       ~doc:
+         "ask the daemon to shut down cleanly (falls back to SIGTERM via \
+          the pid file when the socket does not answer)")
+    Term.(const daemon_stop_impl $ dir_arg $ state_dir_arg)
+
+let daemon_status_cmd =
+  Cmd.v
+    (Cmd.info "status" ~exits
+       ~doc:
+         "report the daemon's uptime, served requests, connected clients \
+          and watched groups ($(b,--json) emits the smlsep-daemon/1 \
+          status envelope, schema $(i,schemas/daemon.schema.json))")
+    Term.(const daemon_status_impl $ dir_arg $ state_dir_arg $ json_arg)
+
+let daemon_cmd =
+  Cmd.group
+    (Cmd.info "daemon" ~exits
+       ~doc:
+         "the compile server: a build daemon holding warm sessions, cache \
+          index and profile store behind a Unix socket")
+    [ daemon_start_cmd; daemon_stop_cmd; daemon_status_cmd ]
 
 let cmd =
   Cmd.group
@@ -916,11 +1027,12 @@ let cmd =
       cache_cmd;
       explain_cmd;
       profile_cmd;
+      daemon_cmd;
     ]
 
 (* standardized exit codes (documented under EXIT STATUS in --help):
    0 success, 1 diagnostics, 2 usage errors, 3 simulated crash,
-   4 worker pool death.
+   4 worker pool death, 130 interrupted.
    cmdliner reports parse errors as Exit.cli_error (124); fold them
    into the documented usage code. *)
 let () =

@@ -1,0 +1,120 @@
+module Frame = Pickle.Frame
+
+exception Protocol_error of string
+exception Timeout of string
+
+type t = {
+  fd : Unix.file_descr;
+  mutable buffer : string;  (** received, unparsed bytes *)
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* EINTR-safe blocking write of a whole frame *)
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* read more bytes into the buffer, waiting at most until [deadline];
+   returns false on EOF *)
+let fill t ~deadline =
+  let budget = deadline -. Unix.gettimeofday () in
+  if budget <= 0. then raise (Timeout "daemon did not respond in time");
+  match Unix.select [ t.fd ] [] [] budget with
+  | [], _, _ -> raise (Timeout "daemon did not respond in time")
+  | _ -> (
+    let chunk = Bytes.create 65536 in
+    match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> false
+    | n ->
+      t.buffer <- t.buffer ^ Bytes.sub_string chunk 0 n;
+      true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true)
+
+let rec next_frame t ~deadline =
+  match Frame.pop t.buffer with
+  | Some (msg, rest) ->
+    t.buffer <- rest;
+    msg
+  | None ->
+    if fill t ~deadline then next_frame t ~deadline
+    else raise (Protocol_error "daemon closed the connection")
+  | exception Pickle.Buf.Corrupt msg ->
+    close t;
+    raise (Protocol_error ("corrupt frame from daemon: " ^ msg))
+
+let handshake t ~timeout_s =
+  write_all t.fd
+    (Frame.encode ~kind:Protocol.k_hello ~id:"" ~payload:Protocol.version);
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let msg = next_frame t ~deadline in
+  if msg.Frame.f_kind = Protocol.k_error then
+    raise (Protocol_error msg.Frame.f_payload);
+  if msg.Frame.f_kind <> Protocol.k_hello then
+    raise (Protocol_error "daemon did not answer the handshake");
+  if not (String.equal msg.Frame.f_payload Protocol.version) then
+    raise
+      (Protocol_error
+         (Printf.sprintf "daemon speaks %s, this client speaks %s"
+            msg.Frame.f_payload Protocol.version))
+
+let connect ?(state_dir = Protocol.default_state_dir) ?(timeout_s = 10.) ~dir
+    () =
+  let path = Protocol.socket_path ~dir ~state_dir in
+  if not (Sys.file_exists path) then None
+  else
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      let t = { fd; buffer = ""; next_id = 0; closed = false } in
+      (match handshake t ~timeout_s with
+      | () -> Some t
+      | exception exn ->
+        close t;
+        raise exn)
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+      (* a socket file with nobody behind it: a dead daemon's leftover *)
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+    | exception exn ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise exn
+
+let request ?(timeout_s = 600.) ?(on_diag = fun _ -> ()) t req =
+  if t.closed then raise (Protocol_error "connection is closed");
+  t.next_id <- t.next_id + 1;
+  let id = string_of_int t.next_id in
+  write_all t.fd
+    (Frame.encode ~kind:Protocol.k_request ~id
+       ~payload:(Protocol.encode_request req));
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    let msg = next_frame t ~deadline in
+    if msg.Frame.f_kind = Protocol.k_error then begin
+      close t;
+      raise (Protocol_error msg.Frame.f_payload)
+    end
+    else if not (String.equal msg.Frame.f_id id) then
+      (* a response to an earlier, abandoned request: drop it *)
+      wait ()
+    else if msg.Frame.f_kind = Protocol.k_diag then begin
+      on_diag msg.Frame.f_payload;
+      wait ()
+    end
+    else if msg.Frame.f_kind = Protocol.k_response then
+      Protocol.decode_response msg.Frame.f_payload
+    else raise (Protocol_error "daemon sent an unexpected frame kind")
+  in
+  wait ()

@@ -1,0 +1,36 @@
+(** Client side of the compile-server socket protocol.
+
+    [connect] distinguishes "no daemon is listening" (a normal
+    condition — the CLI falls back to an in-process build) from a
+    daemon that is present but misbehaving (a {!Protocol_error}):
+    absence is [None], damage is an exception.
+
+    All I/O is blocking with a deadline: a daemon that stops responding
+    mid-request raises {!Timeout} rather than hanging the client. *)
+
+exception Protocol_error of string
+exception Timeout of string
+
+type t
+
+(** [connect ?state_dir ?timeout_s ~dir ()] — dial the daemon of
+    project root [dir] and perform the HELLO/version handshake.
+    [None] when no daemon is listening (no socket, nobody accepting, or
+    a stale socket file).  Raises {!Protocol_error} on a version
+    mismatch or a corrupt handshake. *)
+val connect :
+  ?state_dir:string -> ?timeout_s:float -> dir:string -> unit -> t option
+
+(** [request ?timeout_s ?on_diag t req] — send one request and wait for
+    its response.  Diagnostic frames streamed before the response are
+    handed to [on_diag] (the [smlsep-diag/1] JSON envelope, one per
+    call) as they arrive.  [timeout_s] (default 600) bounds the wait —
+    builds run inside the daemon, so the budget is generous. *)
+val request :
+  ?timeout_s:float ->
+  ?on_diag:(string -> unit) ->
+  t ->
+  Protocol.request ->
+  Protocol.response
+
+val close : t -> unit

@@ -1,0 +1,34 @@
+(** Advisory build lock.
+
+    The profile journal and the cache journal are append-only files
+    with in-process buffering: a daemon and a stray [irm build] running
+    in the same project directory could interleave appends and corrupt
+    both.  This lock serializes them — the daemon takes it for the
+    duration of each build request, a one-shot [irm build] for the
+    duration of its build — and the second acquirer gets a clear
+    diagnostic naming the holder instead of silent corruption.
+
+    Implemented with [Unix.lockf] (POSIX advisory record locking) over
+    a lock file next to the stores, so it works on any host file
+    system and evaporates with the holding process: a crashed build
+    never leaves a stale lock behind. *)
+
+(** The lock file's name, relative to the project root. *)
+val lock_file : string
+
+(** Raised when the lock is already held; [holder] is the pid recorded
+    by the current owner (best effort — [""] if unreadable). *)
+exception Held of { lock_path : string; holder : string }
+
+type t
+
+(** [acquire ~dir] — take the lock for project root [dir], or raise
+    {!Held}.  Non-blocking: contention is an immediate, explicit
+    failure, never a silent wait. *)
+val acquire : dir:string -> t
+
+(** [release t] — drop the lock.  Idempotent. *)
+val release : t -> unit
+
+(** [with_lock ~dir f] — {!acquire}, run [f ()], always {!release}. *)
+val with_lock : dir:string -> (unit -> 'a) -> 'a

@@ -1,0 +1,74 @@
+(** The compile-server wire protocol.
+
+    Requests and responses travel as {!Pickle.Frame} messages — the
+    same CRC-64-trailed framing the worker IPC uses — over a Unix
+    domain socket.  The daemon's tag space is disjoint from the worker
+    protocol's so a frame aimed at the wrong peer is an immediate
+    protocol error, not a misread.
+
+    Conversation shape: the client opens with a {!k_hello} frame whose
+    payload is {!version}; the daemon answers in kind (a mismatch gets
+    {!k_error} and a close).  Each request then goes out as one
+    {!k_request} frame with a client-chosen id; the daemon replies with
+    zero or more {!k_diag} frames (streamed diagnostic envelopes) and
+    exactly one {!k_response} frame, all echoing the request id — so a
+    client may pipeline requests and match responses as they
+    interleave.  {!k_error} frames carry a human-readable reason for
+    protocol-level failures. *)
+
+(** Protocol version, exchanged at HELLO: ["smlsep-daemon/1"]. *)
+val version : string
+
+(** {2 Frame kinds} *)
+
+val k_hello : int
+val k_request : int
+val k_response : int
+val k_diag : int
+val k_error : int
+
+(** {2 Where a daemon lives}
+
+    Paths are relative to the project root; the state directory name is
+    deliberately short — Unix socket paths are limited to ~100 bytes. *)
+
+val default_state_dir : string
+
+val socket_path : dir:string -> state_dir:string -> string
+val pid_path : dir:string -> state_dir:string -> string
+val log_path : dir:string -> state_dir:string -> string
+
+(** {2 Requests} *)
+
+type build_opts = {
+  b_group : string;  (** group file, relative to the daemon's root *)
+  b_policy : string;  (** [cutoff], [timestamp] or [selective] *)
+  b_jobs : int;
+  b_cache : bool;
+  b_keep_going : bool;
+  b_werror : bool;
+  b_max_errors : int option;
+  b_error_json : bool;  (** diagnostics as the [smlsep-diag/1] envelope *)
+}
+
+type request =
+  | Build of build_opts
+  | Run of build_opts  (** build, then execute; program output in [r_out] *)
+  | Explain of { e_unit : string; e_json : bool }
+  | Profile of { p_json : bool; p_top : int }
+  | Status  (** daemon self-description, always JSON *)
+  | Shutdown
+
+type response = {
+  r_code : int;  (** the exit code the client should exit with *)
+  r_out : string;  (** bytes for the client's stdout *)
+  r_err : string;  (** bytes for the client's stderr *)
+}
+
+(** Codecs for the frame payloads.  Decoders raise {!Pickle.Buf.Corrupt}
+    on damage or an unknown tag. *)
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response

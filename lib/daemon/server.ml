@@ -1,0 +1,680 @@
+module Frame = Pickle.Frame
+module Driver = Irm.Driver
+module Diag = Support.Diag
+
+exception Already_running of string
+
+type config = {
+  d_dir : string;
+  d_state_dir : string;
+  d_groups : string list;
+  d_watch : bool;
+  d_poll_s : float;
+  d_client_timeout_s : float;
+  d_cache : bool;
+  d_policy : string;
+  d_jobs : int;
+  d_log : string -> unit;
+}
+
+let default_config ~dir =
+  {
+    d_dir = dir;
+    d_state_dir = Protocol.default_state_dir;
+    d_groups = [];
+    d_watch = false;
+    d_poll_s = 0.5;
+    d_client_timeout_s = 30.;
+    d_cache = false;
+    d_policy = "cutoff";
+    d_jobs = 1;
+    d_log = prerr_endline;
+  }
+
+let m_connections = Obs.Metrics.counter "daemon.connections"
+let m_requests = Obs.Metrics.counter "daemon.requests"
+let m_builds = Obs.Metrics.counter "daemon.builds"
+let m_sweeps = Obs.Metrics.counter "daemon.watch_sweeps"
+let m_dirty = Obs.Metrics.counter "daemon.watch_dirty"
+let m_dropped = Obs.Metrics.counter "daemon.clients_dropped"
+let g_clients = Obs.Metrics.gauge "daemon.clients"
+
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_in : string;
+  mutable c_out : string;
+  mutable c_hello : bool;
+  mutable c_close_after_flush : bool;
+  mutable c_last_io : float;
+  mutable c_alive : bool;
+}
+
+(* warm per-group state: the manager (and its compilation session)
+   lives as long as the daemon does *)
+type group_state = {
+  g_group : string;
+  g_mgr : Driver.t;
+  g_watch : Watch.t;
+  mutable g_sources : string list;
+  mutable g_dirty : string list;  (** dirty since the last build (lazy mode) *)
+  mutable g_builds : int;
+  mutable g_opts : Protocol.build_opts;  (** what watch rebuilds replay *)
+}
+
+type t = {
+  cfg : config;
+  fs : Vfs.fs;
+  listen_fd : Unix.file_descr;
+  sock_path : string;
+  pid_path : string;
+  profile : Obs.Profile.t;
+  mutable cache : Cache.t option;
+  groups : (string, group_state) Hashtbl.t;
+  mutable conns : conn list;
+  mutable running : bool;
+  mutable stopping : bool;  (** shutdown answered; draining output *)
+  mutable served : int;
+  mutable sweeps : int;
+  mutable dirty_total : int;
+  started : float;
+  mutable next_sweep : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let default_opts cfg group =
+  {
+    Protocol.b_group = group;
+    b_policy = cfg.d_policy;
+    b_jobs = cfg.d_jobs;
+    b_cache = cfg.d_cache;
+    b_keep_going = false;
+    b_werror = false;
+    b_max_errors = None;
+    b_error_json = false;
+  }
+
+let group_state t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> g
+  | None ->
+    let g =
+      {
+        g_group = group;
+        g_mgr = Driver.create t.fs;
+        g_watch = Watch.create t.fs;
+        g_sources = [];
+        g_dirty = [];
+        g_builds = 0;
+        g_opts = default_opts t.cfg group;
+      }
+    in
+    Hashtbl.replace t.groups group g;
+    g
+
+let policy_of = function
+  | "cutoff" -> Some Driver.Cutoff
+  | "timestamp" -> Some Driver.Timestamp
+  | "selective" -> Some Driver.Selective
+  | _ -> None
+
+let backend_of jobs = if jobs <= 1 then Driver.Serial else Driver.Parallel jobs
+
+let cache_of t enabled =
+  if not enabled then None
+  else
+    match t.cache with
+    | Some _ as c -> c
+    | None ->
+      let c =
+        Cache.create ~dir:Cache.default_dir ~budget_bytes:Cache.default_budget
+          t.fs
+      in
+      t.cache <- Some c;
+      Some c
+
+(* a one-shot `irm build` may hold the advisory lock; wait briefly for
+   it to finish before giving up with its diagnostic *)
+let acquire_lock t =
+  let rec go n =
+    match Lock.acquire ~dir:t.cfg.d_dir with
+    | lock -> lock
+    | exception Lock.Held _ when n > 0 ->
+      Unix.sleepf 0.05;
+      go (n - 1)
+  in
+  go 20
+
+(* every handler returns the response plus the diag-frame payloads to
+   stream ahead of it *)
+let ok out = ({ Protocol.r_code = 0; r_out = out; r_err = "" }, [])
+
+(* the same exception → (stderr, exit code) mapping the CLI's [guarded]
+   applies, rendered into a response instead of printed.
+   [Driver.Interrupted] deliberately passes through: it is the daemon
+   being told to die, not a request failing. *)
+let guard ~json f =
+  let plain ?(code = 1) err = ({ Protocol.r_code = code; r_out = ""; r_err = err }, []) in
+  let diags ds =
+    if json then
+      ( { Protocol.r_code = 1; r_out = ""; r_err = "" },
+        [
+          Obs.Json.to_string (Irm.Introspect.diagnostics_envelope ds) ^ "\n";
+        ] )
+    else
+      plain
+        (String.concat ""
+           (List.map (fun d -> Diag.to_string d ^ "\n") ds))
+  in
+  match Diag.guard_all f with
+  | Ok resp -> resp
+  | Error ds -> diags ds
+  | exception Lock.Held { lock_path; holder } ->
+    plain
+      (Printf.sprintf
+         "the build lock %s is held by pid %s — another build is running in \
+          this directory; retry when it finishes\n"
+         lock_path holder)
+  | exception Pickle.Buf.Corrupt msg ->
+    diags [ Diag.make Diag.Pickle Support.Loc.dummy msg ]
+  | exception Vfs.Crash { crash_op; crash_path } ->
+    plain ~code:3
+      (Printf.sprintf
+         "simulated crash during %s of %s — on-disk state is safe\n" crash_op
+         crash_path)
+  | exception Vfs.Fault { fault_op; fault_path; _ } ->
+    plain
+      (Printf.sprintf "injected fault persisted: %s of %s failed\n" fault_op
+         fault_path)
+  | exception Sys_error msg -> plain (msg ^ "\n")
+  | exception Worker.Pool_down msg ->
+    plain ~code:4
+      (Printf.sprintf
+         "build aborted: the compile worker pool died entirely (%s)\n" msg)
+
+let serve_build t opts ~and_run =
+  let open Protocol in
+  match policy_of opts.b_policy with
+  | None ->
+    ( { r_code = 2; r_out = ""; r_err = Printf.sprintf "unknown policy %S\n" opts.b_policy },
+      [] )
+  | Some policy ->
+    guard ~json:opts.b_error_json (fun () ->
+        let g = group_state t opts.b_group in
+        let sources = Irm.Group.load t.fs opts.b_group in
+        if sources = [] then
+          Diag.error Diag.Manager Support.Loc.dummy
+            "group file %s lists no sources" opts.b_group;
+        let lock = acquire_lock t in
+        Fun.protect ~finally:(fun () -> Lock.release lock) @@ fun () ->
+        Obs.Metrics.incr m_builds;
+        let stats =
+          Driver.build
+            ~backend:(backend_of opts.b_jobs)
+            ?cache:(cache_of t opts.b_cache) ~profile:t.profile
+            ~keep_going:opts.b_keep_going ~werror:opts.b_werror
+            ?max_errors:opts.b_max_errors g.g_mgr ~policy ~sources
+        in
+        g.g_sources <- sources;
+        g.g_builds <- g.g_builds + 1;
+        g.g_dirty <- [];
+        g.g_opts <- opts;
+        Watch.track g.g_watch (opts.b_group :: sources);
+        let diag =
+          Irm.Introspect.report_diagnostics ~source_of:t.fs.Vfs.fs_read
+            ~json:opts.b_error_json stats
+        in
+        let diag_frames = if opts.b_error_json then [ diag.out ] else [] in
+        if and_run then begin
+          (* `irm run` prints no listing: diagnostics, then the program *)
+          if diag.code <> 0 then
+            ({ r_code = diag.code; r_out = ""; r_err = diag.err }, diag_frames)
+          else
+            let buf = Buffer.create 256 in
+            match
+              Driver.run ~output:(Buffer.add_string buf) g.g_mgr ~sources
+            with
+            | _ ->
+              ({ r_code = 0; r_out = Buffer.contents buf; r_err = "" },
+               diag_frames)
+            | exception Dynamics.Eval.Sml_raise packet ->
+              ( {
+                  r_code = 1;
+                  r_out = Buffer.contents buf;
+                  r_err =
+                    Printf.sprintf "uncaught exception: %s\n"
+                      (Dynamics.Value.to_string packet);
+                },
+                diag_frames )
+            | exception Dynamics.Eval.Sml_exit code ->
+              ({ r_code = code; r_out = Buffer.contents buf; r_err = "" },
+               diag_frames)
+        end
+        else
+          let listing =
+            if opts.b_error_json then ""
+            else Irm.Introspect.build_listing g.g_mgr stats
+          in
+          ({ r_code = diag.code; r_out = listing; r_err = diag.err },
+           diag_frames))
+
+let live_conns t = List.filter (fun c -> c.c_alive) t.conns
+
+let status_json t =
+  let open Obs.Json in
+  let tracked =
+    Hashtbl.fold
+      (fun _ g acc -> acc + List.length (Watch.tracked g.g_watch))
+      t.groups 0
+  in
+  let groups =
+    Hashtbl.fold
+      (fun _ g acc ->
+        Obj
+          [
+            ("group", String g.g_group);
+            ("units", Int (List.length g.g_sources));
+            ("builds", Int g.g_builds);
+            ("dirty", List (List.map (fun f -> String f) g.g_dirty));
+          ]
+        :: acc)
+      t.groups []
+  in
+  Obj
+    [
+      ("version", String Protocol.version);
+      ("pid", Int (Unix.getpid ()));
+      ("uptime_s", Float (Unix.gettimeofday () -. t.started));
+      ("served", Int t.served);
+      ("clients", Int (List.length (live_conns t)));
+      ( "watch",
+        Obj
+          [
+            ("eager", Bool t.cfg.d_watch);
+            ("poll_s", Float t.cfg.d_poll_s);
+            ("tracked", Int tracked);
+            ("sweeps", Int t.sweeps);
+            ("dirty_total", Int t.dirty_total);
+          ] );
+      ("groups", List groups);
+    ]
+
+let serve_request t req =
+  t.served <- t.served + 1;
+  Obs.Metrics.incr m_requests;
+  match req with
+  | Protocol.Build opts -> serve_build t opts ~and_run:false
+  | Protocol.Run opts -> serve_build t opts ~and_run:true
+  | Protocol.Explain { e_unit; e_json } ->
+    guard ~json:false (fun () ->
+        let r =
+          Irm.Introspect.explain t.profile ~unit_name:e_unit ~json:e_json
+        in
+        ({ Protocol.r_code = r.code; r_out = r.out; r_err = r.err }, []))
+  | Protocol.Profile { p_json; p_top } ->
+    guard ~json:false (fun () ->
+        let r =
+          Irm.Introspect.profile_report t.profile ~json:p_json ~top:p_top
+        in
+        ({ Protocol.r_code = r.code; r_out = r.out; r_err = r.err }, []))
+  | Protocol.Status ->
+    ok (Obs.Json.to_canonical_string (status_json t) ^ "\n")
+  | Protocol.Shutdown ->
+    t.stopping <- true;
+    ok ""
+
+(* ------------------------------------------------------------------ *)
+(* Connection plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let send conn ~kind ~id ~payload =
+  conn.c_out <- conn.c_out ^ Frame.encode ~kind ~id ~payload
+
+let drop t conn =
+  if conn.c_alive then begin
+    conn.c_alive <- false;
+    conn.c_in <- "";
+    conn.c_out <- "";
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    Obs.Metrics.set g_clients (List.length (live_conns t))
+  end
+
+let handle_msg t conn (msg : Frame.msg) =
+  if not conn.c_hello then
+    if msg.f_kind = Protocol.k_hello then
+      if String.equal msg.f_payload Protocol.version then begin
+        conn.c_hello <- true;
+        send conn ~kind:Protocol.k_hello ~id:msg.f_id
+          ~payload:Protocol.version
+      end
+      else begin
+        send conn ~kind:Protocol.k_error ~id:msg.f_id
+          ~payload:
+            (Printf.sprintf "version mismatch: daemon %s, client %s"
+               Protocol.version msg.f_payload);
+        conn.c_close_after_flush <- true
+      end
+    else begin
+      send conn ~kind:Protocol.k_error ~id:msg.f_id
+        ~payload:"expected a HELLO frame";
+      conn.c_close_after_flush <- true
+    end
+  else if msg.f_kind = Protocol.k_request then begin
+    match Protocol.decode_request msg.f_payload with
+    | exception Pickle.Buf.Corrupt reason ->
+      send conn ~kind:Protocol.k_error ~id:msg.f_id
+        ~payload:("undecodable request: " ^ reason)
+    | req ->
+      let resp, diags =
+        Obs.Trace.span ~cat:"daemon"
+          ~args:[ ("id", msg.f_id) ]
+          "daemon.request"
+          (fun () -> serve_request t req)
+      in
+      List.iter
+        (fun payload -> send conn ~kind:Protocol.k_diag ~id:msg.f_id ~payload)
+        diags;
+      send conn ~kind:Protocol.k_response ~id:msg.f_id
+        ~payload:(Protocol.encode_response resp)
+  end
+  else
+    send conn ~kind:Protocol.k_error ~id:msg.f_id
+      ~payload:(Printf.sprintf "unexpected frame kind %d" msg.f_kind)
+
+(* a client feeding us garbage gets a best-effort error frame and a
+   close — never an exception out of the reactor *)
+let rec parse_conn t conn =
+  if conn.c_alive && not conn.c_close_after_flush then
+    match Frame.pop conn.c_in with
+    | exception Pickle.Buf.Corrupt reason ->
+      conn.c_in <- "";
+      send conn ~kind:Protocol.k_error ~id:""
+        ~payload:("corrupt frame: " ^ reason);
+      conn.c_close_after_flush <- true
+    | None -> ()
+    | Some (msg, rest) ->
+      conn.c_in <- rest;
+      handle_msg t conn msg;
+      parse_conn t conn
+
+let read_conn t conn =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+    | 0 -> drop t conn
+    | n ->
+      conn.c_in <- conn.c_in ^ Bytes.sub_string chunk 0 n;
+      conn.c_last_io <- Unix.gettimeofday ();
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> drop t conn
+  in
+  go ();
+  if conn.c_alive then parse_conn t conn
+
+let flush_conn t conn =
+  let rec go () =
+    if conn.c_alive && conn.c_out <> "" then
+      match
+        Unix.write_substring conn.c_fd conn.c_out 0 (String.length conn.c_out)
+      with
+      | n ->
+        conn.c_out <- String.sub conn.c_out n (String.length conn.c_out - n);
+        conn.c_last_io <- Unix.gettimeofday ();
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> drop t conn
+  in
+  go ();
+  if conn.c_alive && conn.c_out = "" && conn.c_close_after_flush then
+    drop t conn
+
+let accept_conns t =
+  let rec go () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      Obs.Metrics.incr m_connections;
+      t.conns <-
+        {
+          c_fd = fd;
+          c_in = "";
+          c_out = "";
+          c_hello = false;
+          c_close_after_flush = false;
+          c_last_io = Unix.gettimeofday ();
+          c_alive = true;
+        }
+        :: t.conns;
+      Obs.Metrics.set g_clients (List.length (live_conns t));
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+(* the watchdog: a client holding half a frame, or not draining its
+   response, past the timeout is wedged — drop it, exactly as the
+   worker supervisor drops a silent child *)
+let drop_wedged t =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun conn ->
+      if
+        conn.c_alive
+        && (conn.c_in <> "" || conn.c_out <> "" || not conn.c_hello)
+        && now -. conn.c_last_io > t.cfg.d_client_timeout_s
+      then begin
+        Obs.Metrics.incr m_dropped;
+        t.cfg.d_log
+          (Printf.sprintf "daemon: dropped a wedged client (idle %.1fs)"
+             (now -. conn.c_last_io));
+        drop t conn
+      end)
+    t.conns
+
+(* ------------------------------------------------------------------ *)
+(* Watch sweeps                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* the dependent cone the dirty files invalidate, via the dependency
+   graph (parse errors are tolerated: a broken source still maps to
+   itself) *)
+let dirty_cone t g dirty =
+  if List.exists (String.equal g.g_group) dirty then g.g_sources
+  else
+    match
+      let parsed =
+        List.map
+          (fun file ->
+            let source =
+              Option.value ~default:"" (t.fs.Vfs.fs_read file)
+            in
+            let scan_diags = Diag.collector ~unit_name:file () in
+            match
+              Lang.Parser.parse_unit ~diags:scan_diags ~file source
+            with
+            | unit_ -> (file, unit_)
+            | exception Diag.Errors _ ->
+              (file, { Lang.Ast.unit_file = file; unit_decs = [] }))
+          g.g_sources
+      in
+      Depend.Depgraph.build parsed
+    with
+    | graph ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun f ->
+          if List.mem f g.g_sources then begin
+            Hashtbl.replace seen f ();
+            List.iter
+              (fun d -> Hashtbl.replace seen d ())
+              (Depend.Depgraph.cone graph f)
+          end)
+        dirty;
+      List.filter (Hashtbl.mem seen) g.g_sources
+    | exception _ -> dirty
+
+let sweep t =
+  t.next_sweep <- Unix.gettimeofday () +. t.cfg.d_poll_s;
+  Hashtbl.iter
+    (fun _ g ->
+      if Watch.tracked g.g_watch <> [] then begin
+        t.sweeps <- t.sweeps + 1;
+        Obs.Metrics.incr m_sweeps;
+        let dirty = Watch.sweep g.g_watch in
+        if dirty <> [] then begin
+          Obs.Metrics.add m_dirty (List.length dirty);
+          t.dirty_total <- t.dirty_total + List.length dirty;
+          let cone = dirty_cone t g dirty in
+          t.cfg.d_log
+            (Printf.sprintf "daemon: %s dirty [%s] -> cone [%s]" g.g_group
+               (String.concat ", " dirty)
+               (String.concat ", " cone));
+          if t.cfg.d_watch then begin
+            let resp, _ = serve_build t g.g_opts ~and_run:false in
+            t.cfg.d_log
+              (Printf.sprintf "daemon: watch rebuild of %s (exit %d)\n%s%s"
+                 g.g_group resp.Protocol.r_code resp.Protocol.r_out
+                 resp.Protocol.r_err)
+          end
+          else
+            g.g_dirty <-
+              List.sort_uniq String.compare (g.g_dirty @ cone)
+        end
+      end)
+    t.groups
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p path =
+  try Unix.mkdir path 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (Unix.ENOENT, _, _) ->
+    let parent = Filename.dirname path in
+    if parent <> path then begin
+      (try Unix.mkdir parent 0o755 with Unix.Unix_error _ -> ());
+      try Unix.mkdir path 0o755 with Unix.Unix_error _ -> ()
+    end
+
+let create cfg =
+  let sock_path =
+    Protocol.socket_path ~dir:cfg.d_dir ~state_dir:cfg.d_state_dir
+  in
+  let pid_path = Protocol.pid_path ~dir:cfg.d_dir ~state_dir:cfg.d_state_dir in
+  mkdir_p (Filename.dirname sock_path);
+  (* a live daemon on the socket wins; a stale socket file is swept *)
+  if Sys.file_exists sock_path then begin
+    match Client.connect ~state_dir:cfg.d_state_dir ~dir:cfg.d_dir () with
+    | Some c ->
+      Client.close c;
+      raise (Already_running sock_path)
+    | None -> ( try Unix.unlink sock_path with Unix.Unix_error _ -> ())
+    | exception _ -> raise (Already_running sock_path)
+  end;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX sock_path);
+  Unix.listen listen_fd 16;
+  Unix.set_nonblock listen_fd;
+  Out_channel.with_open_bin pid_path (fun oc ->
+      Printf.fprintf oc "%d\n" (Unix.getpid ()));
+  (* bound the trace buffer: the daemon traces across thousands of
+     requests, the one-shot CLI does not *)
+  Obs.Trace.set_cap 50_000;
+  let fs = Vfs.real ~dir:cfg.d_dir in
+  let t =
+    {
+      cfg;
+      fs;
+      listen_fd;
+      sock_path;
+      pid_path;
+      profile = Obs.Profile.load fs;
+      cache = None;
+      groups = Hashtbl.create 4;
+      conns = [];
+      running = true;
+      stopping = false;
+      served = 0;
+      sweeps = 0;
+      dirty_total = 0;
+      started = Unix.gettimeofday ();
+      next_sweep = Unix.gettimeofday () +. cfg.d_poll_s;
+    }
+  in
+  (* pre-warm: build and track every startup group so the first client
+     request already hits warm state *)
+  List.iter
+    (fun group ->
+      let resp, _ = serve_build t (default_opts cfg group) ~and_run:false in
+      cfg.d_log
+        (Printf.sprintf "daemon: startup build of %s (exit %d)" group
+           resp.Protocol.r_code))
+    cfg.d_groups;
+  t
+
+let running t = t.running
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    List.iter (fun conn -> drop t conn) t.conns;
+    t.conns <- [];
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink t.sock_path with Unix.Unix_error _ -> ());
+    try Unix.unlink t.pid_path with Unix.Unix_error _ -> ()
+  end
+
+let step ?(timeout_s = 0.2) t =
+  if t.running then begin
+    let now = Unix.gettimeofday () in
+    if now >= t.next_sweep then sweep t;
+    drop_wedged t;
+    t.conns <- live_conns t;
+    if t.stopping && List.for_all (fun c -> c.c_out = "") t.conns then stop t
+    else begin
+      let reads = t.listen_fd :: List.map (fun c -> c.c_fd) t.conns in
+      let writes =
+        List.filter_map
+          (fun c -> if c.c_out <> "" then Some c.c_fd else None)
+          t.conns
+      in
+      let wait =
+        Float.max 0. (Float.min timeout_s (t.next_sweep -. now))
+      in
+      match Unix.select reads writes [] wait with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | rs, ws, _ ->
+        if List.memq t.listen_fd rs then accept_conns t;
+        List.iter
+          (fun conn ->
+            if conn.c_alive && List.memq conn.c_fd rs then read_conn t conn)
+          t.conns;
+        (* requests processed above queued output: push it now rather
+           than waiting for the next select round *)
+        List.iter
+          (fun conn ->
+            if conn.c_alive && (conn.c_out <> "" || List.memq conn.c_fd ws)
+            then flush_conn t conn)
+          t.conns
+    end
+  end
+
+let run t =
+  match
+    while t.running do
+      step t
+    done
+  with
+  | () -> stop t
+  | exception exn ->
+    stop t;
+    raise exn

@@ -1,0 +1,31 @@
+(** Polling file watcher: an mtime-then-digest sweep.
+
+    No OS-specific notification APIs — the daemon polls, which works on
+    every file system the {!Vfs} abstraction does (including the
+    in-memory one the tests use).  Each sweep takes the cheap path
+    first: a file whose mtime is unchanged {e and} safely in the past
+    is assumed clean without reading it.  A file modified within the
+    current second is always re-read and content-hashed (MD5), because
+    second-granularity mtimes cannot distinguish two edits inside the
+    same tick — so an edit is never missed, at the cost of hashing
+    freshly-touched files for one extra sweep.
+
+    The watcher only reports {e which} files changed; mapping dirty
+    files to the dependent cone and deciding eager-vs-lazy rebuild is
+    the server's job. *)
+
+type t
+
+val create : Vfs.fs -> t
+
+(** [track t files] — replace the watched set.  Newly tracked files are
+    primed silently (they will not be reported dirty until they change
+    {e after} this call); files no longer listed are forgotten. *)
+val track : t -> string list -> unit
+
+val tracked : t -> string list
+
+(** [sweep t] — poll every tracked file; returns the files whose
+    content changed (or appeared/disappeared) since the last sweep, in
+    tracking order. *)
+val sweep : t -> string list

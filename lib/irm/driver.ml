@@ -63,12 +63,21 @@ let m_cache_hits = Obs.Metrics.counter "build.cache_hits"
 let m_failed = Obs.Metrics.counter "build.failed"
 let m_skipped = Obs.Metrics.counter "build.skipped"
 
+exception Interrupted of string
+
 type t = {
   fs : Vfs.fs;
   session : Sepcomp.Compile.session;
   units : (string, Pickle.Binfile.t) Hashtbl.t;  (** last build's results *)
   bin_bytes : (string, string) Hashtbl.t;
       (** last build's bin bytes — the closures shipped to workers *)
+  retained : (string, string * Pickle.Binfile.t) Hashtbl.t;
+      (** warm state surviving across builds: file → (bin bytes, the
+          unit rehydrated from them).  When a later build reads the same
+          bytes back it reuses the rehydrated unit instead of unpickling
+          again — the daemon's warm-rebuild win.  Never trusted blindly:
+          entries are keyed by exact byte equality with what is on
+          disk. *)
   mutable last_order : string list;  (** build order of the last build *)
 }
 
@@ -78,6 +87,7 @@ let create fs =
     session = Sepcomp.Compile.new_session ();
     units = Hashtbl.create 32;
     bin_bytes = Hashtbl.create 32;
+    retained = Hashtbl.create 32;
     last_order = [];
   }
 
@@ -92,6 +102,19 @@ let read_source t file =
   | Some content -> content
   | None -> manager_error "source file %s not found" file
 
+(* Rehydrate bin bytes into the manager's session, short-circuiting through
+   the retained table: if this exact byte string was already loaded for
+   this file in an earlier build (the session is created once per
+   driver, so its interned state is still valid), reuse the unit.
+   Raises [Pickle.Buf.Corrupt] exactly like [Sepcomp.Compile.load]. *)
+let rehydrate t file bytes =
+  match Hashtbl.find_opt t.retained file with
+  | Some (prev_bytes, unit_) when String.equal prev_bytes bytes -> unit_
+  | Some _ | None ->
+    let unit_ = Sepcomp.Compile.load t.session bytes in
+    Hashtbl.replace t.retained file (bytes, unit_);
+    unit_
+
 (* Try to read the unit's previous bin file; damaged files force a
    recompilation (with a distinct cause) rather than failing the
    build. *)
@@ -99,7 +122,7 @@ let read_bin t file =
   match t.fs.Vfs.fs_read (bin_path file) with
   | None -> `Absent
   | Some bytes -> (
-    match Sepcomp.Compile.load t.session bytes with
+    match rehydrate t file bytes with
     | unit_ -> `Ok (unit_, bytes)
     | exception Pickle.Buf.Corrupt _ -> `Corrupt)
 
@@ -385,7 +408,7 @@ let build ?(backend = Serial) ?cache ?profile ?(retries = 2)
         | None -> compile_job ()
         | Some bytes -> (
           (* validate by rehydrating; corrupt entries degrade to a miss *)
-          match Sepcomp.Compile.load t.session bytes with
+          match rehydrate t file bytes with
           | exception Pickle.Buf.Corrupt _ ->
             Cache.invalidate c k;
             compile_job ()
@@ -405,7 +428,7 @@ let build ?(backend = Serial) ?cache ?profile ?(retries = 2)
     (match result.r_kind with
     | Loaded -> ()
     | Recompiled | Cache_hit ->
-      let unit_ = Sepcomp.Compile.load t.session result.r_bytes in
+      let unit_ = rehydrate t file result.r_bytes in
       (* atomic commit: a crash mid-write must never leave a torn bin
          under the final name — at worst an orphan staging file that
          [recover] sweeps up *)
@@ -431,9 +454,76 @@ let build ?(backend = Serial) ?cache ?profile ?(retries = 2)
   let codec =
     match backend with Sched.Workers _ -> Some (Wire.codec ()) | _ -> None
   in
+  (* a signal arriving mid-build raises [Interrupted] out of a node
+     callback; the partial build still lands in the profile store (only
+     the units that actually finished), so `irm profile` shows what an
+     interrupted build managed to do before it died *)
+  let record_partial reason =
+    match profile with
+    | None -> ()
+    | Some p ->
+      let cutoff_of file prep =
+        match (prep.p_prev_pid, Hashtbl.find_opt t.units file) with
+        | Some old, Some unit_ ->
+          Pid.equal old unit_.Pickle.Binfile.uf_static_pid
+        | _ -> false
+      in
+      let bp_units =
+        List.filter_map
+          (fun file ->
+            match (Hashtbl.find_opt preps file, Hashtbl.find_opt results file)
+            with
+            | Some prep, Some (res, wall) ->
+              Some
+                {
+                  Obs.Profile.up_unit = file;
+                  up_outcome =
+                    (match res.r_kind with
+                    | Loaded -> "loaded"
+                    | Cache_hit -> "cache"
+                    | Recompiled ->
+                      if cutoff_of file prep then "cutoff" else "recompiled");
+                  up_cause = Option.map cause_name prep.p_cause;
+                  up_culprits =
+                    Option.value ~default:[]
+                      (Option.map cause_culprits prep.p_cause);
+                  up_start_s = prep.p_start -. build_start;
+                  up_wall_s = wall;
+                  up_phases = res.r_phases;
+                  up_imports =
+                    List.map
+                      (fun dep ->
+                        ( dep,
+                          match Hashtbl.find_opt t.units dep with
+                          | Some u -> Pid.to_hex u.Pickle.Binfile.uf_static_pid
+                          | None -> "" ))
+                      (deps_of file);
+                }
+            | _ -> None)
+          order
+      in
+      Obs.Trace.instant ~cat:"build"
+        ~args:[ ("reason", reason) ]
+        "build.interrupted";
+      Obs.Profile.record p
+        {
+          Obs.Profile.bp_id = build_id;
+          bp_policy = policy_name policy;
+          bp_backend = Sched.backend_name backend;
+          bp_wall_s = Unix.gettimeofday () -. build_start;
+          bp_jobs = Sched.jobs backend;
+          bp_slot_busy_s = [];
+          bp_units;
+        }
+  in
   let outcomes =
-    Sched.run ~retries ~backoff_s ~retryable:transient_fault ~keep_going ?codec
-      backend ~order ~deps:deps_of ~prepare ~execute ~complete
+    try
+      Sched.run ~retries ~backoff_s ~retryable:transient_fault ~keep_going
+        ~fatal:(function Interrupted _ -> true | _ -> false)
+        ?codec backend ~order ~deps:deps_of ~prepare ~execute ~complete
+    with Interrupted reason as exn ->
+      record_partial reason;
+      raise exn
   in
   (* without [keep_going], Sched.run raised if any node failed, so every
      node completed; with it, failed and skipped nodes have no entry in

@@ -104,8 +104,21 @@ type stats = {
 
 type t
 
+(** Raised out of a build when a signal (SIGINT/SIGTERM) asked the
+    process to stop: the scheduler treats it as fatal — it aborts the
+    wavefront immediately, {e even under} [keep_going] — and the driver
+    records the partial build (only the units that finished) into the
+    profile store before re-raising, so interrupted builds still show
+    up in [irm profile].  The string names the signal. *)
+exception Interrupted of string
+
 (** [create fs] — a manager over a file system; owns a compilation
-    session that persists across builds. *)
+    session that persists across builds.  The session — and with it the
+    interned symbols, rehydrated static environments, and the bin-byte
+    identity of every unit loaded so far — is retained across builds:
+    re-entering [build] on a warm manager skips rehydration for every
+    unit whose bin bytes are unchanged on disk.  A long-running daemon
+    holds one manager per group for exactly this reason. *)
 val create : Vfs.fs -> t
 
 val session : t -> Sepcomp.Compile.session

@@ -26,13 +26,35 @@ let next_seq = Atomic.make 0
 let lock = Mutex.create ()
 let completed : pending list ref = ref [] (* reverse completion order *)
 
+(* a long-running daemon traces forever: bound the buffer so it holds
+   the most recent [cap] events instead of growing without limit.
+   0 = unbounded (the one-shot CLI default). *)
+let cap = Atomic.make 0
+let buffered = ref 0 (* length of [completed]; guarded by [lock] *)
+
+let set_cap n = Atomic.set cap (max 0 n)
+
+let trim_locked () =
+  let c = Atomic.get cap in
+  if c > 0 && !buffered > c then begin
+    (* [completed] is newest-first: keep the first [c] *)
+    let rec take n = function
+      | x :: tl when n > 0 -> x :: take (n - 1) tl
+      | _ -> []
+    in
+    completed := take c !completed;
+    buffered := c
+  end
+
 let enabled () = Atomic.get on
 let epoch_s () = !epoch
 
 let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
 
 let reset () =
-  Mutex.protect lock (fun () -> completed := []);
+  Mutex.protect lock (fun () ->
+      completed := [];
+      buffered := 0);
   Domain.DLS.get depth_key := 0;
   Atomic.set next_seq 0;
   epoch := Unix.gettimeofday ()
@@ -45,7 +67,9 @@ let disable () = Atomic.set on false
 
 let record ev seq =
   Mutex.protect lock (fun () ->
-      completed := { p_event = ev; p_seq = seq } :: !completed)
+      completed := { p_event = ev; p_seq = seq } :: !completed;
+      incr buffered;
+      trim_locked ())
 
 let tid () = (Domain.self () :> int)
 
@@ -204,6 +228,7 @@ let drain_wire () =
     Mutex.protect lock (fun () ->
         let evs = !completed in
         completed := [];
+        buffered := 0;
         evs)
   in
   match drained with

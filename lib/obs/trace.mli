@@ -37,6 +37,12 @@ val enabled : unit -> bool
     as it was); re-bases the trace clock. *)
 val reset : unit -> unit
 
+(** [set_cap n] — keep only the most recent [n] completed spans,
+    dropping the oldest as new ones land; [0] (the default) is
+    unbounded.  A long-running daemon sets a cap so its trace buffer
+    cannot grow without limit across thousands of requests. *)
+val set_cap : int -> unit
+
 (** [epoch_s ()] — the trace clock's origin, in [Unix.gettimeofday]
     seconds.  Exchanged at the worker handshake so the supervisor can
     correct a child's clock offset. *)

@@ -48,3 +48,20 @@ let decode_body body =
   let f_id = Buf.read_string r in
   let f_payload = Buf.read_string r in
   { f_kind; f_id; f_payload }
+
+(* incremental extraction from a receive buffer: both the worker
+   supervisor and the build daemon accumulate socket/pipe reads into a
+   string and pop complete frames off the front *)
+let pop buffer =
+  let len = String.length buffer in
+  if len < header_size then None
+  else
+    let body_len = body_length (String.sub buffer 0 header_size) in
+    if len < header_size + body_len then None
+    else
+      let body = String.sub buffer header_size body_len in
+      let rest =
+        String.sub buffer (header_size + body_len)
+          (len - header_size - body_len)
+      in
+      Some (decode_body body, rest)

@@ -36,3 +36,11 @@ val body_length : string -> int
 (** [decode_body body] — verify the CRC-64 trailer, then decode.
     Raises {!Buf.Corrupt} on a mismatch. *)
 val decode_body : string -> msg
+
+(** [pop buffer] — extract the first complete frame from an
+    accumulation buffer: [Some (msg, rest)] when a whole frame is
+    present, [None] when more bytes are needed.  Raises {!Buf.Corrupt}
+    as soon as the prefix is provably damaged (bad magic, implausible
+    length, CRC mismatch), so a receiver can drop the peer without
+    waiting for more input. *)
+val pop : string -> (msg * string) option

@@ -45,8 +45,9 @@ type 'result node_state = {
 }
 
 let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
-    ?(retryable = fun _ -> false) ?(keep_going = false) ?codec backend ~order
-    ~deps ~prepare ~execute ~complete =
+    ?(retryable = fun _ -> false) ?(keep_going = false)
+    ?(fatal = fun _ -> false) ?codec backend ~order ~deps ~prepare ~execute
+    ~complete =
   Obs.Trace.span ~cat:"sched"
     ~args:[ ("backend", backend_name backend) ]
     "sched.run"
@@ -171,13 +172,19 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
           | Some root -> finish dependent (Skipped root)
           | None -> start dependent)
       (Option.value ~default:[] (Hashtbl.find_opt dependents node))
+  (* an exception the caller declared fatal (a signal-driven interrupt,
+     not a unit failure) aborts the whole run immediately — even under
+     [keep_going], which only shields per-unit failures.  The raise
+     unwinds through the Fun.protect below, so pools still join. *)
+  and fail node exn =
+    if fatal exn then raise exn else finish node (Failed exn)
   and settle node result =
     match complete node result with
     | result -> finish node (Completed result)
-    | exception exn -> finish node (Failed exn)
+    | exception exn -> fail node exn
   and start node =
     match prepare node with
-    | exception exn -> finish node (Failed exn)
+    | exception exn -> fail node exn
     | Done result ->
       Obs.Metrics.incr m_inline;
       settle node result
@@ -198,7 +205,7 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
         bump 0 (Unix.gettimeofday () -. t0);
         match result with
         | Ok result -> settle node result
-        | Error exn -> finish node (Failed exn)
+        | Error exn -> fail node exn
       end
       else dispatch node job
   in
@@ -223,8 +230,8 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
       | Ok payload -> (
         match codec.c_decode_result payload with
         | result -> settle node result
-        | exception exn -> finish node (Failed exn))
-      | Error exn -> finish node (Failed exn)
+        | exception exn -> fail node exn)
+      | Error exn -> fail node exn
     done;
     busy := Worker.slot_busy pool
   | Serial | Parallel _ ->
@@ -256,7 +263,7 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
         (fun (node, result) ->
           match result with
           | Ok result -> settle node result
-          | Error exn -> finish node (Failed exn))
+          | Error exn -> fail node exn)
         batch
     done
   end);

@@ -111,13 +111,21 @@ val last_slots : unit -> slots option
     exactly as a serial run would.  With [keep_going] (default false)
     no exception is raised: failures stay in the outcome list as
     [Failed], their dependent cones as [Skipped], and every node not
-    downstream of a failure still runs. *)
+    downstream of a failure still runs.
+
+    Exceptions for which [fatal] returns true (default: none) are never
+    demoted to a [Failed] outcome: they abort the run immediately and
+    re-raise, {e even under} [keep_going].  This is how a signal-driven
+    interrupt cuts through a keep-going build instead of being recorded
+    as one more unit failure.  Worker pools and domain pools are still
+    shut down on the way out. *)
 val run :
   ?retries:int ->
   ?backoff_s:float ->
   ?backoff_cap_s:float ->
   ?retryable:(exn -> bool) ->
   ?keep_going:bool ->
+  ?fatal:(exn -> bool) ->
   ?codec:('job, 'result) codec ->
   backend ->
   order:string list ->

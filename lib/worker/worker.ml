@@ -498,29 +498,17 @@ let handle_msg t i c msg =
   | _ -> on_malfunction t i c "sent an unknown message kind"
 
 let rec parse_frames t i c =
-  let buf = c.ch_pending in
-  let len = String.length buf in
-  if len >= Frame.header_size then begin
-    match Frame.body_length (String.sub buf 0 Frame.header_size) with
-    | exception Pickle.Buf.Corrupt _ ->
-      on_malfunction t i c "sent a corrupt frame header"
-    | body_len ->
-      if len >= Frame.header_size + body_len then begin
-        let body = String.sub buf Frame.header_size body_len in
-        c.ch_pending <-
-          String.sub buf
-            (Frame.header_size + body_len)
-            (len - Frame.header_size - body_len);
-        (match Frame.decode_body body with
-        | exception Pickle.Buf.Corrupt _ ->
-          on_malfunction t i c "sent a corrupt frame body"
-        | msg -> handle_msg t i c msg);
-        (* the slot may have been retired by a malfunction above *)
-        match t.slots.(i) with
-        | Live c' when c' == c -> parse_frames t i c
-        | Live _ | Down _ -> ()
-      end
-  end
+  match Frame.pop c.ch_pending with
+  | exception Pickle.Buf.Corrupt _ ->
+    on_malfunction t i c "sent a corrupt frame"
+  | None -> ()
+  | Some (msg, rest) -> (
+    c.ch_pending <- rest;
+    handle_msg t i c msg;
+    (* the slot may have been retired by a malfunction above *)
+    match t.slots.(i) with
+    | Live c' when c' == c -> parse_frames t i c
+    | Live _ | Down _ -> ())
 
 let chunk_size = 65536
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Validate a compile-server status envelope against schemas/daemon.schema.json.
+
+Schema validation (stdlib only, via jsonschema_lite.py) plus the
+cross-object invariants a schema can't express:
+
+  - at least one connection is open (the status probe itself)
+  - served counts at least the probe that produced the document
+  - tracked files cover every unit of every group once a build ran
+  - eager watch never accumulates dirty files (it rebuilds on the spot)
+
+Exits 0 when the document conforms, 1 with a message when not.
+
+    validate_daemon.py <schema.json> <document.json>
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from jsonschema_lite import Invalid, validate
+
+
+def cross_checks(doc):
+    if doc["clients"] < 1:
+        raise Invalid("$.clients: the status probe itself holds a connection")
+    if doc["served"] < 1:
+        raise Invalid("$.served: the status probe itself was served")
+    watch = doc["watch"]
+    built = [g for g in doc["groups"] if g["builds"] > 0]
+    if built:
+        # each built group tracks its group file plus every unit
+        floor = sum(g["units"] + 1 for g in built)
+        if watch["tracked"] < floor:
+            raise Invalid(
+                f"$.watch.tracked: {watch['tracked']} files tracked but "
+                f"built groups alone span {floor}"
+            )
+    if watch["eager"]:
+        for i, g in enumerate(doc["groups"]):
+            if g["dirty"]:
+                raise Invalid(
+                    f"$.groups[{i}].dirty: eager watch must rebuild "
+                    f"instead of accumulating {g['dirty']}"
+                )
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as fp:
+        schema = json.load(fp)
+    with open(sys.argv[2]) as fp:
+        document = json.load(fp)
+    try:
+        validate(document, schema, schema)
+        cross_checks(document)
+    except Invalid as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        sys.exit(1)
+    watch = document["watch"]
+    print(
+        f"valid {schema.get('$id', 'schema')}: daemon pid {document['pid']}, "
+        f"{document['served']} request(s) served, "
+        f"{'eager' if watch['eager'] else 'lazy'} watch over "
+        f"{watch['tracked']} file(s), {len(document['groups'])} group(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

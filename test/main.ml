@@ -23,4 +23,5 @@ let () =
       ("sched", Test_sched.suite);
       ("cache", Test_cache.suite);
       ("faults", Test_faults.suite);
+      ("daemon", Test_daemon.suite);
     ]

@@ -1,0 +1,744 @@
+(* The compile server: protocol codecs, the advisory build lock, the
+   polling watcher, and the step-driven reactor itself — driven
+   in-process (no forks, no background threads): the test plays the
+   client on a raw non-blocking socket and pumps [Server.step] by hand,
+   so client and daemon interleave deterministically in one domain. *)
+
+module Frame = Pickle.Frame
+module Protocol = Daemon.Protocol
+module Server = Daemon.Server
+module Watch = Daemon.Watch
+module Lock = Daemon.Lock
+module Driver = Irm.Driver
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codecs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_string = QCheck.Gen.(string_size ~gen:char (int_range 0 30))
+
+let gen_build_opts =
+  QCheck.Gen.(
+    map
+      (fun ((group, policy, jobs, cache), (kg, werr, maxe, json)) ->
+        {
+          Protocol.b_group = group;
+          b_policy = policy;
+          b_jobs = jobs;
+          b_cache = cache;
+          b_keep_going = kg;
+          b_werror = werr;
+          b_max_errors = maxe;
+          b_error_json = json;
+        })
+      (pair
+         (quad gen_string
+            (oneofl [ "cutoff"; "timestamp"; "selective" ])
+            (int_range 0 64) bool)
+         (quad bool bool (opt (int_range 0 1000)) bool)))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun o -> Protocol.Build o) gen_build_opts;
+        map (fun o -> Protocol.Run o) gen_build_opts;
+        map
+          (fun (u, j) -> Protocol.Explain { e_unit = u; e_json = j })
+          (pair gen_string bool);
+        map
+          (fun (j, t) -> Protocol.Profile { p_json = j; p_top = t })
+          (pair bool (int_range 0 100));
+        return Protocol.Status;
+        return Protocol.Shutdown;
+      ])
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"request codec roundtrips"
+    (QCheck.make gen_request)
+    (fun req -> Protocol.decode_request (Protocol.encode_request req) = req)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"response codec roundtrips"
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun (code, out, err) -> { Protocol.r_code = code; r_out = out; r_err = err })
+           (triple (int_range (-255) 255) gen_string gen_string)))
+    (fun resp -> Protocol.decode_response (Protocol.encode_response resp) = resp)
+
+let test_codec_rejects_garbage () =
+  (match Protocol.decode_request "\255\255\255" with
+  | exception Pickle.Buf.Corrupt _ -> ()
+  | _ -> Alcotest.fail "unknown request tag must be rejected");
+  match Protocol.decode_response "" with
+  | exception Pickle.Buf.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated response must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures: real temp directories (the daemon serves a real fs)       *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "smlsep-d%d-%d" (Unix.getpid ()) !n)
+    in
+    rm_rf dir;
+    Unix.mkdir dir 0o755;
+    dir
+
+let base_src =
+  "structure Base = struct val origin = 10 fun scale n = n * origin end"
+
+let mid_src = "structure Mid = struct val v = Base.scale 2 end"
+let top_src = "structure Top = struct val result = Mid.v + Base.origin end"
+
+let write_file dir file contents =
+  Out_channel.with_open_bin (Filename.concat dir file) (fun oc ->
+      Out_channel.output_string oc contents)
+
+let fresh_project () =
+  let dir = fresh_dir () in
+  write_file dir "base.sml" base_src;
+  write_file dir "mid.sml" mid_src;
+  write_file dir "top.sml" top_src;
+  write_file dir "sources.cm" "base.sml\nmid.sml\ntop.sml\n";
+  dir
+
+(* the produced artifacts: every <unit>.bin in the directory, by name *)
+let bins dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".bin")
+  |> List.sort String.compare
+  |> List.map (fun f ->
+         ( f,
+           In_channel.with_open_bin (Filename.concat dir f) In_channel.input_all
+         ))
+
+let test_config ?(watch = false) ?(poll = 3600.) ?(client_timeout = 30.) dir =
+  {
+    (Server.default_config ~dir) with
+    Server.d_watch = watch;
+    d_poll_s = poll;
+    d_client_timeout_s = client_timeout;
+    d_log = ignore;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A raw test client: non-blocking socket, hand-pumped reactor         *)
+(* ------------------------------------------------------------------ *)
+
+type client = { fd : Unix.file_descr; mutable buf : string }
+
+let connect dir =
+  let path =
+    Protocol.socket_path ~dir ~state_dir:Protocol.default_state_dir
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.set_nonblock fd;
+  { fd; buf = "" }
+
+let disconnect c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send c ~kind ~id payload =
+  let frame = Frame.encode ~kind ~id ~payload in
+  let n = Unix.write_substring c.fd frame 0 (String.length frame) in
+  Alcotest.(check int) "frame fully written" (String.length frame) n
+
+(* step the server once and drain whatever it sent us; [`Eof] when the
+   daemon closed our connection *)
+let pump srv c =
+  Server.step ~timeout_s:0.01 srv;
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> `Eof
+  | n ->
+    c.buf <- c.buf ^ Bytes.sub_string chunk 0 n;
+    `Data
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Data
+
+let recv_frame srv c =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "daemon never answered";
+    match Frame.pop c.buf with
+    | Some (msg, rest) ->
+      c.buf <- rest;
+      msg
+    | None -> (
+      match pump srv c with
+      | `Eof -> Alcotest.fail "daemon closed the connection"
+      | `Data -> go (tries - 1))
+  in
+  go 2000
+
+let recv_eof srv c =
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec go () =
+    match pump srv c with
+    | `Eof -> ()
+    | `Data ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "daemon never closed the connection"
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let handshake srv c =
+  send c ~kind:Protocol.k_hello ~id:"" Protocol.version;
+  let m = recv_frame srv c in
+  Alcotest.(check int) "hello answered" Protocol.k_hello m.Frame.f_kind
+
+let client_of srv dir =
+  let c = connect dir in
+  handshake srv c;
+  c
+
+(* one request/response exchange; diag frames are collected *)
+let rpc srv c ~id req =
+  send c ~kind:Protocol.k_request ~id (Protocol.encode_request req);
+  let rec go diags =
+    let m = recv_frame srv c in
+    if m.Frame.f_kind = Protocol.k_diag && String.equal m.Frame.f_id id then
+      go (m.Frame.f_payload :: diags)
+    else begin
+      Alcotest.(check int) "response kind" Protocol.k_response m.Frame.f_kind;
+      Alcotest.(check string) "response id" id m.Frame.f_id;
+      (Protocol.decode_response m.Frame.f_payload, List.rev diags)
+    end
+  in
+  go []
+
+let build_opts ?(policy = "cutoff") ?(json = false) group =
+  {
+    Protocol.b_group = group;
+    b_policy = policy;
+    b_jobs = 1;
+    b_cache = false;
+    b_keep_going = false;
+    b_werror = false;
+    b_max_errors = None;
+    b_error_json = json;
+  }
+
+let status srv c ~id =
+  let resp, _ = rpc srv c ~id Protocol.Status in
+  Alcotest.(check int) "status code" 0 resp.Protocol.r_code;
+  Obs.Json.parse resp.Protocol.r_out
+
+let json_int k j =
+  match Obs.Json.member k j with
+  | Some (Obs.Json.Int n) -> n
+  | _ -> Alcotest.fail (Printf.sprintf "status field %s missing" k)
+
+let with_server cfg f =
+  let srv = Server.create cfg in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () -> f srv
+
+(* ------------------------------------------------------------------ *)
+(* Reactor basics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_status_and_shutdown () =
+  let dir = fresh_project () in
+  let sock =
+    Protocol.socket_path ~dir ~state_dir:Protocol.default_state_dir
+  in
+  with_server (test_config dir) @@ fun srv ->
+  let c = client_of srv dir in
+  let j = status srv c ~id:"1" in
+  (match Obs.Json.member "version" j with
+  | Some (Obs.Json.String v) ->
+    Alcotest.(check string) "protocol version" Protocol.version v
+  | _ -> Alcotest.fail "status has no version");
+  Alcotest.(check int) "one request served" 1 (json_int "served" j);
+  let resp, _ = rpc srv c ~id:"2" Protocol.Shutdown in
+  Alcotest.(check int) "shutdown acknowledged" 0 resp.Protocol.r_code;
+  (* the daemon drains the response, closes us, and stops *)
+  recv_eof srv c;
+  Server.step ~timeout_s:0.01 srv;
+  Alcotest.(check bool) "server stopped" false (Server.running srv);
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists sock);
+  disconnect c
+
+let test_stale_socket_swept () =
+  let dir = fresh_project () in
+  let sock =
+    Protocol.socket_path ~dir ~state_dir:Protocol.default_state_dir
+  in
+  Unix.mkdir (Filename.dirname sock) 0o755;
+  (* a dead daemon's leftover: a bound socket file nobody listens on *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.listen fd 1;
+  Unix.close fd;
+  with_server (test_config dir) @@ fun srv ->
+  let c = client_of srv dir in
+  let j = status srv c ~id:"1" in
+  Alcotest.(check bool) "daemon rebound the socket" true (json_int "pid" j > 0);
+  disconnect c
+
+let test_version_mismatch_rejected () =
+  let dir = fresh_project () in
+  with_server (test_config dir) @@ fun srv ->
+  let c = connect dir in
+  send c ~kind:Protocol.k_hello ~id:"" "smlsep-daemon/999";
+  let m = recv_frame srv c in
+  Alcotest.(check int) "error frame" Protocol.k_error m.Frame.f_kind;
+  Alcotest.(check bool) "names the mismatch" true
+    (String.length m.Frame.f_payload > 0);
+  recv_eof srv c;
+  disconnect c;
+  (* the daemon is unharmed: a well-behaved client still gets served *)
+  let c2 = client_of srv dir in
+  ignore (status srv c2 ~id:"1");
+  disconnect c2
+
+let test_garbage_frame_survived () =
+  let dir = fresh_project () in
+  with_server (test_config dir) @@ fun srv ->
+  (* pure garbage: not even a frame header *)
+  let c = connect dir in
+  ignore (Unix.write_substring c.fd "not a frame at all!!" 0 20);
+  let m = recv_frame srv c in
+  Alcotest.(check int) "garbage answered with error" Protocol.k_error
+    m.Frame.f_kind;
+  recv_eof srv c;
+  disconnect c;
+  (* a valid frame whose payload is not a decodable request: the error
+     names the request id and the connection stays up *)
+  let c2 = client_of srv dir in
+  send c2 ~kind:Protocol.k_request ~id:"bad" "\255\255\255";
+  let m2 = recv_frame srv c2 in
+  Alcotest.(check int) "undecodable request errored" Protocol.k_error
+    m2.Frame.f_kind;
+  Alcotest.(check string) "echoes the request id" "bad" m2.Frame.f_id;
+  ignore (status srv c2 ~id:"after");
+  disconnect c2
+
+let test_wedged_client_dropped () =
+  let dir = fresh_project () in
+  with_server (test_config ~client_timeout:0.2 dir) @@ fun srv ->
+  let c = connect dir in
+  (* half a frame, then silence: the watchdog must cut us loose *)
+  let frame = Frame.encode ~kind:Protocol.k_hello ~id:"" ~payload:Protocol.version in
+  ignore (Unix.write_substring c.fd frame 0 4);
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec wait () =
+    match pump srv c with
+    | `Eof -> ()
+    | `Data ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "wedged client never dropped"
+      else begin
+        Unix.sleepf 0.05;
+        wait ()
+      end
+  in
+  wait ();
+  disconnect c;
+  (* and the daemon keeps serving *)
+  let c2 = client_of srv dir in
+  ignore (status srv c2 ~id:"1");
+  disconnect c2
+
+(* ------------------------------------------------------------------ *)
+(* Builds over the socket                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* the reference: what a one-shot in-process build of the same tree
+   produces *)
+let oneshot_build ?(policy = Driver.Cutoff) dir =
+  let fs = Vfs.real ~dir in
+  let sources = Irm.Group.load fs "sources.cm" in
+  let mgr = Driver.create fs in
+  ignore (Driver.build mgr ~policy ~sources)
+
+let policies =
+  [ ("cutoff", Driver.Cutoff); ("timestamp", Driver.Timestamp);
+    ("selective", Driver.Selective) ]
+
+let test_daemon_build_matches_oneshot () =
+  List.iter
+    (fun (policy_name, policy) ->
+      let daemon_dir = fresh_project () in
+      let oneshot_dir = fresh_project () in
+      with_server (test_config daemon_dir) @@ fun srv ->
+      let c = client_of srv daemon_dir in
+      let resp, _ =
+        rpc srv c ~id:"b1"
+          (Protocol.Build (build_opts ~policy:policy_name "sources.cm"))
+      in
+      Alcotest.(check int) (policy_name ^ ": initial build ok") 0
+        resp.Protocol.r_code;
+      oneshot_build ~policy oneshot_dir;
+      Alcotest.(check bool)
+        (policy_name ^ ": initial bins byte-identical")
+        true
+        (bins daemon_dir = bins oneshot_dir);
+      (* edit a unit in both trees identically; push the source mtime
+         forward so even the timestamp policy sees it without sleeping
+         across a second boundary *)
+      let edited = "structure Mid = struct val v = Base.scale 3 end" in
+      let future = Unix.gettimeofday () +. 5. in
+      List.iter
+        (fun d ->
+          write_file d "mid.sml" edited;
+          Unix.utimes (Filename.concat d "mid.sml") future future)
+        [ daemon_dir; oneshot_dir ];
+      let resp2, _ =
+        rpc srv c ~id:"b2"
+          (Protocol.Build (build_opts ~policy:policy_name "sources.cm"))
+      in
+      Alcotest.(check int) (policy_name ^ ": rebuild ok") 0
+        resp2.Protocol.r_code;
+      Alcotest.(check bool)
+        (policy_name ^ ": rebuild touched the edited unit")
+        true
+        (contains ~needle:"mid.sml" resp2.Protocol.r_out);
+      oneshot_build ~policy oneshot_dir;
+      Alcotest.(check bool)
+        (policy_name ^ ": post-edit bins byte-identical")
+        true
+        (bins daemon_dir = bins oneshot_dir);
+      let resp3, _ = rpc srv c ~id:"b3" Protocol.Shutdown in
+      Alcotest.(check int) "clean shutdown" 0 resp3.Protocol.r_code;
+      disconnect c)
+    policies
+
+let test_run_over_socket () =
+  let dir = fresh_project () in
+  write_file dir "main.sml"
+    "structure Main = struct val () = print (Int.toString Top.result) end";
+  write_file dir "sources.cm" "base.sml\nmid.sml\ntop.sml\nmain.sml\n";
+  with_server (test_config dir) @@ fun srv ->
+  let c = client_of srv dir in
+  let resp, _ = rpc srv c ~id:"r1" (Protocol.Run (build_opts "sources.cm")) in
+  Alcotest.(check int) "run ok" 0 resp.Protocol.r_code;
+  Alcotest.(check string) "program output shipped back" "30"
+    resp.Protocol.r_out;
+  disconnect c
+
+let test_diagnostics_streamed_as_envelope () =
+  let dir = fresh_project () in
+  write_file dir "mid.sml" "structure Mid = struct val v = Base.nope end";
+  with_server (test_config dir) @@ fun srv ->
+  let c = client_of srv dir in
+  let resp, diags =
+    rpc srv c ~id:"b1"
+      (Protocol.Build (build_opts ~json:true "sources.cm"))
+  in
+  Alcotest.(check int) "broken build fails" 1 resp.Protocol.r_code;
+  Alcotest.(check int) "one diag envelope streamed" 1 (List.length diags);
+  let envelope = Obs.Json.parse (List.hd diags) in
+  (match Obs.Json.member "version" envelope with
+  | Some (Obs.Json.String v) ->
+    Alcotest.(check string) "diag envelope version" "smlsep-diag/1" v
+  | _ -> Alcotest.fail "diag envelope has no version");
+  disconnect c
+
+let test_concurrent_clients () =
+  let dir = fresh_project () in
+  (* a second, disjoint group in the same tree *)
+  write_file dir "solo.sml" "structure Solo = struct val x = 42 end";
+  write_file dir "other.cm" "solo.sml\n";
+  let oneshot_dir = fresh_project () in
+  write_file oneshot_dir "solo.sml" "structure Solo = struct val x = 42 end";
+  write_file oneshot_dir "other.cm" "solo.sml\n";
+  with_server (test_config dir) @@ fun srv ->
+  let cs = List.init 4 (fun _ -> client_of srv dir) in
+  (* all four requests are in flight before any response is read: two
+     overlapping builds of the same group, one of the disjoint group,
+     one status probe *)
+  (match cs with
+  | [ c1; c2; c3; c4 ] ->
+    send c1 ~kind:Protocol.k_request ~id:"q1"
+      (Protocol.encode_request (Protocol.Build (build_opts "sources.cm")));
+    send c2 ~kind:Protocol.k_request ~id:"q2"
+      (Protocol.encode_request (Protocol.Build (build_opts "sources.cm")));
+    send c3 ~kind:Protocol.k_request ~id:"q3"
+      (Protocol.encode_request (Protocol.Build (build_opts "other.cm")));
+    send c4 ~kind:Protocol.k_request ~id:"q4"
+      (Protocol.encode_request Protocol.Status);
+    List.iteri
+      (fun i c ->
+        let id = Printf.sprintf "q%d" (i + 1) in
+        let rec collect () =
+          let m = recv_frame srv c in
+          if m.Frame.f_kind = Protocol.k_diag then collect ()
+          else begin
+            Alcotest.(check string) (id ^ " response id") id m.Frame.f_id;
+            Protocol.decode_response m.Frame.f_payload
+          end
+        in
+        let resp = collect () in
+        Alcotest.(check int) (id ^ " succeeded") 0 resp.Protocol.r_code)
+      cs
+  | _ -> assert false);
+  List.iter disconnect cs;
+  (* both groups' artifacts match one-shot builds *)
+  oneshot_build oneshot_dir;
+  let fs = Vfs.real ~dir:oneshot_dir in
+  let mgr = Driver.create fs in
+  ignore (Driver.build mgr ~policy:Driver.Cutoff ~sources:[ "solo.sml" ]);
+  Alcotest.(check bool) "all bins byte-identical" true
+    (bins dir = bins oneshot_dir)
+
+(* ------------------------------------------------------------------ *)
+(* Watch-driven rebuilds                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_eager_watch_rebuild () =
+  let dir = fresh_project () in
+  with_server (test_config ~watch:true ~poll:0.05 dir) @@ fun srv ->
+  let c = client_of srv dir in
+  let resp, _ = rpc srv c ~id:"b1" (Protocol.Build (build_opts "sources.cm")) in
+  Alcotest.(check int) "initial build ok" 0 resp.Protocol.r_code;
+  write_file dir "mid.sml" "structure Mid = struct val v = Base.scale 7 end";
+  (let future = Unix.gettimeofday () +. 5. in
+   Unix.utimes (Filename.concat dir "mid.sml") future future);
+  (* the daemon's own sweep must pick the edit up and rebuild without
+     any client request *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    Unix.sleepf 0.05;
+    Server.step ~timeout_s:0.01 srv;
+    let j = status srv c ~id:"s" in
+    let groups =
+      match Obs.Json.member "groups" j with
+      | Some (Obs.Json.List gs) -> gs
+      | _ -> []
+    in
+    let builds =
+      List.fold_left (fun acc g -> acc + json_int "builds" g) 0 groups
+    in
+    if builds >= 2 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "watch never rebuilt"
+    else wait ()
+  in
+  wait ();
+  disconnect c;
+  (* and the artifacts equal a one-shot build of the edited tree *)
+  let oneshot_dir = fresh_project () in
+  write_file oneshot_dir "mid.sml"
+    "structure Mid = struct val v = Base.scale 7 end";
+  oneshot_build oneshot_dir;
+  Alcotest.(check bool) "watch-rebuilt bins byte-identical" true
+    (bins dir = bins oneshot_dir)
+
+let test_lazy_invalidation () =
+  let dir = fresh_project () in
+  with_server (test_config ~watch:false ~poll:0.05 dir) @@ fun srv ->
+  let c = client_of srv dir in
+  ignore (rpc srv c ~id:"b1" (Protocol.Build (build_opts "sources.cm")));
+  (* an interface change (a new export), so cutoff cannot spare the
+     dependents and the whole cone must recompile *)
+  write_file dir "base.sml"
+    "structure Base = struct val origin = 10 val extra = true fun scale n = \
+     n * origin end";
+  (let future = Unix.gettimeofday () +. 5. in
+   Unix.utimes (Filename.concat dir "base.sml") future future);
+  (* sweeps mark the cone dirty but must not rebuild on their own *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    Unix.sleepf 0.05;
+    Server.step ~timeout_s:0.01 srv;
+    let j = status srv c ~id:"s" in
+    let dirty =
+      match Obs.Json.member "watch" j with
+      | Some w -> json_int "dirty_total" w
+      | None -> 0
+    in
+    if dirty > 0 then j
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "sweep never saw the edit"
+    else wait ()
+  in
+  let j = wait () in
+  let builds =
+    match Obs.Json.member "groups" j with
+    | Some (Obs.Json.List (g :: _)) -> json_int "builds" g
+    | _ -> 0
+  in
+  Alcotest.(check int) "lazy mode: no rebuild yet" 1 builds;
+  (* the next requested build recompiles the dirty cone *)
+  let resp, _ = rpc srv c ~id:"b2" (Protocol.Build (build_opts "sources.cm")) in
+  Alcotest.(check int) "requested rebuild ok" 0 resp.Protocol.r_code;
+  let count_tag tag =
+    List.length
+      (List.filter
+         (fun line -> contains ~needle:tag line)
+         (String.split_on_char '\n' resp.Protocol.r_out))
+  in
+  Alcotest.(check int) "whole cone recompiled" 3 (count_tag "[recompiled");
+  disconnect c
+
+(* ------------------------------------------------------------------ *)
+(* The advisory lock                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_lock_basics () =
+  let dir = fresh_dir () in
+  let l = Lock.acquire ~dir in
+  (match Lock.acquire ~dir with
+  | exception Lock.Held { holder; _ } ->
+    Alcotest.(check string) "holder names our pid"
+      (string_of_int (Unix.getpid ()))
+      holder
+  | l2 ->
+    Lock.release l2;
+    Alcotest.fail "second acquire must fail");
+  Lock.release l;
+  Lock.release l;
+  (* idempotent *)
+  let l3 = Lock.acquire ~dir in
+  Lock.release l3;
+  (* with_lock releases on exception *)
+  (match Lock.with_lock ~dir (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception must propagate");
+  Lock.with_lock ~dir (fun () -> ())
+
+let test_lock_contention_diagnostic () =
+  let dir = fresh_project () in
+  with_server (test_config dir) @@ fun srv ->
+  let c = client_of srv dir in
+  (* the test process plays the stray one-shot build holding the lock;
+     the daemon's bounded retry must give up with a clear diagnostic *)
+  let l = Lock.acquire ~dir in
+  let resp, _ = rpc srv c ~id:"b1" (Protocol.Build (build_opts "sources.cm")) in
+  Lock.release l;
+  Alcotest.(check int) "locked build fails" 1 resp.Protocol.r_code;
+  Alcotest.(check bool) "diagnostic names the lock" true
+    (contains ~needle:"lock" resp.Protocol.r_err);
+  (* after release the same request succeeds *)
+  let resp2, _ =
+    rpc srv c ~id:"b2" (Protocol.Build (build_opts "sources.cm"))
+  in
+  Alcotest.(check int) "unlocked build ok" 0 resp2.Protocol.r_code;
+  disconnect c
+
+(* ------------------------------------------------------------------ *)
+(* The watcher                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_watch_sweep () =
+  let fs = Vfs.memory () in
+  fs.Vfs.fs_write "a.sml" "alpha";
+  fs.Vfs.fs_write "b.sml" "beta";
+  let w = Watch.create fs in
+  Watch.track w [ "a.sml"; "b.sml"; "ghost.sml" ];
+  Alcotest.(check (list string))
+    "tracked set"
+    [ "a.sml"; "b.sml"; "ghost.sml" ]
+    (Watch.tracked w);
+  Alcotest.(check (list string)) "fresh track is clean" [] (Watch.sweep w);
+  fs.Vfs.fs_write "b.sml" "beta beta";
+  Alcotest.(check (list string)) "content change" [ "b.sml" ] (Watch.sweep w);
+  Alcotest.(check (list string)) "change settles" [] (Watch.sweep w);
+  (* same bytes rewritten: mtime moves, content does not — not dirty *)
+  fs.Vfs.fs_write "a.sml" "alpha";
+  Alcotest.(check (list string)) "touch without change" [] (Watch.sweep w);
+  (* tracked-but-absent file appearing, then vanishing *)
+  fs.Vfs.fs_write "ghost.sml" "boo";
+  Alcotest.(check (list string)) "file appears" [ "ghost.sml" ] (Watch.sweep w);
+  fs.Vfs.fs_remove "ghost.sml";
+  Alcotest.(check (list string)) "file vanishes" [ "ghost.sml" ] (Watch.sweep w);
+  (* untracking forgets *)
+  Watch.track w [ "a.sml" ];
+  fs.Vfs.fs_write "b.sml" "ignored now";
+  Alcotest.(check (list string)) "untracked edits invisible" [] (Watch.sweep w)
+
+(* ------------------------------------------------------------------ *)
+(* Interrupted builds record partial profiles                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_interrupt_records_partial_profile () =
+  let fs = Vfs.memory () in
+  List.iter
+    (fun (p, s) -> fs.Vfs.fs_write p s)
+    [ ("base.sml", base_src); ("mid.sml", mid_src); ("top.sml", top_src) ];
+  (* the signal arrives while the second unit commits its bin *)
+  let fs' =
+    {
+      fs with
+      Vfs.fs_write =
+        (fun path data ->
+          (* bins land via the atomic-commit temp file *)
+          if contains ~needle:"mid.sml.bin" path then
+            raise (Driver.Interrupted "SIGINT-test");
+          fs.Vfs.fs_write path data);
+    }
+  in
+  let profile = Obs.Profile.load fs in
+  let mgr = Driver.create fs' in
+  (match
+     Driver.build ~profile mgr ~policy:Driver.Cutoff
+       ~sources:[ "base.sml"; "mid.sml"; "top.sml" ]
+   with
+  | _ -> Alcotest.fail "build must be interrupted"
+  | exception Driver.Interrupted _ -> ());
+  match Obs.Profile.last profile with
+  | None -> Alcotest.fail "interrupted build must still be recorded"
+  | Some b ->
+    Alcotest.(check int) "only the completed unit recorded" 1
+      (List.length b.Obs.Profile.bp_units);
+    let u = List.hd b.Obs.Profile.bp_units in
+    Alcotest.(check string) "it is the first unit" "base.sml"
+      u.Obs.Profile.up_unit;
+    Alcotest.(check string) "with its real outcome" "recompiled"
+      u.Obs.Profile.up_outcome;
+    (* the record survives a reload, so `irm profile` sees it *)
+    let p' = Obs.Profile.load fs in
+    Alcotest.(check bool) "persisted" true (Obs.Profile.last p' <> None)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
+    Alcotest.test_case "status and shutdown" `Quick test_status_and_shutdown;
+    Alcotest.test_case "stale socket swept" `Quick test_stale_socket_swept;
+    Alcotest.test_case "version mismatch rejected" `Quick
+      test_version_mismatch_rejected;
+    Alcotest.test_case "garbage frames survived" `Quick
+      test_garbage_frame_survived;
+    Alcotest.test_case "wedged client dropped" `Quick
+      test_wedged_client_dropped;
+    Alcotest.test_case "daemon build = one-shot build" `Quick
+      test_daemon_build_matches_oneshot;
+    Alcotest.test_case "run over the socket" `Quick test_run_over_socket;
+    Alcotest.test_case "diagnostics streamed as envelope" `Quick
+      test_diagnostics_streamed_as_envelope;
+    Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "eager watch rebuild" `Quick test_eager_watch_rebuild;
+    Alcotest.test_case "lazy invalidation" `Quick test_lazy_invalidation;
+    Alcotest.test_case "lock basics" `Quick test_lock_basics;
+    Alcotest.test_case "lock contention diagnostic" `Quick
+      test_lock_contention_diagnostic;
+    Alcotest.test_case "watch sweep" `Quick test_watch_sweep;
+    Alcotest.test_case "interrupt records partial profile" `Quick
+      test_interrupt_records_partial_profile;
+  ]

@@ -59,6 +59,44 @@ let test_bad_tags_detected () =
   | exception Buf.Corrupt _ -> ()
   | _ -> Alcotest.fail "bad option byte"
 
+(* ---- incremental frame parsing (the daemon's receive path) ---- *)
+
+let test_frame_pop () =
+  let f1 = Pickle.Frame.encode ~kind:17 ~id:"a" ~payload:"one" in
+  let f2 = Pickle.Frame.encode ~kind:18 ~id:"b" ~payload:"two" in
+  (* nothing buffered, or only part of a header/body: not a frame yet *)
+  Alcotest.(check bool) "empty buffer" true (Pickle.Frame.pop "" = None);
+  Alcotest.(check bool) "partial header" true
+    (Pickle.Frame.pop (String.sub f1 0 4) = None);
+  Alcotest.(check bool) "partial body" true
+    (Pickle.Frame.pop (String.sub f1 0 (String.length f1 - 1)) = None);
+  (* two concatenated frames pop in order, leaving the remainder *)
+  (match Pickle.Frame.pop (f1 ^ f2) with
+  | Some (m, rest) ->
+    Alcotest.(check int) "first kind" 17 m.Pickle.Frame.f_kind;
+    Alcotest.(check string) "first id" "a" m.Pickle.Frame.f_id;
+    Alcotest.(check string) "first payload" "one" m.Pickle.Frame.f_payload;
+    (match Pickle.Frame.pop rest with
+    | Some (m2, rest2) ->
+      Alcotest.(check int) "second kind" 18 m2.Pickle.Frame.f_kind;
+      Alcotest.(check string) "drained" "" rest2
+    | None -> Alcotest.fail "second frame must pop")
+  | None -> Alcotest.fail "first frame must pop")
+
+let test_frame_pop_corrupt () =
+  let f = Pickle.Frame.encode ~kind:17 ~id:"x" ~payload:"payload" in
+  (* flip a body byte: the CRC-64 trailer must catch it *)
+  let damaged = Bytes.of_string f in
+  Bytes.set damaged (String.length f - 9)
+    (Char.chr (Char.code (Bytes.get damaged (String.length f - 9)) lxor 1));
+  (match Pickle.Frame.pop (Bytes.to_string damaged) with
+  | exception Pickle.Buf.Corrupt _ -> ()
+  | _ -> Alcotest.fail "flipped byte must be detected");
+  (* garbage that cannot even be a header *)
+  match Pickle.Frame.pop "XXXXXXXXXXXXXXXX" with
+  | exception Pickle.Buf.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic must be detected"
+
 let mk_ctx () =
   let ctx = Statics.Context.create () in
   Statics.Basis.register ctx;
@@ -183,6 +221,8 @@ let suite =
     Alcotest.test_case "strings, options, lists" `Quick
       test_strings_options_lists;
     Alcotest.test_case "truncation detected" `Quick test_truncation_detected;
+    Alcotest.test_case "frame pop" `Quick test_frame_pop;
+    Alcotest.test_case "frame pop corrupt" `Quick test_frame_pop_corrupt;
     Alcotest.test_case "bad tags detected" `Quick test_bad_tags_detected;
     Alcotest.test_case "manual env roundtrip" `Quick test_env_roundtrip_manual;
     Alcotest.test_case "unresolved tyvars rejected" `Quick

@@ -65,6 +65,45 @@ let test_earliest_failure_raised () =
           "b" culprit)
     backends
 
+exception Abort_now of string
+
+let test_fatal_overrides_keep_going () =
+  (* under keep_going a failure is contained to its cone — but an exn
+     the caller declares fatal (the CLI's SIGINT) must abort the whole
+     build immediately, on every backend *)
+  List.iter
+    (fun backend ->
+      (match
+         Sched.run ~keep_going:true
+           ~fatal:(function Abort_now _ -> true | _ -> false)
+           backend ~order:toy_order ~deps:toy_deps
+           ~prepare:(fun node -> Sched.Run node)
+           ~execute:(fun node ->
+             if String.equal node "b" then raise (Abort_now node) else node)
+           ~complete:(fun _ result -> result)
+       with
+      | _ -> Alcotest.fail "fatal exception must escape keep_going"
+      | exception Abort_now culprit ->
+        Alcotest.(check string)
+          (Sched.backend_name backend ^ ": fatal re-raised")
+          "b" culprit);
+      (* the same failure without the fatal predicate stays contained *)
+      let outcomes =
+        Sched.run ~keep_going:true backend ~order:toy_order ~deps:toy_deps
+          ~prepare:(fun node -> Sched.Run node)
+          ~execute:(fun node ->
+            if String.equal node "b" then raise (Abort_now node) else node)
+          ~complete:(fun _ result -> result)
+      in
+      List.iter
+        (fun (node, outcome) ->
+          match (node, outcome) with
+          | "b", Sched.Failed (Abort_now _) | "d", Sched.Skipped _ -> ()
+          | ("a" | "c"), Sched.Completed _ -> ()
+          | _ -> Alcotest.fail (node ^ ": unexpected outcome"))
+        outcomes)
+    backends
+
 let test_complete_respects_deps () =
   (* on a 40-node dag under heavy parallelism, every [complete] must
      still see all its dependencies completed (they run on the calling
@@ -174,6 +213,8 @@ let suite =
       test_outcomes_in_caller_order;
     Alcotest.test_case "earliest failure raised" `Quick
       test_earliest_failure_raised;
+    Alcotest.test_case "fatal overrides keep_going" `Quick
+      test_fatal_overrides_keep_going;
     Alcotest.test_case "complete respects dependencies" `Quick
       test_complete_respects_deps;
     Alcotest.test_case "parallel = serial (timestamp)" `Quick
