@@ -22,6 +22,7 @@
      E17 worker-backend overhead vs in-process domains (timing + counts)
      E18 observability overhead on a clean parallel build (timing)
      E19 compile server: warm vs cold rebuilds, client throughput (timing)
+     E20 critical-path scheduling vs wavefront on synthetic DAGs (timing)
 *)
 
 module Gen = Workload.Gen
@@ -36,7 +37,7 @@ let section title =
 (* Machine-readable results: BENCH_sepcomp.json                        *)
 (*                                                                     *)
 (* Schema (see README, "Observability"):                               *)
-(*   { "schema": "smlsep-bench/7", "quick": bool,                      *)
+(*   { "schema": "smlsep-bench/8", "quick": bool,                      *)
 (*     "experiments": {                                                *)
 (*       "build_times":      [{scale,units,lines,policy,build_s,       *)
 (*                             hash_s,dehydrate_s,rehydrate_s,         *)
@@ -58,7 +59,10 @@ let section title =
 (*                             ipc_bytes_in}],                         *)
 (*       "compile_server":   [{scenario,units,lines,cold_s,warm_s,     *)
 (*                             speedup} | {scenario,clients,requests,  *)
-(*                             wall_s,requests_per_s}] },              *)
+(*                             wall_s,requests_per_s}],                *)
+(*       "critical_path":    [{scenario,nodes,jobs,wavefront_s,        *)
+(*                             critical_path_s,improvement,            *)
+(*                             wavefront_eff,critical_path_eff}] },    *)
 (*     "metrics": { <Obs.Metrics counters> } }                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -76,6 +80,7 @@ let tbl_keepgoing : J.t list ref = ref []
 let tbl_worker : J.t list ref = ref []
 let tbl_obs : J.t list ref = ref []
 let tbl_server : J.t list ref = ref []
+let tbl_sched : J.t list ref = ref []
 
 let record tbl row = tbl := row :: !tbl
 
@@ -83,7 +88,7 @@ let write_results () =
   let doc =
     J.Obj
       [
-        ("schema", J.String "smlsep-bench/7");
+        ("schema", J.String "smlsep-bench/8");
         ("quick", J.Bool !quick);
         ( "experiments",
           J.Obj
@@ -99,6 +104,7 @@ let write_results () =
               ("worker_overhead", J.List (List.rev !tbl_worker));
               ("observability_overhead", J.List (List.rev !tbl_obs));
               ("compile_server", J.List (List.rev !tbl_server));
+              ("critical_path", J.List (List.rev !tbl_sched));
             ] );
         ("metrics", Obs.Metrics.to_json ());
       ]
@@ -1329,6 +1335,7 @@ let e19 () =
         b_werror = false;
         b_max_errors = None;
         b_error_json = false;
+        b_schedule = "wavefront";
       }
   in
   let warm_request c =
@@ -1441,6 +1448,157 @@ let e19 () =
         (n * requests_per_client) wall rps)
     rates
 
+(* ------------------------------------------------------------------ *)
+(* E20: critical-path scheduling vs wavefront on synthetic DAGs        *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives Sched.run directly with sleep jobs, so the measured makespan
+   is pure scheduling: the same DAG, the same per-node durations, once
+   dispatched in caller order (wavefront) and once ranked by exact
+   critical-path length with the static/codegen split on — the
+   idealized version of what `irm build --schedule=critical-path`
+   computes from profile-store estimates.  The DAGs are seeded and
+   skewed (a few heavy long chains among many light nodes, listed
+   late in caller order), the regime where dispatch order moves the
+   makespan at all. *)
+let e20 () =
+  section "E20: critical-path scheduling vs wavefront (synthetic DAGs)";
+  let jobs = 4 in
+  let scale = if !quick then 0.4 else 1.0 in
+  let run ~schedule ~order ~deps ~duration =
+    (* the paper's factoring: the static part (parse/elaborate/hash) is
+       the cheap prefix, codegen the bulk *)
+    let static_s n = 0.4 *. duration n in
+    let codegen_s n = 0.6 *. duration n in
+    let priority =
+      match schedule with
+      | `Wavefront -> None
+      | `Critical_path ->
+        let dependents = Hashtbl.create 64 in
+        List.iter
+          (fun n -> List.iter (fun d -> Hashtbl.add dependents d n) (deps n))
+          order;
+        let cp = Hashtbl.create 64 in
+        List.iter
+          (fun n ->
+            let down =
+              List.fold_left
+                (fun acc d -> Float.max acc (Hashtbl.find cp d))
+                0.
+                (Hashtbl.find_all dependents n)
+            in
+            Hashtbl.replace cp n (duration n +. down))
+          (List.rev order);
+        Some (fun n -> Hashtbl.find cp n)
+    in
+    let split =
+      match schedule with
+      | `Wavefront -> None
+      | `Critical_path ->
+        Some
+          {
+            Sched.sp_execute =
+              (fun ~notify n ->
+                Unix.sleepf (static_s n);
+                notify "";
+                Unix.sleepf (codegen_s n);
+                n);
+            sp_on_static = (fun _ _ -> ());
+          }
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      Sched.run ?priority ?split (Sched.Parallel jobs) ~order ~deps
+        ~prepare:(fun n -> Sched.Run n)
+        ~execute:(fun n ->
+          Unix.sleepf (duration n);
+          n)
+        ~complete:(fun _ r -> r)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    if List.length outcomes <> List.length order then
+      failwith "e20: lost outcomes";
+    let eff =
+      match Sched.last_slots () with
+      | Some s ->
+        Array.fold_left ( +. ) 0. s.Sched.sl_busy_s
+        /. (float_of_int s.Sched.sl_jobs *. s.Sched.sl_wall_s)
+      | None -> nan
+    in
+    (wall, eff)
+  in
+  (* deep: one heavy spine chain behind a fringe of light independent
+     units that come first in caller order *)
+  let deep ~seed =
+    let rng = Random.State.make [| seed |] in
+    let depth = 10 and fringe = 36 in
+    let spine i = Printf.sprintf "spine%02d" i in
+    let order =
+      List.init fringe (Printf.sprintf "light%02d") @ List.init depth spine
+    in
+    let deps n =
+      match String.sub n 0 5 with
+      | "spine" when n <> spine 0 ->
+        [ spine (int_of_string (String.sub n 5 2) - 1) ]
+      | _ -> []
+    in
+    let duration = Hashtbl.create 64 in
+    List.iter
+      (fun n ->
+        let base = if String.sub n 0 5 = "spine" then 0.030 else 0.006 in
+        let jitter = 0.8 +. Random.State.float rng 0.4 in
+        Hashtbl.replace duration n (base *. jitter *. scale))
+      order;
+    (order, deps, Hashtbl.find duration)
+  in
+  (* wide: independent chains of skewed length, shortest first in
+     caller order, so the wavefront discovers the long poles last *)
+  let wide ~seed =
+    let rng = Random.State.make [| seed |] in
+    let chains = 8 in
+    let node c i = Printf.sprintf "c%d_%02d" c i in
+    let order =
+      List.concat
+        (List.init chains (fun c -> List.init (c + 1) (node (c + 1))))
+    in
+    let deps n =
+      let c = int_of_string (String.sub n 1 1) in
+      let i = int_of_string (String.sub n 3 2) in
+      if i = 0 then [] else [ node c (i - 1) ]
+    in
+    let duration = Hashtbl.create 64 in
+    List.iter
+      (fun n ->
+        let jitter = 0.8 +. Random.State.float rng 0.4 in
+        Hashtbl.replace duration n (0.024 *. jitter *. scale))
+      order;
+    (order, deps, Hashtbl.find duration)
+  in
+  List.iter
+    (fun (scenario, (order, deps, duration)) ->
+      let wf_s, wf_eff = run ~schedule:`Wavefront ~order ~deps ~duration in
+      let cp_s, cp_eff = run ~schedule:`Critical_path ~order ~deps ~duration in
+      let improvement = (wf_s -. cp_s) /. wf_s in
+      record tbl_sched
+        (J.Obj
+           [
+             ("scenario", J.String scenario);
+             ("nodes", J.Int (List.length order));
+             ("jobs", J.Int jobs);
+             ("wavefront_s", J.Float wf_s);
+             ("critical_path_s", J.Float cp_s);
+             ("improvement", J.Float improvement);
+             ("wavefront_eff", J.Float wf_eff);
+             ("critical_path_eff", J.Float cp_eff);
+           ]);
+      Printf.printf
+        "%-10s %2d nodes, %d jobs: wavefront %7.1f ms (eff %3.0f%%)   \
+         critical-path %7.1f ms (eff %3.0f%%)   %+.0f%%\n"
+        scenario (List.length order) jobs (1000. *. wf_s) (100. *. wf_eff)
+        (1000. *. cp_s) (100. *. cp_eff)
+        (100. *. improvement))
+    [ ("deep-skew", deep ~seed:7); ("wide-skew", wide ~seed:21) ]
+
 let parse_args () =
   let rec go = function
     | [] -> ()
@@ -1491,5 +1649,6 @@ let () =
   e15 ();
   e16 ();
   e18 ();
+  e20 ();
   write_results ();
   Printf.printf "\nwrote %s\ndone.\n" !out_path

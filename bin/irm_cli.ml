@@ -79,6 +79,22 @@ let with_manager ?fault_seed ?(fault_ops = 32) dir group f =
 let backend_of_jobs jobs =
   if jobs <= 1 then Irm.Driver.Serial else Irm.Driver.Parallel jobs
 
+(* --schedule=auto: critical-path once the profile store has a recorded
+   build to estimate from, classical wavefront otherwise (including
+   under --no-profile, where there are no estimates to be had) *)
+let resolve_schedule ?profile = function
+  | `Wavefront -> Irm.Driver.Wavefront
+  | `Critical_path -> Irm.Driver.Critical_path
+  | `Auto -> (
+    match profile with
+    | Some p when Obs.Profile.builds p <> [] -> Irm.Driver.Critical_path
+    | Some _ | None -> Irm.Driver.Wavefront)
+
+let schedule_string = function
+  | `Auto -> "auto"
+  | `Wavefront -> "wavefront"
+  | `Critical_path -> "critical-path"
+
 (* --workers beats --jobs: process isolation is an explicit opt-in *)
 let backend_of ~jobs ~workers ~worker_timeout =
   if workers > 0 then
@@ -192,11 +208,11 @@ let report_diagnostics fs error_format (stats : Irm.Driver.stats) =
     (Irm.Introspect.report_diagnostics ~source_of:fs.Vfs.fs_read
        ~json:(error_format = `Json) stats)
 
-let build_units ~backend ?cache ?profile ~keep_going ~werror ?max_errors
-    ~error_format fs mgr policy sources =
+let build_units ~backend ~schedule ?cache ?profile ~keep_going ~werror
+    ?max_errors ~error_format fs mgr policy sources =
   let stats =
-    Irm.Driver.build ~backend ?cache ?profile ~keep_going ~werror ?max_errors
-      mgr ~policy ~sources
+    Irm.Driver.build ~backend ~schedule ?cache ?profile ~keep_going ~werror
+      ?max_errors mgr ~policy ~sources
   in
   if error_format = `Text then
     print_string (Irm.Introspect.build_listing mgr stats);
@@ -228,8 +244,8 @@ let pp_cache_stats = function
 
 (* build options as the daemon protocol carries them; process-only
    features (--workers, --fault-seed, --trace, --stats) stay local *)
-let daemon_build_opts group policy jobs use_cache keep_going werror max_errors
-    error_format =
+let daemon_build_opts group policy schedule jobs use_cache keep_going werror
+    max_errors error_format =
   {
     Daemon.Protocol.b_group = group;
     b_policy = Irm.Driver.policy_name policy;
@@ -239,6 +255,9 @@ let daemon_build_opts group policy jobs use_cache keep_going werror max_errors
     b_werror = werror;
     b_max_errors = max_errors;
     b_error_json = (error_format = `Json);
+    (* [auto] travels as-is: the daemon resolves it against its own warm
+       profile store *)
+    b_schedule = schedule_string schedule;
   }
 
 (* --workers forks; --fault-seed wraps the daemon's real fs — both are
@@ -252,17 +271,17 @@ let daemon_routable ~use_daemon ~workers ~fault_seed =
   end
   else use_daemon
 
-let build_cmd_impl dir group policy jobs workers worker_timeout use_cache
-    cache_dir budget_mb no_profile profile_dir trace stats_flag fault_seed
-    fault_ops keep_going werror max_errors error_format use_daemon =
+let build_cmd_impl dir group policy schedule jobs workers worker_timeout
+    use_cache cache_dir budget_mb no_profile profile_dir trace stats_flag
+    fault_seed fault_ops keep_going werror max_errors error_format use_daemon =
   guarded ~error_format (fun () ->
       let use_daemon = daemon_routable ~use_daemon ~workers ~fault_seed in
       match daemon_client ~use_daemon dir with
       | Some c ->
         finish_daemon c
           (Daemon.Protocol.Build
-             (daemon_build_opts group policy jobs use_cache keep_going werror
-                max_errors error_format))
+             (daemon_build_opts group policy schedule jobs use_cache keep_going
+                werror max_errors error_format))
       | None ->
         install_interrupt ();
         with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
@@ -270,11 +289,12 @@ let build_cmd_impl dir group policy jobs workers worker_timeout use_cache
             Daemon.Lock.with_lock ~dir @@ fun () ->
             let cache = cache_of fs use_cache cache_dir budget_mb in
             let profile = profile_of fs no_profile profile_dir in
+            let schedule = resolve_schedule ?profile schedule in
             with_obs trace stats_flag (fun () ->
                 let stats, code =
                   build_units
                     ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                    ?cache ?profile ~keep_going ~werror ?max_errors
+                    ~schedule ?cache ?profile ~keep_going ~werror ?max_errors
                     ~error_format fs mgr policy sources
                 in
                 if stats_flag then begin
@@ -283,17 +303,17 @@ let build_cmd_impl dir group policy jobs workers worker_timeout use_cache
                 end;
                 code)))
 
-let run_cmd_impl dir group policy jobs workers worker_timeout use_cache
-    cache_dir budget_mb no_profile profile_dir trace stats_flag fault_seed
-    fault_ops keep_going werror max_errors error_format use_daemon =
+let run_cmd_impl dir group policy schedule jobs workers worker_timeout
+    use_cache cache_dir budget_mb no_profile profile_dir trace stats_flag
+    fault_seed fault_ops keep_going werror max_errors error_format use_daemon =
   guarded ~error_format (fun () ->
       let use_daemon = daemon_routable ~use_daemon ~workers ~fault_seed in
       match daemon_client ~use_daemon dir with
       | Some c ->
         finish_daemon c
           (Daemon.Protocol.Run
-             (daemon_build_opts group policy jobs use_cache keep_going werror
-                max_errors error_format))
+             (daemon_build_opts group policy schedule jobs use_cache keep_going
+                werror max_errors error_format))
       | None ->
         install_interrupt ();
         with_manager ?fault_seed ~fault_ops dir group (fun fs mgr sources ->
@@ -301,12 +321,13 @@ let run_cmd_impl dir group policy jobs workers worker_timeout use_cache
             Daemon.Lock.with_lock ~dir @@ fun () ->
             let cache = cache_of fs use_cache cache_dir budget_mb in
             let profile = profile_of fs no_profile profile_dir in
+            let schedule = resolve_schedule ?profile schedule in
             with_obs trace stats_flag (fun () ->
                 let stats =
                   Irm.Driver.build
                     ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                    ?cache ?profile ~keep_going ~werror ?max_errors mgr ~policy
-                    ~sources
+                    ~schedule ?cache ?profile ~keep_going ~werror ?max_errors
+                    mgr ~policy ~sources
                 in
                 let code = report_diagnostics fs error_format stats in
                 (* failed or skipped units have no bin to execute — report
@@ -318,9 +339,9 @@ let run_cmd_impl dir group policy jobs workers worker_timeout use_cache
                 end;
                 code)))
 
-let stats_cmd_impl dir group policy jobs workers worker_timeout use_cache
-    cache_dir budget_mb no_profile profile_dir trace json keep_going werror
-    max_errors =
+let stats_cmd_impl dir group policy schedule jobs workers worker_timeout
+    use_cache cache_dir budget_mb no_profile profile_dir trace json keep_going
+    werror max_errors =
   guarded (fun () ->
       install_interrupt ();
       with_manager dir group (fun fs mgr sources ->
@@ -328,12 +349,13 @@ let stats_cmd_impl dir group policy jobs workers worker_timeout use_cache
           Daemon.Lock.with_lock ~dir @@ fun () ->
           let cache = cache_of fs use_cache cache_dir budget_mb in
           let profile = profile_of fs no_profile profile_dir in
+          let schedule = resolve_schedule ?profile schedule in
           with_obs trace false (fun () ->
               let stats =
                 Irm.Driver.build
                   ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                  ?cache ?profile ~keep_going ~werror ?max_errors mgr ~policy
-                  ~sources
+                  ~schedule ?cache ?profile ~keep_going ~werror ?max_errors mgr
+                  ~policy ~sources
               in
               if json then
                 print_endline
@@ -645,6 +667,30 @@ let policy_arg =
            $(b,selective) (per-module interface pids) or $(b,timestamp) \
            (classical make).")
 
+let schedule_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", `Auto);
+             ("wavefront", `Wavefront);
+             ("critical-path", `Critical_path);
+           ])
+        `Auto
+    & info [ "schedule" ] ~docv:"SCHED"
+        ~doc:
+          "How ready compiles are ordered.  $(b,wavefront) dispatches in \
+           build order as dependencies complete.  $(b,critical-path) \
+           starts the units with the longest downstream chains first — \
+           per-unit durations estimated from the profile store's rolling \
+           averages — and pipelines each compile into static and codegen \
+           stages, releasing a unit's interfaces to dependents before its \
+           code generation finishes.  $(b,auto) (the default) picks \
+           $(b,critical-path) once the profile store has recorded a \
+           build, $(b,wavefront) otherwise.  Bin files, diagnostics and \
+           failure partitions are byte-identical under every schedule.")
+
 let jobs_arg =
   Arg.(
     value
@@ -830,7 +876,8 @@ let build_cmd =
     (Cmd.info "build" ~exits
        ~doc:"bring every unit of the group up to date")
     Term.(
-      const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
+      const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ schedule_arg
+      $ jobs_arg
       $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
       $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
       $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
@@ -841,7 +888,8 @@ let run_cmd =
     (Cmd.info "run" ~exits
        ~doc:"build, then execute all units in dependency order")
     Term.(
-      const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
+      const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ schedule_arg
+      $ jobs_arg
       $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
       $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
       $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
@@ -852,7 +900,8 @@ let stats_cmd =
     (Cmd.info "stats" ~exits
        ~doc:"build, then print the per-unit report and metric counters")
     Term.(
-      const stats_cmd_impl $ dir_arg $ group_arg $ policy_arg $ jobs_arg
+      const stats_cmd_impl $ dir_arg $ group_arg $ policy_arg $ schedule_arg
+      $ jobs_arg
       $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
       $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
       $ json_arg $ keep_going_arg $ werror_arg $ max_errors_arg)

@@ -42,6 +42,7 @@ let compile_supervised ~worker_timeout ~werror ~max_errors ~source_path ~source
       j_werror = werror;
       j_limit = max_errors;
       j_build = 0;
+      j_split = false;
     }
   in
   let pool =

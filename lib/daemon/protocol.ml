@@ -27,6 +27,7 @@ type build_opts = {
   b_werror : bool;
   b_max_errors : int option;
   b_error_json : bool;
+  b_schedule : string;
 }
 
 type request =
@@ -47,7 +48,8 @@ let write_opts w o =
   Buf.bool w o.b_keep_going;
   Buf.bool w o.b_werror;
   Buf.option w (Buf.int w) o.b_max_errors;
-  Buf.bool w o.b_error_json
+  Buf.bool w o.b_error_json;
+  Buf.string w o.b_schedule
 
 let read_opts r =
   let b_group = Buf.read_string r in
@@ -58,6 +60,7 @@ let read_opts r =
   let b_werror = Buf.read_bool r in
   let b_max_errors = Buf.read_option r (fun () -> Buf.read_int r) in
   let b_error_json = Buf.read_bool r in
+  let b_schedule = Buf.read_string r in
   {
     b_group;
     b_policy;
@@ -67,6 +70,7 @@ let read_opts r =
     b_werror;
     b_max_errors;
     b_error_json;
+    b_schedule;
   }
 
 let encode_request req =

@@ -49,6 +49,7 @@ type build_opts = {
   b_werror : bool;
   b_max_errors : int option;
   b_error_json : bool;  (** diagnostics as the [smlsep-diag/1] envelope *)
+  b_schedule : string;  (** [wavefront] or [critical-path] *)
 }
 
 type request =

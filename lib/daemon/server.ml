@@ -94,6 +94,7 @@ let default_opts cfg group =
     b_werror = false;
     b_max_errors = None;
     b_error_json = false;
+    b_schedule = "wavefront";
   }
 
 let group_state t group =
@@ -121,6 +122,17 @@ let policy_of = function
   | _ -> None
 
 let backend_of jobs = if jobs <= 1 then Driver.Serial else Driver.Parallel jobs
+
+(* [auto] resolves against the daemon's warm profile store, mirroring
+   the CLI's in-process default *)
+let schedule_of t = function
+  | "wavefront" -> Some Driver.Wavefront
+  | "critical-path" -> Some Driver.Critical_path
+  | "auto" ->
+    Some
+      (if Obs.Profile.builds t.profile = [] then Driver.Wavefront
+       else Driver.Critical_path)
+  | _ -> None
 
 let cache_of t enabled =
   if not enabled then None
@@ -196,11 +208,18 @@ let guard ~json f =
 
 let serve_build t opts ~and_run =
   let open Protocol in
-  match policy_of opts.b_policy with
-  | None ->
+  match (policy_of opts.b_policy, schedule_of t opts.b_schedule) with
+  | None, _ ->
     ( { r_code = 2; r_out = ""; r_err = Printf.sprintf "unknown policy %S\n" opts.b_policy },
       [] )
-  | Some policy ->
+  | _, None ->
+    ( {
+        r_code = 2;
+        r_out = "";
+        r_err = Printf.sprintf "unknown schedule %S\n" opts.b_schedule;
+      },
+      [] )
+  | Some policy, Some schedule ->
     guard ~json:opts.b_error_json (fun () ->
         let g = group_state t opts.b_group in
         let sources = Irm.Group.load t.fs opts.b_group in
@@ -213,6 +232,7 @@ let serve_build t opts ~and_run =
         let stats =
           Driver.build
             ~backend:(backend_of opts.b_jobs)
+            ~schedule
             ?cache:(cache_of t opts.b_cache) ~profile:t.profile
             ~keep_going:opts.b_keep_going ~werror:opts.b_werror
             ?max_errors:opts.b_max_errors g.g_mgr ~policy ~sources

@@ -42,6 +42,31 @@ type backend = Sched.backend =
   | Parallel of int
   | Workers of Worker.config
 
+(** How the scheduler orders ready compiles.  [Wavefront] dispatches in
+    build order as dependencies complete (the classical wavefront).
+    [Critical_path] additionally:
+
+    - ranks ready units by the length of the longest downstream chain,
+      with per-unit compile times estimated from the profile store's
+      rolling EWMA (1 s for never-compiled units — an absent or damaged
+      store degrades to longest-chain-by-depth, never an error), so the
+      units bounding the build from below start first; and
+    - pipelines each compile into {e static} and {e codegen} stages: a
+      unit's static view (interface, pids, environment — fixed once
+      elaboration and hashing finish) is released to dependents
+      immediately, so their compiles overlap with its code generation.
+      Sound per the paper's statenv/codeUnit factoring: dependents
+      consume only the statics, and the export pid cannot change after
+      elaboration.
+
+    Either way the resulting bins, diagnostics, and failed/skipped
+    partitions are byte-identical to a serial build: the schedule
+    steers only {e when} work starts, never what it computes. *)
+type schedule = Wavefront | Critical_path
+
+(** [wavefront] or [critical-path]. *)
+val schedule_name : schedule -> string
+
 (** Why a unit was recompiled — derived from the very comparisons the
     policy's staleness decision makes, so the attribution cannot drift
     from the behaviour. *)
@@ -100,6 +125,10 @@ type stats = {
           is the scheduler efficiency *)
   st_causes : (string * cause) list;
       (** every stale unit with why it was recompiled, in build order *)
+  st_schedule : schedule;  (** the schedule this build ran under *)
+  st_static_releases : int;
+      (** units whose static view was released to dependents before
+          their code generation finished *)
 }
 
 type t
@@ -133,6 +162,10 @@ val last_order : t -> string list
     ({!Vfs.commit}) so a crash mid-build never leaves a torn bin under
     its final name.  [backend] (default {!Serial}) says where compile
     jobs run; the resulting bin files are byte-identical either way.
+    [schedule] (default {!Wavefront}) says in what order ready compiles
+    dispatch — {!Critical_path} adds profile-guided priorities and the
+    pipelined static/codegen phase split, again without changing any
+    output byte.
     [cache], when given, is probed before every compile and fed after
     every compile.  [profile], when given, records the whole build —
     per-unit outcomes, causes, phase durations, import pids, slot
@@ -158,6 +191,7 @@ val last_order : t -> string list
     the diagnostics collected per unit. *)
 val build :
   ?backend:backend ->
+  ?schedule:schedule ->
   ?cache:Cache.t ->
   ?profile:Obs.Profile.t ->
   ?retries:int ->

@@ -245,6 +245,7 @@ let profile_envelope p b ~top =
         ("cause", opt_json (fun c -> String c) u.P.up_cause);
         ("culprits", List (List.map (fun c -> String c) u.P.up_culprits));
         ("wall_s", Float u.P.up_wall_s);
+        ("priority", Float u.P.up_priority);
         ("phases", Obj (List.map (fun (n, s) -> (n, Float s)) u.P.up_phases));
       ]
   in
@@ -261,6 +262,8 @@ let profile_envelope p b ~top =
               ("backend", String b.P.bp_backend);
               ("wall_s", Float b.P.bp_wall_s);
               ("jobs", Int b.P.bp_jobs);
+              ("schedule", String b.P.bp_schedule);
+              ("static_releases", Int b.P.bp_static_releases);
               ("efficiency", opt_json (fun e -> Float e) (P.efficiency b));
               ( "counts",
                 Obj
@@ -295,10 +298,13 @@ let profile_report p ~json ~top =
     else begin
       let buf = Buffer.create 256 in
       let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-      pr "build %d  (%s policy, %s, %.1f ms wall, %d jobs)\n" b.P.bp_id
-        b.P.bp_policy b.P.bp_backend
+      pr "build %d  (%s policy, %s, %.1f ms wall, %d jobs, %s schedule)\n"
+        b.P.bp_id b.P.bp_policy b.P.bp_backend
         (1000. *. b.P.bp_wall_s)
-        b.P.bp_jobs;
+        b.P.bp_jobs b.P.bp_schedule;
+      if b.P.bp_static_releases > 0 then
+        pr "  pipelined      %d static views released early\n"
+          b.P.bp_static_releases;
       (match P.efficiency b with
       | Some e -> pr "  efficiency     %.0f%% of slot time busy\n" (100. *. e)
       | None -> ());

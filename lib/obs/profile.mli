@@ -36,6 +36,10 @@ type unit_profile = {
       (** per-phase compile seconds ([parse], [elaborate], …) *)
   up_imports : (string * string) list;
       (** (direct dependency, its interface pid in hex; [""] unknown) *)
+  up_priority : float;
+      (** the critical-path priority the scheduler dispatched under (0
+          on wavefront builds; records from before scheduling existed
+          read back as 0) *)
 }
 
 (** One whole build. *)
@@ -46,6 +50,12 @@ type build_profile = {
   bp_wall_s : float;
   bp_jobs : int;
   bp_slot_busy_s : float list;  (** execute seconds per scheduler slot *)
+  bp_schedule : string;
+      (** [wavefront] or [critical-path]; old records read back as
+          [wavefront] *)
+  bp_static_releases : int;
+      (** units whose static view was released to dependents before
+          their code generation finished *)
   bp_units : unit_profile list;  (** in build order *)
 }
 

@@ -12,7 +12,13 @@ type t = {
   uf_codeunit : Link.Codeunit.t;
 }
 
-let magic = "SMLSEP.BIN.3"
+let magic = "SMLSEP.BIN.4"
+let static_magic = "SMLSEP.STA.4"
+
+(* a placeholder codeUnit for static-only views of a unit: the statics
+   (env, pids) are real, the code is not there yet *)
+let no_code =
+  { Link.Codeunit.cu_imports = []; cu_exports = []; cu_code = L.Ltuple [] }
 
 let m_bytes_written = Obs.Metrics.counter "pickle.bytes_written"
 let m_bytes_read = Obs.Metrics.counter "pickle.bytes_read"
@@ -206,11 +212,14 @@ let rec read_lambda r : L.t =
 (* Units                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let write ctx uf =
-  Obs.Trace.span ~cat:"pickle" ~args:[ ("unit", uf.uf_name) ] "pickle.write"
-  @@ fun () ->
+(* The static part of a unit — everything a dependent needs to compile
+   against it (name, pids, own-stamp table, environment) — is pickled
+   as one self-contained blob.  A full bin file embeds the blob
+   length-prefixed ahead of the codeUnit, so the static view can be
+   sliced out of an existing full bin by pure byte surgery
+   ({!static_of_full}): no context, no re-pickling. *)
+let static_payload ctx uf =
   let w = Buf.writer () in
-  Buf.string w magic;
   Buf.string w uf.uf_name;
   Buf.pid w uf.uf_static_pid;
   Buf.list w
@@ -257,42 +266,10 @@ let write ctx uf =
       | None -> Buf.byte w 0)
     own;
   Serial.write_env w ctx ~token ~with_addrs:true uf.uf_env;
-  (* the codeUnit *)
-  Buf.list w (fun pid -> Buf.pid w pid) uf.uf_codeunit.Link.Codeunit.cu_imports;
-  Buf.list w
-    (fun (name, pid) ->
-      write_symbol w name;
-      Buf.pid w pid)
-    uf.uf_codeunit.Link.Codeunit.cu_exports;
-  write_lambda w uf.uf_codeunit.Link.Codeunit.cu_code;
-  let payload = Buf.contents w in
-  let crc = Digestkit.Crc64.of_string payload in
-  (* fixed-width big-endian CRC-64 trailer: readers can locate and
-     verify it before parsing a single payload byte *)
-  let trailer = Bytes.create 8 in
-  Bytes.set_int64_be trailer 0 crc;
-  let bytes = payload ^ Bytes.to_string trailer in
-  Obs.Metrics.add m_bytes_written (String.length bytes);
-  bytes
+  Buf.contents w
 
-let read ctx data =
-  Obs.Trace.span ~cat:"pickle" "pickle.read" @@ fun () ->
-  Obs.Metrics.add m_bytes_read (String.length data);
-  Obs.Metrics.incr m_rehydrations;
-  (* Verify the CRC trailer FIRST: nothing of the payload is parsed —
-     let alone registered in [ctx] — before the whole file is known to
-     be intact.  Any torn or flipped byte is a checked [Corrupt], never
-     a wrong environment. *)
-  if String.length data < 8 then raise (Buf.Corrupt "truncated bin file");
-  let payload = String.sub data 0 (String.length data - 8) in
-  let declared =
-    Bytes.get_int64_be (Bytes.of_string (String.sub data (String.length data - 8) 8)) 0
-  in
-  if not (Int64.equal declared (Digestkit.Crc64.of_string payload)) then
-    raise (Buf.Corrupt "CRC mismatch: bin file is corrupt");
-  let r = Buf.reader payload in
-  let m = Buf.read_string r in
-  if not (String.equal m magic) then raise (Buf.Corrupt "bad magic");
+let read_static_payload ctx blob =
+  let r = Buf.reader blob in
   let uf_name = Buf.read_string r in
   let uf_static_pid = Buf.read_pid r in
   let uf_import_statics =
@@ -339,15 +316,7 @@ let read ctx data =
       | None -> ())
     entries;
   let uf_env = Serial.read_env r ~resolve in
-  let cu_imports = Buf.read_list r (fun () -> Buf.read_pid r) in
-  let cu_exports =
-    Buf.read_list r (fun () ->
-        let name = read_symbol r in
-        let pid = Buf.read_pid r in
-        (name, pid))
-  in
-  let cu_code = read_lambda r in
-  if not (Buf.at_end r) then raise (Buf.Corrupt "trailing bytes");
+  if not (Buf.at_end r) then raise (Buf.Corrupt "trailing static bytes");
   {
     uf_name;
     uf_static_pid;
@@ -355,7 +324,100 @@ let read ctx data =
     uf_import_statics;
     uf_name_statics;
     uf_import_name_statics;
-    uf_codeunit = { Link.Codeunit.cu_imports; cu_exports; cu_code };
+    uf_codeunit = no_code;
   }
+
+(* fixed-width big-endian CRC-64 trailer: readers can locate and
+   verify it before parsing a single payload byte *)
+let seal payload =
+  let crc = Digestkit.Crc64.of_string payload in
+  let trailer = Bytes.create 8 in
+  Bytes.set_int64_be trailer 0 crc;
+  payload ^ Bytes.to_string trailer
+
+(* Verify the CRC trailer FIRST: nothing of the payload is parsed —
+   let alone registered in a context — before the whole file is known
+   to be intact.  Any torn or flipped byte is a checked [Corrupt],
+   never a wrong environment. *)
+let unseal data =
+  if String.length data < 8 then raise (Buf.Corrupt "truncated bin file");
+  let payload = String.sub data 0 (String.length data - 8) in
+  let declared =
+    Bytes.get_int64_be (Bytes.of_string (String.sub data (String.length data - 8) 8)) 0
+  in
+  if not (Int64.equal declared (Digestkit.Crc64.of_string payload)) then
+    raise (Buf.Corrupt "CRC mismatch: bin file is corrupt");
+  payload
+
+let write ctx uf =
+  Obs.Trace.span ~cat:"pickle" ~args:[ ("unit", uf.uf_name) ] "pickle.write"
+  @@ fun () ->
+  let w = Buf.writer () in
+  Buf.string w magic;
+  Buf.string w (static_payload ctx uf);
+  (* the codeUnit *)
+  Buf.list w (fun pid -> Buf.pid w pid) uf.uf_codeunit.Link.Codeunit.cu_imports;
+  Buf.list w
+    (fun (name, pid) ->
+      write_symbol w name;
+      Buf.pid w pid)
+    uf.uf_codeunit.Link.Codeunit.cu_exports;
+  write_lambda w uf.uf_codeunit.Link.Codeunit.cu_code;
+  let bytes = seal (Buf.contents w) in
+  Obs.Metrics.add m_bytes_written (String.length bytes);
+  bytes
+
+let write_static ctx uf =
+  Obs.Trace.span ~cat:"pickle"
+    ~args:[ ("unit", uf.uf_name) ]
+    "pickle.write_static"
+  @@ fun () ->
+  let w = Buf.writer () in
+  Buf.string w static_magic;
+  Buf.string w (static_payload ctx uf);
+  let bytes = seal (Buf.contents w) in
+  Obs.Metrics.add m_bytes_written (String.length bytes);
+  bytes
+
+let static_of_full data =
+  let payload = unseal data in
+  let r = Buf.reader payload in
+  let m = Buf.read_string r in
+  if String.equal m static_magic then data
+  else if not (String.equal m magic) then raise (Buf.Corrupt "bad magic")
+  else begin
+    let blob = Buf.read_string r in
+    let w = Buf.writer () in
+    Buf.string w static_magic;
+    Buf.string w blob;
+    seal (Buf.contents w)
+  end
+
+let read ctx data =
+  Obs.Trace.span ~cat:"pickle" "pickle.read" @@ fun () ->
+  Obs.Metrics.add m_bytes_read (String.length data);
+  Obs.Metrics.incr m_rehydrations;
+  let payload = unseal data in
+  let r = Buf.reader payload in
+  let m = Buf.read_string r in
+  if String.equal m static_magic then begin
+    let uf = read_static_payload ctx (Buf.read_string r) in
+    if not (Buf.at_end r) then raise (Buf.Corrupt "trailing bytes");
+    uf
+  end
+  else if not (String.equal m magic) then raise (Buf.Corrupt "bad magic")
+  else begin
+    let uf = read_static_payload ctx (Buf.read_string r) in
+    let cu_imports = Buf.read_list r (fun () -> Buf.read_pid r) in
+    let cu_exports =
+      Buf.read_list r (fun () ->
+          let name = read_symbol r in
+          let pid = Buf.read_pid r in
+          (name, pid))
+    in
+    let cu_code = read_lambda r in
+    if not (Buf.at_end r) then raise (Buf.Corrupt "trailing bytes");
+    { uf with uf_codeunit = { Link.Codeunit.cu_imports; cu_exports; cu_code } }
+  end
 
 let size_of ctx uf = String.length (write ctx uf)

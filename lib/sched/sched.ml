@@ -20,6 +20,16 @@ type ('job, 'result) codec = {
   c_decode_result : string -> 'result;
 }
 
+(* the pipelined static/codegen phase split: [sp_execute] replaces
+   [execute] and may call [notify] once, mid-job, with the unit's
+   pickled static view; [sp_on_static] consumes that payload on the
+   calling domain, after which the node's dependents become
+   dispatchable without waiting for the job's result *)
+type ('job, 'result) split = {
+  sp_execute : notify:(string -> unit) -> 'job -> 'result;
+  sp_on_static : string -> string -> unit;
+}
+
 type 'result outcome =
   | Completed of 'result
   | Failed of exn
@@ -35,19 +45,50 @@ let last_slots () = !last_slots_ref
 let m_dispatched = Obs.Metrics.counter "sched.dispatched"
 let m_inline = Obs.Metrics.counter "sched.inline"
 let m_retries = Obs.Metrics.counter "sched.retries"
+let m_static_releases = Obs.Metrics.counter "sched.static_releases"
 let g_jobs = Obs.Metrics.gauge "sched.jobs"
 
-(* per-node scheduling state, driven entirely by the calling domain *)
+(* the ready queue: highest priority first, and — the determinism
+   anchor — caller order among equals.  Whatever the priority map says,
+   ties can never perturb dispatch order away from the serial order. *)
+module Ready = Set.Make (struct
+  type t = float * int * string
+
+  let compare (pa, sa, na) (pb, sb, nb) =
+    match Float.compare pb pa with
+    | 0 -> ( match Int.compare sa sb with 0 -> String.compare na nb | c -> c)
+    | c -> c
+end)
+
+(* Per-node scheduling state, driven entirely by the calling domain.
+   Two gates: [ns_staticw] counts dependencies whose *static* view is
+   still unreleased and gates prepare/dispatch; [ns_waiting] counts
+   unfinished dependencies and gates complete/settle.  Without the
+   phase split a dependency only releases its static view when it
+   finishes, so the gates coincide and this degenerates to the plain
+   wavefront. *)
 type 'result node_state = {
+  ns_seq : int;  (** caller-order index — the deterministic tie-break *)
+  ns_priority : float;
+  mutable ns_staticw : int;  (** deps whose static view is unreleased *)
   mutable ns_waiting : int;  (** unfinished dependencies *)
-  mutable ns_poisoned : string option;  (** a failed dependency's name *)
+  mutable ns_poisoned : string option;
+      (** some upstream failure reached this node (the name is the first
+          poison to arrive — a dispatch guard only; the reported culprit
+          is recomputed deterministically at skip time) *)
+  mutable ns_started : bool;  (** prepared (and possibly dispatched) *)
+  mutable ns_static_done : bool;  (** own static view released *)
+  mutable ns_held : ('result, exn) result option;
+      (** an execute result that arrived while dependencies were still
+          unfinished — settled (or discarded, if a dependency then
+          fails) when the final gate opens *)
   mutable ns_outcome : 'result outcome option;
 }
 
 let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
     ?(retryable = fun _ -> false) ?(keep_going = false)
-    ?(fatal = fun _ -> false) ?codec backend ~order ~deps ~prepare ~execute
-    ~complete =
+    ?(fatal = fun _ -> false) ?codec ?priority ?split backend ~order ~deps
+    ~prepare ~execute ~complete =
   Obs.Trace.span ~cat:"sched"
     ~args:[ ("backend", backend_name backend) ]
     "sched.run"
@@ -75,8 +116,13 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
     go 0
   in
   let prepare = attempt prepare
-  and execute = attempt execute
   and complete node = attempt (complete node) in
+  let exec ~notify job =
+    match split with
+    | None -> attempt execute job
+    | Some sp -> attempt (sp.sp_execute ~notify) job
+  in
+  let prio = match priority with None -> fun _ -> 0. | Some f -> f in
   let workers = min (jobs backend) (max 1 (List.length order)) in
   Obs.Metrics.set g_jobs workers;
   (* per-slot busy time: how long each execution slot held a job, for
@@ -91,31 +137,47 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
   let dependents : (string, string list) Hashtbl.t =
     Hashtbl.create (List.length order)
   in
-  List.iter
-    (fun node ->
+  List.iteri
+    (fun seq node ->
       let ds = deps node in
       Hashtbl.replace states node
-        { ns_waiting = List.length ds; ns_poisoned = None; ns_outcome = None };
+        {
+          ns_seq = seq;
+          ns_priority = prio node;
+          ns_staticw = List.length ds;
+          ns_waiting = List.length ds;
+          ns_poisoned = None;
+          ns_started = false;
+          ns_static_done = false;
+          ns_held = None;
+          ns_outcome = None;
+        };
       List.iter
         (fun dep ->
           Hashtbl.replace dependents dep
             (node :: Option.value ~default:[] (Hashtbl.find_opt dependents dep)))
         ds)
     order;
+  let dependents_of node =
+    Option.value ~default:[] (Hashtbl.find_opt dependents node)
+  in
   let remaining = ref (List.length order) in
+  let ready = ref Ready.empty in
+  let push node st =
+    ready := Ready.add (st.ns_priority, st.ns_seq, node) !ready
+  in
+  (* jobs handed to a slot (domain or worker process) and not yet
+     resolved; the pump dispatches from the ready queue only while this
+     is below [workers], so late-arriving high-priority nodes are never
+     stuck behind a long FIFO of already-queued low-priority ones *)
+  let inflight = ref 0 in
   (* worker plumbing — only used by the parallel backend *)
   let lock = Mutex.create () in
   let work_ready = Condition.create () in
   let result_ready = Condition.create () in
   let job_queue = Queue.create () in
-  let result_queue = Queue.create () in
+  let event_queue = Queue.create () in
   let quit = ref false in
-  let dispatch node job =
-    Obs.Metrics.incr m_dispatched;
-    Mutex.protect lock (fun () ->
-        Queue.push (node, job) job_queue;
-        Condition.signal work_ready)
-  in
   (* the Workers backend routes jobs to a process pool created at the
      bottom of this function; [start] is mutually recursive with the
      bookkeeping, so it reaches the pool through this knot *)
@@ -133,25 +195,77 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
       else begin
         let node, job = Queue.pop job_queue in
         Mutex.unlock lock;
+        (* the static notification crosses back to the calling domain as
+           an event — [sp_on_static] touches shared state and must not
+           run here *)
+        let notify payload =
+          Mutex.protect lock (fun () ->
+              Queue.push (node, `Static payload) event_queue;
+              Condition.signal result_ready)
+        in
         let t0 = Unix.gettimeofday () in
         let result =
-          match execute job with
+          match exec ~notify job with
           | result -> Ok result
           | exception exn -> Error exn
         in
         bump slot (Unix.gettimeofday () -. t0);
         Mutex.protect lock (fun () ->
-            Queue.push (node, result) result_queue;
+            Queue.push (node, `Result result) event_queue;
             Condition.signal result_ready);
         loop ()
       end
     in
     loop ()
   in
-  (* ---- main-domain scheduling (shared by both backends) ---- *)
-  let rec finish node outcome =
+  (* ---- main-domain scheduling (shared by all backends) ---- *)
+  (* which failed root a skipped node blames.  Evaluated only once every
+     dependency has finished, so it is a function of the final outcome
+     classes alone — the earliest failed root in caller order — and can
+     never depend on completion timing.  (First-poisoner-wins would
+     report whichever failure happened to land first, which differs
+     between serial and parallel runs.) *)
+  let skip_root node =
+    let best = ref None in
+    List.iter
+      (fun dep ->
+        let root =
+          match (Hashtbl.find states dep).ns_outcome with
+          | Some (Failed _) -> Some dep
+          | Some (Skipped r) -> Some r
+          | Some (Completed _) | None -> None
+        in
+        match root with
+        | Some r -> (
+          let seq = (Hashtbl.find states r).ns_seq in
+          match !best with
+          | Some (bseq, _) when bseq <= seq -> ()
+          | Some _ | None -> best := Some (seq, r))
+        | None -> ())
+      (deps node);
+    match !best with
+    | Some (_, r) -> r
+    | None -> assert false (* only poisoned nodes are skipped *)
+  in
+  let rec release_static node =
+    let state = Hashtbl.find states node in
+    if not state.ns_static_done then begin
+      state.ns_static_done <- true;
+      List.iter
+        (fun dependent ->
+          let dstate = Hashtbl.find states dependent in
+          dstate.ns_staticw <- dstate.ns_staticw - 1;
+          if
+            dstate.ns_staticw = 0 && (not dstate.ns_started)
+            && dstate.ns_poisoned = None
+            && dstate.ns_outcome = None
+          then push dependent dstate)
+        (dependents_of node)
+    end
+  and finish node outcome =
     let state = Hashtbl.find states node in
     state.ns_outcome <- Some outcome;
+    state.ns_held <- None;
     decr remaining;
     let culprit =
       match outcome with
@@ -159,19 +273,41 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
       | Failed _ -> Some node
       | Skipped root -> Some root
     in
+    let down = dependents_of node in
+    (match culprit with
+    | Some root ->
+      List.iter
+        (fun dependent ->
+          let dstate = Hashtbl.find states dependent in
+          if dstate.ns_poisoned = None then dstate.ns_poisoned <- Some root)
+        down
+    | None -> ());
+    (* finishing releases the static view, if nothing did so earlier;
+       poison is marked first so a failed dependency never pushes its
+       dependents into the ready queue *)
+    release_static node;
     List.iter
       (fun dependent ->
         let dstate = Hashtbl.find states dependent in
-        (match culprit with
-        | Some root when dstate.ns_poisoned = None ->
-          dstate.ns_poisoned <- Some root
-        | Some _ | None -> ());
         dstate.ns_waiting <- dstate.ns_waiting - 1;
-        if dstate.ns_waiting = 0 then
+        if dstate.ns_waiting = 0 && dstate.ns_outcome = None then
           match dstate.ns_poisoned with
-          | Some root -> finish dependent (Skipped root)
-          | None -> start dependent)
-      (Option.value ~default:[] (Hashtbl.find_opt dependents node))
+          | Some _ ->
+            (* a dependency failed after this node was (speculatively)
+               dispatched on its static view: any held or still-running
+               result is discarded — exactly what a serial run, which
+               would never have attempted the node, observes *)
+            finish dependent (Skipped (skip_root dependent))
+          | None -> (
+            match dstate.ns_held with
+            | Some (Ok result) ->
+              dstate.ns_held <- None;
+              settle dependent result
+            | Some (Error exn) ->
+              dstate.ns_held <- None;
+              fail dependent exn
+            | None -> ()))
+      down
   (* an exception the caller declared fatal (a signal-driven interrupt,
      not a unit failure) aborts the whole run immediately — even under
      [keep_going], which only shields per-unit failures.  The raise
@@ -182,36 +318,80 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
     match complete node result with
     | result -> finish node (Completed result)
     | exception exn -> fail node exn
+  (* an execute result arrived.  With the split a node may resolve
+     before its dependencies finished — hold the result until the final
+     gate opens (complete must observe every dependency's completion),
+     or discard it if a dependency fails in the meantime. *)
+  and arrive node res =
+    (match res with Error exn when fatal exn -> raise exn | _ -> ());
+    let state = Hashtbl.find states node in
+    if state.ns_outcome = None then
+      if state.ns_waiting > 0 then state.ns_held <- Some res
+      else
+        match res with
+        | Ok result -> settle node result
+        | Error exn -> fail node exn
+  and on_static node payload =
+    (match split with
+    | Some sp -> sp.sp_on_static node payload
+    | None -> ());
+    Obs.Metrics.incr m_static_releases;
+    release_static node
   and start node =
+    let state = Hashtbl.find states node in
+    state.ns_started <- true;
     match prepare node with
     | exception exn -> fail node exn
     | Done result ->
       Obs.Metrics.incr m_inline;
-      settle node result
+      arrive node (Ok result)
     | Run job ->
       if worker_mode then begin
         (* even a 1-worker pool goes out of process: isolation, not
            parallelism, is what this backend buys *)
         Obs.Metrics.incr m_dispatched;
+        incr inflight;
         !pool_submit node job
       end
       else if workers <= 1 then begin
         let t0 = Unix.gettimeofday () in
         let result =
-          match execute job with
+          match exec ~notify:(fun payload -> on_static node payload) job with
           | result -> Ok result
           | exception exn -> Error exn
         in
         bump 0 (Unix.gettimeofday () -. t0);
-        match result with
-        | Ok result -> settle node result
-        | Error exn -> fail node exn
+        arrive node result
       end
-      else dispatch node job
+      else begin
+        Obs.Metrics.incr m_dispatched;
+        incr inflight;
+        Mutex.protect lock (fun () ->
+            Queue.push (node, job) job_queue;
+            Condition.signal work_ready)
+      end
   in
-  let initially_ready =
-    List.filter (fun node -> (Hashtbl.find states node).ns_waiting = 0) order
+  (* the pump: hand the best ready node to a free slot, repeatedly.
+     Inline execution (Serial) resolves synchronously, so this loop
+     alone drives a whole serial build; the parallel backends re-pump
+     after every drained event. *)
+  let rec pump () =
+    if (not (Ready.is_empty !ready)) && !inflight < workers then begin
+      let ((_, _, node) as top) = Ready.min_elt !ready in
+      ready := Ready.remove top !ready;
+      let state = Hashtbl.find states node in
+      if
+        state.ns_outcome = None && state.ns_poisoned = None
+        && not state.ns_started
+      then start node;
+      pump ()
+    end
   in
+  List.iter
+    (fun node ->
+      let state = Hashtbl.find states node in
+      if state.ns_staticw = 0 then push node state)
+    order;
   (match backend with
   | Workers cfg ->
     let codec =
@@ -223,50 +403,57 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
     pool_submit :=
       (fun node job -> Worker.submit pool ~id:node (codec.c_encode_job job));
     Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
-    List.iter start initially_ready;
+    pump ();
     while !remaining > 0 do
-      let node, res = Worker.next pool in
-      match res with
-      | Ok payload -> (
-        match codec.c_decode_result payload with
-        | result -> settle node result
-        | exception exn -> fail node exn)
-      | Error exn -> fail node exn
+      (match Worker.next_event pool with
+      | Worker.Done (node, res) -> (
+        decr inflight;
+        match res with
+        | Ok payload -> (
+          match codec.c_decode_result payload with
+          | result -> arrive node (Ok result)
+          | exception exn -> arrive node (Error exn))
+        | Error exn -> arrive node (Error exn))
+      | Worker.Static (node, payload) -> on_static node payload);
+      pump ()
     done;
     busy := Worker.slot_busy pool
   | Serial | Parallel _ ->
-  if workers <= 1 then List.iter start initially_ready
-  else begin
-    let pool =
-      List.init workers (fun i -> Domain.spawn (fun () -> worker_loop i))
-    in
-    Fun.protect ~finally:(fun () ->
-        Mutex.protect lock (fun () ->
-            quit := true;
-            Condition.broadcast work_ready);
-        List.iter Domain.join pool)
-    @@ fun () ->
-    List.iter start initially_ready;
-    while !remaining > 0 do
-      let batch =
-        Mutex.protect lock (fun () ->
-            while Queue.is_empty result_queue do
-              Condition.wait result_ready lock
-            done;
-            let batch = ref [] in
-            while not (Queue.is_empty result_queue) do
-              batch := Queue.pop result_queue :: !batch
-            done;
-            List.rev !batch)
+    if workers <= 1 then pump ()
+    else begin
+      let pool =
+        List.init workers (fun i -> Domain.spawn (fun () -> worker_loop i))
       in
-      List.iter
-        (fun (node, result) ->
-          match result with
-          | Ok result -> settle node result
-          | Error exn -> fail node exn)
-        batch
-    done
-  end);
+      Fun.protect ~finally:(fun () ->
+          Mutex.protect lock (fun () ->
+              quit := true;
+              Condition.broadcast work_ready);
+          List.iter Domain.join pool)
+      @@ fun () ->
+      pump ();
+      while !remaining > 0 do
+        let batch =
+          Mutex.protect lock (fun () ->
+              while Queue.is_empty event_queue do
+                Condition.wait result_ready lock
+              done;
+              let batch = ref [] in
+              while not (Queue.is_empty event_queue) do
+                batch := Queue.pop event_queue :: !batch
+              done;
+              List.rev !batch)
+        in
+        List.iter
+          (fun (node, event) ->
+            match event with
+            | `Static payload -> on_static node payload
+            | `Result res ->
+              decr inflight;
+              arrive node res)
+          batch;
+        pump ()
+      done
+    end);
   last_slots_ref :=
     Some
       {

@@ -20,7 +20,7 @@ let gen_string = QCheck.Gen.(string_size ~gen:char (int_range 0 30))
 let gen_build_opts =
   QCheck.Gen.(
     map
-      (fun ((group, policy, jobs, cache), (kg, werr, maxe, json)) ->
+      (fun (((group, policy, jobs, cache), (kg, werr, maxe, json)), sched) ->
         {
           Protocol.b_group = group;
           b_policy = policy;
@@ -30,12 +30,15 @@ let gen_build_opts =
           b_werror = werr;
           b_max_errors = maxe;
           b_error_json = json;
+          b_schedule = sched;
         })
       (pair
-         (quad gen_string
-            (oneofl [ "cutoff"; "timestamp"; "selective" ])
-            (int_range 0 64) bool)
-         (quad bool bool (opt (int_range 0 1000)) bool)))
+         (pair
+            (quad gen_string
+               (oneofl [ "cutoff"; "timestamp"; "selective" ])
+               (int_range 0 64) bool)
+            (quad bool bool (opt (int_range 0 1000)) bool))
+         (oneofl [ "wavefront"; "critical-path" ])))
 
 let gen_request =
   QCheck.Gen.(
@@ -230,7 +233,8 @@ let rpc srv c ~id req =
   in
   go []
 
-let build_opts ?(policy = "cutoff") ?(json = false) group =
+let build_opts ?(policy = "cutoff") ?(json = false) ?(schedule = "wavefront")
+    group =
   {
     Protocol.b_group = group;
     b_policy = policy;
@@ -240,6 +244,7 @@ let build_opts ?(policy = "cutoff") ?(json = false) group =
     b_werror = false;
     b_max_errors = None;
     b_error_json = json;
+    b_schedule = schedule;
   }
 
 let status srv c ~id =

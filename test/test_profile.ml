@@ -6,7 +6,7 @@ module Profile = Obs.Profile
 module Driver = Irm.Driver
 
 let mk_unit ?(outcome = "recompiled") ?cause ?(culprits = []) ?(wall = 0.1)
-    ?(phases = []) name =
+    ?(phases = []) ?(priority = 0.) name =
   {
     Profile.up_unit = name;
     up_outcome = outcome;
@@ -16,10 +16,11 @@ let mk_unit ?(outcome = "recompiled") ?cause ?(culprits = []) ?(wall = 0.1)
     up_wall_s = wall;
     up_phases = phases;
     up_imports = [];
+    up_priority = priority;
   }
 
 let mk_build ?(id = 1) ?(policy = "cutoff") ?(wall = 1.0) ?(jobs = 1)
-    ?(busy = [ 0.5 ]) units =
+    ?(busy = [ 0.5 ]) ?(schedule = "wavefront") ?(static_releases = 0) units =
   {
     Profile.bp_id = id;
     bp_policy = policy;
@@ -27,6 +28,8 @@ let mk_build ?(id = 1) ?(policy = "cutoff") ?(wall = 1.0) ?(jobs = 1)
     bp_wall_s = wall;
     bp_jobs = jobs;
     bp_slot_busy_s = busy;
+    bp_schedule = schedule;
+    bp_static_releases = static_releases;
     bp_units = units;
   }
 
@@ -342,6 +345,84 @@ let test_driver_records_profile () =
       Alcotest.(check bool) "import pid is hex" true (String.length pid = 32))
     top.Profile.up_imports
 
+let test_schedule_recorded_and_degrades () =
+  (* a critical-path build stamps the profile with its schedule, the
+     per-unit priorities it ranked by, and the early static releases;
+     on a cold store the chain base <- mid <- top gets the 1s-per-unit
+     default estimate, so the priorities are exactly the chain depths *)
+  let fs = Vfs.memory () in
+  let profile = Profile.load fs in
+  let mgr = Driver.create fs in
+  let sources = write_chain fs in
+  let stats =
+    Driver.build ~profile ~backend:(Driver.Parallel 2)
+      ~schedule:Driver.Critical_path mgr ~policy:Driver.Cutoff ~sources
+  in
+  Alcotest.(check string) "stats carry the schedule" "critical-path"
+    (Driver.schedule_name stats.Driver.st_schedule);
+  Alcotest.(check int) "every compiled unit released its static view" 3
+    stats.Driver.st_static_releases;
+  let b =
+    match Profile.last profile with
+    | Some b -> b
+    | None -> Alcotest.fail "build not recorded"
+  in
+  Alcotest.(check string) "schedule recorded" "critical-path"
+    b.Profile.bp_schedule;
+  Alcotest.(check int) "static releases recorded" 3
+    b.Profile.bp_static_releases;
+  let prio build name =
+    match Profile.find_unit build name with
+    | Some u -> u.Profile.up_priority
+    | None -> Alcotest.fail (name ^ " missing from the profile")
+  in
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check (float 1e-9))
+        ("cold chain priority of " ^ name)
+        expected (prio b name))
+    [ ("base.sml", 3.0); ("mid.sml", 2.0); ("top.sml", 1.0) ];
+  (* a vandalised store never stops the schedule: estimates fall back
+     to the cold default and the rebuild succeeds as usual *)
+  fs.Vfs.fs_write (Filename.concat Profile.default_dir "store") "garbage";
+  fs.Vfs.fs_remove (Filename.concat Profile.default_dir "journal");
+  let profile' = Profile.load fs in
+  Alcotest.(check int) "store is gone" 0 (List.length (Profile.builds profile'));
+  List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources;
+  let mgr' = Driver.create fs in
+  let stats' =
+    Driver.build ~profile:profile' ~backend:(Driver.Parallel 2)
+      ~schedule:Driver.Critical_path mgr' ~policy:Driver.Cutoff ~sources
+  in
+  Alcotest.(check int) "damaged store: full rebuild still runs" 3
+    (List.length stats'.Driver.st_recompiled);
+  (match Profile.last profile' with
+  | Some b' ->
+    Alcotest.(check (float 1e-9))
+      "damaged store: priorities degrade to depth" 3.0 (prio b' "base.sml")
+  | None -> Alcotest.fail "rebuild not recorded");
+  (* and the wavefront records the neutral stamp: no priorities, no
+     early releases *)
+  List.iter (fun f -> fs.Vfs.fs_remove (f ^ ".bin")) sources;
+  let mgr'' = Driver.create fs in
+  let stats'' =
+    Driver.build ~profile:profile' ~backend:(Driver.Parallel 2)
+      ~schedule:Driver.Wavefront mgr'' ~policy:Driver.Cutoff ~sources
+  in
+  Alcotest.(check string) "wavefront stamped" "wavefront"
+    (Driver.schedule_name stats''.Driver.st_schedule);
+  Alcotest.(check int) "wavefront: no static releases" 0
+    stats''.Driver.st_static_releases;
+  match Profile.last profile' with
+  | Some b'' ->
+    List.iter
+      (fun name ->
+        Alcotest.(check (float 1e-9))
+          ("wavefront priority of " ^ name)
+          0. (prio b'' name))
+      sources
+  | None -> Alcotest.fail "wavefront build not recorded"
+
 let test_skipped_culprit_recorded () =
   let fs = Vfs.memory () in
   let profile = Profile.load fs in
@@ -514,6 +595,8 @@ let suite =
     Alcotest.test_case "slot stats" `Quick test_slot_stats;
     Alcotest.test_case "driver records the profile" `Quick
       test_driver_records_profile;
+    Alcotest.test_case "schedule recorded, damaged store degrades" `Quick
+      test_schedule_recorded_and_degrades;
     Alcotest.test_case "skipped culprit recorded" `Quick
       test_skipped_culprit_recorded;
     QCheck_alcotest.to_alcotest prop_comment_edit_exact;

@@ -136,6 +136,187 @@ let test_complete_respects_deps () =
   in
   Alcotest.(check int) "all nodes completed" n (List.length outcomes)
 
+(* ---- priority-aware dispatch ---- *)
+
+let test_priority_dispatch_order () =
+  (* Serial executes inline, so the execute log IS the dispatch order.
+     No map / a constant map must reproduce the exact caller order (the
+     priority queue may never perturb the wavefront default); a skewed
+     map dispatches highest-first with caller-order ties. *)
+  let run ?priority ~order ~deps () =
+    let log = ref [] in
+    ignore
+      (Sched.run ?priority Sched.Serial ~order ~deps
+         ~prepare:(fun node -> Sched.Run node)
+         ~execute:(fun node ->
+           log := node :: !log;
+           node)
+         ~complete:(fun _ result -> result));
+    List.rev !log
+  in
+  let order = [ "a"; "b"; "c"; "d" ] and deps _ = [] in
+  Alcotest.(check (list string))
+    "default: caller order" order
+    (run ~order ~deps ());
+  Alcotest.(check (list string))
+    "equal priorities: caller order" order
+    (run ~priority:(fun _ -> 7.) ~order ~deps ());
+  let skew = function "c" -> 3. | "b" -> 2. | _ -> 0. in
+  Alcotest.(check (list string))
+    "highest first, ties in caller order"
+    [ "c"; "b"; "a"; "d" ]
+    (run ~priority:skew ~order ~deps ());
+  (* priorities steer only among *ready* nodes: favouring the diamond's
+     sink cannot dispatch it before its dependencies *)
+  let favour_sink = function "d" -> 10. | "c" -> 1. | _ -> 0. in
+  Alcotest.(check (list string))
+    "priority cannot jump the dependency gates"
+    [ "a"; "c"; "b"; "d" ]
+    (run ~priority:favour_sink ~order:toy_order ~deps:toy_deps ())
+
+let test_split_overlaps_codegen () =
+  (* a <- b at Parallel 2: a releases its static view 20ms in, then
+     spends ~300ms in codegen.  b must demonstrably begin inside that
+     window — the overlap the pipelined split exists to create — and
+     the static payload must arrive via sp_on_static on the caller. *)
+  let a_finished = Atomic.make 0. in
+  let b_started = Atomic.make 0. in
+  let statics = ref [] in
+  let split =
+    {
+      Sched.sp_execute =
+        (fun ~notify node ->
+          (if String.equal node "a" then (
+             Unix.sleepf 0.02;
+             notify "static-of-a";
+             Unix.sleepf 0.3;
+             Atomic.set a_finished (Unix.gettimeofday ()))
+           else Atomic.set b_started (Unix.gettimeofday ()));
+          "ran-" ^ node);
+      sp_on_static =
+        (fun node payload -> statics := (node, payload) :: !statics);
+    }
+  in
+  let outcomes =
+    Sched.run ~split (Sched.Parallel 2) ~order:[ "a"; "b" ]
+      ~deps:(function "b" -> [ "a" ] | _ -> [])
+      ~prepare:(fun node -> Sched.Run node)
+      ~execute:(fun node -> "ran-" ^ node)
+      ~complete:(fun _ result -> result)
+  in
+  List.iter
+    (fun (node, outcome) ->
+      match outcome with
+      | Sched.Completed result ->
+        Alcotest.(check string) node ("ran-" ^ node) result
+      | Sched.Failed _ | Sched.Skipped _ ->
+        Alcotest.fail (node ^ " should have completed"))
+    outcomes;
+  Alcotest.(check (list (pair string string)))
+    "static payload routed to the calling domain"
+    [ ("a", "static-of-a") ]
+    !statics;
+  let b_started = Atomic.get b_started
+  and a_finished = Atomic.get a_finished in
+  if b_started = 0. || a_finished = 0. then
+    Alcotest.fail "both executes should have run";
+  if b_started >= a_finished then
+    Alcotest.fail
+      (Printf.sprintf "no overlap: b started %.0fms after a finished codegen"
+         ((b_started -. a_finished) *. 1e3))
+
+(* ---- priorities and the split never change outcomes ---- *)
+
+(* A random DAG at the Sched level: a seeded subset of nodes fail and a
+   seeded priority map skews dispatch.  Under keep_going the outcome
+   list — payloads, failure messages, skip culprits — must be identical
+   to the plain serial wavefront on every backend and job count, with
+   and without the split.  Failing nodes raise *after* releasing their
+   static view, so the property also covers the poison-after-release
+   path: a dependent that started speculatively must still settle as
+   the same [Skipped] a serial run reports. *)
+
+let sched_case ~nodes ~seed =
+  let rng = Random.State.make [| seed |] in
+  let name i = Printf.sprintf "n%02d" i in
+  let order = List.init nodes name in
+  let deps_tbl = Hashtbl.create nodes in
+  let fails_tbl = Hashtbl.create nodes in
+  let prio_tbl = Hashtbl.create nodes in
+  List.iteri
+    (fun i node ->
+      let deps =
+        if i = 0 then []
+        else
+          List.init (Random.State.int rng 3) (fun _ ->
+              name (Random.State.int rng i))
+          |> List.sort_uniq compare
+      in
+      Hashtbl.replace deps_tbl node deps;
+      if Random.State.int rng 4 = 0 then Hashtbl.replace fails_tbl node ();
+      Hashtbl.replace prio_tbl node (float_of_int (Random.State.int rng 5)))
+    order;
+  ( order,
+    (fun node -> Hashtbl.find deps_tbl node),
+    (fun node -> Hashtbl.mem fails_tbl node),
+    fun node -> Hashtbl.find prio_tbl node )
+
+let outcome_repr outcomes =
+  List.map
+    (fun (node, outcome) ->
+      ( node,
+        match outcome with
+        | Sched.Completed result -> "completed:" ^ result
+        | Sched.Failed (Failure msg) -> "failed:" ^ msg
+        | Sched.Failed exn -> "failed:" ^ Printexc.to_string exn
+        | Sched.Skipped culprit -> "skipped:" ^ culprit ))
+    outcomes
+
+let run_sched_case ?priority ~with_split backend (order, deps, fails, _) =
+  let body node =
+    if fails node then failwith ("boom-" ^ node) else "ok-" ^ node
+  in
+  let split =
+    {
+      Sched.sp_execute =
+        (fun ~notify node ->
+          notify ("static-" ^ node);
+          body node);
+      sp_on_static = (fun _ _ -> ());
+    }
+  in
+  Sched.run ?priority
+    ?split:(if with_split then Some split else None)
+    ~keep_going:true backend ~order ~deps
+    ~prepare:(fun node -> Sched.Run node)
+    ~execute:body
+    ~complete:(fun _ result -> result)
+  |> outcome_repr
+
+let prop_priorities_preserve_outcomes =
+  QCheck.Test.make ~count:8 ~name:"priorities + split never change outcomes"
+    QCheck.(pair (int_range 0 1000) (int_range 8 24))
+    (fun (seed, nodes) ->
+      let ((_, _, _, priority) as case) = sched_case ~nodes ~seed in
+      let reference = run_sched_case ~with_split:false Sched.Serial case in
+      List.iter
+        (fun backend ->
+          List.iter
+            (fun with_split ->
+              let got =
+                run_sched_case ~priority ~with_split backend case
+              in
+              if got <> reference then
+                QCheck.Test.fail_reportf
+                  "seed %d, %d nodes, %s, split=%b: outcomes diverge from \
+                   the serial wavefront"
+                  seed nodes
+                  (Sched.backend_name backend)
+                  with_split)
+            [ false; true ])
+        [ Sched.Serial; Sched.Parallel 1; Sched.Parallel 2; Sched.Parallel 4 ];
+      true)
+
 (* ---- parallel ≡ serial on generated projects ---- *)
 
 let policies = [ Driver.Timestamp; Driver.Cutoff; Driver.Selective ]
@@ -143,7 +324,7 @@ let policies = [ Driver.Timestamp; Driver.Cutoff; Driver.Selective ]
 (* Cold build, implementation edit, interface edit — rebuilding after
    each — then collect everything observable: the per-build partitions,
    every unit's bin bytes, every unit's export pid. *)
-let build_sequence backend policy ~seed ~units =
+let build_sequence ?(schedule = Driver.Wavefront) backend policy ~seed ~units =
   let fs = Vfs.memory () in
   let project =
     Gen.create fs
@@ -158,11 +339,11 @@ let build_sequence backend policy ~seed ~units =
       stats.Driver.st_cache_hits,
       stats.Driver.st_cutoff_hits )
   in
-  let s0 = Driver.build ~backend mgr ~policy ~sources in
+  let s0 = Driver.build ~backend ~schedule mgr ~policy ~sources in
   Gen.edit project (Gen.middle_file project) Gen.Impl_change;
-  let s1 = Driver.build ~backend mgr ~policy ~sources in
+  let s1 = Driver.build ~backend ~schedule mgr ~policy ~sources in
   Gen.edit project (Gen.base_file project) Gen.Iface_change;
-  let s2 = Driver.build ~backend mgr ~policy ~sources in
+  let s2 = Driver.build ~backend ~schedule mgr ~policy ~sources in
   let bins =
     List.map (fun f -> Option.get (fs.Vfs.fs_read (f ^ ".bin"))) sources
   in
@@ -198,6 +379,31 @@ let check_parallel_equals_serial policy ~seed ~jobs ~units =
 let test_parallel_equals_serial policy () =
   check_parallel_equals_serial policy ~seed:23 ~jobs:4 ~units:12
 
+let test_critical_path_equals_wavefront () =
+  (* the critical-path schedule — cold-estimate priorities plus the
+     pipelined split threaded through compile, the static rehydrate
+     path and the dependent's import reads — must leave everything
+     observable byte-identical to the wavefront, serial and parallel,
+     across a cold build and both edit kinds *)
+  let reference =
+    build_sequence ~schedule:Driver.Wavefront Driver.Serial Driver.Cutoff
+      ~seed:41 ~units:12
+  in
+  List.iter
+    (fun backend ->
+      let got =
+        build_sequence ~schedule:Driver.Critical_path backend Driver.Cutoff
+          ~seed:41 ~units:12
+      in
+      if got <> reference then
+        Alcotest.fail
+          (Printf.sprintf "critical-path on %s diverges from the wavefront"
+             (match backend with
+             | Driver.Serial -> "serial"
+             | Driver.Parallel n -> Printf.sprintf "parallel-%d" n
+             | Driver.Workers _ -> "workers")))
+    [ Driver.Serial; Driver.Parallel 4 ]
+
 let prop_parallel_equals_serial =
   QCheck.Test.make ~count:6 ~name:"parallel build = serial build"
     QCheck.(
@@ -217,6 +423,13 @@ let suite =
       test_fatal_overrides_keep_going;
     Alcotest.test_case "complete respects dependencies" `Quick
       test_complete_respects_deps;
+    Alcotest.test_case "priority dispatch order" `Quick
+      test_priority_dispatch_order;
+    Alcotest.test_case "split overlaps dependent with codegen" `Quick
+      test_split_overlaps_codegen;
+    QCheck_alcotest.to_alcotest prop_priorities_preserve_outcomes;
+    Alcotest.test_case "critical-path = wavefront" `Quick
+      test_critical_path_equals_wavefront;
     Alcotest.test_case "parallel = serial (timestamp)" `Quick
       (test_parallel_equals_serial Driver.Timestamp);
     Alcotest.test_case "parallel = serial (cutoff)" `Quick
