@@ -23,6 +23,7 @@
      E18 observability overhead on a clean parallel build (timing)
      E19 compile server: warm vs cold rebuilds, client throughput (timing)
      E20 critical-path scheduling vs wavefront on synthetic DAGs (timing)
+     E21 distributed fabric: remote executors + shared cache (timing + counts)
 *)
 
 module Gen = Workload.Gen
@@ -37,7 +38,7 @@ let section title =
 (* Machine-readable results: BENCH_sepcomp.json                        *)
 (*                                                                     *)
 (* Schema (see README, "Observability"):                               *)
-(*   { "schema": "smlsep-bench/8", "quick": bool,                      *)
+(*   { "schema": "smlsep-bench/9", "quick": bool,                      *)
 (*     "experiments": {                                                *)
 (*       "build_times":      [{scale,units,lines,policy,build_s,       *)
 (*                             hash_s,dehydrate_s,rehydrate_s,         *)
@@ -62,7 +63,12 @@ let section title =
 (*                             wall_s,requests_per_s}],                *)
 (*       "critical_path":    [{scenario,nodes,jobs,wavefront_s,        *)
 (*                             critical_path_s,improvement,            *)
-(*                             wavefront_eff,critical_path_eff}] },    *)
+(*                             wavefront_eff,critical_path_eff}],      *)
+(*       "remote_fabric":    [{scenario,execs,units,wall_s,speedup} |  *)
+(*                            {scenario,phase,units,cache_hits,        *)
+(*                             hit_rate,wall_s} |                      *)
+(*                            {scenario,units,serial_s,degraded_s,     *)
+(*                             overhead_ratio}] },                     *)
 (*     "metrics": { <Obs.Metrics counters> } }                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -81,6 +87,7 @@ let tbl_worker : J.t list ref = ref []
 let tbl_obs : J.t list ref = ref []
 let tbl_server : J.t list ref = ref []
 let tbl_sched : J.t list ref = ref []
+let tbl_fabric : J.t list ref = ref []
 
 let record tbl row = tbl := row :: !tbl
 
@@ -88,7 +95,7 @@ let write_results () =
   let doc =
     J.Obj
       [
-        ("schema", J.String "smlsep-bench/8");
+        ("schema", J.String "smlsep-bench/9");
         ("quick", J.Bool !quick);
         ( "experiments",
           J.Obj
@@ -105,6 +112,7 @@ let write_results () =
               ("observability_overhead", J.List (List.rev !tbl_obs));
               ("compile_server", J.List (List.rev !tbl_server));
               ("critical_path", J.List (List.rev !tbl_sched));
+              ("remote_fabric", J.List (List.rev !tbl_fabric));
             ] );
         ("metrics", Obs.Metrics.to_json ());
       ]
@@ -933,7 +941,7 @@ let e14 () =
   (* cold: empty cache, everything compiles and is stored *)
   let cold, cold_s =
     timed (fun () ->
-        Driver.build ~cache:(Cache.create fs) (Driver.create fs)
+        Driver.build ~cache:(Cache.ops (Cache.create fs)) (Driver.create fs)
           ~policy:Driver.Cutoff ~sources)
   in
   row "cold build" cold cold_s;
@@ -942,7 +950,7 @@ let e14 () =
   clean ();
   let warm, warm_s =
     timed (fun () ->
-        Driver.build ~cache:(Cache.create fs) (Driver.create fs)
+        Driver.build ~cache:(Cache.ops (Cache.create fs)) (Driver.create fs)
           ~policy:Driver.Cutoff ~sources)
   in
   row "warm from-clean" warm warm_s;
@@ -950,17 +958,17 @@ let e14 () =
      edit misses (new content), the revert hits (content seen before) *)
   let mgr = Driver.create fs in
   let cache = Cache.create fs in
-  let _ = Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources in
+  let _ = Driver.build ~cache:(Cache.ops cache) mgr ~policy:Driver.Cutoff ~sources in
   let victim = Gen.middle_file project in
   let original = Option.get (fs.Vfs.fs_read victim) in
   Gen.edit project victim Gen.Impl_change;
   let edited, edited_s =
-    timed (fun () -> Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources)
+    timed (fun () -> Driver.build ~cache:(Cache.ops cache) mgr ~policy:Driver.Cutoff ~sources)
   in
   row "impl edit (miss)" edited edited_s;
   fs.Vfs.fs_write victim original;
   let reverted, reverted_s =
-    timed (fun () -> Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources)
+    timed (fun () -> Driver.build ~cache:(Cache.ops cache) mgr ~policy:Driver.Cutoff ~sources)
   in
   row "revert (hit)" reverted reverted_s;
   Printf.printf "warm-from-clean rebuild is %.1fx faster than cold\n"
@@ -1599,6 +1607,206 @@ let e20 () =
         (100. *. improvement))
     [ ("deep-skew", deep ~seed:7); ("wide-skew", wide ~seed:21) ]
 
+(* ------------------------------------------------------------------ *)
+(* E21: distributed fabric — remote executors + shared cache           *)
+(* ------------------------------------------------------------------ *)
+
+(* the fabric's three headline figures: makespan as executors are
+   added (1/2/4, each a separate forked process hosting its own worker
+   pool), shared-cache hit rate for a second builder warming from the
+   service, and what degraded mode costs when every executor is dead
+   (dial failures, quarantine, then local fallback).
+   NOTE: forks executor and cache-service processes, so main () must
+   call this before anything spawns a domain (fork-after-domains is
+   forbidden). *)
+let e21 () =
+  section "E21: distributed fabric — remote executors + shared cache";
+  let units = if !quick then 10 else 20 in
+  let lines = if !quick then 60 else 120 in
+  let topology = Gen.Random_dag { units; max_deps = 3; seed = 83 } in
+  let profile = Gen.sized_profile ~lines in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let tmp name =
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "smlsep-e21-%s-%d" name (Unix.getpid ()))
+    in
+    rm_rf path;
+    path
+  in
+  let fresh_project name =
+    let dir = tmp name in
+    Unix.mkdir dir 0o755;
+    let fs = Vfs.real ~dir in
+    let project = Gen.create fs topology profile in
+    (fs, Gen.sources project)
+  in
+  let await_sock path =
+    let rec go n =
+      if not (Sys.file_exists path) && n < 200 then begin
+        Unix.sleepf 0.01;
+        go (n + 1)
+      end
+    in
+    go 0
+  in
+  (* fork one executor process hosting a 2-worker pool *)
+  let spawn_exec i =
+    let path = tmp (Printf.sprintf "exec%d" i) ^ ".sock" in
+    let addr = Remote.Transport.Unix_sock path in
+    match Unix.fork () with
+    | 0 ->
+      (try
+         Remote.Exec.run
+           (Remote.Exec.create
+              ~mode:(Remote.Exec.Pool (Worker.default_config ~jobs:2 ()))
+              addr (Irm.Wire.proto ()))
+       with _ -> ());
+      Unix._exit 0
+    | pid ->
+      await_sock path;
+      (pid, addr)
+  in
+  let reap pid =
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* serial baseline *)
+  let fs0, sources0 = fresh_project "serial" in
+  let serial_s, _ =
+    time (fun () ->
+        Driver.build (Driver.create fs0) ~policy:Driver.Cutoff
+          ~sources:sources0)
+  in
+  Printf.printf "  %-28s %8.3f s\n%!" "serial baseline" serial_s;
+  (* makespan at 1 / 2 / 4 executors, cold every time *)
+  List.iter
+    (fun n_execs ->
+      let workers = List.init n_execs spawn_exec in
+      let execs = List.map snd workers in
+      Fun.protect ~finally:(fun () -> List.iter (fun (p, _) -> reap p) workers)
+      @@ fun () ->
+      let fs, sources = fresh_project (Printf.sprintf "remote%d" n_execs) in
+      let cfg =
+        { (Remote.Fleet.default_config ~execs) with Remote.Fleet.r_log = ignore }
+      in
+      let wall_s, _ =
+        time (fun () ->
+            Driver.build (Driver.create fs)
+              ~backend:(Driver.Remote cfg) ~policy:Driver.Cutoff ~sources)
+      in
+      Printf.printf "  %-28s %8.3f s  (%.2fx vs serial)\n%!"
+        (Printf.sprintf "%d executor%s" n_execs
+           (if n_execs = 1 then "" else "s"))
+        wall_s (serial_s /. wall_s);
+      record tbl_fabric
+        (J.Obj
+           [
+             ("scenario", J.String "makespan");
+             ("execs", J.Int n_execs);
+             ("units", J.Int units);
+             ("wall_s", J.Float wall_s);
+             ("speedup", J.Float (serial_s /. wall_s));
+           ]))
+    [ 1; 2; 4 ];
+  (* shared cache: a cold builder populates the service, a second
+     builder on another "machine" warms from it *)
+  let cache_sock = tmp "cache" ^ ".sock" in
+  let cache_dir = tmp "cache-store" in
+  Unix.mkdir cache_dir 0o755;
+  let cache_pid =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         Remote.Cached.run
+           (Remote.Cached.create ~shards:4 ~dir:"."
+              (Remote.Transport.Unix_sock cache_sock)
+              (Vfs.real ~dir:cache_dir))
+       with _ -> ());
+      Unix._exit 0
+    | pid ->
+      await_sock cache_sock;
+      pid
+  in
+  Fun.protect ~finally:(fun () -> reap cache_pid) @@ fun () ->
+  let cached_build name =
+    let fs, sources = fresh_project name in
+    let client =
+      Remote.Cache_client.create ~log:ignore
+        (Remote.Transport.Unix_sock cache_sock)
+    in
+    Fun.protect ~finally:(fun () -> Remote.Cache_client.close client)
+    @@ fun () ->
+    let wall_s, stats =
+      time (fun () ->
+          Driver.build (Driver.create fs)
+            ~cache:(Remote.Cache_client.ops client) ~policy:Driver.Cutoff
+            ~sources)
+    in
+    (wall_s, List.length stats.Driver.st_cache_hits)
+  in
+  List.iter
+    (fun (phase, name) ->
+      let wall_s, hits = cached_build name in
+      let hit_rate = float_of_int hits /. float_of_int units in
+      Printf.printf "  %-28s %8.3f s  (%d/%d service hits)\n%!"
+        (Printf.sprintf "shared cache, %s" phase)
+        wall_s hits units;
+      record tbl_fabric
+        (J.Obj
+           [
+             ("scenario", J.String "shared-cache");
+             ("phase", J.String phase);
+             ("units", J.Int units);
+             ("cache_hits", J.Int hits);
+             ("hit_rate", J.Float hit_rate);
+             ("wall_s", J.Float wall_s);
+           ]))
+    [ ("cold", "cache-cold"); ("warm", "cache-warm") ];
+  (* degraded mode: every executor dead — dial failures, quarantine,
+     local fallback; the build completes, this is what it costs *)
+  let fs, sources = fresh_project "degraded" in
+  let dead = Remote.Transport.Unix_sock (tmp "nobody" ^ ".sock") in
+  let cfg =
+    {
+      (Remote.Fleet.default_config ~execs:[ dead ]) with
+      Remote.Fleet.r_log = ignore;
+      r_dial_timeout_s = 0.5;
+      r_backoff_s = 0.005;
+      r_backoff_cap_s = 0.05;
+    }
+  in
+  let degraded_s, _ =
+    time (fun () ->
+        Driver.build (Driver.create fs)
+          ~backend:(Driver.Remote cfg) ~policy:Driver.Cutoff ~sources)
+  in
+  Printf.printf "  %-28s %8.3f s  (%.2fx serial)\n%!" "degraded (all dead)"
+    degraded_s
+    (degraded_s /. serial_s);
+  record tbl_fabric
+    (J.Obj
+       [
+         ("scenario", J.String "degraded");
+         ("units", J.Int units);
+         ("serial_s", J.Float serial_s);
+         ("degraded_s", J.Float degraded_s);
+         ("overhead_ratio", J.Float (degraded_s /. serial_s));
+       ])
+
 let parse_args () =
   let rec go = function
     | [] -> ()
@@ -1638,11 +1846,13 @@ let () =
   e10 ();
   e11 ();
   if not !quick then e12 ();
-  (* E19 forks the daemon and its client processes, and E17 forks
-     worker processes, so both must run before anything creates a
-     domain (fork-after-domains is forbidden).  E17's own domains
-     variant makes it the last safe moment to fork, hence E19 first. *)
+  (* E19 forks the daemon and its clients, E21 forks executor and
+     cache-service processes, and E17 forks worker processes, so all
+     three must run before anything creates a domain
+     (fork-after-domains is forbidden).  E17's own domains variant
+     makes it the last safe moment to fork, hence E19/E21 first. *)
   e19 ();
+  e21 ();
   e17 ();
   e13 ();
   e14 ();

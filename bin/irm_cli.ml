@@ -95,13 +95,45 @@ let schedule_string = function
   | `Wavefront -> "wavefront"
   | `Critical_path -> "critical-path"
 
-(* --workers beats --jobs: process isolation is an explicit opt-in *)
-let backend_of ~jobs ~workers ~worker_timeout =
-  if workers > 0 then
+let parse_remote_addr s =
+  match Remote.Transport.parse_addr s with
+  | Ok addr -> addr
+  | Error msg ->
+    Support.Diag.error Support.Diag.Manager Support.Loc.dummy "--remote: %s"
+      msg
+
+(* --remote beats --workers beats --jobs: the more isolated backend is
+   always the explicit opt-in *)
+let backend_of ~jobs ~workers ~worker_timeout ?(remotes = [])
+    ?(remote_timeout = 30.) ?(remote_fallback = true) () =
+  if remotes <> [] then
+    Irm.Driver.Remote
+      {
+        (Remote.Fleet.default_config
+           ~execs:(List.map parse_remote_addr remotes))
+        with
+        Remote.Fleet.r_job_timeout_s = remote_timeout;
+        r_local_fallback = remote_fallback;
+      }
+  else if workers > 0 then
     Irm.Driver.Workers
       { (Worker.default_config ~jobs:workers ()) with
         Worker.w_timeout_s = worker_timeout }
   else backend_of_jobs jobs
+
+(* --remote-cache: read through the shared cache service, with the
+   local cache (when --cache is also on) in front.  The client degrades
+   to local-only by itself when the service is unreachable, so the ops
+   never fail the build. *)
+let cache_ops_of cache = function
+  | None -> Option.map Cache.ops cache
+  | Some addr_s ->
+    let addr = parse_remote_addr addr_s in
+    Some
+      (Remote.Cache_client.ops
+         (Remote.Cache_client.create
+            ?local:(Option.map Cache.ops cache)
+            addr))
 
 let profile_of fs no_profile profile_dir =
   if no_profile then None else Some (Obs.Profile.load ~dir:profile_dir fs)
@@ -260,22 +292,26 @@ let daemon_build_opts group policy schedule jobs use_cache keep_going werror
     b_schedule = schedule_string schedule;
   }
 
-(* --workers forks; --fault-seed wraps the daemon's real fs — both are
-   strictly in-process features, so they win over --daemon *)
-let daemon_routable ~use_daemon ~workers ~fault_seed =
-  if use_daemon && (workers > 0 || fault_seed <> None) then begin
+(* --workers forks, --fault-seed wraps the daemon's real fs, --remote
+   owns its own connections — all strictly in-process features, so they
+   win over --daemon *)
+let daemon_routable ~use_daemon ~workers ~fault_seed ?(remotes = []) () =
+  if use_daemon && (workers > 0 || fault_seed <> None || remotes <> []) then begin
     Printf.eprintf
-      "irm: --workers and --fault-seed are in-process features; ignoring \
-       --daemon\n%!";
+      "irm: --workers, --remote and --fault-seed are in-process features; \
+       ignoring --daemon\n%!";
     false
   end
   else use_daemon
 
 let build_cmd_impl dir group policy schedule jobs workers worker_timeout
-    use_cache cache_dir budget_mb no_profile profile_dir trace stats_flag
-    fault_seed fault_ops keep_going werror max_errors error_format use_daemon =
+    remotes remote_cache remote_timeout no_remote_fallback use_cache cache_dir
+    budget_mb no_profile profile_dir trace stats_flag fault_seed fault_ops
+    keep_going werror max_errors error_format use_daemon =
   guarded ~error_format (fun () ->
-      let use_daemon = daemon_routable ~use_daemon ~workers ~fault_seed in
+      let use_daemon =
+        daemon_routable ~use_daemon ~workers ~fault_seed ~remotes ()
+      in
       match daemon_client ~use_daemon dir with
       | Some c ->
         finish_daemon c
@@ -293,9 +329,14 @@ let build_cmd_impl dir group policy schedule jobs workers worker_timeout
             with_obs trace stats_flag (fun () ->
                 let stats, code =
                   build_units
-                    ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                    ~schedule ?cache ?profile ~keep_going ~werror ?max_errors
-                    ~error_format fs mgr policy sources
+                    ~backend:
+                      (backend_of ~jobs ~workers ~worker_timeout ~remotes
+                         ~remote_timeout
+                         ~remote_fallback:(not no_remote_fallback) ())
+                    ~schedule
+                    ?cache:(cache_ops_of cache remote_cache)
+                    ?profile ~keep_going ~werror ?max_errors ~error_format fs
+                    mgr policy sources
                 in
                 if stats_flag then begin
                   Format.printf "%a" Irm.Driver.pp_report stats;
@@ -303,11 +344,14 @@ let build_cmd_impl dir group policy schedule jobs workers worker_timeout
                 end;
                 code)))
 
-let run_cmd_impl dir group policy schedule jobs workers worker_timeout
-    use_cache cache_dir budget_mb no_profile profile_dir trace stats_flag
-    fault_seed fault_ops keep_going werror max_errors error_format use_daemon =
+let run_cmd_impl dir group policy schedule jobs workers worker_timeout remotes
+    remote_cache remote_timeout no_remote_fallback use_cache cache_dir
+    budget_mb no_profile profile_dir trace stats_flag fault_seed fault_ops
+    keep_going werror max_errors error_format use_daemon =
   guarded ~error_format (fun () ->
-      let use_daemon = daemon_routable ~use_daemon ~workers ~fault_seed in
+      let use_daemon =
+        daemon_routable ~use_daemon ~workers ~fault_seed ~remotes ()
+      in
       match daemon_client ~use_daemon dir with
       | Some c ->
         finish_daemon c
@@ -325,9 +369,14 @@ let run_cmd_impl dir group policy schedule jobs workers worker_timeout
             with_obs trace stats_flag (fun () ->
                 let stats =
                   Irm.Driver.build
-                    ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                    ~schedule ?cache ?profile ~keep_going ~werror ?max_errors
-                    mgr ~policy ~sources
+                    ~backend:
+                      (backend_of ~jobs ~workers ~worker_timeout ~remotes
+                         ~remote_timeout
+                         ~remote_fallback:(not no_remote_fallback) ())
+                    ~schedule
+                    ?cache:(cache_ops_of cache remote_cache)
+                    ?profile ~keep_going ~werror ?max_errors mgr ~policy
+                    ~sources
                 in
                 let code = report_diagnostics fs error_format stats in
                 (* failed or skipped units have no bin to execute — report
@@ -340,8 +389,8 @@ let run_cmd_impl dir group policy schedule jobs workers worker_timeout
                 code)))
 
 let stats_cmd_impl dir group policy schedule jobs workers worker_timeout
-    use_cache cache_dir budget_mb no_profile profile_dir trace json keep_going
-    werror max_errors =
+    remotes remote_cache remote_timeout no_remote_fallback use_cache cache_dir
+    budget_mb no_profile profile_dir trace json keep_going werror max_errors =
   guarded (fun () ->
       install_interrupt ();
       with_manager dir group (fun fs mgr sources ->
@@ -353,9 +402,13 @@ let stats_cmd_impl dir group policy schedule jobs workers worker_timeout
           with_obs trace false (fun () ->
               let stats =
                 Irm.Driver.build
-                  ~backend:(backend_of ~jobs ~workers ~worker_timeout)
-                  ~schedule ?cache ?profile ~keep_going ~werror ?max_errors mgr
-                  ~policy ~sources
+                  ~backend:
+                    (backend_of ~jobs ~workers ~worker_timeout ~remotes
+                       ~remote_timeout
+                       ~remote_fallback:(not no_remote_fallback) ())
+                  ~schedule
+                  ?cache:(cache_ops_of cache remote_cache)
+                  ?profile ~keep_going ~werror ?max_errors mgr ~policy ~sources
               in
               if json then
                 print_endline
@@ -641,6 +694,55 @@ let daemon_status_impl dir state_dir json =
         resp.Daemon.Protocol.r_code)
 
 
+(* ------------------------------------------------------------------ *)
+(* The build fabric's services: remote executor and shared cache       *)
+(* ------------------------------------------------------------------ *)
+
+(* both services run in the foreground: the reactor loops on its own
+   socket until SIGINT/SIGTERM asks it to stop.  Neither spawns
+   domains, so serve-exec's worker pool can still fork children. *)
+let serve_until_signalled ~stop ~run =
+  let handler = Sys.Signal_handle (fun _ -> stop ()) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler;
+  run ();
+  0
+
+let serve_exec_impl listen exec_jobs worker_timeout =
+  guarded (fun () ->
+      let addr = parse_remote_addr listen in
+      let mode =
+        if exec_jobs <= 0 then Remote.Exec.Inline
+        else
+          Remote.Exec.Pool
+            { (Worker.default_config ~jobs:exec_jobs ()) with
+              Worker.w_timeout_s = worker_timeout }
+      in
+      let exec = Remote.Exec.create ~mode addr (Irm.Wire.proto ()) in
+      Printf.eprintf "irm: executor serving on %s (%s)\n%!"
+        (Remote.Transport.addr_to_string (Remote.Exec.addr exec))
+        (if exec_jobs <= 0 then "inline"
+         else Printf.sprintf "%d worker processes" exec_jobs);
+      serve_until_signalled
+        ~stop:(fun () -> Remote.Exec.stop exec)
+        ~run:(fun () -> Remote.Exec.run exec))
+
+let serve_cache_impl dir listen shards budget_mb cache_dir =
+  guarded (fun () ->
+      let addr = parse_remote_addr listen in
+      let fs = Vfs.real ~dir in
+      let srv =
+        Remote.Cached.create ~shards
+          ~budget_bytes:(budget_mb * 1024 * 1024)
+          ~dir:cache_dir addr fs
+      in
+      Printf.eprintf "irm: cache service serving on %s (%d shards under %s)\n%!"
+        (Remote.Transport.addr_to_string (Remote.Cached.addr srv))
+        shards cache_dir;
+      serve_until_signalled
+        ~stop:(fun () -> Remote.Cached.stop srv)
+        ~run:(fun () -> Remote.Cached.run srv))
+
 open Cmdliner
 
 let dir_arg =
@@ -724,6 +826,48 @@ let worker_timeout_arg =
           "Wall-clock budget per unit compile under $(b,--workers); a \
            child exceeding it is killed and the unit fails with \
            $(b,E0702) (default 30s).")
+
+let remote_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "remote" ] ~docv:"ADDR"
+        ~doc:
+          "Dispatch compiles to the remote executor at $(docv) \
+           ($(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare socket path; \
+           repeatable — the fleet load-balances across every executor, \
+           overriding $(b,--workers) and $(b,--jobs)).  Jobs carry \
+           per-deadline retries and hedged re-dispatch; an executor that \
+           keeps failing is quarantined, and when every executor is gone \
+           the build degrades to local compiles with a warning — \
+           byte-identical output, never a lost build.")
+
+let remote_cache_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "remote-cache" ] ~docv:"ADDR"
+        ~doc:
+          "Read compiled units through the shared cache service at \
+           $(docv) (see $(b,irm serve-cache)), with the local cache \
+           (under $(b,--cache)) in front.  An unreachable service \
+           degrades to local-only operation with a warning.")
+
+let remote_timeout_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "remote-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Network deadline per dispatched compile under $(b,--remote); \
+           an unanswered job is re-dispatched to another executor \
+           (default 30s).")
+
+let no_remote_fallback_arg =
+  Arg.(
+    value & flag
+    & info [ "no-remote-fallback" ]
+        ~doc:
+          "Fail units with $(b,E0703)/$(b,E0704) instead of compiling \
+           them locally when every remote executor is unreachable — for \
+           builds that must not degrade silently.")
 
 let cache_flag_arg =
   Arg.(
@@ -878,7 +1022,9 @@ let build_cmd =
     Term.(
       const build_cmd_impl $ dir_arg $ group_arg $ policy_arg $ schedule_arg
       $ jobs_arg
-      $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
+      $ workers_arg $ worker_timeout_arg $ remote_arg $ remote_cache_arg
+      $ remote_timeout_arg $ no_remote_fallback_arg
+      $ cache_flag_arg $ cache_dir_arg
       $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
       $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
       $ werror_arg $ max_errors_arg $ error_format_arg $ daemon_flag_arg)
@@ -890,7 +1036,9 @@ let run_cmd =
     Term.(
       const run_cmd_impl $ dir_arg $ group_arg $ policy_arg $ schedule_arg
       $ jobs_arg
-      $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
+      $ workers_arg $ worker_timeout_arg $ remote_arg $ remote_cache_arg
+      $ remote_timeout_arg $ no_remote_fallback_arg
+      $ cache_flag_arg $ cache_dir_arg
       $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
       $ stats_arg $ fault_seed_arg $ fault_ops_arg $ keep_going_arg
       $ werror_arg $ max_errors_arg $ error_format_arg $ daemon_flag_arg)
@@ -902,7 +1050,9 @@ let stats_cmd =
     Term.(
       const stats_cmd_impl $ dir_arg $ group_arg $ policy_arg $ schedule_arg
       $ jobs_arg
-      $ workers_arg $ worker_timeout_arg $ cache_flag_arg $ cache_dir_arg
+      $ workers_arg $ worker_timeout_arg $ remote_arg $ remote_cache_arg
+      $ remote_timeout_arg $ no_remote_fallback_arg
+      $ cache_flag_arg $ cache_dir_arg
       $ cache_budget_arg $ no_profile_arg $ profile_dir_arg $ trace_arg
       $ json_arg $ keep_going_arg $ werror_arg $ max_errors_arg)
 
@@ -1063,6 +1213,57 @@ let daemon_cmd =
           index and profile store behind a Unix socket")
     [ daemon_start_cmd; daemon_stop_cmd; daemon_status_cmd ]
 
+let listen_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Address to serve on: $(b,unix:PATH), $(b,tcp:HOST:PORT) \
+           (port 0 picks an ephemeral port, printed at startup), or a \
+           bare socket path.")
+
+let exec_jobs_arg =
+  Arg.(
+    value & opt int (Sched.default_jobs ())
+    & info [ "exec-jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the executor's supervised worker-process pool \
+           (default: the machine's recommended domain count).  0 \
+           compiles inline in the reactor — single-job, for tests.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Independent cache shards, split by key prefix: each has its \
+           own directory, journal and LRU budget (default 4).")
+
+let serve_exec_cmd =
+  Cmd.v
+    (Cmd.info "serve-exec" ~exits
+       ~doc:
+         "serve a remote compile executor: a supervised worker pool \
+          behind a socket, dispatching jobs from $(b,build --remote) \
+          clients (crashes and hangs surface as $(b,E0701)/$(b,E0702) \
+          exactly as under $(b,--workers))")
+    Term.(
+      const serve_exec_impl $ listen_arg $ exec_jobs_arg $ worker_timeout_arg)
+
+let serve_cache_cmd =
+  Cmd.v
+    (Cmd.info "serve-cache" ~exits
+       ~doc:
+         "serve the shared unit-cache: a sharded content-addressed \
+          store behind a socket, read and fed by $(b,build \
+          --remote-cache) clients on any machine (objects commit before \
+          their index records, so an acknowledged put is durably \
+          readable)")
+    Term.(
+      const serve_cache_impl $ dir_arg $ listen_arg $ shards_arg
+      $ cache_budget_arg $ cache_dir_arg)
+
 let cmd =
   Cmd.group
     (Cmd.info "irm" ~exits
@@ -1077,6 +1278,8 @@ let cmd =
       explain_cmd;
       profile_cmd;
       daemon_cmd;
+      serve_exec_cmd;
+      serve_cache_cmd;
     ]
 
 (* standardized exit codes (documented under EXIT STATUS in --help):

@@ -272,6 +272,15 @@ let invalidate t key =
   drop t key;
   publish t
 
+type ops = {
+  o_find : string -> string option;
+  o_store : string -> string -> unit;
+  o_invalidate : string -> unit;
+}
+
+let ops t =
+  { o_find = find t; o_store = store t; o_invalidate = invalidate t }
+
 let gc t =
   let evicted = enforce_budget t in
   compact t;

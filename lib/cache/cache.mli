@@ -83,6 +83,19 @@ val store : t -> string -> string -> unit
     downstream (corrupt object).  Not counted as an eviction. *)
 val invalidate : t -> string -> unit
 
+(** A cache viewed as its three operations.  The driver builds against
+    this record rather than {!t}, so a local store, a remote
+    read-through composite (Remote.Cache_client), or a test double all
+    plug in uniformly. *)
+type ops = {
+  o_find : string -> string option;
+  o_store : string -> string -> unit;
+  o_invalidate : string -> unit;
+}
+
+(** [ops t] — the obvious projection of a local cache. *)
+val ops : t -> ops
+
 (** What one {!gc} pass did. *)
 type gc_report = {
   gc_evicted : int;  (** LRU evictions forced by the budget *)

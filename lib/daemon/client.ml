@@ -28,20 +28,32 @@ let write_all fd s =
   go 0
 
 (* read more bytes into the buffer, waiting at most until [deadline];
-   returns false on EOF *)
+   returns false on EOF.  The deadline always surfaces as [Timeout]:
+   the select retries around EINTR (a stray signal mid-HELLO must not
+   escape as a raw [Unix_error]), and an EOF observed at or past the
+   deadline is reported as the timeout it raced — a half-open peer
+   (accepts, never writes) and a peer that dies exactly at the budget
+   boundary both read as "did not respond in time". *)
 let fill t ~deadline =
-  let budget = deadline -. Unix.gettimeofday () in
-  if budget <= 0. then raise (Timeout "daemon did not respond in time");
-  match Unix.select [ t.fd ] [] [] budget with
-  | [], _, _ -> raise (Timeout "daemon did not respond in time")
-  | _ -> (
-    let chunk = Bytes.create 65536 in
-    match Unix.read t.fd chunk 0 (Bytes.length chunk) with
-    | 0 -> false
-    | n ->
-      t.buffer <- t.buffer ^ Bytes.sub_string chunk 0 n;
-      true
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true)
+  let rec wait () =
+    let budget = deadline -. Unix.gettimeofday () in
+    if budget <= 0. then raise (Timeout "daemon did not respond in time");
+    match Unix.select [ t.fd ] [] [] budget with
+    | [], _, _ -> raise (Timeout "daemon did not respond in time")
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ();
+  let chunk = Bytes.create 65536 in
+  match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+  | 0 ->
+    if Unix.gettimeofday () >= deadline then
+      raise (Timeout "daemon did not respond in time")
+    else false
+  | n ->
+    t.buffer <- t.buffer ^ Bytes.sub_string chunk 0 n;
+    true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
 
 let rec next_frame t ~deadline =
   match Frame.pop t.buffer with

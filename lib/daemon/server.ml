@@ -233,7 +233,7 @@ let serve_build t opts ~and_run =
           Driver.build
             ~backend:(backend_of opts.b_jobs)
             ~schedule
-            ?cache:(cache_of t opts.b_cache) ~profile:t.profile
+            ?cache:(Option.map Cache.ops (cache_of t opts.b_cache)) ~profile:t.profile
             ~keep_going:opts.b_keep_going ~werror:opts.b_werror
             ?max_errors:opts.b_max_errors g.g_mgr ~policy ~sources
         in

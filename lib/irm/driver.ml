@@ -12,6 +12,7 @@ type backend = Sched.backend =
   | Serial
   | Parallel of int
   | Workers of Worker.config
+  | Remote of Remote.Fleet.config
 
 (* how the scheduler orders ready work.  [Wavefront] is the plain FIFO
    wavefront; [Critical_path] ranks ready units by the length of the
@@ -493,19 +494,19 @@ let build ?(backend = Serial) ?(schedule = Wavefront) ?cache ?profile
     else
       match (cache, key) with
       | Some c, Some k -> (
-        match Cache.find c k with
+        match c.Cache.o_find k with
         | None -> compile_job ()
         | Some bytes -> (
           (* validate by rehydrating; corrupt entries degrade to a miss *)
           match rehydrate t file bytes with
           | exception Pickle.Buf.Corrupt _ ->
-            Cache.invalidate c k;
+            c.Cache.o_invalidate k;
             compile_job ()
           | unit_ ->
             if String.equal unit_.Pickle.Binfile.uf_name file then
               Sched.Done { r_kind = Cache_hit; r_bytes = bytes; r_phases = [] }
             else begin
-              Cache.invalidate c k;
+              c.Cache.o_invalidate k;
               compile_job ()
             end))
       | _ -> compile_job ()
@@ -527,7 +528,7 @@ let build ?(backend = Serial) ?(schedule = Wavefront) ?cache ?profile
       Hashtbl.replace changed file ();
       if result.r_kind = Recompiled then begin
         (match (cache, prep.p_key) with
-        | Some c, Some k -> Cache.store c k result.r_bytes
+        | Some c, Some k -> c.Cache.o_store k result.r_bytes
         | _ -> ());
         match prep.p_prev_pid with
         | Some old when Pid.equal old unit_.Pickle.Binfile.uf_static_pid ->
@@ -540,8 +541,19 @@ let build ?(backend = Serial) ?(schedule = Wavefront) ?cache ?profile
       (result, Unix.gettimeofday () -. prep.p_start);
     result
   in
+  (* the Remote backend gets the supervision-failure translator here,
+     so fleet exhaustion surfaces as E0703/E0704 diagnostics exactly as
+     worker crashes surface as E0701/E0702 *)
+  let backend =
+    match backend with
+    | Sched.Remote cfg ->
+      Sched.Remote { cfg with Remote.Fleet.r_fail = Wire.remote_fail }
+    | (Sched.Serial | Sched.Parallel _ | Sched.Workers _) as b -> b
+  in
   let codec =
-    match backend with Sched.Workers _ -> Some (Wire.codec ()) | _ -> None
+    match backend with
+    | Sched.Workers _ | Sched.Remote _ -> Some (Wire.codec ())
+    | Sched.Serial | Sched.Parallel _ -> None
   in
   (* a signal arriving mid-build raises [Interrupted] out of a node
      callback; the partial build still lands in the profile store (only

@@ -41,6 +41,7 @@ type backend = Sched.backend =
   | Serial
   | Parallel of int
   | Workers of Worker.config
+  | Remote of Remote.Fleet.config
 
 (** How the scheduler orders ready compiles.  [Wavefront] dispatches in
     build order as dependencies complete (the classical wavefront).
@@ -192,7 +193,7 @@ val last_order : t -> string list
 val build :
   ?backend:backend ->
   ?schedule:schedule ->
-  ?cache:Cache.t ->
+  ?cache:Cache.ops ->
   ?profile:Obs.Profile.t ->
   ?retries:int ->
   ?backoff_s:float ->

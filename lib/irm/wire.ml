@@ -304,6 +304,24 @@ let fail_diag ~id = function
             "compile of %s exceeded its %gs timeout and was killed" id
             wf_timeout_s))
 
+(* the fleet's failure vocabulary, one code per network failure class:
+   E0703 — the executors could not be reached (or stopped answering)
+   despite retries; E0704 — a peer spoke protocol damage.  The unit is
+   failed, not lost: keep-going builds poison only its cone. *)
+let remote_fail ~id = function
+  | Remote.Fleet.Unreachable { rf_attempts; rf_detail } ->
+    Diag.Error
+      (Diag.make ~code:"E0703" ~unit_name:id Diag.Manager Loc.dummy
+         (Printf.sprintf
+            "remote executors unreachable while compiling %s (%s); gave up \
+             after %d attempts"
+            id rf_detail rf_attempts))
+  | Remote.Fleet.Protocol { rf_detail } ->
+    Diag.Error
+      (Diag.make ~code:"E0704" ~unit_name:id Diag.Manager Loc.dummy
+         (Printf.sprintf "remote protocol error while compiling %s: %s" id
+            rf_detail))
+
 let proto () =
   {
     Worker.p_handler =

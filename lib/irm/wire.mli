@@ -76,5 +76,10 @@ val decode_exn : string -> exn
     timeout). *)
 val proto : unit -> Worker.proto
 
+(** The remote fleet's failure translator: [E0703] (remote executors
+    unreachable after retries) and [E0704] (remote protocol damage).
+    [Driver.build] installs it on every [Remote] backend. *)
+val remote_fail : id:string -> Remote.Fleet.failure -> exn
+
 (** The scheduler codec for the [Workers] backend. *)
 val codec : unit -> (job, result) Sched.codec

@@ -1,0 +1,87 @@
+module Frame = Pickle.Frame
+
+type t = {
+  srv : Netsrv.t;
+  shards : Cache.t array;
+  mutable served : int;
+  mutable conflicts : int;
+}
+
+let m_gets = Obs.Metrics.counter "cached.gets"
+let m_puts = Obs.Metrics.counter "cached.puts"
+let m_hits = Obs.Metrics.counter "cached.hits"
+
+(* keys are hex digests: the leading hex digit spreads uniformly *)
+let shard_of t key =
+  let h =
+    if key = "" then 0
+    else
+      match key.[0] with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> 10 + Char.code c - Char.code 'a'
+      | 'A' .. 'F' as c -> 10 + Char.code c - Char.code 'A'
+      | c -> Char.code c
+  in
+  t.shards.(h mod Array.length t.shards)
+
+let on_msg t ~conn (msg : Frame.msg) =
+  t.served <- t.served + 1;
+  let key = msg.f_id in
+  let cache = shard_of t key in
+  let reply kind payload =
+    Netsrv.send t.srv ~conn ~kind ~id:key ~payload
+  in
+  if msg.f_kind = Protocol.k_cache_get then begin
+    Obs.Metrics.incr m_gets;
+    match Cache.find cache key with
+    | Some bytes ->
+      Obs.Metrics.incr m_hits;
+      reply Protocol.k_cache_hit bytes
+    | None -> reply Protocol.k_cache_miss ""
+  end
+  else if msg.f_kind = Protocol.k_cache_has then begin
+    match Cache.find cache key with
+    | Some _ ->
+      Obs.Metrics.incr m_hits;
+      reply Protocol.k_cache_hit ""
+    | None -> reply Protocol.k_cache_miss ""
+  end
+  else if msg.f_kind = Protocol.k_cache_put then begin
+    Obs.Metrics.incr m_puts;
+    (* content addressing makes concurrent puts byte-identical; a
+       mismatch means corruption somewhere upstream — record it, then
+       let the last writer win rather than serialize writers *)
+    (match Cache.find cache key with
+    | Some old when not (String.equal old msg.f_payload) ->
+      t.conflicts <- t.conflicts + 1
+    | Some _ | None -> ());
+    Cache.store cache key msg.f_payload;
+    (* the ack leaves only now: Cache.store has committed the object
+       (rename) and then the index record, in that order — a builder
+       that observes the ok can rely on the object being present *)
+    reply Protocol.k_cache_ok ""
+  end
+  else
+    Netsrv.send t.srv ~conn ~kind:Protocol.k_error ~id:key
+      ~payload:(Printf.sprintf "unexpected frame kind %d" msg.f_kind)
+
+let create ?(shards = 4) ?budget_bytes ~dir addr fs =
+  let shards = max 1 shards in
+  let srv = Netsrv.create ~version:Protocol.version_cache addr in
+  let shards =
+    Array.init shards (fun i ->
+        Cache.create
+          ~dir:(Filename.concat dir (Printf.sprintf "shard-%d" i))
+          ?budget_bytes fs)
+  in
+  let t = { srv; shards; served = 0; conflicts = 0 } in
+  Netsrv.set_handler srv (fun ~conn msg -> on_msg t ~conn msg);
+  t
+
+let addr t = Netsrv.addr t.srv
+let served t = t.served
+let conflicts t = t.conflicts
+let step ?timeout_s t = Netsrv.step ?timeout_s t.srv
+let running t = Netsrv.running t.srv
+let run t = Netsrv.run t.srv
+let stop t = Netsrv.stop t.srv

@@ -1,0 +1,107 @@
+type fault =
+  | Refuse
+  | Reset
+  | Black_hole
+  | Delay of float
+  | Truncate_frame
+  | Duplicate_response
+
+let fault_name = function
+  | Refuse -> "refuse"
+  | Reset -> "reset"
+  | Black_hole -> "black-hole"
+  | Delay s -> Printf.sprintf "delay-%gms" (1000. *. s)
+  | Truncate_frame -> "truncate-frame"
+  | Duplicate_response -> "duplicate-response"
+
+type op = Connect | Send | Recv
+
+let op_name = function Connect -> "connect" | Send -> "send" | Recv -> "recv"
+
+type event = { ce_op : op; ce_at : int; ce_fault : fault }
+type plan = event list
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (List.map
+          (fun e ->
+            Printf.sprintf "%s@%d:%s" (op_name e.ce_op) e.ce_at
+              (fault_name e.ce_fault))
+          plan))
+
+(* class-appropriate faults only: a duplicated connect or a refused
+   recv would not correspond to anything a real network does *)
+let seeded_plan ~seed ~ops =
+  let state = Random.State.make [| seed; ops; 0x4E7; 0x5EED |] in
+  let ops = max 1 ops in
+  let n_faults = 1 + Random.State.int state 4 in
+  List.init n_faults (fun _ ->
+      let ce_at = 1 + Random.State.int state ops in
+      let delay () = Delay (0.001 +. Random.State.float state 0.02) in
+      match Random.State.int state 3 with
+      | 0 ->
+        let ce_fault =
+          match Random.State.int state 3 with
+          | 0 -> Refuse
+          | 1 -> delay ()
+          | _ -> Refuse
+        in
+        { ce_op = Connect; ce_at; ce_fault }
+      | 1 ->
+        let ce_fault =
+          match Random.State.int state 4 with
+          | 0 -> Reset
+          | 1 -> Black_hole
+          | 2 -> Truncate_frame
+          | _ -> delay ()
+        in
+        { ce_op = Send; ce_at; ce_fault }
+      | _ ->
+        let ce_fault =
+          match Random.State.int state 4 with
+          | 0 -> Reset
+          | 1 -> Black_hole
+          | 2 -> Duplicate_response
+          | _ -> delay ()
+        in
+        { ce_op = Recv; ce_at; ce_fault })
+
+let env_var = "SMLSEP_NET_CHAOS"
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> None
+  | Some spec -> (
+    let seed, ops =
+      match String.index_opt spec ':' with
+      | None -> (int_of_string_opt spec, Some 64)
+      | Some i ->
+        ( int_of_string_opt (String.sub spec 0 i),
+          int_of_string_opt
+            (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    in
+    match (seed, ops) with
+    | Some seed, Some ops -> Some (seeded_plan ~seed ~ops)
+    | _ -> None)
+
+type injector = {
+  plan : plan;
+  counts : (op, int) Hashtbl.t;
+  mutable n_fired : int;
+}
+
+let injector plan = { plan; counts = Hashtbl.create 3; n_fired = 0 }
+
+let fire inj op =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt inj.counts op) in
+  Hashtbl.replace inj.counts op n;
+  match
+    List.find_opt (fun e -> e.ce_op = op && e.ce_at = n) inj.plan
+  with
+  | Some e ->
+    inj.n_fired <- inj.n_fired + 1;
+    Some e.ce_fault
+  | None -> None
+
+let fired inj = inj.n_fired

@@ -1,0 +1,283 @@
+module Frame = Pickle.Frame
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let parse_addr s =
+  let prefix p = String.length s > String.length p && String.starts_with ~prefix:p s in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefix "unix:" then Ok (Unix_sock (after "unix:"))
+  else if prefix "tcp:" then begin
+    let rest = after "tcp:" in
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "bad tcp address %S (want tcp:HOST:PORT)" s)
+    | Some i -> (
+      let host = String.sub rest 0 i in
+      match int_of_string_opt (String.sub rest (i + 1) (String.length rest - i - 1)) with
+      | Some port when host <> "" -> Ok (Tcp (host, port))
+      | _ -> Error (Printf.sprintf "bad tcp address %S (want tcp:HOST:PORT)" s))
+  end
+  else if s = "" then Error "empty address"
+  else Ok (Unix_sock s)
+
+let addr_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+exception Unreachable of string
+exception Protocol_damage of string
+
+let sockaddr_of = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let ip =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found | Invalid_argument _ ->
+        raise (Unreachable (Printf.sprintf "unknown host %s" host))
+    in
+    Unix.ADDR_INET (ip, port)
+
+let domain_of = function
+  | Unix_sock _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+let listen ?(backlog = 16) addr =
+  (match addr with
+  | Unix_sock path when Sys.file_exists path -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Unix_sock _ | Tcp _ -> ());
+  let fd = Unix.socket ~cloexec:true (domain_of addr) Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+     | Unix_sock _ -> ());
+     Unix.bind fd (sockaddr_of addr);
+     Unix.listen fd backlog;
+     Unix.set_nonblock fd
+   with
+  | Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise
+      (Unreachable
+         (Printf.sprintf "cannot listen on %s: %s" (addr_to_string addr)
+            (Unix.error_message e)))
+  | exn ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise exn);
+  fd
+
+let bound_addr fd addr =
+  match (addr, Unix.getsockname fd) with
+  | Tcp (host, _), Unix.ADDR_INET (_, port) -> Tcp (host, port)
+  | (Unix_sock _ | Tcp _), _ -> addr
+
+type status = Connecting | Up | Closed of string
+
+type conn = {
+  c_addr : addr;
+  mutable c_fd : Unix.file_descr option;
+  mutable c_status : status;
+  mutable c_in : string;
+  mutable c_out : string;
+  mutable c_redeliver : Frame.msg list;  (** chaos-duplicated frames *)
+  mutable c_ready_at : float;  (** chaos connect delay gate *)
+  mutable c_kill_after_flush : bool;  (** chaos truncation in progress *)
+  c_chaos : Netchaos.injector option;
+}
+
+let m_dials = Obs.Metrics.counter "remote.dials"
+let m_bytes_in = Obs.Metrics.counter "remote.bytes_in"
+let m_bytes_out = Obs.Metrics.counter "remote.bytes_out"
+let m_chaos = Obs.Metrics.counter "remote.chaos_faults"
+
+let close_fd t =
+  match t.c_fd with
+  | Some fd ->
+    t.c_fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let kill t reason =
+  (match t.c_status with
+  | Closed _ -> ()
+  | Connecting | Up -> t.c_status <- Closed reason);
+  t.c_out <- "";
+  close_fd t
+
+let fire t op =
+  match t.c_chaos with
+  | None -> None
+  | Some inj ->
+    let f = Netchaos.fire inj op in
+    (match f with
+    | Some fault ->
+      Obs.Metrics.incr m_chaos;
+      Obs.Trace.instant ~cat:"remote"
+        ~args:
+          [ ("op", Netchaos.op_name op); ("fault", Netchaos.fault_name fault) ]
+        "remote.chaos"
+    | None -> ());
+    f
+
+let dial ?chaos addr =
+  Obs.Metrics.incr m_dials;
+  let t =
+    {
+      c_addr = addr;
+      c_fd = None;
+      c_status = Connecting;
+      c_in = "";
+      c_out = "";
+      c_redeliver = [];
+      c_ready_at = 0.;
+      c_kill_after_flush = false;
+      c_chaos = chaos;
+    }
+  in
+  (match fire t Netchaos.Connect with
+  | Some Netchaos.Refuse ->
+    raise (Unreachable ("chaos: connection refused by " ^ addr_to_string addr))
+  | Some (Netchaos.Delay d) -> t.c_ready_at <- Unix.gettimeofday () +. d
+  | Some
+      ( Netchaos.Reset | Netchaos.Black_hole | Netchaos.Truncate_frame
+      | Netchaos.Duplicate_response )
+  | None -> ());
+  let fd = Unix.socket ~cloexec:true (domain_of addr) Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  t.c_fd <- Some fd;
+  (match Unix.connect fd (sockaddr_of addr) with
+  | () -> if t.c_ready_at = 0. then t.c_status <- Up
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    close_fd t;
+    raise
+      (Unreachable
+         (Printf.sprintf "%s: %s" (addr_to_string addr) (Unix.error_message e)))
+  | exception exn ->
+    close_fd t;
+    raise exn);
+  t
+
+let status t = t.c_status
+let addr t = t.c_addr
+let fd t = t.c_fd
+let want_write t = t.c_out <> "" && t.c_fd <> None
+
+let flush t =
+  match t.c_fd with
+  | None -> ()
+  | Some fd ->
+    let rec go () =
+      if t.c_out <> "" then
+        match Unix.write_substring fd t.c_out 0 (String.length t.c_out) with
+        | n ->
+          Obs.Metrics.add m_bytes_out n;
+          t.c_out <- String.sub t.c_out n (String.length t.c_out - n);
+          go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+          kill t (Printf.sprintf "write failed: %s" (Unix.error_message e))
+    in
+    go ();
+    if t.c_out = "" && t.c_kill_after_flush then
+      kill t "chaos: connection reset mid-frame"
+
+let read_in t =
+  match t.c_fd with
+  | None -> ()
+  | Some fd ->
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> kill t "peer closed the connection"
+      | n ->
+        Obs.Metrics.add m_bytes_in n;
+        t.c_in <- t.c_in ^ Bytes.sub_string chunk 0 n;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (e, _, _) ->
+        kill t (Printf.sprintf "read failed: %s" (Unix.error_message e))
+    in
+    go ()
+
+let poll t =
+  match t.c_status with
+  | Closed _ -> ()
+  | Connecting -> (
+    match t.c_fd with
+    | None -> kill t "no socket"
+    | Some fd -> (
+      if t.c_ready_at > 0. && Unix.gettimeofday () < t.c_ready_at then ()
+      else
+        (* a pending nonblocking connect resolves when the socket turns
+           writable; the error (if any) is read with getsockopt *)
+        match Unix.select [] [ fd ] [] 0. with
+        | _, [ _ ], _ -> (
+          match Unix.getsockopt_error fd with
+          | None ->
+            t.c_status <- Up;
+            flush t
+          | Some e ->
+            kill t
+              (Printf.sprintf "connect failed: %s" (Unix.error_message e)))
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+  | Up ->
+    read_in t;
+    flush t
+
+let send t ~kind ~id ~payload =
+  match t.c_status with
+  | Closed _ -> ()
+  | Connecting | Up -> (
+    let frame = Frame.encode ~kind ~id ~payload in
+    match fire t Netchaos.Send with
+    | Some Netchaos.Reset -> kill t "chaos: connection reset"
+    | Some Netchaos.Black_hole ->
+      (* the frame vanishes on the wire; the connection itself lives *)
+      ()
+    | Some Netchaos.Truncate_frame ->
+      t.c_out <- t.c_out ^ String.sub frame 0 (String.length frame / 2);
+      t.c_kill_after_flush <- true;
+      flush t
+    | Some (Netchaos.Delay d) ->
+      Unix.sleepf d;
+      t.c_out <- t.c_out ^ frame;
+      flush t
+    | Some (Netchaos.Refuse | Netchaos.Duplicate_response) | None ->
+      t.c_out <- t.c_out ^ frame;
+      flush t)
+
+let rec recv t =
+  match t.c_redeliver with
+  | msg :: rest ->
+    t.c_redeliver <- rest;
+    Some msg
+  | [] -> (
+    match Frame.pop t.c_in with
+    | exception Pickle.Buf.Corrupt reason ->
+      kill t ("corrupt frame: " ^ reason);
+      raise (Protocol_damage reason)
+    | None -> None
+    | Some (msg, rest) -> (
+      t.c_in <- rest;
+      match fire t Netchaos.Recv with
+      | Some Netchaos.Reset ->
+        kill t "chaos: connection reset";
+        None
+      | Some Netchaos.Black_hole ->
+        (* this frame never arrives; later ones may *)
+        recv t
+      | Some Netchaos.Duplicate_response ->
+        t.c_redeliver <- t.c_redeliver @ [ msg ];
+        Some msg
+      | Some (Netchaos.Delay d) ->
+        Unix.sleepf d;
+        Some msg
+      | Some (Netchaos.Refuse | Netchaos.Truncate_frame) | None -> Some msg))
+
+let close t = kill t "closed"

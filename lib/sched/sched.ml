@@ -1,9 +1,15 @@
-type backend = Serial | Parallel of int | Workers of Worker.config
+type backend =
+  | Serial
+  | Parallel of int
+  | Workers of Worker.config
+  | Remote of Remote.Fleet.config
 
 let backend_name = function
   | Serial -> "serial"
   | Parallel n -> Printf.sprintf "parallel-%d" n
   | Workers cfg -> Printf.sprintf "workers-%d" (max 1 cfg.Worker.w_jobs)
+  | Remote cfg ->
+    Printf.sprintf "remote-%d" (List.length cfg.Remote.Fleet.r_execs)
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -11,6 +17,10 @@ let jobs = function
   | Serial -> 1
   | Parallel n -> max 1 n
   | Workers cfg -> max 1 cfg.Worker.w_jobs
+  | Remote cfg ->
+    (* a degraded fleet still runs one local compile at a time *)
+    max 1
+      (List.length cfg.Remote.Fleet.r_execs * max 1 cfg.Remote.Fleet.r_slots)
 
 type ('job, 'result) action = Run of 'job | Done of 'result
 
@@ -99,18 +109,14 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
      is capped and jittered — several domains retrying the same flaky
      resource must not wake in lock-step and collide again. *)
   let attempt f x =
+    let bo = Support.Backoff.create ~base_s:backoff_s ~cap_s:backoff_cap_s () in
     let rec go k =
       match f x with
       | v -> v
       | exception e when k < retries && retryable e ->
         Obs.Metrics.incr m_retries;
-        if backoff_s > 0. then begin
-          let base = backoff_s *. float_of_int (1 lsl min k 16) in
-          let jitter =
-            0.5 +. Random.State.float (Random.State.make_self_init ()) 1.0
-          in
-          Unix.sleepf (Float.min backoff_cap_s base *. jitter)
-        end;
+        let d = Support.Backoff.delay bo ~attempt:k in
+        if d > 0. then Unix.sleepf d;
         go (k + 1)
     in
     go 0
@@ -181,7 +187,9 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
   (* the Workers backend routes jobs to a process pool created at the
      bottom of this function; [start] is mutually recursive with the
      bookkeeping, so it reaches the pool through this knot *)
-  let worker_mode = match backend with Workers _ -> true | _ -> false in
+  let worker_mode =
+    match backend with Workers _ | Remote _ -> true | Serial | Parallel _ -> false
+  in
   let pool_submit =
     ref (fun _node _job -> invalid_arg "Sched.run: worker pool not started")
   in
@@ -393,19 +401,37 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
       if state.ns_staticw = 0 then push node state)
     order;
   (match backend with
-  | Workers cfg ->
+  | (Workers _ | Remote _) as bk ->
     let codec =
       match codec with
       | Some c -> c
-      | None -> invalid_arg "Sched.run: the Workers backend requires a codec"
+      | None ->
+        invalid_arg "Sched.run: the Workers and Remote backends need a codec"
     in
-    let pool = Worker.create cfg codec.c_proto in
-    pool_submit :=
-      (fun node job -> Worker.submit pool ~id:node (codec.c_encode_job job));
-    Fun.protect ~finally:(fun () -> Worker.shutdown pool) @@ fun () ->
+    (* the worker pool and the executor fleet share one surface —
+       submit / next_event / slot_busy / shutdown over Worker.event —
+       so a single loop drives both *)
+    let submit, next_ev, slot_busy_of, teardown =
+      match bk with
+      | Workers cfg ->
+        let pool = Worker.create cfg codec.c_proto in
+        ( (fun node payload -> Worker.submit pool ~id:node payload),
+          (fun () -> Worker.next_event pool),
+          (fun () -> Worker.slot_busy pool),
+          fun () -> Worker.shutdown pool )
+      | Remote cfg ->
+        let fleet = Remote.Fleet.create cfg codec.c_proto in
+        ( (fun node payload -> Remote.Fleet.submit fleet ~id:node payload),
+          (fun () -> Remote.Fleet.next_event fleet),
+          (fun () -> Remote.Fleet.slot_busy fleet),
+          fun () -> Remote.Fleet.shutdown fleet )
+      | Serial | Parallel _ -> assert false
+    in
+    pool_submit := (fun node job -> submit node (codec.c_encode_job job));
+    Fun.protect ~finally:teardown @@ fun () ->
     pump ();
     while !remaining > 0 do
-      (match Worker.next_event pool with
+      (match next_ev () with
       | Worker.Done (node, res) -> (
         decr inflight;
         match res with
@@ -417,7 +443,7 @@ let run ?(retries = 0) ?(backoff_s = 0.001) ?(backoff_cap_s = 1.0)
       | Worker.Static (node, payload) -> on_static node payload);
       pump ()
     done;
-    busy := Worker.slot_busy pool
+    busy := slot_busy_of ()
   | Serial | Parallel _ ->
     if workers <= 1 then pump ()
     else begin

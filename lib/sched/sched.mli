@@ -32,8 +32,17 @@
     quarantine, at the price of serializing jobs and results through a
     {!codec}.  [Workers] never spawns domains (forking with live
     domains is unsafe); the pool is multiplexed with [select] from the
-    calling domain. *)
-type backend = Serial | Parallel of int | Workers of Worker.config
+    calling domain.  [Remote cfg] dispatches the same encoded jobs to a
+    fleet of executor daemons over sockets ({!Remote.Fleet}) — per-job
+    deadlines, retry, hedged re-dispatch, quarantine, and graceful
+    degradation to local execution when every executor is gone; like
+    [Workers], it multiplexes from the calling domain and requires the
+    [codec]. *)
+type backend =
+  | Serial
+  | Parallel of int
+  | Workers of Worker.config
+  | Remote of Remote.Fleet.config
 
 val backend_name : backend -> string
 

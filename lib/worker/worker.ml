@@ -264,7 +264,7 @@ type t = {
   crashes : (string, int) Hashtbl.t;  (** per-job crash attempts *)
   mutable spawn_failures : int;  (** consecutive pre-handshake deaths *)
   mutable inflight : int;
-  rng : Random.State.t;
+  backoff : Support.Backoff.t;
   mutable closed : bool;
 }
 
@@ -285,7 +285,9 @@ let create cfg proto =
     crashes = Hashtbl.create 16;
     spawn_failures = 0;
     inflight = 0;
-    rng = Random.State.make_self_init ();
+    backoff =
+      Support.Backoff.create ~base_s:cfg.w_backoff_s
+        ~cap_s:cfg.w_backoff_cap_s ();
     closed = false;
   }
 
@@ -357,11 +359,8 @@ let spawn t i =
 let retire t i c =
   close_quietly c.ch_send;
   close_quietly c.ch_recv;
-  let k = min 16 (max 0 (t.restarts.(i) - 1)) in
-  let base = t.cfg.w_backoff_s *. float_of_int (1 lsl k) in
   let delay =
-    Float.min t.cfg.w_backoff_cap_s base
-    *. (0.5 +. Random.State.float t.rng 1.0)
+    Support.Backoff.delay t.backoff ~attempt:(max 0 (t.restarts.(i) - 1))
   in
   t.slots.(i) <- Down (Unix.gettimeofday () +. delay)
 
@@ -600,6 +599,41 @@ let slot_busy t = Array.copy t.sb_busy
 let submit t ~id payload =
   if t.closed then invalid_arg "Worker.submit: pool is shut down";
   Queue.push (id, payload) t.queue
+
+(* one nonblocking supervision turn: spawn/dispatch, drain readable
+   pipes, enforce deadlines.  The remote executor drives the pool this
+   way from inside its socket reactor, where blocking in [next_event]
+   would starve the connections. *)
+let pump t =
+  if t.closed then invalid_arg "Worker.pump: pool is shut down";
+  if pending t > 0 then begin
+    dispatch t;
+    let fds =
+      Array.fold_left
+        (fun acc -> function Live c -> c.ch_recv :: acc | Down _ -> acc)
+        [] t.slots
+    in
+    if fds <> [] then begin
+      let readable, _, _ =
+        try Unix.select fds [] [] 0.
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | Live c when List.memq c.ch_recv readable -> (
+            match t.slots.(i) with
+            | Live c' when c' == c -> on_readable t i c
+            | Live _ | Down _ -> ())
+          | Live _ | Down _ -> ())
+        t.slots
+    end;
+    expire t
+  end
+
+let poll_event t =
+  if t.closed then invalid_arg "Worker.poll_event: pool is shut down";
+  if Queue.is_empty t.results then None else Some (Queue.pop t.results)
 
 let next_event t =
   if t.closed then invalid_arg "Worker.next_event: pool is shut down";

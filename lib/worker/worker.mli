@@ -150,6 +150,18 @@ val pending : t -> int
     timeout or quarantine), for scheduler-efficiency reporting. *)
 val slot_busy : t -> float array
 
+(** [pump t] — one nonblocking supervision turn: spawn due workers,
+    dispatch queued jobs, drain whatever the children have written, and
+    enforce heartbeat/timeout deadlines.  Never blocks.  Raises
+    {!Pool_down} exactly as {!next_event} would.  For callers embedding
+    the pool in their own event loop (the remote executor's socket
+    reactor); interactive callers use {!next_event}. *)
+val pump : t -> unit
+
+(** [poll_event t] — a ready event, if {!pump} produced one.  Never
+    blocks. *)
+val poll_event : t -> event option
+
 (** [next_event t] — block until the pool has something to report: a
     job finishing (successfully, with a handler error, or by
     supervision: crash quarantine or timeout), or a mid-job [notify]

@@ -24,4 +24,5 @@ let () =
       ("cache", Test_cache.suite);
       ("faults", Test_faults.suite);
       ("daemon", Test_daemon.suite);
+      ("remote", Test_remote.suite);
     ]

@@ -24,7 +24,7 @@ let test_warm_cache_from_clean () =
   let fs, _, sources = setup () in
   let mgr = Driver.create fs in
   let s0 =
-    Driver.build ~cache:(Cache.create fs) mgr ~policy:Driver.Cutoff ~sources
+    Driver.build ~cache:(Cache.ops (Cache.create fs)) mgr ~policy:Driver.Cutoff ~sources
   in
   Alcotest.(check int) "cold build compiles everything" (List.length sources)
     (List.length s0.Driver.st_recompiled);
@@ -33,7 +33,7 @@ let test_warm_cache_from_clean () =
      a new process finding the cache a previous one left behind *)
   let mgr2 = Driver.create fs in
   let s1 =
-    Driver.build ~cache:(Cache.create fs) mgr2 ~policy:Driver.Cutoff ~sources
+    Driver.build ~cache:(Cache.ops (Cache.create fs)) mgr2 ~policy:Driver.Cutoff ~sources
   in
   Alcotest.(check int) "warm from-clean build recompiles nothing" 0
     (List.length s1.Driver.st_recompiled);
@@ -49,11 +49,11 @@ let test_edit_misses_revert_hits () =
   let fs, project, sources = setup () in
   let cache = Cache.create fs in
   let mgr = Driver.create fs in
-  let _ = Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources in
+  let _ = Driver.build ~cache:(Cache.ops cache) mgr ~policy:Driver.Cutoff ~sources in
   let victim = Gen.middle_file project in
   let original = Option.get (fs.Vfs.fs_read victim) in
   Gen.edit project victim Gen.Impl_change;
-  let s1 = Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources in
+  let s1 = Driver.build ~cache:(Cache.ops cache) mgr ~policy:Driver.Cutoff ~sources in
   Alcotest.(check (list string)) "edited source misses and recompiles"
     [ victim ] s1.Driver.st_recompiled;
   Alcotest.(check (list string)) "no hit for never-seen content" []
@@ -61,7 +61,7 @@ let test_edit_misses_revert_hits () =
   (* revert: same bytes as the first build, newer mtime — stale by
      timestamp, but the content address is back in the cache *)
   fs.Vfs.fs_write victim original;
-  let s2 = Driver.build ~cache mgr ~policy:Driver.Cutoff ~sources in
+  let s2 = Driver.build ~cache:(Cache.ops cache) mgr ~policy:Driver.Cutoff ~sources in
   Alcotest.(check (list string)) "reverted source hits" [ victim ]
     s2.Driver.st_cache_hits;
   Alcotest.(check (list string)) "nothing recompiled on revert" []
@@ -94,7 +94,7 @@ let test_corrupt_objects_degrade_to_misses () =
   let fs, _, sources = setup () in
   let mgr = Driver.create fs in
   let _ =
-    Driver.build ~cache:(Cache.create fs) mgr ~policy:Driver.Cutoff ~sources
+    Driver.build ~cache:(Cache.ops (Cache.create fs)) mgr ~policy:Driver.Cutoff ~sources
   in
   (* smash every cached object, keeping sizes intact so the index still
      trusts them: the CRC check in Binfile.read must catch it *)
@@ -106,7 +106,7 @@ let test_corrupt_objects_degrade_to_misses () =
   clean_bins fs sources;
   let mgr2 = Driver.create fs in
   let s =
-    Driver.build ~cache:(Cache.create fs) mgr2 ~policy:Driver.Cutoff ~sources
+    Driver.build ~cache:(Cache.ops (Cache.create fs)) mgr2 ~policy:Driver.Cutoff ~sources
   in
   Alcotest.(check int) "all recompiled, no error" (List.length sources)
     (List.length s.Driver.st_recompiled);
@@ -117,7 +117,7 @@ let test_truncated_objects_degrade_to_misses () =
   let fs, _, sources = setup () in
   let mgr = Driver.create fs in
   let _ =
-    Driver.build ~cache:(Cache.create fs) mgr ~policy:Driver.Cutoff ~sources
+    Driver.build ~cache:(Cache.ops (Cache.create fs)) mgr ~policy:Driver.Cutoff ~sources
   in
   (* truncate instead: the size recorded in the index no longer
      matches, which the cache itself must treat as a miss *)
@@ -125,7 +125,7 @@ let test_truncated_objects_degrade_to_misses () =
   clean_bins fs sources;
   let mgr2 = Driver.create fs in
   let s =
-    Driver.build ~cache:(Cache.create fs) mgr2 ~policy:Driver.Cutoff ~sources
+    Driver.build ~cache:(Cache.ops (Cache.create fs)) mgr2 ~policy:Driver.Cutoff ~sources
   in
   Alcotest.(check int) "all recompiled, no error" (List.length sources)
     (List.length s.Driver.st_recompiled)

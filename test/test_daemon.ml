@@ -7,6 +7,7 @@
 module Frame = Pickle.Frame
 module Protocol = Daemon.Protocol
 module Server = Daemon.Server
+module Client = Daemon.Client
 module Watch = Daemon.Watch
 module Lock = Daemon.Lock
 module Driver = Irm.Driver
@@ -303,6 +304,30 @@ let test_stale_socket_swept () =
   let j = status srv c ~id:"1" in
   Alcotest.(check bool) "daemon rebound the socket" true (json_int "pid" j > 0);
   disconnect c
+
+let test_half_open_socket_times_out () =
+  (* a listener that accepts (via its backlog) but never speaks: the
+     client's HELLO deadline must surface as [Timeout], not as a
+     protocol error or a raw [Unix_error] *)
+  let dir = fresh_project () in
+  let sock =
+    Protocol.socket_path ~dir ~state_dir:Protocol.default_state_dir
+  in
+  Unix.mkdir (Filename.dirname sock) 0o755;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.listen fd 4;
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  (match Client.connect ~timeout_s:0.3 ~dir () with
+  | _ -> Alcotest.fail "handshake against a mute listener succeeded"
+  | exception Client.Timeout _ -> ()
+  | exception Client.Protocol_error msg ->
+    Alcotest.failf "deadline surfaced as Protocol_error: %s" msg);
+  Alcotest.(check bool)
+    "waited out the handshake budget" true
+    (Unix.gettimeofday () -. t0 >= 0.25)
 
 let test_version_mismatch_rejected () =
   let dir = fresh_project () in
@@ -726,6 +751,8 @@ let suite =
     Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
     Alcotest.test_case "status and shutdown" `Quick test_status_and_shutdown;
     Alcotest.test_case "stale socket swept" `Quick test_stale_socket_swept;
+    Alcotest.test_case "half-open socket times out" `Quick
+      test_half_open_socket_times_out;
     Alcotest.test_case "version mismatch rejected" `Quick
       test_version_mismatch_rejected;
     Alcotest.test_case "garbage frames survived" `Quick

@@ -219,7 +219,7 @@ let crash_and_recover ~topology ~policy ~backend ~with_cache ~crash_at ~torn
   let mgr = Driver.create ffs in
   let cache = if with_cache then Some (Cache.create ffs) else None in
   let crashed =
-    match Driver.build ?cache ~backend mgr ~policy ~sources with
+    match Driver.build ?cache:(Option.map Cache.ops cache) ~backend mgr ~policy ~sources with
     | _ -> false
     | exception Vfs.Crash _ -> true
   in
@@ -229,7 +229,7 @@ let crash_and_recover ~topology ~policy ~backend ~with_cache ~crash_at ~torn
   let _report = Driver.recover mgr2 ~sources in
   let cache2 = if with_cache then Some (Cache.create fs) else None in
   Option.iter (fun c -> ignore (Cache.gc c)) cache2;
-  let _ = Driver.build ?cache:cache2 mgr2 ~policy ~sources in
+  let _ = Driver.build ?cache:(Option.map Cache.ops cache2) mgr2 ~policy ~sources in
   let label fmt =
     Printf.ksprintf
       (fun s ->
@@ -249,7 +249,7 @@ let crash_and_recover ~topology ~policy ~backend ~with_cache ~crash_at ~torn
     (bins_of fs sources);
   (* after convergence the crashed history is invisible: a null rebuild
      loads everything, exactly as it would after the fault-free build *)
-  let null = Driver.build ?cache:cache2 mgr2 ~policy ~sources in
+  let null = Driver.build ?cache:(Option.map Cache.ops cache2) mgr2 ~policy ~sources in
   Alcotest.(check (list string)) (label "null rebuild recompiles nothing") []
     null.Driver.st_recompiled;
   Alcotest.(check int)
@@ -266,7 +266,7 @@ let count_writes ~topology ~policy ~backend ~with_cache =
   let ffs, inj = Vfs.faulty ~plan:[] fs in
   let mgr = Driver.create ffs in
   let cache = if with_cache then Some (Cache.create ffs) else None in
-  let _ = Driver.build ?cache ~backend mgr ~policy ~sources in
+  let _ = Driver.build ?cache:(Option.map Cache.ops cache) ~backend mgr ~policy ~sources in
   Vfs.writes inj
 
 let crash_recovery_exhaustive ~units ~seed ~policy ~backend ~with_cache () =
@@ -352,7 +352,7 @@ let prop_random_fault_plans_recover =
       let ffs, _inj = Vfs.faulty ~only:persistent_path ~plan fs in
       let mgr = Driver.create ffs in
       (match
-         Driver.build ~cache:(Cache.create ffs) ~backend mgr ~policy ~sources
+         Driver.build ~cache:(Cache.ops (Cache.create ffs)) ~backend mgr ~policy ~sources
        with
       | _ -> ()
       | exception (Vfs.Crash _ | Vfs.Fault _) -> ());
@@ -361,10 +361,10 @@ let prop_random_fault_plans_recover =
       let _ = Driver.recover mgr2 ~sources in
       let cache2 = Cache.create fs in
       ignore (Cache.gc cache2);
-      let _ = Driver.build ~cache:cache2 mgr2 ~policy ~sources in
+      let _ = Driver.build ~cache:(Cache.ops cache2) mgr2 ~policy ~sources in
       ref_pids = pids_of mgr2 sources
       && List.for_all2 String.equal ref_bins (bins_of fs sources)
-      && (Driver.build ~cache:cache2 mgr2 ~policy ~sources).Driver.st_recompiled
+      && (Driver.build ~cache:(Cache.ops cache2) mgr2 ~policy ~sources).Driver.st_recompiled
          = [])
 
 (* after recovery, the next edit behaves exactly as it would have with

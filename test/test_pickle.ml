@@ -97,6 +97,92 @@ let test_frame_pop_corrupt () =
   | exception Pickle.Buf.Corrupt _ -> ()
   | _ -> Alcotest.fail "bad magic must be detected"
 
+(* a socket delivers a frame stream in arbitrary slices: however the
+   bytes are chunked, greedy popping must reconstruct exactly the
+   frames that were sent, with nothing left over *)
+let prop_frame_chunked_stream =
+  let gen =
+    QCheck.make ~print:(fun (msgs, sizes) ->
+        Printf.sprintf "%d msgs, cuts [%s]" (List.length msgs)
+          (String.concat ";" (List.map string_of_int sizes)))
+      QCheck.Gen.(
+        let msg =
+          triple (int_range 0 255)
+            (string_size ~gen:char (int_range 0 12))
+            (string_size ~gen:char (int_range 0 64))
+        in
+        pair
+          (list_size (int_range 1 8) msg)
+          (list_size (int_range 1 20) (int_range 1 13)))
+  in
+  QCheck.Test.make ~name:"frame stream survives arbitrary chunking" ~count:300
+    gen
+  @@ fun (msgs, sizes) ->
+  let stream =
+    String.concat ""
+      (List.map
+         (fun (kind, id, payload) -> Pickle.Frame.encode ~kind ~id ~payload)
+         msgs)
+  in
+  (* slice the stream into chunks, cycling through the cut sizes *)
+  let sizes = Array.of_list sizes in
+  let chunks = ref [] in
+  let off = ref 0 and i = ref 0 in
+  while !off < String.length stream do
+    let n = min sizes.(!i mod Array.length sizes) (String.length stream - !off) in
+    chunks := String.sub stream !off n :: !chunks;
+    off := !off + n;
+    incr i
+  done;
+  (* feed chunk by chunk, popping greedily after each arrival *)
+  let buffer = ref "" and got = ref [] in
+  List.iter
+    (fun chunk ->
+      buffer := !buffer ^ chunk;
+      let rec drain () =
+        match Pickle.Frame.pop !buffer with
+        | Some (m, rest) ->
+          buffer := rest;
+          got :=
+            (m.Pickle.Frame.f_kind, m.Pickle.Frame.f_id, m.Pickle.Frame.f_payload)
+            :: !got;
+          drain ()
+        | None -> ()
+      in
+      drain ())
+    (List.rev !chunks);
+  !buffer = "" && List.rev !got = msgs
+
+let test_frame_truncated_then_completed () =
+  let f1 = Pickle.Frame.encode ~kind:32 ~id:"a" ~payload:"first" in
+  let f2 = Pickle.Frame.encode ~kind:36 ~id:"b" ~payload:"second" in
+  let f3 = Pickle.Frame.encode ~kind:37 ~id:"c" ~payload:"third" in
+  (* a whole frame plus a torn tail: the whole one pops, the tail waits *)
+  let cut = String.length f2 / 2 in
+  let buffer = ref (f1 ^ String.sub f2 0 cut) in
+  (match Pickle.Frame.pop !buffer with
+  | Some (m, rest) ->
+    Alcotest.(check string) "leading frame pops" "first"
+      m.Pickle.Frame.f_payload;
+    buffer := rest
+  | None -> Alcotest.fail "leading frame must pop");
+  Alcotest.(check bool) "torn tail is not a frame yet" true
+    (Pickle.Frame.pop !buffer = None);
+  (* the rest of the torn frame arrives, with another one behind it *)
+  buffer := !buffer ^ String.sub f2 cut (String.length f2 - cut) ^ f3;
+  (match Pickle.Frame.pop !buffer with
+  | Some (m, rest) ->
+    Alcotest.(check string) "completed frame decodes" "second"
+      m.Pickle.Frame.f_payload;
+    buffer := rest
+  | None -> Alcotest.fail "completed frame must pop");
+  match Pickle.Frame.pop !buffer with
+  | Some (m, rest) ->
+    Alcotest.(check string) "trailing frame decodes" "third"
+      m.Pickle.Frame.f_payload;
+    Alcotest.(check string) "stream drained" "" rest
+  | None -> Alcotest.fail "trailing frame must pop"
+
 let mk_ctx () =
   let ctx = Statics.Context.create () in
   Statics.Basis.register ctx;
@@ -223,6 +309,9 @@ let suite =
     Alcotest.test_case "truncation detected" `Quick test_truncation_detected;
     Alcotest.test_case "frame pop" `Quick test_frame_pop;
     Alcotest.test_case "frame pop corrupt" `Quick test_frame_pop_corrupt;
+    QCheck_alcotest.to_alcotest prop_frame_chunked_stream;
+    Alcotest.test_case "truncated frame completed by later bytes" `Quick
+      test_frame_truncated_then_completed;
     Alcotest.test_case "bad tags detected" `Quick test_bad_tags_detected;
     Alcotest.test_case "manual env roundtrip" `Quick test_env_roundtrip_manual;
     Alcotest.test_case "unresolved tyvars rejected" `Quick

@@ -401,7 +401,8 @@ let test_critical_path_equals_wavefront () =
              (match backend with
              | Driver.Serial -> "serial"
              | Driver.Parallel n -> Printf.sprintf "parallel-%d" n
-             | Driver.Workers _ -> "workers")))
+             | Driver.Workers _ -> "workers"
+             | Driver.Remote _ -> "remote")))
     [ Driver.Serial; Driver.Parallel 4 ]
 
 let prop_parallel_equals_serial =

@@ -96,6 +96,32 @@ let qcheck_intern_bijective =
       let sa = Symbol.intern a and sb = Symbol.intern b in
       String.equal a b = Symbol.equal sa sb)
 
+let test_backoff_deterministic () =
+  let seq seed =
+    let bo = Support.Backoff.create ~seed ~base_s:0.05 ~cap_s:1.0 () in
+    List.init 8 (fun k -> Support.Backoff.delay bo ~attempt:k)
+  in
+  Alcotest.(check (list (float 0.)))
+    "same seed, same delays" (seq 42) (seq 42);
+  Alcotest.(check bool)
+    "different seeds diverge" false
+    (List.equal Float.equal (seq 42) (seq 43))
+
+let test_backoff_envelope () =
+  let bo = Support.Backoff.create ~seed:7 ~base_s:0.05 ~cap_s:1.0 () in
+  for k = 0 to 40 do
+    let d = Support.Backoff.delay bo ~attempt:k in
+    let ceiling = Float.min 1.0 (0.05 *. float_of_int (1 lsl min k 16)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d within [ceiling/2, 1.5*ceiling)" k)
+      true
+      (d >= (ceiling /. 2.) -. 1e-9 && d < (ceiling *. 1.5) +. 1e-9)
+  done;
+  let off = Support.Backoff.create ~seed:7 ~base_s:0. ~cap_s:1.0 () in
+  Alcotest.(check (float 0.))
+    "zero base disables backoff" 0.
+    (Support.Backoff.delay off ~attempt:5)
+
 let suite =
   [
     Alcotest.test_case "intern identity" `Quick test_intern_identity;
@@ -105,5 +131,8 @@ let suite =
     Alcotest.test_case "loc printing" `Quick test_loc_pp;
     Alcotest.test_case "diag guard" `Quick test_diag_guard;
     Alcotest.test_case "phase names total" `Quick test_phase_names_total;
+    Alcotest.test_case "backoff deterministic" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "backoff envelope" `Quick test_backoff_envelope;
     QCheck_alcotest.to_alcotest qcheck_intern_bijective;
   ]
