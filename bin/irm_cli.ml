@@ -519,7 +519,7 @@ let profile_cmd_impl dir profile_dir json top use_daemon =
 (* ------------------------------------------------------------------ *)
 
 let daemon_config dir state_dir groups watch poll_s client_timeout use_cache
-    policy jobs log =
+    policy jobs hot_swap log =
   {
     Daemon.Server.d_dir = dir;
     d_state_dir = state_dir;
@@ -530,17 +530,20 @@ let daemon_config dir state_dir groups watch poll_s client_timeout use_cache
     d_cache = use_cache;
     d_policy = Irm.Driver.policy_name policy;
     d_jobs = jobs;
+    d_hot_swap = hot_swap;
+    d_swap_budget_s = 30.;
+    d_epoch_history = 4;
     d_log = log;
   }
 
 let daemon_start_impl dir state_dir groups watch poll_s client_timeout
-    use_cache policy jobs foreground =
+    use_cache policy jobs hot_swap foreground =
   guarded (fun () ->
       if foreground then begin
         let server =
           Daemon.Server.create
             (daemon_config dir state_dir groups watch poll_s client_timeout
-               use_cache policy jobs prerr_endline)
+               use_cache policy jobs hot_swap prerr_endline)
         in
         install_interrupt ();
         Daemon.Server.run server;
@@ -571,8 +574,8 @@ let daemon_start_impl dir state_dir groups watch poll_s client_timeout
                 let server =
                   Daemon.Server.create
                     (daemon_config dir state_dir groups watch poll_s
-                       client_timeout use_cache policy jobs (fun line ->
-                         Printf.eprintf "%s\n%!" line))
+                       client_timeout use_cache policy jobs hot_swap
+                       (fun line -> Printf.eprintf "%s\n%!" line))
                 in
                 install_interrupt ();
                 Daemon.Server.run server;
@@ -643,11 +646,29 @@ let daemon_stop_impl dir state_dir =
 
 let daemon_status_impl dir state_dir json =
   guarded (fun () ->
-      match Daemon.Client.connect ~state_dir ~dir () with
-      | None ->
+      (* probe, don't connect: a SIGKILL'd daemon must report as stale
+         (and have its leftovers swept), not hang out the client timeout *)
+      match Daemon.Client.probe ~state_dir ~dir () with
+      | Daemon.Client.Absent ->
         prerr_endline "no daemon is serving this directory";
         1
-      | Some c ->
+      | Daemon.Client.Stale (Some pid) ->
+        Printf.eprintf
+          "daemon is stale (pid %d dead); removed its socket and pid files\n"
+          pid;
+        1
+      | Daemon.Client.Stale None ->
+        prerr_endline
+          "daemon is stale (no live process); removed its socket and pid \
+           files";
+        1
+      | Daemon.Client.Unresponsive pid ->
+        Printf.eprintf
+          "daemon (pid %d) is alive but not answering its socket — likely \
+           mid-build; retry, or `irm daemon stop`\n"
+          pid;
+        1
+      | Daemon.Client.Live c ->
         let resp = Daemon.Client.request c Daemon.Protocol.Status in
         Daemon.Client.close c;
         if json then print_string resp.Daemon.Protocol.r_out
@@ -682,16 +703,66 @@ let daemon_status_impl dir state_dir json =
               (float_ "poll_s" w) (int_ "tracked" w) (int_ "sweeps" w)
               (int_ "dirty_total" w)
           | None -> ());
+          (match Obs.Json.member "hot_swap" j with
+          | Some (Obs.Json.Bool true) -> Printf.printf "  hot-swap  on\n"
+          | _ -> ());
           match Obs.Json.member "groups" j with
           | Some (Obs.Json.List gs) ->
             List.iter
               (fun g ->
-                Printf.printf "  group     %s: %d units, %d builds\n"
-                  (str "group" g) (int_ "units" g) (int_ "builds" g))
+                let epoch =
+                  match Obs.Json.member "epoch" g with
+                  | Some (Obs.Json.Int n) -> Printf.sprintf ", epoch %d" n
+                  | _ -> ""
+                in
+                let swaps =
+                  match Obs.Json.member "swaps" g with
+                  | Some s ->
+                    let n k =
+                      match Obs.Json.member k s with
+                      | Some (Obs.Json.Int v) -> v
+                      | _ -> 0
+                    in
+                    if n "null" + n "impl" + n "epoch" + n "rollbacks" = 0
+                    then ""
+                    else
+                      Printf.sprintf
+                        " — swaps: %d null / %d impl / %d epoch / %d \
+                         rollbacks"
+                        (n "null") (n "impl") (n "epoch") (n "rollbacks")
+                  | None -> ""
+                in
+                Printf.printf "  group     %s: %d units, %d builds%s%s\n"
+                  (str "group" g) (int_ "units" g) (int_ "builds" g) epoch
+                  swaps)
               gs
           | _ -> ()
         end;
         resp.Daemon.Protocol.r_code)
+
+(* `irm swap UNIT`: ask the daemon to rebuild and hot-swap the unit's
+   group, reporting which regime the swap took *)
+let swap_impl dir state_dir group unit_ =
+  guarded (fun () ->
+      match Daemon.Client.connect ~state_dir ~dir () with
+      | None ->
+        prerr_endline
+          "no daemon is serving this directory (hot swap needs `irm daemon \
+           start --hot-swap`)";
+        1
+      | Some c ->
+        finish_daemon c
+          (Daemon.Protocol.Swap { s_group = group; s_unit = unit_ }))
+
+let daemon_epochs_impl dir state_dir group json =
+  guarded (fun () ->
+      match Daemon.Client.connect ~state_dir ~dir () with
+      | None ->
+        prerr_endline "no daemon is serving this directory";
+        1
+      | Some c ->
+        finish_daemon c
+          (Daemon.Protocol.Epochs { ep_group = group; ep_json = json }))
 
 
 (* ------------------------------------------------------------------ *)
@@ -1177,6 +1248,19 @@ let daemon_groups_arg =
            watcher.  Later $(b,build --daemon) requests add their groups \
            too.")
 
+let hot_swap_arg =
+  Arg.(
+    value & flag
+    & info [ "hot-swap" ]
+        ~doc:
+          "Keep a live, epoch-versioned dynamic environment per group: \
+           every clean rebuild is hot-swapped into it transactionally \
+           (an implementation-only change rebinds one unit in place; an \
+           interface change bumps an epoch and relinks the importing \
+           cone), and $(b,run --daemon) replays the live epoch instead \
+           of re-executing.  Inspect with $(b,irm daemon epochs), drive \
+           by hand with $(b,irm swap).")
+
 let daemon_start_cmd =
   Cmd.v
     (Cmd.info "start" ~exits
@@ -1186,7 +1270,7 @@ let daemon_start_cmd =
     Term.(
       const daemon_start_impl $ dir_arg $ state_dir_arg $ daemon_groups_arg
       $ watch_arg $ poll_arg $ client_timeout_arg $ cache_flag_arg
-      $ policy_arg $ jobs_arg $ foreground_arg)
+      $ policy_arg $ jobs_arg $ hot_swap_arg $ foreground_arg)
 
 let daemon_stop_cmd =
   Cmd.v
@@ -1200,10 +1284,31 @@ let daemon_status_cmd =
   Cmd.v
     (Cmd.info "status" ~exits
        ~doc:
-         "report the daemon's uptime, served requests, connected clients \
-          and watched groups ($(b,--json) emits the smlsep-daemon/1 \
-          status envelope, schema $(i,schemas/daemon.schema.json))")
+         "report the daemon's uptime, served requests, connected clients, \
+          epochs and watched groups ($(b,--json) emits the smlsep-daemon/2 \
+          status envelope, schema $(i,schemas/daemon.schema.json)).  A \
+          SIGKILL'd daemon reports as stale and its leftover socket/pid \
+          files are swept.")
     Term.(const daemon_status_impl $ dir_arg $ state_dir_arg $ json_arg)
+
+let epochs_group_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "group" ] ~docv:"GROUP"
+        ~doc:
+          "Group whose epochs to inspect (default: the daemon's sole live \
+           group).")
+
+let daemon_epochs_cmd =
+  Cmd.v
+    (Cmd.info "epochs" ~exits
+       ~doc:
+         "inspect the live dynenv epochs of a $(b,--hot-swap) daemon: \
+          which epoch serves, which are draining behind pinned in-flight \
+          requests, which retired, and the swap counters")
+    Term.(
+      const daemon_epochs_impl $ dir_arg $ state_dir_arg $ epochs_group_arg
+      $ json_arg)
 
 let daemon_cmd =
   Cmd.group
@@ -1211,7 +1316,36 @@ let daemon_cmd =
        ~doc:
          "the compile server: a build daemon holding warm sessions, cache \
           index and profile store behind a Unix socket")
-    [ daemon_start_cmd; daemon_stop_cmd; daemon_status_cmd ]
+    [ daemon_start_cmd; daemon_stop_cmd; daemon_status_cmd; daemon_epochs_cmd ]
+
+let swap_unit_arg =
+  Arg.(
+    value & pos 0 string ""
+    & info [] ~docv:"UNIT"
+        ~doc:
+          "Source file to swap (must belong to the group; omit to swap \
+           whatever the rebuild produced).")
+
+let swap_group_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "group" ] ~docv:"GROUP"
+        ~doc:
+          "Group to rebuild and swap (default: the daemon's sole live \
+           group).")
+
+let swap_cmd =
+  Cmd.v
+    (Cmd.info "swap" ~exits
+       ~doc:
+         "rebuild a unit's group in the $(b,--hot-swap) daemon and relink \
+          the result into the live dynamic environment: a pid-stable \
+          rebuild rebinds the unit in place, an interface change bumps an \
+          epoch and relinks the importing cone; any failure rolls back to \
+          the prior epoch ($(b,E0801) seal-violation, $(b,E0802) \
+          relink-conflict)")
+    Term.(const swap_impl $ dir_arg $ state_dir_arg $ swap_group_arg
+          $ swap_unit_arg)
 
 let listen_arg =
   Arg.(
@@ -1277,6 +1411,7 @@ let cmd =
       cache_cmd;
       explain_cmd;
       profile_cmd;
+      swap_cmd;
       daemon_cmd;
       serve_exec_cmd;
       serve_cache_cmd;

@@ -104,6 +104,71 @@ let connect ?(state_dir = Protocol.default_state_dir) ?(timeout_s = 10.) ~dir
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise exn
 
+type probe =
+  | Live of t
+  | Stale of int option
+  | Unresponsive of int
+  | Absent
+
+(* [probe] exists so `irm daemon status` can tell a SIGKILL'd daemon
+   from a live one without hanging: a dead daemon leaves its pid and
+   socket files behind, and connecting to the leftover socket fails
+   fast (ECONNREFUSED) — so check the recorded pid with signal 0 and
+   sweep the leftovers when nobody is home.  A pid that is alive but
+   whose socket never answers is reported, not cleaned: it may be
+   wedged mid-build and its files are still its own. *)
+let probe ?(state_dir = Protocol.default_state_dir) ?(timeout_s = 2.) ~dir ()
+    =
+  let sock = Protocol.socket_path ~dir ~state_dir in
+  let pidp = Protocol.pid_path ~dir ~state_dir in
+  let pid =
+    match In_channel.with_open_bin pidp In_channel.input_all with
+    | contents -> int_of_string_opt (String.trim contents)
+    | exception Sys_error _ -> None
+  in
+  (* a SIGKILL'd daemon may linger as a zombie until its reaper gets to
+     it, and kill(pid, 0) succeeds on zombies — consult /proc state
+     where available so the corpse still reads as dead *)
+  let zombie p =
+    match
+      In_channel.with_open_bin
+        (Printf.sprintf "/proc/%d/stat" p)
+        In_channel.input_all
+    with
+    | stat -> (
+      (* state is the first field after the parenthesised comm, which
+         may itself contain spaces — split after the last ')' *)
+      match String.rindex_opt stat ')' with
+      | Some i when i + 2 < String.length stat -> stat.[i + 2] = 'Z'
+      | _ -> false)
+    | exception Sys_error _ -> false
+  in
+  let pid_alive =
+    match pid with
+    | None -> false
+    | Some p -> (
+      match Unix.kill p 0 with
+      | () -> not (zombie p)
+      | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+      | exception Unix.Unix_error _ -> false)
+  in
+  let sweep () =
+    (try Unix.unlink sock with Unix.Unix_error _ -> ());
+    try Unix.unlink pidp with Unix.Unix_error _ -> ()
+  in
+  let dead () =
+    if pid_alive then Unresponsive (Option.get pid)
+    else if Sys.file_exists sock || pid <> None then begin
+      sweep ();
+      Stale pid
+    end
+    else Absent
+  in
+  match connect ~state_dir ~timeout_s ~dir () with
+  | Some c -> Live c
+  | None -> dead ()
+  | exception Timeout _ -> dead ()
+
 let request ?(timeout_s = 600.) ?(on_diag = fun _ -> ()) t req =
   if t.closed then raise (Protocol_error "connection is closed");
   t.next_id <- t.next_id + 1;

@@ -21,6 +21,27 @@ type t
 val connect :
   ?state_dir:string -> ?timeout_s:float -> dir:string -> unit -> t option
 
+(** What {!probe} found behind the daemon's state files. *)
+type probe =
+  | Live of t  (** a daemon answered the handshake; connection yours *)
+  | Stale of int option
+      (** leftovers of a dead daemon (the recorded pid, if readable,
+          is not running) — the stale socket and pid files have been
+          removed *)
+  | Unresponsive of int
+      (** the recorded pid is alive but its socket is not answering
+          (likely mid-build); nothing was cleaned *)
+  | Absent  (** no socket, no pid file: nothing ever ran here *)
+
+(** [probe ?state_dir ?timeout_s ~dir ()] — like {!connect}, but
+    diagnoses instead of shrugging: a SIGKILL'd daemon's leftovers are
+    detected by checking the recorded pid (signal 0) and swept, with a
+    short default budget (2 s) so `daemon status` never hangs on a
+    corpse.  Raises {!Protocol_error} as {!connect} does (a live daemon
+    speaking another protocol version is neither stale nor absent). *)
+val probe :
+  ?state_dir:string -> ?timeout_s:float -> dir:string -> unit -> probe
+
 (** [request ?timeout_s ?on_diag t req] — send one request and wait for
     its response.  Diagnostic frames streamed before the response are
     handed to [on_diag] (the [smlsep-diag/1] JSON envelope, one per

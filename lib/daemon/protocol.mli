@@ -16,7 +16,9 @@
     interleave.  {!k_error} frames carry a human-readable reason for
     protocol-level failures. *)
 
-(** Protocol version, exchanged at HELLO: ["smlsep-daemon/1"]. *)
+(** Protocol version, exchanged at HELLO: ["smlsep-daemon/2"] (v2
+    added the hot-swap requests {!request.Swap} and {!request.Epochs}
+    and the epoch fields in the status envelope). *)
 val version : string
 
 (** {2 Frame kinds} *)
@@ -59,6 +61,12 @@ type request =
   | Profile of { p_json : bool; p_top : int }
   | Status  (** daemon self-description, always JSON *)
   | Shutdown
+  | Swap of { s_group : string; s_unit : string }
+      (** rebuild [s_group] and hot-swap the result into the live
+          dynenv; the response describes the swap outcome for
+          [s_unit]'s group (requires a [--hot-swap] daemon) *)
+  | Epochs of { ep_group : string; ep_json : bool }
+      (** inspect the live epoch history of [ep_group] *)
 
 type response = {
   r_code : int;  (** the exit code the client should exit with *)

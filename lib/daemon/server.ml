@@ -1,6 +1,7 @@
 module Frame = Pickle.Frame
 module Driver = Irm.Driver
 module Diag = Support.Diag
+module Relink = Link.Relink
 
 exception Already_running of string
 
@@ -14,6 +15,9 @@ type config = {
   d_cache : bool;
   d_policy : string;
   d_jobs : int;
+  d_hot_swap : bool;
+  d_swap_budget_s : float;
+  d_epoch_history : int;
   d_log : string -> unit;
 }
 
@@ -28,6 +32,9 @@ let default_config ~dir =
     d_cache = false;
     d_policy = "cutoff";
     d_jobs = 1;
+    d_hot_swap = false;
+    d_swap_budget_s = 30.;
+    d_epoch_history = 4;
     d_log = prerr_endline;
   }
 
@@ -59,6 +66,9 @@ type group_state = {
   mutable g_dirty : string list;  (** dirty since the last build (lazy mode) *)
   mutable g_builds : int;
   mutable g_opts : Protocol.build_opts;  (** what watch rebuilds replay *)
+  mutable g_live : Relink.t option;  (** the hot-swap epochs, once live *)
+  mutable g_last_swap : (string, string) result option;
+      (** outcome of the latest reconciliation, for [Swap] responses *)
 }
 
 type t = {
@@ -110,6 +120,8 @@ let group_state t group =
         g_dirty = [];
         g_builds = 0;
         g_opts = default_opts t.cfg group;
+        g_live = None;
+        g_last_swap = None;
       }
     in
     Hashtbl.replace t.groups group g;
@@ -206,7 +218,79 @@ let guard ~json f =
       (Printf.sprintf
          "build aborted: the compile worker pool died entirely (%s)\n" msg)
 
-let serve_build t opts ~and_run =
+(* ------------------------------------------------------------------ *)
+(* Hot-swap reconciliation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let m_swaps_ok = Obs.Metrics.counter "daemon.swaps"
+let m_swaps_rolled_back = Obs.Metrics.counter "daemon.swap_rollbacks"
+
+let swap_desc (o : Relink.outcome) =
+  match o.o_kind with
+  | Relink.Null ->
+    Printf.sprintf "null swap: epoch %d unchanged, nothing relinked" o.o_epoch
+  | Relink.Impl ->
+    Printf.sprintf "impl swap: epoch %d rebound in place, relinked [%s]"
+      o.o_epoch
+      (String.concat ", " o.o_relinked)
+  | Relink.Epoch_bump ->
+    Printf.sprintf "epoch swap: now serving epoch %d, relinked [%s]" o.o_epoch
+      (String.concat ", " o.o_relinked)
+
+(* after a clean build, diff the rebuilt units against the live epoch
+   and swap them in transactionally.  A failed swap (seal violation,
+   relink conflict, abort, a unit raising during relink) rolls back —
+   the old epoch keeps serving — and is reported, never fatal. *)
+let reconcile t g ~abort_check =
+  let outcome =
+    match
+      let units = Driver.link_snapshot g.g_mgr in
+      match g.g_live with
+      | None ->
+        let live = Relink.create ~history:t.cfg.d_epoch_history () in
+        Relink.baseline live ~units;
+        g.g_live <- Some live;
+        Printf.sprintf "hot-swap baseline: epoch 0 live (%d units)"
+          (List.length units)
+      | Some live ->
+        swap_desc
+          (Relink.swap ?abort_check ~budget_s:t.cfg.d_swap_budget_s live
+             ~units)
+    with
+    | desc -> Ok desc
+    | exception Diag.Error d -> Error (String.trim (Diag.to_string d))
+    | exception Diag.Errors ds ->
+      Error
+        (String.concat "; "
+           (List.map (fun d -> String.trim (Diag.to_string d)) ds))
+    | exception Relink.Swap_aborted reason ->
+      Error
+        (Printf.sprintf "swap aborted: %s — rolled back to the prior epoch"
+           reason)
+    | exception Dynamics.Eval.Sml_raise packet ->
+      Error
+        (Printf.sprintf
+           "swap aborted: a unit raised %s during relink — rolled back to \
+            the prior epoch"
+           (Dynamics.Value.to_string packet))
+    | exception Dynamics.Eval.Sml_exit code ->
+      Error
+        (Printf.sprintf
+           "swap aborted: a unit called exit %d during relink — rolled back \
+            to the prior epoch"
+           code)
+  in
+  (match outcome with
+  | Ok desc ->
+    Obs.Metrics.incr m_swaps_ok;
+    t.cfg.d_log (Printf.sprintf "daemon: %s %s" g.g_group desc)
+  | Error msg ->
+    Obs.Metrics.incr m_swaps_rolled_back;
+    t.cfg.d_log (Printf.sprintf "daemon: %s swap failed: %s" g.g_group msg));
+  g.g_last_swap <- Some outcome;
+  outcome
+
+let serve_build ?abort_check t opts ~and_run =
   let open Protocol in
   match (policy_of opts.b_policy, schedule_of t opts.b_schedule) with
   | None, _ ->
@@ -247,40 +331,99 @@ let serve_build t opts ~and_run =
             ~json:opts.b_error_json stats
         in
         let diag_frames = if opts.b_error_json then [ diag.out ] else [] in
+        (* a clean build under --hot-swap reconciles the live epoch;
+           a failed swap rolls back and lands on stderr, never fatal *)
+        let swap_err =
+          if t.cfg.d_hot_swap && diag.code = 0 then
+            match reconcile t g ~abort_check with
+            | Ok _ -> ""
+            | Error msg -> msg ^ "\n"
+          else ""
+        in
         if and_run then begin
           (* `irm run` prints no listing: diagnostics, then the program *)
           if diag.code <> 0 then
             ({ r_code = diag.code; r_out = ""; r_err = diag.err }, diag_frames)
           else
-            let buf = Buffer.create 256 in
-            match
-              Driver.run ~output:(Buffer.add_string buf) g.g_mgr ~sources
-            with
-            | _ ->
+            match g.g_live with
+            | Some live when t.cfg.d_hot_swap && swap_err = "" ->
+              (* serve from the live epoch: pin it, replay the captured
+                 per-unit output, unpin — byte-identical to a clean
+                 restart at the epoch's state, and an epoch swap landing
+                 between two runs never tears one *)
+              let buf = Buffer.create 256 in
+              let pinned = Relink.pin live in
+              Fun.protect
+                ~finally:(fun () -> Relink.unpin live pinned)
+                (fun () ->
+                  Relink.replay pinned ~output:(Buffer.add_string buf));
               ({ r_code = 0; r_out = Buffer.contents buf; r_err = "" },
                diag_frames)
-            | exception Dynamics.Eval.Sml_raise packet ->
-              ( {
-                  r_code = 1;
-                  r_out = Buffer.contents buf;
-                  r_err =
-                    Printf.sprintf "uncaught exception: %s\n"
-                      (Dynamics.Value.to_string packet);
-                },
-                diag_frames )
-            | exception Dynamics.Eval.Sml_exit code ->
-              ({ r_code = code; r_out = Buffer.contents buf; r_err = "" },
-               diag_frames)
+            | _ -> (
+              let buf = Buffer.create 256 in
+              match
+                Driver.run ~output:(Buffer.add_string buf) g.g_mgr ~sources
+              with
+              | _ ->
+                ({ r_code = 0; r_out = Buffer.contents buf; r_err = swap_err },
+                 diag_frames)
+              | exception Dynamics.Eval.Sml_raise packet ->
+                ( {
+                    r_code = 1;
+                    r_out = Buffer.contents buf;
+                    r_err =
+                      swap_err
+                      ^ Printf.sprintf "uncaught exception: %s\n"
+                          (Dynamics.Value.to_string packet);
+                  },
+                  diag_frames )
+              | exception Dynamics.Eval.Sml_exit code ->
+                ( { r_code = code; r_out = Buffer.contents buf; r_err = swap_err },
+                  diag_frames ))
         end
         else
           let listing =
             if opts.b_error_json then ""
             else Irm.Introspect.build_listing g.g_mgr stats
           in
-          ({ r_code = diag.code; r_out = listing; r_err = diag.err },
+          ({ r_code = diag.code; r_out = listing; r_err = diag.err ^ swap_err },
            diag_frames))
 
 let live_conns t = List.filter (fun c -> c.c_alive) t.conns
+
+(* the per-group hot-swap fields of the status envelope: the serving
+   epoch ([null] before the baseline), how many epoch records are
+   retained, and the swap counters *)
+let group_swap_json g =
+  let open Obs.Json in
+  match g.g_live with
+  | None ->
+    [
+      ("epoch", Null);
+      ("epochs", Int 0);
+      ( "swaps",
+        Obj
+          [
+            ("null", Int 0);
+            ("impl", Int 0);
+            ("epoch", Int 0);
+            ("rollbacks", Int 0);
+          ] );
+    ]
+  | Some live ->
+    let c = Relink.counters live in
+    [
+      ("epoch", Int (Relink.current_epoch live));
+      ("epochs", Int (List.length (Relink.epochs live)));
+      ( "swaps",
+        Obj
+          [
+            ("null", Int c.Relink.c_null);
+            ("impl", Int c.Relink.c_impl);
+            ("epoch", Int c.Relink.c_epoch);
+            ("rollbacks", Int c.Relink.c_rollbacks);
+          ] );
+    ]
 
 let status_json t =
   let open Obs.Json in
@@ -293,12 +436,13 @@ let status_json t =
     Hashtbl.fold
       (fun _ g acc ->
         Obj
-          [
-            ("group", String g.g_group);
-            ("units", Int (List.length g.g_sources));
-            ("builds", Int g.g_builds);
-            ("dirty", List (List.map (fun f -> String f) g.g_dirty));
-          ]
+          ([
+             ("group", String g.g_group);
+             ("units", Int (List.length g.g_sources));
+             ("builds", Int g.g_builds);
+             ("dirty", List (List.map (fun f -> String f) g.g_dirty));
+           ]
+          @ group_swap_json g)
         :: acc)
       t.groups []
   in
@@ -309,6 +453,7 @@ let status_json t =
       ("uptime_s", Float (Unix.gettimeofday () -. t.started));
       ("served", Int t.served);
       ("clients", Int (List.length (live_conns t)));
+      ("hot_swap", Bool t.cfg.d_hot_swap);
       ( "watch",
         Obj
           [
@@ -321,12 +466,127 @@ let status_json t =
       ("groups", List groups);
     ]
 
-let serve_request t req =
+(* ------------------------------------------------------------------ *)
+(* Hot-swap requests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Swap]/[Epochs] with an empty group name resolve against the
+   daemon's live groups when that is unambiguous *)
+let resolve_group t group =
+  if group <> "" then Ok group
+  else
+    match Hashtbl.fold (fun k _ acc -> k :: acc) t.groups [] with
+    | [ g ] -> Ok g
+    | [] -> Error "no group is live in this daemon; name one explicitly\n"
+    | gs ->
+      Error
+        (Printf.sprintf "multiple groups are live (%s); name one explicitly\n"
+           (String.concat ", " (List.sort String.compare gs)))
+
+let epochs_json t g =
+  let open Obs.Json in
+  let history =
+    match g.g_live with
+    | None -> []
+    | Some live ->
+      List.map
+        (fun (e : Relink.epoch_info) ->
+          Obj
+            [
+              ("id", Int e.Relink.ei_id);
+              ("state", String e.ei_state);
+              ("pins", Int e.ei_pins);
+              ("units", Int e.ei_units);
+              ("cause", String e.ei_cause);
+            ])
+        (Relink.epochs live)
+  in
+  Obj
+    ([
+       ("version", String Protocol.version);
+       ("group", String g.g_group);
+       ("hot_swap", Bool t.cfg.d_hot_swap);
+     ]
+    @ group_swap_json g
+    @ [ ("history", List history) ])
+
+let render_epochs g =
+  let buf = Buffer.create 256 in
+  (match g.g_live with
+  | None ->
+    Buffer.add_string buf
+      (Printf.sprintf "group %s: no live epochs (no clean build yet)\n"
+         g.g_group)
+  | Some live ->
+    let c = Relink.counters live in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "group %s: serving epoch %d — swaps: %d null / %d impl / %d epoch \
+          / %d rollbacks\n"
+         g.g_group
+         (Relink.current_epoch live)
+         c.Relink.c_null c.Relink.c_impl c.Relink.c_epoch
+         c.Relink.c_rollbacks);
+    List.iter
+      (fun (e : Relink.epoch_info) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  epoch %-3d %-8s pins %-2d units %-3d %s\n"
+             e.Relink.ei_id e.ei_state e.ei_pins e.ei_units e.ei_cause))
+      (Relink.epochs live));
+  Buffer.contents buf
+
+let serve_epochs t ~group ~json =
+  match resolve_group t group with
+  | Error msg -> ({ Protocol.r_code = 2; r_out = ""; r_err = msg }, [])
+  | Ok group ->
+    let g = group_state t group in
+    if json then ok (Obs.Json.to_canonical_string (epochs_json t g) ^ "\n")
+    else ok (render_epochs g)
+
+let serve_swap ?abort_check t ~group ~unit_ =
+  let open Protocol in
+  if not t.cfg.d_hot_swap then
+    ( {
+        r_code = 2;
+        r_out = "";
+        r_err = "hot swap is disabled: start the daemon with --hot-swap\n";
+      },
+      [] )
+  else
+    match resolve_group t group with
+    | Error msg -> ({ r_code = 2; r_out = ""; r_err = msg }, [])
+    | Ok group ->
+      guard ~json:false (fun () ->
+          let sources = Irm.Group.load t.fs group in
+          if unit_ <> "" && not (List.mem unit_ sources) then
+            Diag.error Diag.Manager Support.Loc.dummy
+              "unit %s is not in group %s" unit_ group;
+          let g = group_state t group in
+          let opts = { g.g_opts with b_group = group } in
+          let resp, frames = serve_build ?abort_check t opts ~and_run:false in
+          if resp.r_code <> 0 then (resp, frames)
+          else
+            match g.g_last_swap with
+            | Some (Ok desc) ->
+              let prefix = if unit_ = "" then "" else unit_ ^ ": " in
+              ({ r_code = 0; r_out = prefix ^ desc ^ "\n"; r_err = "" },
+               frames)
+            | Some (Error msg) ->
+              ({ r_code = 1; r_out = ""; r_err = msg ^ "\n" }, frames)
+            | None ->
+              ( {
+                  r_code = 2;
+                  r_out = "";
+                  r_err = "no swap was attempted (is hot swap live?)\n";
+                },
+                frames ))
+
+let serve_request ?abort_check t req =
   t.served <- t.served + 1;
   Obs.Metrics.incr m_requests;
   match req with
-  | Protocol.Build opts -> serve_build t opts ~and_run:false
-  | Protocol.Run opts -> serve_build t opts ~and_run:true
+  | Protocol.Build opts -> serve_build ?abort_check t opts ~and_run:false
+  | Protocol.Run opts -> serve_build ?abort_check t opts ~and_run:true
   | Protocol.Explain { e_unit; e_json } ->
     guard ~json:false (fun () ->
         let r =
@@ -344,6 +604,10 @@ let serve_request t req =
   | Protocol.Shutdown ->
     t.stopping <- true;
     ok ""
+  | Protocol.Swap { s_group; s_unit } ->
+    serve_swap ?abort_check t ~group:s_group ~unit_:s_unit
+  | Protocol.Epochs { ep_group; ep_json } ->
+    serve_epochs t ~group:ep_group ~json:ep_json
 
 (* ------------------------------------------------------------------ *)
 (* Connection plumbing                                                 *)
@@ -360,6 +624,21 @@ let drop t conn =
     (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
     Obs.Metrics.set g_clients (List.length (live_conns t))
   end
+
+(* mid-swap (or mid-build) client disconnect detection: a requesting
+   client hanging up aborts a pending swap.  MSG_PEEK — pipelined
+   request bytes mean the peer is alive, only EOF or a broken socket
+   counts as gone. *)
+let client_gone conn () =
+  if not conn.c_alive then Some "client disconnected mid-swap"
+  else
+    let probe = Bytes.create 1 in
+    match Unix.recv conn.c_fd probe 0 1 [ Unix.MSG_PEEK ] with
+    | 0 -> Some "client disconnected mid-swap"
+    | _ -> None
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      None
+    | exception Unix.Unix_error _ -> Some "client connection broke mid-swap"
 
 let handle_msg t conn (msg : Frame.msg) =
   if not conn.c_hello then
@@ -391,7 +670,7 @@ let handle_msg t conn (msg : Frame.msg) =
         Obs.Trace.span ~cat:"daemon"
           ~args:[ ("id", msg.f_id) ]
           "daemon.request"
-          (fun () -> serve_request t req)
+          (fun () -> serve_request ~abort_check:(client_gone conn) t req)
       in
       List.iter
         (fun payload -> send conn ~kind:Protocol.k_diag ~id:msg.f_id ~payload)
@@ -508,6 +787,16 @@ let drop_wedged t =
    itself) *)
 let dirty_cone t g dirty =
   if List.exists (String.equal g.g_group) dirty then g.g_sources
+  else if
+    (* a tracked unit was deleted: its exports vanish from the parse,
+       so the rebuilt dependency graph can no longer name its
+       dependents — invalidate the whole group rather than silently
+       under-reporting the deleted unit's cone *)
+    List.exists
+      (fun f ->
+        List.mem f g.g_sources && t.fs.Vfs.fs_read f = None)
+      dirty
+  then g.g_sources
   else
     match
       let parsed =

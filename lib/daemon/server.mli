@@ -40,6 +40,13 @@ type config = {
   d_cache : bool;  (** attach the content-addressed unit cache *)
   d_policy : string;  (** policy for startup and watch rebuilds *)
   d_jobs : int;  (** jobs for startup and watch rebuilds *)
+  d_hot_swap : bool;
+      (** keep a live {!Link.Relink} dynenv per group: every clean
+          build reconciles it transactionally (impl swaps in place,
+          interface changes bump an epoch), and [Run] requests replay
+          the pinned epoch instead of re-executing *)
+  d_swap_budget_s : float;  (** watchdog: abort a swap exceeding this *)
+  d_epoch_history : int;  (** retained non-current epoch records *)
   d_log : string -> unit;  (** daemon-side log line sink *)
 }
 

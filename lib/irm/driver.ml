@@ -785,6 +785,23 @@ let unit_of t file =
   | Some unit_ -> unit_
   | None -> manager_error "unit %s has not been built" file
 
+let link_snapshot t =
+  List.map
+    (fun file ->
+      let unit_ = unit_of t file in
+      let fingerprint =
+        match Hashtbl.find_opt t.bin_bytes file with
+        | Some bytes -> Digestkit.Md5.digest_string bytes
+        | None -> ""
+      in
+      {
+        Link.Relink.u_name = file;
+        u_static_pid = unit_.Pickle.Binfile.uf_static_pid;
+        u_cu = unit_.Pickle.Binfile.uf_codeunit;
+        u_fingerprint = fingerprint;
+      })
+    t.last_order
+
 (* ------------------------------------------------------------------ *)
 (* Crash recovery                                                      *)
 (* ------------------------------------------------------------------ *)

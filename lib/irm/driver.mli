@@ -208,6 +208,13 @@ val build :
 (** [unit_of t file] — the Unit of [file] after the last build. *)
 val unit_of : t -> string -> Pickle.Binfile.t
 
+(** [link_snapshot t] — one {!Link.Relink.unit_src} per unit of the
+    last build, in link order: name, interface pid, code, and a
+    fingerprint of the unit's bin bytes.  This is what the daemon's
+    hot-swap reconciliation diffs against the live epoch after every
+    rebuild. *)
+val link_snapshot : t -> Link.Relink.unit_src list
+
 (** What a {!recover} pass found on disk. *)
 type recovery = {
   rv_intact : string list;  (** bins that rehydrate cleanly *)

@@ -1,0 +1,495 @@
+module Pid = Digestkit.Pid
+module Diag = Support.Diag
+
+type unit_src = {
+  u_name : string;
+  u_static_pid : Pid.t;
+  u_cu : Codeunit.t;
+  u_fingerprint : string;
+}
+
+type kind = Null | Impl | Epoch_bump
+
+type outcome = { o_kind : kind; o_epoch : int; o_relinked : string list }
+
+exception Swap_aborted of string
+
+(* what the epoch remembers about each linked unit: enough to re-check
+   its recorded imports, diff its exported surface, and replay its
+   captured output without touching the unit's code again *)
+type view = {
+  v_name : string;
+  v_static_pid : Pid.t;
+  v_exports : Pid.t list;
+  v_imports : Pid.t list;
+  v_fingerprint : string;
+  v_output : string;
+}
+
+type state = Current | Draining | Retired
+
+type epoch = {
+  ep_id : int;
+  ep_cause : string;
+  mutable ep_views : view list;  (** link order *)
+  mutable ep_env : Linker.dynenv;
+  mutable ep_pins : int;
+  mutable ep_state : state;
+}
+
+type t = {
+  eh_history : int;
+  mutable epochs : epoch list;  (** newest first; the head is current *)
+  mutable swaps_null : int;
+  mutable swaps_impl : int;
+  mutable swaps_epoch : int;
+  mutable rollbacks : int;
+}
+
+type pinned = {
+  pn_epoch : int;
+  pn_env : Linker.dynenv;
+  pn_outputs : (string * string) list;
+}
+
+type epoch_info = {
+  ei_id : int;
+  ei_state : string;
+  ei_pins : int;
+  ei_units : int;
+  ei_cause : string;
+}
+
+type counters = {
+  c_null : int;
+  c_impl : int;
+  c_epoch : int;
+  c_rollbacks : int;
+}
+
+let m_swaps = Obs.Metrics.counter "relink.swaps"
+let m_rollbacks = Obs.Metrics.counter "relink.rollbacks"
+
+let create ?(history = 4) () =
+  {
+    eh_history = max 0 history;
+    epochs = [];
+    swaps_null = 0;
+    swaps_impl = 0;
+    swaps_epoch = 0;
+    rollbacks = 0;
+  }
+
+let live t = t.epochs <> []
+
+let current t =
+  match t.epochs with
+  | ep :: _ -> ep
+  | [] -> invalid_arg "Relink: no baseline epoch"
+
+let current_epoch t = (current t).ep_id
+let env t = (current t).ep_env
+
+let seal_error ~unit_name fmt =
+  Format.kasprintf
+    (fun message ->
+      raise
+        (Diag.Error
+           (Diag.make ~code:"E0801" ~unit_name Diag.Link Support.Loc.dummy
+              ("seal-violation: " ^ message))))
+    fmt
+
+let conflict_error ~unit_name fmt =
+  Format.kasprintf
+    (fun message ->
+      raise
+        (Diag.Error
+           (Diag.make ~code:"E0802" ~unit_name Diag.Link Support.Loc.dummy
+              ("relink-conflict: " ^ message))))
+    fmt
+
+let view_of u output =
+  {
+    v_name = u.u_name;
+    v_static_pid = u.u_static_pid;
+    v_exports = List.map snd u.u_cu.Codeunit.cu_exports;
+    v_imports = u.u_cu.Codeunit.cu_imports;
+    v_fingerprint = u.u_fingerprint;
+    v_output = output;
+  }
+
+(* execute one unit against [env], capturing what it prints *)
+let execute u env =
+  let buf = Buffer.create 64 in
+  let env =
+    Linker.execute ~output:(Buffer.add_string buf) ~unit_name:u.u_name u.u_cu
+      env
+  in
+  (env, view_of u (Buffer.contents buf))
+
+let baseline t ~units =
+  if live t then invalid_arg "Relink.baseline: already live";
+  let env, views =
+    List.fold_left
+      (fun (env, views) u ->
+        let env, v = execute u env in
+        (env, v :: views))
+      (Linker.empty, []) units
+  in
+  t.epochs <-
+    [
+      {
+        ep_id = 0;
+        ep_cause = "baseline";
+        ep_views = List.rev views;
+        ep_env = env;
+        ep_pins = 0;
+        ep_state = Current;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Pins and epoch lifecycle                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* retire drained non-current epochs (drop their environments) and
+   bound the history to [eh_history] non-current records; a pinned
+   epoch is never dropped *)
+let prune t =
+  List.iteri
+    (fun i ep ->
+      if i > 0 && ep.ep_pins = 0 && ep.ep_state <> Retired then begin
+        ep.ep_state <- Retired;
+        ep.ep_env <- Linker.empty;
+        ep.ep_views <- []
+      end)
+    t.epochs;
+  let rec bound kept = function
+    | [] -> []
+    | ep :: rest ->
+      if kept = 0 then ep :: bound 1 rest (* the current epoch *)
+      else if kept <= t.eh_history then ep :: bound (kept + 1) rest
+      else if ep.ep_state = Retired then bound kept rest
+      else ep :: bound (kept + 1) rest (* pinned past the bound: keep *)
+  in
+  t.epochs <- bound 0 t.epochs
+
+let pin t =
+  let ep = current t in
+  ep.ep_pins <- ep.ep_pins + 1;
+  {
+    pn_epoch = ep.ep_id;
+    pn_env = ep.ep_env;
+    pn_outputs = List.map (fun v -> (v.v_name, v.v_output)) ep.ep_views;
+  }
+
+let pinned_epoch p = p.pn_epoch
+
+let unpin t p =
+  List.iter
+    (fun ep ->
+      if ep.ep_id = p.pn_epoch && ep.ep_pins > 0 then
+        ep.ep_pins <- ep.ep_pins - 1)
+    t.epochs;
+  prune t
+
+let replay p ~output =
+  List.iter (fun (_, chunk) -> output chunk) p.pn_outputs
+
+let state_name = function
+  | Current -> "current"
+  | Draining -> "draining"
+  | Retired -> "retired"
+
+let epochs t =
+  List.map
+    (fun ep ->
+      {
+        ei_id = ep.ep_id;
+        ei_state = state_name ep.ep_state;
+        ei_pins = ep.ep_pins;
+        ei_units = List.length ep.ep_views;
+        ei_cause = ep.ep_cause;
+      })
+    t.epochs
+
+let counters t =
+  {
+    c_null = t.swaps_null;
+    c_impl = t.swaps_impl;
+    c_epoch = t.swaps_epoch;
+    c_rollbacks = t.rollbacks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The swap transaction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pid_set pids = List.fold_left (fun s p -> Pid.Set.add p s) Pid.Set.empty pids
+
+(* the staged surface must be exactly the union of the declared export
+   interfaces: anything else is an internal binding leaking across the
+   swap boundary *)
+let check_surface ~unit_name views env =
+  let declared =
+    List.fold_left
+      (fun s v -> List.fold_left (fun s p -> Pid.Set.add p s) s v.v_exports)
+      Pid.Set.empty views
+  in
+  let surface = Pid.Map.fold (fun p _ s -> Pid.Set.add p s) env Pid.Set.empty in
+  let leaked = Pid.Set.diff surface declared in
+  if not (Pid.Set.is_empty leaked) then
+    seal_error ~unit_name
+      "%d binding(s) beyond the declared export interfaces would leak into \
+       the dynenv surface: %s"
+      (Pid.Set.cardinal leaked)
+      (String.concat ", " (List.map Pid.short (Pid.Set.elements leaked)))
+
+(* a unit whose interface pid did not change must present the same
+   exported surface — opaque ascription seals its internals *)
+let check_seal ~old_view u =
+  let old_set = pid_set old_view.v_exports in
+  let new_set = pid_set (List.map snd u.u_cu.Codeunit.cu_exports) in
+  if not (Pid.Set.equal old_set new_set) then
+    seal_error ~unit_name:u.u_name
+      "interface pid %s is unchanged but the exported surface differs \
+       (old: %s; new: %s)"
+      (Pid.short u.u_static_pid)
+      (String.concat ", " (List.map Pid.short (Pid.Set.elements old_set)))
+      (String.concat ", " (List.map Pid.short (Pid.Set.elements new_set)))
+
+(* every live importer's recorded import pids must still resolve in the
+   staged table *)
+let check_importers views env =
+  List.iter
+    (fun v ->
+      List.iter
+        (fun pid ->
+          if not (Pid.Map.mem pid env) then
+            conflict_error ~unit_name:v.v_name
+              "live unit %s imports pid %s, which the staged swap no longer \
+               provides"
+              v.v_name (Pid.short pid))
+        v.v_imports)
+    views
+
+let swap ?on_step ?(budget_s = 30.) ?abort_check t ~units =
+  let cur = current t in
+  let old_views = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace old_views v.v_name v) cur.ep_views;
+  let old_view u = Hashtbl.find_opt old_views u.u_name in
+  let rebuilt u =
+    match old_view u with
+    | None -> true (* a new unit joined the group *)
+    | Some v -> not (String.equal v.v_fingerprint u.u_fingerprint)
+  in
+  let removed =
+    let names = Hashtbl.create 16 in
+    List.iter (fun u -> Hashtbl.replace names u.u_name ()) units;
+    List.filter (fun v -> not (Hashtbl.mem names v.v_name)) cur.ep_views
+  in
+  let changed = List.filter rebuilt units in
+  if changed = [] && removed = [] then begin
+    t.swaps_null <- t.swaps_null + 1;
+    Obs.Metrics.incr m_swaps;
+    { o_kind = Null; o_epoch = cur.ep_id; o_relinked = [] }
+  end
+  else begin
+    let deadline = Unix.gettimeofday () +. budget_s in
+    let step name =
+      (match abort_check with
+      | Some check -> (
+        match check () with
+        | Some reason -> raise (Swap_aborted reason)
+        | None -> ())
+      | None -> ());
+      if Unix.gettimeofday () > deadline then
+        raise
+          (Swap_aborted
+             (Printf.sprintf "watchdog: swap exceeded its %.1fs budget"
+                budget_s));
+      match on_step with Some f -> f name | None -> ()
+    in
+    let pid_stable u =
+      match old_view u with
+      | Some v -> Pid.equal v.v_static_pid u.u_static_pid
+      | None -> false
+    in
+    let impl_only = removed = [] && List.for_all pid_stable changed in
+    match
+      if impl_only then begin
+        (* cutoff says dependents' bins are untouched: rebind the
+           changed units' export pids in place, same epoch *)
+        step "begin";
+        step "stage";
+        let staged_env, staged_views =
+          List.fold_left
+            (fun (env, views) u ->
+              let env, v = execute u env in
+              (env, v :: views))
+            (cur.ep_env, []) changed
+        in
+        let staged_views = List.rev staged_views in
+        step "verify";
+        let changed_names = Hashtbl.create 8 in
+        List.iter
+          (fun u -> Hashtbl.replace changed_names u.u_name ())
+          changed;
+        check_importers
+          (List.filter
+             (fun v -> not (Hashtbl.mem changed_names v.v_name))
+             cur.ep_views)
+          staged_env;
+        step "seal";
+        List.iter
+          (fun u ->
+            match old_view u with
+            | Some v -> check_seal ~old_view:v u
+            | None -> ())
+          changed;
+        let merged_views =
+          List.map
+            (fun v ->
+              match
+                List.find_opt
+                  (fun nv -> String.equal nv.v_name v.v_name)
+                  staged_views
+              with
+              | Some nv -> nv
+              | None -> v)
+            cur.ep_views
+        in
+        check_surface
+          ~unit_name:(match changed with u :: _ -> u.u_name | [] -> "")
+          merged_views staged_env;
+        step "commit";
+        (* every mutation lives below this line: an abort at any step
+           above observes the old epoch untouched *)
+        cur.ep_env <- staged_env;
+        cur.ep_views <- merged_views;
+        t.swaps_impl <- t.swaps_impl + 1;
+        {
+          o_kind = Impl;
+          o_epoch = cur.ep_id;
+          o_relinked = List.map (fun u -> u.u_name) changed;
+        }
+      end
+      else begin
+        (* an interface pid changed (or the unit set did): build the
+           next epoch.  The relink set is the importing cone — the
+           pid-level transitive dependents of every rebuilt unit —
+           because re-executing a unit may change the values under its
+           (even unchanged) export pids, and a clean restart at the new
+           state would see those values everywhere downstream. *)
+        step "begin";
+        let providers = Hashtbl.create 32 in
+        List.iter
+          (fun u ->
+            List.iter
+              (fun (_, pid) -> Hashtbl.replace providers pid u.u_name)
+              u.u_cu.Codeunit.cu_exports)
+          units;
+        let relink = Hashtbl.create 16 in
+        List.iter
+          (fun u ->
+            let stale =
+              rebuilt u
+              || List.exists
+                   (fun pid ->
+                     match Hashtbl.find_opt providers pid with
+                     | Some name -> Hashtbl.mem relink name
+                     | None -> false)
+                   u.u_cu.Codeunit.cu_imports
+            in
+            if stale then Hashtbl.replace relink u.u_name ())
+          units;
+        step "stage";
+        let staged_env, staged_views =
+          List.fold_left
+            (fun (env, views) u ->
+              if Hashtbl.mem relink u.u_name then
+                let env, v = execute u env in
+                (env, v :: views)
+              else
+                match old_view u with
+                | None ->
+                  (* unreachable: an unknown unit is always relinked *)
+                  conflict_error ~unit_name:u.u_name
+                    "unit %s has no live view to carry across the swap"
+                    u.u_name
+                | Some v ->
+                  (* carried across: its recorded imports must still
+                     resolve, and its bindings and captured output move
+                     over verbatim *)
+                  List.iter
+                    (fun pid ->
+                      if not (Pid.Map.mem pid env) then
+                        conflict_error ~unit_name:v.v_name
+                          "unit %s carried across the swap imports pid %s, \
+                           which epoch %d no longer provides"
+                          v.v_name (Pid.short pid) (cur.ep_id + 1))
+                    v.v_imports;
+                  let env =
+                    List.fold_left
+                      (fun env pid ->
+                        match Pid.Map.find_opt pid cur.ep_env with
+                        | Some value -> Pid.Map.add pid value env
+                        | None ->
+                          conflict_error ~unit_name:v.v_name
+                            "unit %s exports pid %s, absent from the epoch \
+                             it is carried from"
+                            v.v_name (Pid.short pid))
+                      env v.v_exports
+                  in
+                  (env, v :: views))
+            (Linker.empty, []) units
+        in
+        let staged_views = List.rev staged_views in
+        step "verify";
+        check_importers staged_views staged_env;
+        step "seal";
+        List.iter
+          (fun u ->
+            match old_view u with
+            | Some v when Pid.equal v.v_static_pid u.u_static_pid ->
+              check_seal ~old_view:v u
+            | _ -> ())
+          units;
+        check_surface
+          ~unit_name:(match changed with u :: _ -> u.u_name | [] -> "")
+          staged_views staged_env;
+        step "commit";
+        let relinked =
+          List.filter_map
+            (fun u ->
+              if Hashtbl.mem relink u.u_name then Some u.u_name else None)
+            units
+        in
+        let next =
+          {
+            ep_id = cur.ep_id + 1;
+            ep_cause =
+              Printf.sprintf "epoch swap: relinked [%s]"
+                (String.concat ", " relinked);
+            ep_views = staged_views;
+            ep_env = staged_env;
+            ep_pins = 0;
+            ep_state = Current;
+          }
+        in
+        (* every mutation lives below this line *)
+        cur.ep_state <- Draining;
+        t.epochs <- next :: t.epochs;
+        t.swaps_epoch <- t.swaps_epoch + 1;
+        prune t;
+        { o_kind = Epoch_bump; o_epoch = next.ep_id; o_relinked = relinked }
+      end
+    with
+    | outcome ->
+      Obs.Metrics.incr m_swaps;
+      outcome
+    | exception exn ->
+      t.rollbacks <- t.rollbacks + 1;
+      Obs.Metrics.incr m_rollbacks;
+      raise exn
+  end

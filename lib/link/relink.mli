@@ -1,0 +1,140 @@
+(** Live relinking: hot-swap rebuilt units into a running dynenv.
+
+    The paper's type-safe linkage checks import pids once, at link
+    time.  This module extends the guarantee to {e re}-linking a live
+    system, in two regimes keyed by the cutoff argument:
+
+    - {b Impl swap} — the rebuilt unit's interface pid is unchanged, so
+      dependents' bins are untouched and the swap is an in-place
+      binding replacement under the same export pids.  Dependents keep
+      the values they captured at their own link time; re-binding the
+      export pids affects future lookups only.  Before commit, every
+      live unit's recorded import pids are re-checked against the
+      staged table.
+    - {b Epoch swap} — an interface pid changed (or units were added or
+      removed).  The current epoch is left draining and a new one is
+      built: the {e importing cone} of every rebuilt unit — the
+      transitive pid-level dependents — re-executes against the new
+      bindings, while units outside the cone carry their bindings and
+      captured output across unchanged.  In-flight requests that
+      {!pin}ned the old epoch finish against it; drained epochs retire
+      (their environments dropped) under a bounded history.
+
+    Every swap is transactional: staging happens against shadow state,
+    the named steps [begin]/[stage]/[verify]/[seal]/[commit] are
+    announced through [on_step], and the live structure mutates only
+    after the last announcement — an abort, link failure, watchdog
+    timeout, or client disconnect at {e any} step rolls back to exactly
+    the prior state.
+
+    Two diagnostics guard the boundary (both phase [Link]):
+    - [E0802] {e relink-conflict} — a live unit's recorded import pid
+      would no longer be satisfied after the swap;
+    - [E0801] {e seal-violation} — a unit whose interface pid is
+      unchanged altered its exported surface, or the swap would leak
+      bindings beyond the declared export interface into the reachable
+      dynenv surface (opaque ascription must seal internals across the
+      swap boundary). *)
+
+(** What the builder hands the relinker, one per unit in link
+    (topological) order: identity, code, and a fingerprint of the bin
+    bytes that changes iff the unit was rebuilt to different output. *)
+type unit_src = {
+  u_name : string;
+  u_static_pid : Digestkit.Pid.t;  (** intrinsic pid of the interface *)
+  u_cu : Codeunit.t;
+  u_fingerprint : string;  (** digest of the unit's bin bytes *)
+}
+
+type kind =
+  | Null  (** nothing changed; no steps run, nothing mutated *)
+  | Impl  (** in-place rebinding, same epoch *)
+  | Epoch_bump  (** new epoch; old one drains *)
+
+type outcome = {
+  o_kind : kind;
+  o_epoch : int;  (** the epoch serving after the swap *)
+  o_relinked : string list;  (** units re-executed, in link order *)
+}
+
+(** Raised when a swap rolls back without a diagnostic: [abort_check]
+    asked for it, the watchdog budget ran out, or [on_step] itself
+    raised.  The string says why. *)
+exception Swap_aborted of string
+
+type t
+
+(** [create ?history ()] — a relinker retaining at most [history]
+    (default 4) non-current epoch records for inspection. *)
+val create : ?history:int -> unit -> t
+
+(** Has {!baseline} established epoch 0? *)
+val live : t -> bool
+
+(** [baseline t ~units] — execute every unit in order, capturing each
+    unit's printed output, and install the result as epoch 0.  Raises
+    [Invalid_argument] if already live; any execution failure leaves
+    [t] untouched. *)
+val baseline : t -> units:unit_src list -> unit
+
+(** [swap ?on_step ?budget_s ?abort_check t ~units] — reconcile the
+    rebuilt unit list against the current epoch.
+
+    [on_step] hears each transaction step name just before it runs;
+    the commit mutations happen strictly after the last call, so a
+    crash injected at any step observes the old state intact.
+    [abort_check] is polled at every step: returning [Some reason]
+    (e.g. the requesting client disconnected) aborts and rolls back.
+    [budget_s] (default 30) is the watchdog: a swap exceeding it
+    aborts.
+
+    Raises {!Swap_aborted}, or {!Support.Diag.Error} with [E0801],
+    [E0802] or [E0601] — in every case the prior epoch keeps serving
+    and the rollback is counted. *)
+val swap :
+  ?on_step:(string -> unit) ->
+  ?budget_s:float ->
+  ?abort_check:(unit -> string option) ->
+  t ->
+  units:unit_src list ->
+  outcome
+
+val current_epoch : t -> int
+
+(** The current epoch's dynenv (for the REPL and tests). *)
+val env : t -> Linker.dynenv
+
+(** An immutable snapshot an in-flight request holds: epoch swaps never
+    disturb it, and the epoch it names cannot retire while pinned. *)
+type pinned
+
+val pin : t -> pinned
+val pinned_epoch : pinned -> int
+
+(** [unpin t p] — release; a drained non-current epoch retires. *)
+val unpin : t -> pinned -> unit
+
+(** [replay p ~output] — emit the pinned epoch's program output: the
+    captured per-unit chunks in link order, byte-identical to a clean
+    restart at that epoch's state. *)
+val replay : pinned -> output:(string -> unit) -> unit
+
+type epoch_info = {
+  ei_id : int;
+  ei_state : string;  (** [current], [draining] or [retired] *)
+  ei_pins : int;
+  ei_units : int;
+  ei_cause : string;  (** [baseline] or the swap that created it *)
+}
+
+(** Newest first; bounded by [history]. *)
+val epochs : t -> epoch_info list
+
+type counters = {
+  c_null : int;
+  c_impl : int;
+  c_epoch : int;
+  c_rollbacks : int;
+}
+
+val counters : t -> counters

@@ -16,6 +16,7 @@ let () =
       ("interactive", Test_interactive.suite);
       ("vm", Test_vm.suite);
       ("link", Test_link.suite);
+      ("relink", Test_relink.suite);
       ("depend", Test_depend.suite);
       ("properties", Test_props.suite);
       ("obs", Test_obs.suite);

@@ -744,6 +744,205 @@ let test_interrupt_records_partial_profile () =
     let p' = Obs.Profile.load fs in
     Alcotest.(check bool) "persisted" true (Obs.Profile.last p' <> None)
 
+(* ------------------------------------------------------------------ *)
+(* Hot swapping through the daemon                                     *)
+(* ------------------------------------------------------------------ *)
+
+let main_src = "structure Main = struct val () = print (Int.toString Top.result) end"
+
+let fresh_hot_project () =
+  let dir = fresh_project () in
+  write_file dir "main.sml" main_src;
+  write_file dir "sources.cm" "base.sml\nmid.sml\ntop.sml\nmain.sml\n";
+  dir
+
+let hot_config dir = { (test_config dir) with Server.d_hot_swap = true }
+
+(* make an edit visible to mtime-based staleness checks immediately *)
+let edit dir file contents =
+  write_file dir file contents;
+  let future = Unix.gettimeofday () +. 5. in
+  Unix.utimes (Filename.concat dir file) future future
+
+(* the hot-swap fields of the first group in a status envelope *)
+let swap_fields j =
+  match Obs.Json.member "groups" j with
+  | Some (Obs.Json.List (g :: _)) ->
+    let epoch =
+      match Obs.Json.member "epoch" g with
+      | Some (Obs.Json.Int n) -> Some n
+      | Some Obs.Json.Null -> None
+      | _ -> Alcotest.fail "group epoch field missing"
+    in
+    let swaps k =
+      match Obs.Json.member "swaps" g with
+      | Some s -> json_int k s
+      | None -> Alcotest.fail "group swaps field missing"
+    in
+    (epoch, swaps)
+  | _ -> Alcotest.fail "no groups in status"
+
+let test_hot_swap_impl_then_epoch () =
+  let dir = fresh_hot_project () in
+  with_server (hot_config dir) @@ fun srv ->
+  let c = client_of srv dir in
+  (* first clean build establishes the baseline epoch *)
+  let resp, _ = rpc srv c ~id:"r1" (Protocol.Run (build_opts "sources.cm")) in
+  Alcotest.(check int) "run ok" 0 resp.Protocol.r_code;
+  Alcotest.(check string) "baseline output" "30" resp.Protocol.r_out;
+  let j = status srv c ~id:"s1" in
+  (match Obs.Json.member "hot_swap" j with
+  | Some (Obs.Json.Bool true) -> ()
+  | _ -> Alcotest.fail "status must advertise hot_swap");
+  let epoch, _ = swap_fields j in
+  Alcotest.(check (option int)) "baseline epoch" (Some 0) epoch;
+  (* an implementation edit confined to main's own output: the swap
+     rebinds in place, the epoch does not move *)
+  edit dir "main.sml"
+    "structure Main = struct val () = print (Int.toString (Top.result + 1)) \
+     end";
+  let resp, _ = rpc srv c ~id:"r2" (Protocol.Run (build_opts "sources.cm")) in
+  Alcotest.(check int) "impl run ok" 0 resp.Protocol.r_code;
+  Alcotest.(check string) "impl-swapped output" "31" resp.Protocol.r_out;
+  let epoch, swaps = swap_fields (status srv c ~id:"s2") in
+  Alcotest.(check (option int)) "epoch pid-stable" (Some 0) epoch;
+  Alcotest.(check int) "one impl swap" 1 (swaps "impl");
+  Alcotest.(check int) "no epoch swap yet" 0 (swaps "epoch");
+  (* an interface edit bumps the epoch and relinks the cone *)
+  edit dir "base.sml"
+    "structure Base = struct val origin = 10 val extra = true fun scale n = \
+     n * origin end";
+  let resp, _ = rpc srv c ~id:"r3" (Protocol.Run (build_opts "sources.cm")) in
+  Alcotest.(check int) "epoch run ok" 0 resp.Protocol.r_code;
+  Alcotest.(check string) "epoch-swapped output" "31" resp.Protocol.r_out;
+  let epoch, swaps = swap_fields (status srv c ~id:"s3") in
+  Alcotest.(check (option int)) "epoch bumped" (Some 1) epoch;
+  Alcotest.(check int) "one epoch swap" 1 (swaps "epoch");
+  Alcotest.(check int) "no rollbacks" 0 (swaps "rollbacks");
+  disconnect c
+
+let test_swap_and_epochs_requests () =
+  let dir = fresh_hot_project () in
+  with_server (hot_config dir) @@ fun srv ->
+  let c = client_of srv dir in
+  ignore (rpc srv c ~id:"b1" (Protocol.Build (build_opts "sources.cm")));
+  (* `irm swap UNIT`: rebuild and reconcile, reporting the outcome *)
+  edit dir "main.sml"
+    "structure Main = struct val () = print (Int.toString (Top.result + 2)) \
+     end";
+  let resp, _ =
+    rpc srv c ~id:"w1"
+      (Protocol.Swap { s_group = ""; s_unit = "main.sml" })
+  in
+  Alcotest.(check int) "swap ok" 0 resp.Protocol.r_code;
+  Alcotest.(check bool) "reports an impl swap" true
+    (contains ~needle:"impl swap" resp.Protocol.r_out);
+  Alcotest.(check bool) "names the unit" true
+    (contains ~needle:"main.sml" resp.Protocol.r_out);
+  (* the swapped state serves the new output *)
+  let resp, _ = rpc srv c ~id:"r1" (Protocol.Run (build_opts "sources.cm")) in
+  Alcotest.(check string) "swapped output served" "32" resp.Protocol.r_out;
+  (* a unit outside the group is refused *)
+  let resp, _ =
+    rpc srv c ~id:"w2"
+      (Protocol.Swap { s_group = ""; s_unit = "nope.sml" })
+  in
+  Alcotest.(check int) "unknown unit refused" 1 resp.Protocol.r_code;
+  (* the epoch inventory, as JSON *)
+  let resp, _ =
+    rpc srv c ~id:"e1" (Protocol.Epochs { ep_group = ""; ep_json = true })
+  in
+  Alcotest.(check int) "epochs ok" 0 resp.Protocol.r_code;
+  let j = Obs.Json.parse resp.Protocol.r_out in
+  Alcotest.(check int) "serving epoch 0" 0 (json_int "epoch" j);
+  (match Obs.Json.member "history" j with
+  | Some (Obs.Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "epoch history missing");
+  disconnect c
+
+let test_swap_disabled_refused () =
+  let dir = fresh_hot_project () in
+  with_server (test_config dir) @@ fun srv ->
+  let c = client_of srv dir in
+  let resp, _ =
+    rpc srv c ~id:"w1" (Protocol.Swap { s_group = ""; s_unit = "" })
+  in
+  Alcotest.(check int) "refused" 2 resp.Protocol.r_code;
+  Alcotest.(check bool) "says how to enable" true
+    (contains ~needle:"--hot-swap" resp.Protocol.r_err);
+  disconnect c
+
+(* ------------------------------------------------------------------ *)
+(* Stale daemon detection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_probe_stale_daemon () =
+  let dir = fresh_dir () in
+  let sock =
+    Protocol.socket_path ~dir ~state_dir:Protocol.default_state_dir
+  in
+  let pidp = Protocol.pid_path ~dir ~state_dir:Protocol.default_state_dir in
+  Unix.mkdir (Filename.dirname sock) 0o755;
+  (* a SIGKILL'd daemon's leftovers: a bound socket nobody listens on,
+     and a recorded pid that is not running (beyond pid_max, so it
+     cannot exist) *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.listen fd 1;
+  Unix.close fd;
+  Out_channel.with_open_bin pidp (fun oc ->
+      Out_channel.output_string oc "99999999\n");
+  (match Client.probe ~dir () with
+  | Client.Stale (Some p) ->
+    Alcotest.(check int) "names the dead pid" 99999999 p
+  | Client.Stale None -> Alcotest.fail "pid file was readable"
+  | Client.Live _ | Client.Unresponsive _ | Client.Absent ->
+    Alcotest.fail "expected a stale diagnosis");
+  Alcotest.(check bool) "socket swept" false (Sys.file_exists sock);
+  Alcotest.(check bool) "pid file swept" false (Sys.file_exists pidp);
+  match Client.probe ~dir () with
+  | Client.Absent -> ()
+  | _ -> Alcotest.fail "a swept directory reads as absent"
+
+(* ------------------------------------------------------------------ *)
+(* Deleted files                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_deleted_unit_invalidates_cone () =
+  let dir = fresh_project () in
+  with_server (test_config ~watch:false ~poll:0.05 dir) @@ fun srv ->
+  let c = client_of srv dir in
+  ignore (rpc srv c ~id:"b1" (Protocol.Build (build_opts "sources.cm")));
+  (* deleting a tracked unit: its exports vanish from the parse, so
+     the cone must fall back to the whole group, not silently shrink *)
+  Sys.remove (Filename.concat dir "base.sml");
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    Unix.sleepf 0.05;
+    Server.step ~timeout_s:0.01 srv;
+    let dirty =
+      match Obs.Json.member "groups" (status srv c ~id:"s") with
+      | Some (Obs.Json.List (g :: _)) -> (
+        match Obs.Json.member "dirty" g with
+        | Some (Obs.Json.List l) ->
+          List.filter_map
+            (function Obs.Json.String s -> Some s | _ -> None)
+            l
+        | _ -> [])
+      | _ -> []
+    in
+    if dirty <> [] then dirty
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "sweep never reported the deletion"
+    else wait ()
+  in
+  let dirty = wait () in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " invalidated") true (List.mem f dirty))
+    [ "base.sml"; "mid.sml"; "top.sml" ];
+  disconnect c
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
@@ -773,4 +972,14 @@ let suite =
     Alcotest.test_case "watch sweep" `Quick test_watch_sweep;
     Alcotest.test_case "interrupt records partial profile" `Quick
       test_interrupt_records_partial_profile;
+    Alcotest.test_case "hot swap: impl then epoch" `Quick
+      test_hot_swap_impl_then_epoch;
+    Alcotest.test_case "swap and epochs requests" `Quick
+      test_swap_and_epochs_requests;
+    Alcotest.test_case "swap refused when disabled" `Quick
+      test_swap_disabled_refused;
+    Alcotest.test_case "probe detects a stale daemon" `Quick
+      test_probe_stale_daemon;
+    Alcotest.test_case "deleted unit invalidates the cone" `Quick
+      test_deleted_unit_invalidates_cone;
   ]
